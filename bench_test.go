@@ -1,0 +1,357 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each benchmark
+// recomputes its experiment's data and reports the headline values via
+// b.ReportMetric, so `go test -bench=. -benchmem` doubles as the
+// reproduction harness; EXPERIMENTS.md records the paper-vs-measured
+// comparison.
+//
+// The world-scale figures share one cached dataset (benchStudy), built
+// once per process at a scale where per-window aggregations clear the
+// paper's 30-sample validity floor.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/analysis"
+	"repro/internal/geo"
+	"repro/internal/hdratio"
+	"repro/internal/rng"
+	"repro/internal/sample"
+	"repro/internal/study"
+	"repro/internal/validate"
+	"repro/internal/workload"
+	"repro/internal/world"
+)
+
+var (
+	studyOnce sync.Once
+	studyRes  *study.Results
+)
+
+// benchStudy builds the shared dataset: 30 groups × 2 days at a session
+// density that keeps per-window aggregations statistically valid.
+func benchStudy(b *testing.B) *study.Results {
+	b.Helper()
+	studyOnce.Do(func() {
+		studyRes = study.Run(world.Config{
+			Seed:                   42,
+			Groups:                 30,
+			Days:                   2,
+			SessionsPerGroupWindow: 100,
+		})
+	})
+	return studyRes
+}
+
+// --- Figures 1-3: traffic characterisation -------------------------------
+
+func benchWorkload(b *testing.B, n int) []workload.SessionSpec {
+	g := workload.NewGenerator(rng.New(1), workload.Config{})
+	specs := make([]workload.SessionSpec, n)
+	for i := range specs {
+		specs[i] = g.Session()
+	}
+	return specs
+}
+
+func BenchmarkFig1aSessionDuration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		specs := benchWorkload(b, 20000)
+		under1s, under1m, over3m := 0, 0, 0
+		for _, s := range specs {
+			if s.Duration < time.Second {
+				under1s++
+			}
+			if s.Duration < time.Minute {
+				under1m++
+			}
+			if s.Duration > 3*time.Minute {
+				over3m++
+			}
+		}
+		n := float64(len(specs))
+		b.ReportMetric(float64(under1s)/n, "frac<1s(paper:.074)")
+		b.ReportMetric(float64(under1m)/n, "frac<1min(paper:.33)")
+		b.ReportMetric(float64(over3m)/n, "frac>3min(paper:.20)")
+	}
+}
+
+func BenchmarkFig1bBusyTime(b *testing.B) {
+	res := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all := res.Overview.BusyFraction["all"]
+		b.ReportMetric(all.CDF(0.10), "frac-busy<10%(paper:~.75-.80)")
+	}
+}
+
+func BenchmarkFig2Bytes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		specs := benchWorkload(b, 20000)
+		var under10k, over1m int
+		var resp, respUnder6k int
+		for _, s := range specs {
+			tb := s.TotalBytes()
+			if tb < 10_000 {
+				under10k++
+			}
+			if tb > 1_000_000 {
+				over1m++
+			}
+			for _, txn := range s.Txns {
+				resp++
+				if txn.Bytes < 6_000 {
+					respUnder6k++
+				}
+			}
+		}
+		n := float64(len(specs))
+		b.ReportMetric(float64(under10k)/n, "sessions<10KB(paper:.58)")
+		b.ReportMetric(float64(over1m)/n, "sessions>1MB(paper:.06)")
+		b.ReportMetric(float64(respUnder6k)/float64(resp), "responses<6KB(paper:>.50)")
+	}
+}
+
+func BenchmarkFig3Transactions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		specs := benchWorkload(b, 20000)
+		var under5, big int
+		var bigBytes, total int64
+		for _, s := range specs {
+			if len(s.Txns) < 5 {
+				under5++
+			}
+			tb := s.TotalBytes()
+			total += tb
+			if len(s.Txns) >= 50 {
+				big++
+				bigBytes += tb
+			}
+		}
+		b.ReportMetric(float64(under5)/float64(len(specs)), "sessions<5txn(paper:~.80)")
+		b.ReportMetric(float64(bigBytes)/float64(total), "bytes-on-50+txn(paper:>.50)")
+	}
+}
+
+// --- Figure 4 / §3.2: the methodology itself ------------------------------
+
+func BenchmarkFigure4Model(b *testing.B) {
+	sess := hdratio.Session{
+		MinRTT: 60 * time.Millisecond,
+		Transactions: []hdratio.Transaction{
+			{Bytes: 2 * 1500, Duration: 60 * time.Millisecond, Wnic: 15000},
+			{Bytes: 24 * 1500, Duration: 120 * time.Millisecond, Wnic: 15000},
+			{Bytes: 14 * 1500, Duration: 60 * time.Millisecond, Wnic: 30000},
+		},
+	}
+	cfg := hdratio.DefaultConfig()
+	b.ReportAllocs()
+	var out hdratio.Outcome
+	for i := 0; i < b.N; i++ {
+		out = hdratio.Evaluate(sess, cfg)
+	}
+	b.ReportMetric(out.HDratio(), "hdratio(paper:1.0)")
+	b.ReportMetric(float64(out.Tested), "tested(paper:2)")
+}
+
+// --- §3.2.3 validation -----------------------------------------------------
+
+func BenchmarkValidationSweep(b *testing.B) {
+	var s validate.Summary
+	for i := 0; i < b.N; i++ {
+		results := validate.Sweep(validate.DefaultSweep(), 47)
+		s = validate.Summarise(results)
+	}
+	b.ReportMetric(float64(s.Overestimates), "overestimates(paper:0)")
+	b.ReportMetric(s.P99RelError(), "p99-rel-err(paper:.066)")
+	b.ReportMetric(float64(s.Testable), "testable-configs")
+}
+
+// --- Figure 5 --------------------------------------------------------------
+
+func BenchmarkFig5PopulationShift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := world.New(world.Config{Seed: 3, Groups: 1, Days: 1, SessionsPerGroupWindow: 60})
+		g := w.Groups[0]
+		g.BaseRTT = 20 * time.Millisecond
+		var shift world.PopulationShift
+		shift.AltRTT = 60 * time.Millisecond
+		for h := 0; h < 24; h++ {
+			d := h - 12
+			if d < 0 {
+				d = -d
+			}
+			shift.AltShareByHour[h] = 0.75 * (1 - float64(d)/12)
+		}
+		g.PopulationShift = &shift
+		store := agg.NewStore()
+		w.GenerateGroup(0, func(s sample.Sample) { store.Add(s) })
+		series := analysis.RTTSeries(store.Groups()[0])
+		lo, hi := 1e9, 0.0
+		for _, v := range series {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		b.ReportMetric(hi-lo, "median-swing-ms(paper:~40)")
+	}
+}
+
+// --- Figures 6-7, §4 --------------------------------------------------------
+
+func BenchmarkFig6aGlobal(b *testing.B) {
+	res := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := res.Overview
+		b.ReportMetric(o.MinRTT.Quantile(0.5), "minrtt-p50-ms(paper:39)")
+		b.ReportMetric(o.MinRTT.Quantile(0.8), "minrtt-p80-ms(paper:78)")
+		b.ReportMetric(o.HDPositiveShare(), "hdratio>0(paper:.82)")
+		b.ReportMetric(o.HDFullShare(), "hdratio=1(paper:.60)")
+	}
+}
+
+func BenchmarkFig6bMinRTTPerContinent(b *testing.B) {
+	res := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for cont, paper := range map[geo.Continent]string{
+			geo.Africa: "58", geo.Asia: "51", geo.SouthAmerica: "40",
+		} {
+			co := res.Overview.PerContinent[cont]
+			if co != nil && co.MinRTT.Count() > 0 {
+				b.ReportMetric(co.MinRTT.Quantile(0.5), string(cont)+"-p50-ms(paper:"+paper+")")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6cHDratioPerContinent(b *testing.B) {
+	res := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for cont, paper := range map[geo.Continent]string{
+			geo.Africa: ".36", geo.Asia: ".24", geo.SouthAmerica: ".27",
+		} {
+			co := res.Overview.PerContinent[cont]
+			if co != nil && co.HDDefined > 0 {
+				b.ReportMetric(float64(co.HDZero)/float64(co.HDDefined),
+					string(cont)+"-hd0(paper:"+paper+")")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7MinRTTvsHDratio(b *testing.B) {
+	res := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for bi, bucket := range analysis.RTTBuckets {
+			d := res.Overview.HDByRTTBucket[bi]
+			if d.Count() > 0 {
+				b.ReportMetric(d.Quantile(0.5), "hd-p50-rtt"+bucket.Name)
+			}
+		}
+	}
+}
+
+func BenchmarkSimpleApproachAblation(b *testing.B) {
+	res := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Session medians saturate at 1.0 when most sessions pass all
+		// transactions, so the mean is the discriminating summary here;
+		// cmd/edgereport prints both.
+		b.ReportMetric(res.Overview.HD.Mean(), "corrected-mean-hd")
+		b.ReportMetric(res.Overview.SimpleHD.Mean(), "naive-mean-hd(paper-median:.69)")
+	}
+}
+
+// --- Figure 8 / Table 1, §5 --------------------------------------------------
+
+func BenchmarkFig8Degradation(b *testing.B) {
+	res := benchStudy(b)
+	b.ResetTimer()
+	var dr analysis.DegradationResult
+	for i := 0; i < b.N; i++ {
+		dr = analysis.Degradation(res.Store, analysis.MetricMinRTT)
+	}
+	cdf, _, _ := dr.CDF()
+	b.ReportMetric(cdf.FractionAbove(4), "traffic-deg>=4ms(paper:.10)")
+	b.ReportMetric(cdf.FractionAbove(20), "traffic-deg>=20ms(paper:.011)")
+	b.ReportMetric(float64(dr.CoveredBytes)/float64(dr.TotalBytes), "coverage(paper:.948)")
+}
+
+func BenchmarkTable1Classes(b *testing.B) {
+	res := benchStudy(b)
+	params := analysis.DefaultClassifyParams(res.Cfg.Days)
+	b.ResetTimer()
+	var tbl analysis.ClassTable
+	for i := 0; i < b.N; i++ {
+		dr := analysis.Degradation(res.Store, analysis.MetricMinRTT)
+		tbl = dr.Classify(res.Cfg.Windows(), params, study.Table1DegMinRTTMs)
+	}
+	b.ReportMetric(tbl.Overall[analysis.Uneventful][0].GroupTrafficShare, "uneventful@5ms(paper:.575)")
+	b.ReportMetric(tbl.Overall[analysis.Diurnal][0].GroupTrafficShare, "diurnal@5ms(paper:.175)")
+	b.ReportMetric(tbl.Overall[analysis.Episodic][0].GroupTrafficShare, "episodic@5ms(paper:.242)")
+}
+
+// --- Figure 9 / Tables 1-2, §6 -----------------------------------------------
+
+func BenchmarkFig9Opportunity(b *testing.B) {
+	res := benchStudy(b)
+	b.ResetTimer()
+	var opp analysis.OpportunityResult
+	for i := 0; i < b.N; i++ {
+		opp = analysis.Opportunity(res.Store, analysis.MetricMinRTT)
+	}
+	b.ReportMetric(opp.FractionWithinOfOptimal(3), "within-3ms-of-optimal(paper:.839)")
+	b.ReportMetric(opp.FractionImprovableAtLeast(5), "improvable>=5ms(paper:.020)")
+}
+
+func BenchmarkFig10RelationshipDiff(b *testing.B) {
+	res := benchStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := analysis.CompareRelationships(res.Store, analysis.MetricMinRTT)
+		if pvt := out[analysis.PeeringVsTransit]; pvt != nil && pvt.Total() > 0 {
+			b.ReportMetric(pvt.Quantile(0.5), "peer-vs-transit-p50-diff-ms(paper:<0)")
+			b.ReportMetric(pvt.FractionAtOrBelow(0), "peer-better-frac(paper:>.5)")
+		}
+	}
+}
+
+func BenchmarkTable2RelationshipOpportunity(b *testing.B) {
+	res := benchStudy(b)
+	b.ResetTimer()
+	var tbl analysis.RelationshipTable
+	for i := 0; i < b.N; i++ {
+		opp := analysis.Opportunity(res.Store, analysis.MetricMinRTT)
+		tbl = opp.Relationships(5)
+	}
+	if tbl.TotalBytes > 0 {
+		b.ReportMetric(float64(tbl.TotalEventBytes)/float64(tbl.TotalBytes), "opportunity-traffic-frac")
+		b.ReportMetric(float64(len(tbl.Pairs)), "relationship-pairs")
+	}
+}
+
+// --- End-to-end throughput ----------------------------------------------------
+
+// BenchmarkDatasetGeneration measures the world generator itself —
+// sessions per second through workload + flowsim + methodology.
+func BenchmarkDatasetGeneration(b *testing.B) {
+	w := world.New(world.Config{Seed: 9, Groups: 4, Days: 1, SessionsPerGroupWindow: 10})
+	b.ResetTimer()
+	sessions := 0
+	for i := 0; i < b.N; i++ {
+		w.GenerateGroup(i%len(w.Groups), func(s sample.Sample) { sessions++ })
+	}
+	b.ReportMetric(float64(sessions)/b.Elapsed().Seconds(), "sessions/s")
+}

@@ -1,0 +1,52 @@
+// Command edgelb runs the measurement load balancer (internal/lb) as a
+// standalone server: it serves synthetic objects over HTTP/1.1
+// ("GET /object?bytes=N"), samples sessions at the configured rate
+// (§2.2.2), instruments them through Linux TCP_INFO, and logs one
+// HDratio session report per sampled connection at close — the live
+// counterpart of the paper's Proxygen instrumentation.
+//
+// Usage:
+//
+//	edgelb [-listen 127.0.0.1:8080] [-rate 1.0] [-target 2.5e6]
+//
+// Exercise it with any HTTP client:
+//
+//	curl -o /dev/null 'http://127.0.0.1:8080/object?bytes=1250000'
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"repro/internal/lb"
+	"repro/internal/proxygen"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
+		rate   = flag.Float64("rate", 1.0, "session sampling rate (0..1]")
+		target = flag.Float64("target", float64(units.HDGoodput), "target goodput in bits/sec")
+	)
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("edgelb: %v", err)
+	}
+	log.Printf("edgelb: serving on %s (sampling %.0f%% of sessions, target %v)",
+		l.Addr(), *rate*100, units.Rate(*target))
+
+	srv := &lb.Server{
+		Sampler: proxygen.Sampler{Rate: *rate, Salt: 0x5eed},
+		Target:  units.Rate(*target),
+		OnReport: func(r lb.SessionReport) {
+			log.Printf("session %s: minrtt=%v bytes=%d txns=%d tested=%d achieved=%d hdratio=%.2f",
+				r.RemoteAddr, r.MinRTT, r.BytesServed, len(r.Transactions),
+				r.Outcome.Tested, r.Outcome.AchievedCount, r.HDratio())
+		},
+	}
+	log.Fatal(srv.Serve(l))
+}

@@ -1,0 +1,80 @@
+// Command edgestat inspects a measurement dataset (JSON lines from
+// cmd/edgesim): it prints a per-user-group roll-up — traffic, coverage,
+// medians, baseline and worst degradation — sorted by traffic, the view
+// an operator would use to find the groups worth investigating.
+//
+// Usage:
+//
+//	edgesim -groups 60 -days 2 -o ds.jsonl
+//	edgestat -in ds.jsonl [-top 20]
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/agg"
+	"repro/internal/analysis"
+	"repro/internal/collector"
+	"repro/internal/report"
+	"repro/internal/sample"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "dataset path (JSON lines; required)")
+		top = flag.Int("top", 20, "number of groups to print (0 = all)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatalf("edgestat: %v", err)
+	}
+	defer f.Close()
+
+	store := agg.NewStore()
+	col := collector.New(collector.StoreSink(store))
+	r := sample.NewReader(bufio.NewReaderSize(f, 1<<20))
+	for {
+		s, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			log.Fatalf("edgestat: reading %s: %v", *in, err)
+		}
+		col.Offer(s)
+	}
+
+	summaries := analysis.SummariseGroups(store)
+	fmt.Printf("%d groups, %d samples, %d windows\n\n", store.Len(), store.TotalSamples, store.TotalWindows)
+	rows := make([][]string, 0, len(summaries))
+	for i, g := range summaries {
+		if *top > 0 && i >= *top {
+			break
+		}
+		rows = append(rows, []string{
+			g.Key,
+			string(g.Continent),
+			fmt.Sprintf("%d", g.Sessions),
+			fmt.Sprintf("%.0f%%", g.Coverage*100),
+			report.F(g.MinRTTP50) + "ms",
+			report.F(g.HDratioP50),
+			report.F(g.Baseline) + "ms",
+			report.F(g.WorstDegradation) + "ms",
+			fmt.Sprintf("%d", g.Routes),
+		})
+	}
+	report.Table(os.Stdout, []string{
+		"group", "cont", "sessions", "coverage", "minrtt-p50", "hd-p50", "baseline", "worst-deg", "routes",
+	}, rows)
+}

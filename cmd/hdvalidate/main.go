@@ -1,0 +1,51 @@
+// Command hdvalidate reproduces the paper's §3.2.3 validation: it sweeps
+// 15,840 configurations of a single TCP transfer through a simulated
+// bottleneck (bandwidth 0.5–5 Mbps, RTT 20–200 ms, initial cwnd 1–50
+// packets, size 1–500 packets), measures each transfer exactly as the
+// production instrumentation would, and checks that the methodology's
+// goodput estimate never overestimates the bottleneck rate.
+//
+// The paper reports a 99th-percentile relative error of 0.066 and zero
+// overestimates on NS3; this command prints the same summary for the
+// netsim/tcpsim substrate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/validate"
+)
+
+func main() {
+	var (
+		stride  = flag.Int("stride", 1, "subsample the grid (1 = full 15,840 sweep)")
+		verbose = flag.Bool("v", false, "print every overestimating configuration")
+	)
+	flag.Parse()
+
+	params := validate.DefaultSweep()
+	fmt.Printf("sweeping %d configurations (stride %d)...\n", params.Count(), *stride)
+	all := validate.SweepParallel(params, *stride, runtime.NumCPU())
+
+	s := validate.Summarise(all)
+	fmt.Printf("measured:      %d/%d\n", s.Measured, s.Total)
+	fmt.Printf("testable:      %d (Gtestable > bottleneck)\n", s.Testable)
+	fmt.Printf("overestimates: %d\n", s.Overestimates)
+	fmt.Printf("rel. error:    median=%.4f p99=%.4f (paper: p99=0.066)\n", s.MedianRelError(), s.P99RelError())
+
+	if s.Overestimates > 0 {
+		if *verbose {
+			for _, r := range all {
+				if r.Err == nil && r.Testable && r.RelError < 0 {
+					fmt.Printf("  OVER bw=%v rtt=%v iw=%d size=%d est=%v rel=%.4f\n",
+						r.Bottleneck, r.RTT, r.InitCwnd, r.SizePkts, r.Estimated, r.RelError)
+				}
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Println("validation passed: the estimate never overestimates the bottleneck")
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Internet
+// Performance from Facebook's Edge" (Schlinker, Cunha, Chiu, Sundaresan,
+// Katz-Bassett — IMC 2019): server-side passive measurement of user
+// network performance (MinRTT and the HDratio goodput methodology) and
+// the paper's full evaluation — traffic characterisation, a global
+// performance snapshot, temporal degradation analysis, and the
+// performance-aware-routing opportunity study — over a synthetic global
+// edge that substitutes for the proprietary production dataset.
+//
+// Start at package repro/edge for the public API, cmd/edgereport for the
+// full study, and DESIGN.md for the system inventory and per-experiment
+// index. The benchmarks in this directory regenerate every table and
+// figure in the paper's evaluation; EXPERIMENTS.md records paper-vs-
+// measured values.
+package repro

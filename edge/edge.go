@@ -1,0 +1,158 @@
+// Package edge is the public API of the reproduction of "Internet
+// Performance from Facebook's Edge" (IMC 2019): server-side passive
+// measurement of latency (MinRTT) and achievable goodput (HDratio) from
+// production-style HTTP traffic, the aggregation and statistics used to
+// compare user groups over time and across routes, and the full
+// measurement study over a synthetic global edge.
+//
+// The three layers, bottom to top:
+//
+//   - Methodology: Evaluate applies the paper's §3.2 goodput
+//     methodology to a session's corrected transactions — determining
+//     which transactions could test for a target goodput (Gtestable,
+//     with ideal congestion-window chaining) and which achieved it
+//     (best-case model transfer time through a bottleneck). Correct
+//     turns raw load-balancer capture events into those corrected
+//     transactions (delayed-ACK correction, HTTP/2 coalescing,
+//     bytes-in-flight eligibility, §3.2.5).
+//
+//   - Aggregation & comparison: NewStore aggregates samples into user
+//     groups (PoP × BGP prefix × country) and 15-minute windows with
+//     streaming t-digests (§3.3); the analysis entry points compute
+//     degradation (§5) and routing opportunity (§6) with
+//     distribution-free confidence intervals (§3.4).
+//
+//   - Study: RunStudy generates a synthetic global dataset and executes
+//     every analysis in the paper's evaluation, reproducing the data
+//     behind Figures 1–10 and Tables 1–2.
+package edge
+
+import (
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/analysis"
+	"repro/internal/hdratio"
+	"repro/internal/proxygen"
+	"repro/internal/sample"
+	"repro/internal/study"
+	"repro/internal/units"
+	"repro/internal/world"
+)
+
+// HDGoodput is the paper's target goodput: 2.5 Mbps, the minimum
+// bitrate for HD video (§3.2.1).
+const HDGoodput = units.HDGoodput
+
+// Rate is a data rate in bits per second.
+type Rate = units.Rate
+
+// Common rate units for constructing targets.
+const (
+	Kbps = units.Kbps
+	Mbps = units.Mbps
+	Gbps = units.Gbps
+)
+
+// Transaction is one corrected HTTP transaction observation: bytes
+// excluding the final packet, duration from first byte at the NIC to
+// the ACK covering the second-to-last packet, and the congestion window
+// at write time (Wnic).
+type Transaction = hdratio.Transaction
+
+// Session is an HTTP session's observations: its MinRTT and corrected
+// transactions in order.
+type Session = hdratio.Session
+
+// Outcome summarises a session against the target goodput; HDratio() is
+// achieved/tested, NaN when nothing could test.
+type Outcome = hdratio.Outcome
+
+// Config parameterises the methodology (target goodput, MSS).
+type Config = hdratio.Config
+
+// DefaultConfig returns the paper's production configuration
+// (2.5 Mbps HD target).
+func DefaultConfig() Config { return hdratio.DefaultConfig() }
+
+// Evaluate runs the §3.2 methodology over a session.
+func Evaluate(sess Session, cfg Config) Outcome { return hdratio.Evaluate(sess, cfg) }
+
+// Gtestable returns the maximum goodput a transaction can demonstrate
+// under ideal conditions (§3.2.2, equations 1–3).
+func Gtestable(btotal, wstart int64, minRTT Duration) Rate {
+	return hdratio.Gtestable(btotal, wstart, minRTT)
+}
+
+// Tmodel returns the best-case transfer time of btotal bytes through a
+// bottleneck of rate r starting from congestion window wnic (§3.2.3).
+func Tmodel(r Rate, btotal, wnic int64, minRTT Duration) Duration {
+	return hdratio.Tmodel(r, btotal, wnic, minRTT)
+}
+
+// EstimateDeliveryRate returns the methodology's estimate of how fast
+// the network delivered a transaction (§3.2.3).
+func EstimateDeliveryRate(txn Transaction, minRTT Duration) Rate {
+	return hdratio.EstimateDeliveryRate(txn, minRTT)
+}
+
+// RawTransaction is an uncorrected load-balancer capture of one HTTP
+// transaction (§2.2.2).
+type RawTransaction = proxygen.RawTxn
+
+// Correct applies the §3.2.5 capture rules — delayed-ACK correction,
+// coalescing of multiplexed and back-to-back responses, bytes-in-flight
+// eligibility — and returns the methodology's transactions.
+func Correct(raw []RawTransaction) []Transaction { return proxygen.Correct(raw) }
+
+// Sampler deterministically selects sessions to instrument at a
+// configured rate (§2.2.2).
+type Sampler = proxygen.Sampler
+
+// Sample is one sampled HTTP session record as stored in the dataset.
+type Sample = sample.Sample
+
+// GroupKey identifies a user group: PoP × BGP prefix × country (§3.3).
+type GroupKey = sample.GroupKey
+
+// Store aggregates samples into user groups × 15-minute windows ×
+// routes with streaming digests (§3.3).
+type Store = agg.Store
+
+// NewStore returns an empty aggregation store.
+func NewStore() *Store { return agg.NewStore() }
+
+// Metric selects the aggregation median under analysis.
+type Metric = analysis.Metric
+
+// Metrics.
+const (
+	MetricMinRTT  = analysis.MetricMinRTT
+	MetricHDratio = analysis.MetricHDratio
+)
+
+// Degradation computes per-window degradation of each group's preferred
+// route against its baseline (§5, Figure 8).
+func Degradation(st *Store, m Metric) analysis.DegradationResult {
+	return analysis.Degradation(st, m)
+}
+
+// Opportunity compares each group's preferred route against its best
+// alternate per window (§6.2, Figure 9).
+func Opportunity(st *Store, m Metric) analysis.OpportunityResult {
+	return analysis.Opportunity(st, m)
+}
+
+// StudyConfig sizes a synthetic world (groups, days, sampling density).
+type StudyConfig = world.Config
+
+// StudyResults bundles every analysis output; WriteReport renders the
+// reproduced tables and figures as text.
+type StudyResults = study.Results
+
+// RunStudy generates a synthetic dataset and runs the paper's full
+// evaluation over it.
+func RunStudy(cfg StudyConfig) *StudyResults { return study.Run(cfg) }
+
+// Duration aliases time.Duration so the API reads uniformly.
+type Duration = time.Duration

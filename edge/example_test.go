@@ -1,0 +1,62 @@
+package edge_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/edge"
+)
+
+// The paper's Figure 4 worked example: a 60 ms client fetches three
+// objects; the methodology decides which transfers could demonstrate HD
+// goodput and which did.
+func Example() {
+	const mss = 1500
+	sess := edge.Session{
+		MinRTT: 60 * time.Millisecond,
+		Transactions: []edge.Transaction{
+			{Bytes: 2 * mss, Duration: 60 * time.Millisecond, Wnic: 10 * mss},
+			{Bytes: 24 * mss, Duration: 120 * time.Millisecond, Wnic: 10 * mss},
+			{Bytes: 14 * mss, Duration: 60 * time.Millisecond, Wnic: 20 * mss},
+		},
+	}
+	out := edge.Evaluate(sess, edge.DefaultConfig())
+	fmt.Printf("HDratio=%.1f tested=%d achieved=%d\n", out.HDratio(), out.Tested, out.AchievedCount)
+	// Output: HDratio=1.0 tested=2 achieved=2
+}
+
+// Gtestable is the maximum goodput a transfer could demonstrate under
+// ideal conditions: 24 packets from a 10-packet window deliver 14
+// packets in their best round trip — 2.8 Mbps at 60 ms.
+func ExampleGtestable() {
+	g := edge.Gtestable(24*1500, 10*1500, 60*time.Millisecond)
+	fmt.Printf("%.1f Mbps\n", g.Mbps())
+	// Output: 2.8 Mbps
+}
+
+// Tmodel is the best-case transfer time through a bottleneck: one
+// slow-start round (15 KB), the remaining 21 KB at 2.5 Mbps, plus the
+// final acknowledgment round trip.
+func ExampleTmodel() {
+	t := edge.Tmodel(edge.HDGoodput, 24*1500, 10*1500, 60*time.Millisecond)
+	fmt.Println(t.Round(100 * time.Microsecond))
+	// Output: 187.2ms
+}
+
+// Correct applies the capture rules: the final packet (whose ACK the
+// client may delay) is excluded, and the duration ends at the ACK
+// covering the second-to-last packet.
+func ExampleCorrect() {
+	raw := []edge.RawTransaction{{
+		FirstByteNIC:    0,
+		LastByteNIC:     10 * time.Millisecond,
+		SecondToLastAck: 70 * time.Millisecond,
+		LastAck:         110 * time.Millisecond, // delayed by the client
+		Bytes:           30000,
+		LastPacketBytes: 1500,
+		Wnic:            15000,
+	}}
+	txn := edge.Correct(raw)[0]
+	fmt.Printf("bytes=%d duration=%v\n", txn.Bytes, txn.Duration)
+	// Output: bytes=28500 duration=70ms
+}

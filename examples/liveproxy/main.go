@@ -1,0 +1,86 @@
+// Liveproxy: the methodology on real sockets. Starts the measurement
+// load balancer (internal/lb) on localhost, fetches a handful of
+// objects over one HTTP session, and prints the session report built
+// from the kernel's TCP_INFO — the live equivalent of the paper's
+// Proxygen instrumentation (§2.2.2). Linux only (TCP_INFO).
+//
+// Run with: go run ./examples/liveproxy
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/lb"
+)
+
+func main() {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+
+	reports := make(chan lb.SessionReport, 1)
+	srv := &lb.Server{OnReport: func(r lb.SessionReport) { reports <- r }}
+	go srv.Serve(l)
+
+	sizes := []int64{3_000, 150_000, 1_250_000, 45_000}
+	fmt.Printf("fetching %d objects from the live load balancer at %s\n", len(sizes), l.Addr())
+	if err := fetch(l.Addr().String(), sizes); err != nil {
+		log.Fatal(err)
+	}
+
+	select {
+	case r := <-reports:
+		fmt.Printf("\nsession report for %s\n", r.RemoteAddr)
+		fmt.Printf("  MinRTT (kernel):  %v\n", r.MinRTT)
+		fmt.Printf("  bytes served:     %d\n", r.BytesServed)
+		fmt.Printf("  transactions:     %d after correction\n", len(r.Transactions))
+		for i, txn := range r.Transactions {
+			fmt.Printf("    txn %d: bytes=%-8d dur=%-12v wnic=%-7d ineligible=%v\n",
+				i+1, txn.Bytes, txn.Duration, txn.Wnic, txn.Ineligible)
+		}
+		fmt.Printf("  HD outcome:       %d tested, %d achieved, HDratio=%.2f\n",
+			r.Outcome.Tested, r.Outcome.AchievedCount, r.HDratio())
+	case <-time.After(10 * time.Second):
+		log.Fatal("no session report (is this platform missing TCP_INFO?)")
+	}
+}
+
+// fetch retrieves the objects over a single keep-alive connection.
+func fetch(addr string, sizes []int64) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for i, size := range sizes {
+		connHdr := ""
+		if i == len(sizes)-1 {
+			connHdr = "Connection: close\r\n"
+		}
+		fmt.Fprintf(conn, "GET /object?bytes=%d HTTP/1.1\r\nHost: live\r\n%s\r\n", size, connHdr)
+		var contentLen int64
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			if line == "\r\n" {
+				break
+			}
+			fmt.Sscanf(line, "Content-Length: %d", &contentLen)
+		}
+		if _, err := io.CopyN(io.Discard, br, contentLen); err != nil {
+			return err
+		}
+		fmt.Printf("  fetched %d bytes\n", contentLen)
+	}
+	return nil
+}

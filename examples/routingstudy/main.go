@@ -1,0 +1,76 @@
+// Routingstudy: run the §6 opportunity analysis on a small synthetic
+// region and list the user groups where an alternate egress route beats
+// the BGP-preferred one.
+//
+// The paper's headline finding is that such groups are rare — default
+// policy routing is close to optimal — and this example shows both the
+// common case (preferred route wins) and the exceptions the analysis
+// surfaces, with their relationship types and confidence intervals.
+//
+// Run with: go run ./examples/routingstudy
+package main
+
+import (
+	"fmt"
+
+	"repro/edge"
+)
+
+func main() {
+	fmt.Println("generating a 2-day synthetic region (this takes ~10s)...")
+	res := edge.RunStudy(edge.StudyConfig{
+		Seed:                   7,
+		Groups:                 60,
+		Days:                   2,
+		SessionsPerGroupWindow: 90,
+	})
+
+	opp := res.OppMinRTT
+	fmt.Printf("\npreferred route within 3 ms of optimal for %.1f%% of traffic (paper: 83.9%%)\n",
+		100*opp.FractionWithinOfOptimal(3))
+	fmt.Printf("MinRTTP50 improvable by ≥5 ms for %.1f%% of traffic (paper: 2.0%%)\n\n",
+		100*opp.FractionImprovableAtLeast(5))
+
+	fmt.Println("groups with persistent ≥5 ms opportunity:")
+	found := 0
+	for _, g := range opp.Groups {
+		events, valid := 0, 0
+		var bestDiff float64
+		var altIdx int
+		for _, pt := range g.Points {
+			if !pt.Valid {
+				continue
+			}
+			valid++
+			if pt.Event(5) {
+				events++
+				if pt.Diff > bestDiff {
+					bestDiff = pt.Diff
+					altIdx = pt.AltIndex
+				}
+			}
+		}
+		if valid == 0 || float64(events)/float64(valid) < 0.75 {
+			continue
+		}
+		found++
+		pref := g.Group.RouteMeta[0]
+		alt := g.Group.RouteMeta[altIdx]
+		fmt.Printf("  %-28s %s(%s) loses to %s(%s) by up to %.1f ms in %d/%d windows\n",
+			g.Group.Key, pref.Rel, pathDesc(pref.ASPathLen, pref.Prepended),
+			alt.Rel, pathDesc(alt.ASPathLen, alt.Prepended), bestDiff, events, valid)
+	}
+	if found == 0 {
+		fmt.Println("  none — the static policy was optimal everywhere in this draw")
+	}
+
+	fmt.Println("\ncaveat (§6.2.2): alternates that measure well may lack capacity for")
+	fmt.Println("full production traffic; a real controller must shift load gradually.")
+}
+
+func pathDesc(pathLen int, prepended bool) string {
+	if prepended {
+		return fmt.Sprintf("path=%d,prepended", pathLen)
+	}
+	return fmt.Sprintf("path=%d", pathLen)
+}

@@ -1,0 +1,68 @@
+// Videostream: stream HD-video-like segments through the packet-level
+// simulator at different bottleneck bandwidths and watch HDratio track
+// whether the connection can sustain the 2.5 Mbps playback floor.
+//
+// This is the workload the paper's goodput target is defined for
+// (§3.2.1): after a video starts playing, user experience depends on
+// sustaining the bitrate; a client below ~2.5 Mbps rebuffers.
+//
+// Run with: go run ./examples/videostream
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/edge"
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+	"repro/internal/sample"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+func main() {
+	fmt.Println("4-second HD video segments (1.25 MB each) over a 80 ms path:")
+	fmt.Println()
+	fmt.Printf("%-12s %-9s %-10s %-10s %s\n", "bottleneck", "HDratio", "tested", "achieved", "verdict")
+	for _, mbps := range []float64{0.5, 1, 2, 2.5, 3, 5, 10, 25} {
+		hd, tested, achieved := streamSession(units.Rate(mbps * 1e6))
+		verdict := "smooth HD playback"
+		switch {
+		case tested == 0:
+			verdict = "no transaction could test"
+		case hd == 0:
+			verdict = "constant rebuffering"
+		case hd < 1:
+			verdict = "intermittent rebuffering"
+		}
+		fmt.Printf("%-12s %-9.2f %-10d %-10d %s\n",
+			units.Rate(mbps*1e6), hd, tested, achieved, verdict)
+	}
+}
+
+// streamSession plays six segments over one connection and returns the
+// session's HDratio.
+func streamSession(bottleneck units.Rate) (hd float64, tested, achieved int) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 24
+	fwd := &netsim.Link{Sim: &sim, Rate: bottleneck, Delay: 40 * time.Millisecond, QueueLimit: 64}
+	rev := &netsim.Link{Sim: &sim, Delay: 40 * time.Millisecond}
+	s := httpsim.NewSession(&sim, tcpsim.Config{CC: tcpsim.Cubic, HyStart: true}, fwd, rev, sample.HTTP2, 40*time.Millisecond)
+
+	// A 2.5 Mbps stream needs 1.25 MB per 4-second segment; the player
+	// requests the next segment every 4 seconds.
+	const segment = 1_250_000
+	var reqs []httpsim.Request
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, httpsim.Request{
+			At:            time.Duration(i) * 4 * time.Second,
+			ResponseBytes: segment,
+		})
+	}
+	s.Schedule(reqs)
+	sim.Run()
+
+	out := s.Evaluate(edge.DefaultConfig())
+	return out.HDratio(), out.Tested, out.AchievedCount
+}

@@ -1,0 +1,221 @@
+// Package agg implements the paper's aggregation scheme (§3.3): samples
+// are grouped into user groups (PoP × BGP prefix × client country) and
+// 15-minute time windows, separately per egress route, and summarised
+// with streaming t-digests so that medians (MinRTTP50, HDratioP50) and
+// distribution-free confidence intervals can be computed without
+// retaining raw samples — the same property the paper highlights for
+// production traffic-engineering pipelines (§3.4.1, footnote 11).
+//
+// Aggregations are weighted by traffic volume when reported (§3.3):
+// prefixes are arbitrary units of address space, so results are stated
+// as fractions of bytes delivered, not fractions of prefixes.
+package agg
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/geo"
+	"repro/internal/sample"
+	"repro/internal/stats"
+	"repro/internal/tdigest"
+)
+
+// WindowDuration is the aggregation window length (§3.3).
+const WindowDuration = 15 * time.Minute
+
+// Compression is the t-digest compression used per aggregation.
+const Compression = 100
+
+// Tightness thresholds for valid comparisons (§3.4.1): confidence
+// intervals wider than these invalidate the window.
+const (
+	MaxCIWidthMinRTTMs = 10.0
+	MaxCIWidthHDratio  = 0.1
+)
+
+// Aggregation summarises one (group, window, route) cell.
+type Aggregation struct {
+	// MinRTT holds per-session MinRTT in milliseconds.
+	MinRTT *tdigest.TDigest
+	// HD holds per-session HDratio for sessions that tested (§3.2.4).
+	HD *tdigest.TDigest
+	// SimpleHD holds the §4 ablation baseline's HDratio.
+	SimpleHD *tdigest.TDigest
+	// Sessions counts sessions aggregated.
+	Sessions int
+	// Bytes is the traffic volume carried by those sessions.
+	Bytes int64
+}
+
+func newAggregation() *Aggregation {
+	return &Aggregation{
+		MinRTT:   tdigest.New(Compression),
+		HD:       tdigest.New(Compression),
+		SimpleHD: tdigest.New(Compression),
+	}
+}
+
+// Add folds one sample in.
+func (a *Aggregation) Add(s sample.Sample) {
+	a.Sessions++
+	a.Bytes += s.Bytes
+	a.MinRTT.Add(float64(s.MinRTT) / float64(time.Millisecond))
+	if hd, ok := s.HDratio(); ok {
+		a.HD.Add(hd)
+	}
+	if shd, ok := s.SimpleHDratio(); ok {
+		a.SimpleHD.Add(shd)
+	}
+}
+
+// MinRTTP50 returns the median MinRTT in milliseconds.
+func (a *Aggregation) MinRTTP50() float64 { return a.MinRTT.Quantile(0.5) }
+
+// HDratioP50 returns the median HDratio across tested sessions.
+func (a *Aggregation) HDratioP50() float64 { return a.HD.Quantile(0.5) }
+
+// HasMinSamples reports whether the aggregation meets the §3.4.1 floor.
+func (a *Aggregation) HasMinSamples() bool { return a.Sessions >= stats.MinSamples }
+
+// RouteMeta describes a route as seen on samples, for the relationship
+// analyses (§6.3, Table 2).
+type RouteMeta struct {
+	ID        string
+	Rel       bgp.RelType
+	ASPathLen int
+	Prepended bool
+}
+
+// WindowAgg holds one group's aggregations for a window, per route
+// (index 0 = preferred, 1+ = alternates).
+type WindowAgg struct {
+	Routes map[int]*Aggregation
+}
+
+// Route returns the aggregation for a route index, or nil.
+func (w *WindowAgg) Route(alt int) *Aggregation {
+	if w == nil {
+		return nil
+	}
+	return w.Routes[alt]
+}
+
+// GroupSeries is a user group's full time series.
+type GroupSeries struct {
+	Key       sample.GroupKey
+	Continent geo.Continent
+	ClientAS  int
+
+	// Windows maps window index → aggregations.
+	Windows map[int]*WindowAgg
+	// RouteMeta maps route index → route description.
+	RouteMeta map[int]RouteMeta
+	// PreferredBytes is total traffic on the preferred route, the
+	// group's weight in traffic-share reports.
+	PreferredBytes int64
+}
+
+// WindowIndexes returns the group's populated windows, ascending.
+func (g *GroupSeries) WindowIndexes() []int {
+	out := make([]int, 0, len(g.Windows))
+	for w := range g.Windows {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Store aggregates a sample stream.
+type Store struct {
+	groups map[sample.GroupKey]*GroupSeries
+	// TotalWindows is the highest window index seen + 1.
+	TotalWindows int
+	// TotalSamples counts samples aggregated.
+	TotalSamples int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{groups: make(map[sample.GroupKey]*GroupSeries)}
+}
+
+// WindowOf returns the window index for a sample start time.
+func WindowOf(start time.Duration) int { return int(start / WindowDuration) }
+
+// Add folds one sample into the store.
+func (st *Store) Add(s sample.Sample) {
+	key := s.Key()
+	g, ok := st.groups[key]
+	if !ok {
+		g = &GroupSeries{
+			Key:       key,
+			Continent: s.Continent,
+			ClientAS:  s.ClientAS,
+			Windows:   make(map[int]*WindowAgg),
+			RouteMeta: make(map[int]RouteMeta),
+		}
+		st.groups[key] = g
+	}
+	if _, ok := g.RouteMeta[s.AltIndex]; !ok {
+		g.RouteMeta[s.AltIndex] = RouteMeta{
+			ID: s.RouteID, Rel: s.RouteRel, ASPathLen: s.ASPathLen, Prepended: s.Prepended,
+		}
+	}
+	win := WindowOf(s.Start)
+	wa, ok := g.Windows[win]
+	if !ok {
+		wa = &WindowAgg{Routes: make(map[int]*Aggregation)}
+		g.Windows[win] = wa
+	}
+	a, ok := wa.Routes[s.AltIndex]
+	if !ok {
+		a = newAggregation()
+		wa.Routes[s.AltIndex] = a
+	}
+	a.Add(s)
+	if s.AltIndex == 0 {
+		g.PreferredBytes += s.Bytes
+	}
+	if win+1 > st.TotalWindows {
+		st.TotalWindows = win + 1
+	}
+	st.TotalSamples++
+}
+
+// Groups returns the group series, sorted by key for determinism.
+func (st *Store) Groups() []*GroupSeries {
+	out := make([]*GroupSeries, 0, len(st.groups))
+	for _, g := range st.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// Group looks up one series.
+func (st *Store) Group(key sample.GroupKey) *GroupSeries { return st.groups[key] }
+
+// Len returns the number of groups.
+func (st *Store) Len() int { return len(st.groups) }
+
+// TotalPreferredBytes sums preferred-route traffic across groups — the
+// denominator for traffic-share reports.
+func (st *Store) TotalPreferredBytes() int64 {
+	var t int64
+	for _, g := range st.groups {
+		t += g.PreferredBytes
+	}
+	return t
+}
+
+// CoverageFraction returns the share of windows with traffic for a
+// group; groups below the §3.4.2 coverage floor (60%) are not
+// classified.
+func (g *GroupSeries) CoverageFraction(totalWindows int) float64 {
+	if totalWindows == 0 {
+		return 0
+	}
+	return float64(len(g.Windows)) / float64(totalWindows)
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/agg"
+	"repro/internal/sample"
+)
+
+// DeaggregationResult is the §3.3 granularity experiment: the paper
+// tried splitting prefixes into finer aggregates and found "minimal
+// reductions in variability while reducing coverage when deaggregation
+// leaves too few measurements". Both effects are measured here.
+type DeaggregationResult struct {
+	// BaseVariability and FineVariability are the traffic-weighted mean
+	// per-group standard deviations of window MinRTTP50s (ms): lower
+	// means aggregations are more homogeneous.
+	BaseVariability, FineVariability float64
+	// BaseCoverage and FineCoverage are the fractions of (group, window,
+	// preferred-route) aggregations meeting the 30-sample floor.
+	BaseCoverage, FineCoverage float64
+	// BaseGroups and FineGroups count the user groups at each granularity.
+	BaseGroups, FineGroups int
+}
+
+// VariabilityReduction returns the relative drop in variability from
+// deaggregating (paper: minimal).
+func (r DeaggregationResult) VariabilityReduction() float64 {
+	if r.BaseVariability == 0 {
+		return 0
+	}
+	return 1 - r.FineVariability/r.BaseVariability
+}
+
+// CoverageLoss returns the relative drop in valid coverage (paper: the
+// reason deaggregation was rejected).
+func (r DeaggregationResult) CoverageLoss() float64 {
+	if r.BaseCoverage == 0 {
+		return 0
+	}
+	return 1 - r.FineCoverage/r.BaseCoverage
+}
+
+// DeaggregateSink returns a sink that keys samples at subnet
+// granularity (prefix × ClientSubnet) instead of prefix granularity,
+// feeding the fine-grained store of the experiment.
+func DeaggregateSink(fine *agg.Store) func(sample.Sample) {
+	return func(s sample.Sample) {
+		s.Prefix = fmt.Sprintf("%s#%d", s.Prefix, s.ClientSubnet)
+		fine.Add(s)
+	}
+}
+
+// CompareDeaggregation computes the experiment over two stores built
+// from the same sample stream at different granularities.
+func CompareDeaggregation(base, fine *agg.Store) DeaggregationResult {
+	res := DeaggregationResult{
+		BaseGroups: base.Len(),
+		FineGroups: fine.Len(),
+	}
+	res.BaseVariability, res.BaseCoverage = storeStats(base)
+	res.FineVariability, res.FineCoverage = storeStats(fine)
+	return res
+}
+
+// storeStats returns the traffic-weighted mean per-group stddev of
+// preferred-route window medians and the valid-aggregation coverage.
+func storeStats(st *agg.Store) (variability, coverage float64) {
+	var wSum, vSum float64
+	var cells, validCells int
+	for _, g := range st.Groups() {
+		var medians []float64
+		var bytes int64
+		for _, win := range g.WindowIndexes() {
+			a := g.Windows[win].Route(0)
+			if a == nil {
+				continue
+			}
+			cells++
+			if !a.HasMinSamples() {
+				continue
+			}
+			validCells++
+			if m := a.MinRTTP50(); !math.IsNaN(m) {
+				medians = append(medians, m)
+			}
+			bytes += a.Bytes
+		}
+		if len(medians) < 2 {
+			continue
+		}
+		mean := 0.0
+		for _, m := range medians {
+			mean += m
+		}
+		mean /= float64(len(medians))
+		varr := 0.0
+		for _, m := range medians {
+			varr += (m - mean) * (m - mean)
+		}
+		sd := math.Sqrt(varr / float64(len(medians)-1))
+		w := float64(bytes)
+		vSum += sd * w
+		wSum += w
+	}
+	if wSum > 0 {
+		variability = vSum / wSum
+	}
+	if cells > 0 {
+		coverage = float64(validCells) / float64(cells)
+	}
+	return variability, coverage
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"repro/internal/agg"
+	"repro/internal/bgp"
+	"repro/internal/stats"
+)
+
+// RelComparison selects Figure 10's route-pair categories.
+type RelComparison int
+
+// Figure 10's three comparisons.
+const (
+	// PeeringVsTransit compares peer-preferred groups against their
+	// most-preferred transit alternate.
+	PeeringVsTransit RelComparison = iota
+	// TransitVsTransit compares transit-preferred groups against a
+	// transit alternate.
+	TransitVsTransit
+	// PrivateVsPublic compares PNI-preferred groups against a public
+	// exchange alternate.
+	PrivateVsPublic
+)
+
+// String names the comparison as the figure's legend does.
+func (c RelComparison) String() string {
+	switch c {
+	case PeeringVsTransit:
+		return "Peering vs Transit"
+	case TransitVsTransit:
+		return "Transit vs Transit"
+	case PrivateVsPublic:
+		return "Private vs Public"
+	}
+	return "Unknown"
+}
+
+// RelComparisons lists the figure's series.
+var RelComparisons = []RelComparison{PeeringVsTransit, TransitVsTransit, PrivateVsPublic}
+
+// matches reports whether a (preferred, alternate) relationship pair
+// belongs to the comparison.
+func (c RelComparison) matches(pref, alt bgp.RelType) bool {
+	switch c {
+	case PeeringVsTransit:
+		return pref.IsPeer() && alt == bgp.Transit
+	case TransitVsTransit:
+		return pref == bgp.Transit && alt == bgp.Transit
+	case PrivateVsPublic:
+		return pref == bgp.PrivatePeer && alt == bgp.PublicPeer
+	}
+	return false
+}
+
+// CompareRelationships builds Figure 10: the traffic-weighted
+// distribution of MinRTTP50 differences (preferred − alternate, so
+// positive = the alternate is better… lower) for each relationship
+// category. Unlike the opportunity analysis, the alternate is the
+// most-preferred route of the target relationship, not the best
+// performer (§6.3).
+func CompareRelationships(store *agg.Store, metric Metric) map[RelComparison]*stats.WeightedCDF {
+	points := make(map[RelComparison][]stats.WeightedPoint)
+	for _, g := range store.Groups() {
+		prefMeta, ok := g.RouteMeta[0]
+		if !ok {
+			continue
+		}
+		for _, comparison := range RelComparisons {
+			// Most-preferred alternate of the matching relationship:
+			// lowest alternate index (alternates are stored in policy
+			// order).
+			altIdx := -1
+			for i := 1; i < len(g.RouteMeta)+1; i++ {
+				meta, ok := g.RouteMeta[i]
+				if !ok {
+					continue
+				}
+				if comparison.matches(prefMeta.Rel, meta.Rel) {
+					altIdx = i
+					break
+				}
+			}
+			if altIdx < 0 {
+				continue
+			}
+			for _, win := range g.WindowIndexes() {
+				wa := g.Windows[win]
+				pref, alt := wa.Route(0), wa.Route(altIdx)
+				if pref == nil || alt == nil {
+					continue
+				}
+				cmp := stats.Compare(metric.digest(pref), metric.digest(alt), stats.DefaultConfidence, metric.maxCIWidth())
+				if !cmp.Valid {
+					continue
+				}
+				// Figure 10 orientation: preferred − alternate; for
+				// MinRTT positive means the alternate has lower latency.
+				diff := cmp.Point
+				if metric == MetricHDratio {
+					diff = -cmp.Point // alternate − preferred, better = positive
+				}
+				points[comparison] = append(points[comparison], stats.WeightedPoint{
+					Value:  diff,
+					Weight: float64(pref.Bytes + alt.Bytes),
+				})
+			}
+		}
+	}
+	out := make(map[RelComparison]*stats.WeightedCDF, len(points))
+	for c, pts := range points {
+		out[c] = stats.NewWeightedCDF(pts)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/bgp"
+	"repro/internal/rng"
+)
+
+func TestSummariseGroups(t *testing.T) {
+	st := agg.NewStore()
+	r := rng.New(1)
+	// Two groups: one heavy/stable at 20ms, one light/degrading.
+	for win := 0; win < 96; win++ {
+		addWindow(st, "10.5.0.0/24", win, 0, 40, 20, 1, r, bgp.PrivatePeer, 1, false)
+		addWindow(st, "10.5.0.0/24", win, 1, 30, 24, 1, r, bgp.Transit, 2, false)
+		rtt := 30.0
+		if win > 48 {
+			rtt = 50
+		}
+		addWindow(st, "10.5.1.0/24", win, 0, 31, rtt, 0.5, r, bgp.PublicPeer, 1, false)
+	}
+	sums := SummariseGroups(st)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	// Sorted by traffic: the 40-session group first.
+	if sums[0].Key != "ams/10.5.0.0/24/DE" {
+		t.Errorf("heaviest group = %s", sums[0].Key)
+	}
+	heavy, light := sums[0], sums[1]
+	if heavy.MinRTTP50 < 18 || heavy.MinRTTP50 > 22 {
+		t.Errorf("heavy MinRTTP50 = %v", heavy.MinRTTP50)
+	}
+	if heavy.HDratioP50 != 1 {
+		t.Errorf("heavy HDratioP50 = %v", heavy.HDratioP50)
+	}
+	if heavy.Routes != 2 {
+		t.Errorf("heavy routes = %d", heavy.Routes)
+	}
+	if heavy.Coverage != 1 {
+		t.Errorf("heavy coverage = %v", heavy.Coverage)
+	}
+	if heavy.WorstDegradation > 3 {
+		t.Errorf("stable group worst degradation = %v", heavy.WorstDegradation)
+	}
+	// The degrading group's worst window sits ~20ms above its baseline.
+	if light.WorstDegradation < 15 || light.WorstDegradation > 25 {
+		t.Errorf("light worst degradation = %v, want ~20", light.WorstDegradation)
+	}
+	if math.IsNaN(light.HDratioP50) {
+		t.Error("light HDratioP50 undefined")
+	}
+}

@@ -1,0 +1,200 @@
+// Package bgp models the routing substrate the opportunity analysis
+// (§6) runs on: BGP prefixes with longest-prefix-match lookup, routes
+// annotated with interconnect relationship types, AS-paths with
+// prepending, and Facebook's static egress policy (§6.1):
+//
+//  1. prefer the longest matching prefix,
+//  2. prefer peer routes over transit,
+//  3. prefer shorter AS-paths,
+//  4. prefer routes via a private network interconnect (PNI).
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// RelType is the interconnect relationship a route was learned over.
+type RelType int
+
+// Relationship types in the paper's Table 2.
+const (
+	// PrivatePeer is a peer over a private network interconnect (PNI).
+	PrivatePeer RelType = iota
+	// PublicPeer is a peer over a public exchange (IXP).
+	PublicPeer
+	// Transit is a transit provider.
+	Transit
+)
+
+// String renders the relationship as in the paper's tables.
+func (r RelType) String() string {
+	switch r {
+	case PrivatePeer:
+		return "Private"
+	case PublicPeer:
+		return "Public"
+	case Transit:
+		return "Transit"
+	default:
+		return fmt.Sprintf("RelType(%d)", int(r))
+	}
+}
+
+// IsPeer reports whether the relationship is a (private or public) peer.
+func (r RelType) IsPeer() bool { return r == PrivatePeer || r == PublicPeer }
+
+// Route is one egress route learned at a PoP.
+type Route struct {
+	// ID uniquely names the route within its PoP for sample annotation.
+	ID string
+	// Prefix is the announced destination prefix.
+	Prefix netip.Prefix
+	// ASPath is the advertised path, possibly with prepending
+	// (consecutive repeats of the origin or an intermediate AS).
+	ASPath []int
+	// Rel is the interconnect relationship.
+	Rel RelType
+}
+
+// PathLen returns the AS-path length including prepending, which is how
+// BGP compares paths.
+func (r Route) PathLen() int { return len(r.ASPath) }
+
+// Prepended reports whether the path contains consecutive repeats — a
+// signal of ingress traffic engineering that §6.2.2 uses to deprioritise
+// alternates ("perhaps the route is better performing, but capacity
+// constrained").
+func (r Route) Prepended() bool {
+	for i := 1; i < len(r.ASPath); i++ {
+		if r.ASPath[i] == r.ASPath[i-1] {
+			return true
+		}
+	}
+	return false
+}
+
+// OriginAS returns the destination network's AS, or 0 for an empty path.
+func (r Route) OriginAS() int {
+	if len(r.ASPath) == 0 {
+		return 0
+	}
+	return r.ASPath[len(r.ASPath)-1]
+}
+
+// Table is a routing table with longest-prefix-match semantics.
+type Table struct {
+	// byPrefix groups routes by exact prefix.
+	byPrefix map[netip.Prefix][]Route
+	// lengths records which prefix lengths are present, descending.
+	lengths []int
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{byPrefix: make(map[netip.Prefix][]Route)}
+}
+
+// Insert adds a route. Routes with invalid prefixes are rejected.
+func (t *Table) Insert(r Route) error {
+	if !r.Prefix.IsValid() {
+		return fmt.Errorf("bgp: invalid prefix in route %q", r.ID)
+	}
+	p := r.Prefix.Masked()
+	r.Prefix = p
+	if _, ok := t.byPrefix[p]; !ok {
+		t.insertLength(p.Bits())
+	}
+	t.byPrefix[p] = append(t.byPrefix[p], r)
+	return nil
+}
+
+func (t *Table) insertLength(bits int) {
+	for _, l := range t.lengths {
+		if l == bits {
+			return
+		}
+	}
+	t.lengths = append(t.lengths, bits)
+	sort.Sort(sort.Reverse(sort.IntSlice(t.lengths)))
+}
+
+// Lookup returns all routes for the longest prefix matching addr, or nil.
+func (t *Table) Lookup(addr netip.Addr) []Route {
+	for _, bits := range t.lengths {
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if routes, ok := t.byPrefix[p]; ok {
+			return routes
+		}
+	}
+	return nil
+}
+
+// Prefixes returns the distinct prefixes in the table.
+func (t *Table) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(t.byPrefix))
+	for p := range t.byPrefix {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Routes returns the routes for an exact prefix.
+func (t *Table) Routes(p netip.Prefix) []Route { return t.byPrefix[p.Masked()] }
+
+// relRank orders relationships per the policy: peers before transit
+// (tiebreaker 2), and among peers PNI before IXP only at tiebreaker 4.
+func relPeerRank(r RelType) int {
+	if r.IsPeer() {
+		return 0
+	}
+	return 1
+}
+
+func relPNIRank(r RelType) int {
+	if r == PrivatePeer {
+		return 0
+	}
+	return 1
+}
+
+// PolicyOrder sorts routes (for a single prefix) by Facebook's egress
+// policy (§6.1) and returns them best-first. The input is not modified.
+func PolicyOrder(routes []Route) []Route {
+	out := append([]Route(nil), routes...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		// Tiebreaker 1 (longest prefix) is resolved by Lookup.
+		if pa, pb := relPeerRank(a.Rel), relPeerRank(b.Rel); pa != pb {
+			return pa < pb // 2: prefer peer routes
+		}
+		if la, lb := a.PathLen(), b.PathLen(); la != lb {
+			return la < lb // 3: prefer shorter AS-paths
+		}
+		if na, nb := relPNIRank(a.Rel), relPNIRank(b.Rel); na != nb {
+			return na < nb // 4: prefer PNI over public exchange
+		}
+		return a.ID < b.ID // deterministic final order
+	})
+	return out
+}
+
+// Best returns the policy-preferred route and the next n alternates in
+// policy order — the routes the measurement system continuously samples
+// (§2.2.3, §6.2: "by default ... the two next best paths").
+func Best(routes []Route, n int) (preferred Route, alternates []Route, ok bool) {
+	if len(routes) == 0 {
+		return Route{}, nil, false
+	}
+	ordered := PolicyOrder(routes)
+	alts := ordered[1:]
+	if len(alts) > n {
+		alts = alts[:n]
+	}
+	return ordered[0], alts, true
+}

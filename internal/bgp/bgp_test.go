@@ -1,0 +1,213 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+
+func TestRelTypeStrings(t *testing.T) {
+	if PrivatePeer.String() != "Private" || PublicPeer.String() != "Public" || Transit.String() != "Transit" {
+		t.Error("relationship strings wrong")
+	}
+	if !PrivatePeer.IsPeer() || !PublicPeer.IsPeer() || Transit.IsPeer() {
+		t.Error("IsPeer wrong")
+	}
+}
+
+func TestPrependedDetection(t *testing.T) {
+	tests := []struct {
+		path []int
+		want bool
+	}{
+		{[]int{64500}, false},
+		{[]int{64500, 64501}, false},
+		{[]int{64500, 64500}, true},
+		{[]int{64500, 64501, 64501, 64501}, true},
+		{nil, false},
+	}
+	for _, tt := range tests {
+		r := Route{ASPath: tt.path}
+		if got := r.Prepended(); got != tt.want {
+			t.Errorf("Prepended(%v) = %v, want %v", tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestOriginAS(t *testing.T) {
+	if got := (Route{ASPath: []int{1, 2, 3}}).OriginAS(); got != 3 {
+		t.Errorf("OriginAS = %d, want 3", got)
+	}
+	if got := (Route{}).OriginAS(); got != 0 {
+		t.Errorf("empty OriginAS = %d, want 0", got)
+	}
+}
+
+func TestLongestPrefixMatch(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Insert(Route{ID: "covering", Prefix: pfx("10.0.0.0/8"), Rel: Transit, ASPath: []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(Route{ID: "specific", Prefix: pfx("10.1.0.0/16"), Rel: PrivatePeer, ASPath: []int{3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Address in the /16 must match the /16 even though the /8 covers it
+	// (tiebreaker 1).
+	routes := tbl.Lookup(addr("10.1.2.3"))
+	if len(routes) != 1 || routes[0].ID != "specific" {
+		t.Errorf("lookup 10.1.2.3 = %v, want specific", routes)
+	}
+	// Address outside the /16 falls back to the /8.
+	routes = tbl.Lookup(addr("10.2.0.1"))
+	if len(routes) != 1 || routes[0].ID != "covering" {
+		t.Errorf("lookup 10.2.0.1 = %v, want covering", routes)
+	}
+	// Address outside both: no route.
+	if routes = tbl.Lookup(addr("192.168.1.1")); routes != nil {
+		t.Errorf("lookup 192.168.1.1 = %v, want nil", routes)
+	}
+}
+
+func TestInsertNormalisesPrefix(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Insert(Route{ID: "a", Prefix: netip.PrefixFrom(addr("10.1.2.3"), 16)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Routes(pfx("10.1.0.0/16")); len(got) != 1 {
+		t.Errorf("unmasked insert not normalised: %v", got)
+	}
+}
+
+func TestInsertInvalidPrefix(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Insert(Route{ID: "bad"}); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+}
+
+func TestPolicyPrefersPeerOverTransit(t *testing.T) {
+	routes := []Route{
+		{ID: "transit-short", Rel: Transit, ASPath: []int{100}},
+		{ID: "peer-long", Rel: PublicPeer, ASPath: []int{200, 201, 202}},
+	}
+	ordered := PolicyOrder(routes)
+	// Peers win even with longer AS-paths (tiebreaker 2 before 3).
+	if ordered[0].ID != "peer-long" {
+		t.Errorf("preferred = %s, want peer-long", ordered[0].ID)
+	}
+}
+
+func TestPolicyPrefersShorterPathAmongPeers(t *testing.T) {
+	routes := []Route{
+		{ID: "peer-2hop", Rel: PrivatePeer, ASPath: []int{1, 2}},
+		{ID: "peer-1hop", Rel: PublicPeer, ASPath: []int{3}},
+	}
+	ordered := PolicyOrder(routes)
+	// Shorter path wins before the PNI preference (tiebreaker 3 before 4).
+	if ordered[0].ID != "peer-1hop" {
+		t.Errorf("preferred = %s, want peer-1hop", ordered[0].ID)
+	}
+}
+
+func TestPolicyPrefersPNIOnTie(t *testing.T) {
+	routes := []Route{
+		{ID: "ixp", Rel: PublicPeer, ASPath: []int{1}},
+		{ID: "pni", Rel: PrivatePeer, ASPath: []int{2}},
+	}
+	ordered := PolicyOrder(routes)
+	if ordered[0].ID != "pni" {
+		t.Errorf("preferred = %s, want pni (tiebreaker 4)", ordered[0].ID)
+	}
+}
+
+func TestPolicyPrependingLengthensPath(t *testing.T) {
+	routes := []Route{
+		{ID: "prepended", Rel: PrivatePeer, ASPath: []int{5, 5, 5}},
+		{ID: "plain", Rel: PublicPeer, ASPath: []int{6}},
+	}
+	ordered := PolicyOrder(routes)
+	if ordered[0].ID != "plain" {
+		t.Errorf("preferred = %s: prepended path must lose on length", ordered[0].ID)
+	}
+}
+
+func TestPolicyDeterministic(t *testing.T) {
+	routes := []Route{
+		{ID: "b", Rel: Transit, ASPath: []int{1, 2}},
+		{ID: "a", Rel: Transit, ASPath: []int{3, 4}},
+	}
+	o1 := PolicyOrder(routes)
+	o2 := PolicyOrder([]Route{routes[1], routes[0]})
+	if o1[0].ID != o2[0].ID {
+		t.Error("policy order depends on input order")
+	}
+	if o1[0].ID != "a" {
+		t.Errorf("tie broken to %s, want a", o1[0].ID)
+	}
+}
+
+func TestPolicyOrderDoesNotMutate(t *testing.T) {
+	routes := []Route{
+		{ID: "z", Rel: Transit, ASPath: []int{1}},
+		{ID: "a", Rel: PrivatePeer, ASPath: []int{2}},
+	}
+	PolicyOrder(routes)
+	if routes[0].ID != "z" {
+		t.Error("PolicyOrder mutated its input")
+	}
+}
+
+func TestBest(t *testing.T) {
+	routes := []Route{
+		{ID: "t1", Rel: Transit, ASPath: []int{1, 2}},
+		{ID: "p1", Rel: PrivatePeer, ASPath: []int{3}},
+		{ID: "t2", Rel: Transit, ASPath: []int{4, 5, 6}},
+		{ID: "x1", Rel: PublicPeer, ASPath: []int{7}},
+	}
+	pref, alts, ok := Best(routes, 2)
+	if !ok {
+		t.Fatal("Best returned !ok")
+	}
+	if pref.ID != "p1" {
+		t.Errorf("preferred = %s, want p1", pref.ID)
+	}
+	if len(alts) != 2 || alts[0].ID != "x1" || alts[1].ID != "t1" {
+		t.Errorf("alternates = %v, want [x1 t1]", alts)
+	}
+	if _, _, ok := Best(nil, 2); ok {
+		t.Error("Best(nil) should be !ok")
+	}
+	// Fewer routes than requested alternates.
+	_, alts, _ = Best(routes[:2], 5)
+	if len(alts) != 1 {
+		t.Errorf("alternates = %v, want 1 entry", alts)
+	}
+}
+
+func TestPrefixesSortedAndComplete(t *testing.T) {
+	tbl := NewTable()
+	tbl.Insert(Route{ID: "a", Prefix: pfx("10.0.0.0/8")})
+	tbl.Insert(Route{ID: "b", Prefix: pfx("10.1.0.0/16")})
+	tbl.Insert(Route{ID: "c", Prefix: pfx("10.1.0.0/16")}) // same prefix
+	ps := tbl.Prefixes()
+	if len(ps) != 2 {
+		t.Errorf("Prefixes = %v, want 2 distinct", ps)
+	}
+	if len(tbl.Routes(pfx("10.1.0.0/16"))) != 2 {
+		t.Error("routes for shared prefix lost")
+	}
+}
+
+func TestIPv6Lookup(t *testing.T) {
+	tbl := NewTable()
+	tbl.Insert(Route{ID: "v6", Prefix: pfx("2001:db8::/32"), Rel: PrivatePeer, ASPath: []int{9}})
+	routes := tbl.Lookup(addr("2001:db8::1"))
+	if len(routes) != 1 || routes[0].ID != "v6" {
+		t.Errorf("v6 lookup = %v", routes)
+	}
+	if routes := tbl.Lookup(addr("10.0.0.1")); routes != nil {
+		t.Errorf("v4 addr matched v6 table: %v", routes)
+	}
+}

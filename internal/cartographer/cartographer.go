@@ -1,0 +1,115 @@
+// Package cartographer models Facebook's ingress steering system of the
+// same name (§2.1): it decides which PoP serves each client population
+// by combining proximity with measured performance, keeps assignments
+// sticky so user groups are stable, and occasionally remaps populations
+// (capacity, maintenance) — which is why the temporal analysis ignores
+// groups with traffic in fewer than 60% of windows (§3.4.2).
+package cartographer
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// Assignment is a client population's serving PoP over a window range.
+type Assignment struct {
+	PoP geo.PoP
+	// FromWindow is the first 15-minute window the assignment covers;
+	// it lasts until the next assignment's FromWindow.
+	FromWindow int
+}
+
+// Mapper assigns client populations to PoPs.
+type Mapper struct {
+	world *geo.World
+	// RemoteBias, per continent, is the probability a population is
+	// steered to a European PoP despite a closer one (§2.1: 4.8% of all
+	// traffic is Asia-via-Europe, 2.1% Africa-via-Europe).
+	RemoteBias map[geo.Continent]float64
+	// RemapProb is the per-population probability of a mid-dataset remap
+	// to the next-best PoP (creating the sparse-coverage groups §3.4.2
+	// excludes).
+	RemapProb float64
+}
+
+// New returns a mapper over the given world.
+func New(w *geo.World) *Mapper {
+	return &Mapper{
+		world: w,
+		RemoteBias: map[geo.Continent]float64{
+			geo.Asia:   0.12,
+			geo.Africa: 0.22,
+		},
+		RemapProb: 0.03,
+	}
+}
+
+// Ranked returns the PoPs serving loc ordered by the steering score:
+// geographic proximity, as the paper's §2.1 traffic locality implies
+// (half of traffic within 500 km of its PoP).
+func (m *Mapper) Ranked(loc geo.LatLon) []geo.PoP {
+	type scored struct {
+		pop  geo.PoP
+		dist float64
+	}
+	out := make([]scored, len(m.world.PoPs))
+	for i, p := range m.world.PoPs {
+		out[i] = scored{p, geo.DistanceKm(loc, p.Loc)}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].dist < out[j].dist })
+	pops := make([]geo.PoP, len(out))
+	for i, s := range out {
+		pops[i] = s.pop
+	}
+	return pops
+}
+
+// Assign produces a population's serving-PoP schedule across a dataset
+// of the given number of windows. Most populations keep one PoP for the
+// whole study; a RemapProb fraction is moved once, and remote-biased
+// populations are served from Europe. The second return reports whether
+// the remote-steering bias fired (as opposed to Europe simply being the
+// nearest PoP, as it is for parts of North Africa).
+func (m *Mapper) Assign(loc geo.LatLon, cont geo.Continent, windows int, r *rng.RNG) ([]Assignment, bool) {
+	ranked := m.Ranked(loc)
+	primary := ranked[0]
+	biased := false
+	if r.Bool(m.RemoteBias[cont]) && primary.Continent == cont {
+		eu := m.world.PoPsOnContinent(geo.Europe)
+		if len(eu) > 0 {
+			primary = eu[r.IntN(len(eu))]
+			biased = true
+		}
+	}
+	out := []Assignment{{PoP: primary, FromWindow: 0}}
+	if windows > 4 && r.Bool(m.RemapProb) && len(ranked) > 1 {
+		// Move to the next-best PoP partway through the dataset.
+		alt := ranked[1]
+		if alt.Name == primary.Name && len(ranked) > 2 {
+			alt = ranked[2]
+		}
+		at := windows/4 + r.IntN(windows/2)
+		out = append(out, Assignment{PoP: alt, FromWindow: at})
+	}
+	return out, biased
+}
+
+// PoPAt resolves the serving PoP for a window given a schedule.
+func PoPAt(schedule []Assignment, window int) geo.PoP {
+	cur := schedule[0].PoP
+	for _, a := range schedule[1:] {
+		if window >= a.FromWindow {
+			cur = a.PoP
+		}
+	}
+	return cur
+}
+
+// RTTFloor returns the propagation round trip from a population to its
+// PoP — the geographic lower bound on the group's MinRTT.
+func RTTFloor(loc geo.LatLon, pop geo.PoP) time.Duration {
+	return geo.PropagationRTT(geo.DistanceKm(loc, pop.Loc), geo.DefaultPathStretch)
+}

@@ -1,0 +1,108 @@
+package cartographer
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+func TestRankedByProximity(t *testing.T) {
+	m := New(geo.DefaultWorld())
+	// Berlin: the first PoPs must be the European ones.
+	ranked := m.Ranked(geo.LatLon{Lat: 52.5, Lon: 13.4})
+	if len(ranked) == 0 {
+		t.Fatal("no PoPs")
+	}
+	for i := 0; i < 3; i++ {
+		if ranked[i].Continent != geo.Europe {
+			t.Errorf("rank %d for Berlin is %s (%s)", i, ranked[i].Name, ranked[i].Continent)
+		}
+	}
+	// Distances must be nondecreasing.
+	prev := -1.0
+	for _, p := range ranked {
+		d := geo.DistanceKm(geo.LatLon{Lat: 52.5, Lon: 13.4}, p.Loc)
+		if d < prev {
+			t.Fatal("ranking not sorted by distance")
+		}
+		prev = d
+	}
+}
+
+func TestAssignMostlyStable(t *testing.T) {
+	m := New(geo.DefaultWorld())
+	loc := geo.LatLon{Lat: 48.8, Lon: 2.3} // Paris
+	stable, remapped := 0, 0
+	for i := 0; i < 1000; i++ {
+		sched, _ := m.Assign(loc, geo.Europe, 960, rng.New(uint64(i)))
+		switch len(sched) {
+		case 1:
+			stable++
+		case 2:
+			remapped++
+			if sched[1].FromWindow <= 0 || sched[1].FromWindow >= 960 {
+				t.Fatalf("remap window out of range: %d", sched[1].FromWindow)
+			}
+			if sched[1].PoP.Name == sched[0].PoP.Name {
+				t.Fatal("remap to the same PoP")
+			}
+		default:
+			t.Fatalf("unexpected schedule length %d", len(sched))
+		}
+	}
+	frac := float64(remapped) / 1000
+	if frac < 0.01 || frac > 0.06 {
+		t.Errorf("remap fraction = %v, want ~0.03", frac)
+	}
+}
+
+func TestRemoteBias(t *testing.T) {
+	m := New(geo.DefaultWorld())
+	loc := geo.LatLon{Lat: 6.5, Lon: 3.4} // Lagos, next to the "los" PoP
+	remote := 0
+	for i := 0; i < 2000; i++ {
+		_, biased := m.Assign(loc, geo.Africa, 96, rng.New(uint64(i)))
+		if biased {
+			remote++
+		}
+	}
+	frac := float64(remote) / 2000
+	if frac < 0.15 || frac > 0.30 {
+		t.Errorf("AF remote-serve fraction = %v, want ~0.22", frac)
+	}
+}
+
+func TestPoPAt(t *testing.T) {
+	w := geo.DefaultWorld()
+	sched := []Assignment{
+		{PoP: w.PoPs[0], FromWindow: 0},
+		{PoP: w.PoPs[1], FromWindow: 100},
+	}
+	if got := PoPAt(sched, 50); got.Name != w.PoPs[0].Name {
+		t.Errorf("window 50 served by %s", got.Name)
+	}
+	if got := PoPAt(sched, 100); got.Name != w.PoPs[1].Name {
+		t.Errorf("window 100 served by %s", got.Name)
+	}
+	if got := PoPAt(sched, 900); got.Name != w.PoPs[1].Name {
+		t.Errorf("window 900 served by %s", got.Name)
+	}
+}
+
+func TestRTTFloor(t *testing.T) {
+	w := geo.DefaultWorld()
+	var ams geo.PoP
+	for _, p := range w.PoPs {
+		if p.Name == "ams" {
+			ams = p
+		}
+	}
+	// London to Amsterdam: ~357 km → floor around 5-6 ms RTT at 1.6x
+	// path stretch.
+	floor := RTTFloor(geo.LatLon{Lat: 51.5, Lon: -0.1}, ams)
+	if floor < 3*time.Millisecond || floor > 10*time.Millisecond {
+		t.Errorf("RTTFloor = %v", floor)
+	}
+}

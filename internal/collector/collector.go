@@ -1,0 +1,73 @@
+// Package collector is the ingestion pipeline between the load-balancer
+// instrumentation and analysis (§2.2.2, §2.2.4): it receives sampled
+// session records, filters client addresses labelled as hosting
+// providers or VPN relays (~2% of traffic, which would otherwise
+// mislead temporal analysis — §2.2.4 footnote 2), and fans the stream
+// out to sinks (dataset writers, aggregation stores).
+package collector
+
+import (
+	"repro/internal/agg"
+	"repro/internal/sample"
+)
+
+// Sink consumes accepted samples.
+type Sink func(sample.Sample)
+
+// Stats counts the pipeline's activity.
+type Stats struct {
+	// Received is every sample offered to the collector.
+	Received int
+	// FilteredHosting counts samples dropped by the hosting/VPN filter.
+	FilteredHosting int
+	// Accepted = Received − filtered.
+	Accepted int
+}
+
+// Collector filters and fans out samples.
+type Collector struct {
+	// KeepHosting disables the hosting-provider filter (the filter is on
+	// by default, matching the paper).
+	KeepHosting bool
+	sinks       []Sink
+	stats       Stats
+}
+
+// New returns a collector feeding the given sinks.
+func New(sinks ...Sink) *Collector {
+	return &Collector{sinks: sinks}
+}
+
+// AddSink attaches another sink.
+func (c *Collector) AddSink(s Sink) { c.sinks = append(c.sinks, s) }
+
+// Offer runs one sample through the pipeline.
+func (c *Collector) Offer(s sample.Sample) {
+	c.stats.Received++
+	if s.HostingProvider && !c.KeepHosting {
+		c.stats.FilteredHosting++
+		return
+	}
+	c.stats.Accepted++
+	for _, sink := range c.sinks {
+		sink(s)
+	}
+}
+
+// Stats returns the pipeline counters.
+func (c *Collector) Stats() Stats { return c.stats }
+
+// StoreSink adapts an aggregation store into a sink.
+func StoreSink(st *agg.Store) Sink {
+	return func(s sample.Sample) { st.Add(s) }
+}
+
+// WriterSink adapts a sample writer into a sink; write errors are
+// reported through errf (which may be nil to ignore them).
+func WriterSink(w *sample.Writer, errf func(error)) Sink {
+	return func(s sample.Sample) {
+		if err := w.Write(s); err != nil && errf != nil {
+			errf(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package collector
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/sample"
+)
+
+func TestFiltersHosting(t *testing.T) {
+	var got []sample.Sample
+	c := New(func(s sample.Sample) { got = append(got, s) })
+	c.Offer(sample.Sample{SessionID: 1})
+	c.Offer(sample.Sample{SessionID: 2, HostingProvider: true})
+	c.Offer(sample.Sample{SessionID: 3})
+	if len(got) != 2 {
+		t.Fatalf("accepted %d samples, want 2", len(got))
+	}
+	st := c.Stats()
+	if st.Received != 3 || st.FilteredHosting != 1 || st.Accepted != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestKeepHosting(t *testing.T) {
+	var got []sample.Sample
+	c := New(func(s sample.Sample) { got = append(got, s) })
+	c.KeepHosting = true
+	c.Offer(sample.Sample{SessionID: 1, HostingProvider: true})
+	if len(got) != 1 {
+		t.Error("KeepHosting did not disable the filter")
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	a, b := 0, 0
+	c := New(func(sample.Sample) { a++ })
+	c.AddSink(func(sample.Sample) { b++ })
+	c.Offer(sample.Sample{})
+	c.Offer(sample.Sample{})
+	if a != 2 || b != 2 {
+		t.Errorf("fan-out counts a=%d b=%d", a, b)
+	}
+}
+
+func TestStoreSink(t *testing.T) {
+	st := agg.NewStore()
+	c := New(StoreSink(st))
+	c.Offer(sample.Sample{PoP: "ams", Prefix: "10.0.0.0/24", Country: "DE", Bytes: 10})
+	if st.TotalSamples != 1 {
+		t.Errorf("store got %d samples", st.TotalSamples)
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var buf bytes.Buffer
+	w := sample.NewWriter(&buf)
+	c := New(WriterSink(w, nil))
+	c.Offer(sample.Sample{SessionID: 42})
+	out, err := sample.NewReader(&buf).ReadAll()
+	if err != nil || len(out) != 1 || out[0].SessionID != 42 {
+		t.Errorf("writer sink round trip failed: %v %v", out, err)
+	}
+}

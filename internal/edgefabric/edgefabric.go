@@ -1,0 +1,119 @@
+// Package edgefabric models Facebook's SDN egress controller of the
+// same name (§2.2.3, [55]): per destination prefix it normally follows
+// the static BGP policy, but when the preferred route's interconnect
+// approaches capacity it detours a fraction of flows onto alternates to
+// prevent congestion.
+//
+// Two properties matter to the measurement study:
+//
+//   - Measurement pinning: sampled HTTP sessions override the
+//     controller's detours in coordination with it — the preferred
+//     route's samples always measure the *policy-preferred* route, and
+//     a fixed share of sessions is pinned to each alternate (§2.2.3),
+//     so the analysis is never polluted by capacity shifts.
+//
+//   - Capacity awareness: alternates that measure well may still lack
+//     the capacity for full production traffic (§6.2.2), which is the
+//     paper's core caveat about acting on opportunity.
+package edgefabric
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// Interconnect is one egress port's capacity state at a PoP.
+type Interconnect struct {
+	Route bgp.Route
+	// Capacity is the usable egress rate of the interconnect.
+	Capacity units.Rate
+	// load is the current offered rate (EWMA).
+	load float64
+}
+
+// Utilization returns offered/capacity.
+func (ic *Interconnect) Utilization() float64 {
+	if ic.Capacity <= 0 {
+		return 0
+	}
+	return ic.load / float64(ic.Capacity)
+}
+
+// Controller makes egress decisions for one prefix's route set. Routes
+// are in policy order (preferred first), as produced by bgp.Best.
+type Controller struct {
+	// DetourThreshold is the utilization at which traffic shifts away
+	// from an interconnect (Edge Fabric detours before loss occurs).
+	DetourThreshold float64
+	// EWMA smooths offered load measurements, in (0, 1].
+	EWMA float64
+
+	ics []*Interconnect
+}
+
+// New creates a controller over the prefix's interconnects.
+func New(ics []*Interconnect) *Controller {
+	return &Controller{DetourThreshold: 0.95, EWMA: 0.3, ics: ics}
+}
+
+// Interconnects exposes the controller's state (for reports).
+func (c *Controller) Interconnects() []*Interconnect { return c.ics }
+
+// ObserveLoad folds a load measurement (bits/sec) for route index i.
+func (c *Controller) ObserveLoad(i int, bps float64) error {
+	if i < 0 || i >= len(c.ics) {
+		return fmt.Errorf("edgefabric: route index %d out of range", i)
+	}
+	ic := c.ics[i]
+	ic.load = (1-c.EWMA)*ic.load + c.EWMA*bps
+	return nil
+}
+
+// Route returns the egress route index for a production flow: the
+// policy-preferred route unless its interconnect is above the detour
+// threshold, in which case the first alternate with headroom takes the
+// overflow. With every interconnect hot, the preferred route is used
+// anyway (shedding capacity problems downstream beats blackholing).
+func (c *Controller) Route() int {
+	for i, ic := range c.ics {
+		if ic.Utilization() < c.DetourThreshold {
+			return i
+		}
+	}
+	return 0
+}
+
+// Detouring reports whether production traffic is currently shifted off
+// the preferred route.
+func (c *Controller) Detouring() bool { return c.Route() != 0 }
+
+// Pinner assigns sampled sessions to routes for measurement (§2.2.3):
+// a PreferredShare of sessions rides the policy-preferred route
+// regardless of detours, and the rest split evenly across the sampled
+// alternates — the paper observes roughly 47% on the best path (§6.2).
+type Pinner struct {
+	// PreferredShare is the fraction pinned to the preferred route.
+	PreferredShare float64
+}
+
+// DefaultPinner matches the paper's split.
+func DefaultPinner() Pinner { return Pinner{PreferredShare: 0.47} }
+
+// Pin returns the route index (0 = preferred) for a sampled session,
+// given the number of routes available.
+func (p Pinner) Pin(r *rng.RNG, routes int) int {
+	if routes <= 1 {
+		return 0
+	}
+	share := p.PreferredShare
+	if share <= 0 || share >= 1 {
+		share = 0.47
+	}
+	if r.Bool(share) {
+		return 0
+	}
+	return 1 + r.IntN(routes-1)
+}

@@ -1,0 +1,142 @@
+package edgefabric
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+func controller(capacities ...units.Rate) *Controller {
+	var ics []*Interconnect
+	for i, cap := range capacities {
+		ics = append(ics, &Interconnect{
+			Route:    bgp.Route{ID: string(rune('a' + i))},
+			Capacity: cap,
+		})
+	}
+	return New(ics)
+}
+
+func TestPrefersPolicyRouteWhenIdle(t *testing.T) {
+	c := controller(10*units.Gbps, 10*units.Gbps)
+	if got := c.Route(); got != 0 {
+		t.Errorf("idle route = %d, want 0", got)
+	}
+	if c.Detouring() {
+		t.Error("idle controller should not detour")
+	}
+}
+
+func TestDetoursUnderPressure(t *testing.T) {
+	c := controller(10*units.Gbps, 10*units.Gbps, 10*units.Gbps)
+	// Saturate the preferred interconnect (EWMA needs a few samples).
+	for i := 0; i < 30; i++ {
+		if err := c.ObserveLoad(0, 9.8e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Route(); got != 1 {
+		t.Errorf("route under pressure = %d, want 1 (first alternate)", got)
+	}
+	if !c.Detouring() {
+		t.Error("Detouring should report true")
+	}
+	// Saturate the first alternate too: overflow moves to the second.
+	for i := 0; i < 30; i++ {
+		c.ObserveLoad(1, 9.9e9)
+	}
+	if got := c.Route(); got != 2 {
+		t.Errorf("route = %d, want 2", got)
+	}
+}
+
+func TestAllHotFallsBackToPreferred(t *testing.T) {
+	c := controller(units.Gbps, units.Gbps)
+	for i := 0; i < 30; i++ {
+		c.ObserveLoad(0, 2e9)
+		c.ObserveLoad(1, 2e9)
+	}
+	if got := c.Route(); got != 0 {
+		t.Errorf("all-hot route = %d, want preferred", got)
+	}
+}
+
+func TestLoadDrainsViaEWMA(t *testing.T) {
+	c := controller(units.Gbps, units.Gbps)
+	for i := 0; i < 30; i++ {
+		c.ObserveLoad(0, 2e9)
+	}
+	if !c.Detouring() {
+		t.Fatal("should detour while hot")
+	}
+	for i := 0; i < 50; i++ {
+		c.ObserveLoad(0, 0)
+	}
+	if c.Detouring() {
+		t.Error("load should have drained")
+	}
+}
+
+func TestObserveLoadBounds(t *testing.T) {
+	c := controller(units.Gbps)
+	if err := c.ObserveLoad(5, 1); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := c.ObserveLoad(-1, 1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestUtilizationZeroCapacity(t *testing.T) {
+	ic := &Interconnect{}
+	if got := ic.Utilization(); got != 0 {
+		t.Errorf("zero-capacity utilization = %v", got)
+	}
+}
+
+func TestPinnerShares(t *testing.T) {
+	p := DefaultPinner()
+	r := rng.New(1)
+	counts := map[int]int{}
+	n := 200000
+	for i := 0; i < n; i++ {
+		counts[p.Pin(r, 3)]++
+	}
+	pref := float64(counts[0]) / float64(n)
+	if math.Abs(pref-0.47) > 0.01 {
+		t.Errorf("preferred share = %v, want 0.47", pref)
+	}
+	// Alternates split evenly.
+	a1 := float64(counts[1]) / float64(n)
+	a2 := float64(counts[2]) / float64(n)
+	if math.Abs(a1-a2) > 0.01 {
+		t.Errorf("alternates unbalanced: %v vs %v", a1, a2)
+	}
+}
+
+func TestPinnerSingleRoute(t *testing.T) {
+	p := DefaultPinner()
+	r := rng.New(2)
+	for i := 0; i < 100; i++ {
+		if p.Pin(r, 1) != 0 {
+			t.Fatal("single-route pin must be 0")
+		}
+	}
+}
+
+func TestPinnerBadShareDefaults(t *testing.T) {
+	p := Pinner{PreferredShare: 0}
+	r := rng.New(3)
+	pref := 0
+	for i := 0; i < 10000; i++ {
+		if p.Pin(r, 2) == 0 {
+			pref++
+		}
+	}
+	if pref < 4200 || pref > 5200 {
+		t.Errorf("defaulted share gives %d/10000 preferred", pref)
+	}
+}

@@ -1,0 +1,263 @@
+package flowsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/hdratio"
+	"repro/internal/rng"
+	"repro/internal/units"
+	"repro/internal/validate"
+)
+
+func cleanPath(rtt time.Duration, bw units.Rate) Path {
+	return Path{PropRTT: rtt, Bottleneck: bw}
+}
+
+func TestSingleRoundTransfer(t *testing.T) {
+	r := rng.New(1)
+	s := NewSession(cleanPath(60*time.Millisecond, 100*units.Mbps), Config{}, r)
+	txn := s.Transfer(5 * 1500)
+	if txn.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1", txn.Rounds)
+	}
+	if txn.Observation.Bytes != 4*1500 {
+		t.Errorf("corrected bytes = %d, want %d", txn.Observation.Bytes, 4*1500)
+	}
+	if txn.Observation.Wnic != 10*1500 {
+		t.Errorf("Wnic = %d, want initial window", txn.Observation.Wnic)
+	}
+	// Duration ≈ propagation + partial serialization; at 100 Mbps the
+	// serialization is sub-ms.
+	if d := txn.Observation.Duration; d < 60*time.Millisecond || d > 65*time.Millisecond {
+		t.Errorf("Duration = %v, want ~60ms", d)
+	}
+}
+
+func TestMultiRoundGrowth(t *testing.T) {
+	r := rng.New(2)
+	s := NewSession(cleanPath(50*time.Millisecond, 1000*units.Mbps), Config{}, r)
+	// 70 packets from IW10: rounds of 10, 20, 40 → 3 rounds.
+	txn := s.Transfer(70 * 1500)
+	if txn.Rounds != 3 {
+		t.Errorf("Rounds = %d, want 3", txn.Rounds)
+	}
+	// cwnd after shipping full 10- and 20-packet windows doubles twice;
+	// the final 40-packet round only used 40 of 40 → doubles again.
+	if got := s.Cwnd() / 1500; got != 80 {
+		t.Errorf("cwnd after transfer = %d pkts, want 80", got)
+	}
+}
+
+func TestPartialWindowNoGrowth(t *testing.T) {
+	r := rng.New(3)
+	s := NewSession(cleanPath(50*time.Millisecond, 1000*units.Mbps), Config{}, r)
+	s.Transfer(3 * 1500) // 3 packets of a 10-packet window
+	if got := s.Cwnd() / 1500; got != 10 {
+		t.Errorf("cwnd grew to %d pkts on a non-limited transfer", got)
+	}
+}
+
+func TestCwndPersistsAcrossTransactions(t *testing.T) {
+	r := rng.New(4)
+	s := NewSession(cleanPath(60*time.Millisecond, 1000*units.Mbps), Config{}, r)
+	s.Transfer(30 * 1500) // grows the window
+	txn := s.Transfer(14 * 1500)
+	if txn.Observation.Wnic <= 10*1500 {
+		t.Errorf("second transaction Wnic = %d, want grown window", txn.Observation.Wnic)
+	}
+}
+
+func TestBottleneckBoundsGoodput(t *testing.T) {
+	r := rng.New(5)
+	bw := 2 * units.Mbps
+	s := NewSession(cleanPath(40*time.Millisecond, bw), Config{}, r)
+	txn := s.Transfer(500 * 1500)
+	goodput := units.RateOf(txn.Observation.Bytes, txn.Observation.Duration)
+	if goodput > bw {
+		t.Errorf("goodput %v exceeds bottleneck %v", goodput, bw)
+	}
+	if goodput < bw/2 {
+		t.Errorf("goodput %v far below bottleneck %v for a large transfer", goodput, bw)
+	}
+}
+
+func TestLossReducesWindowAndAddsRounds(t *testing.T) {
+	clean := NewSession(cleanPath(50*time.Millisecond, 10*units.Mbps), Config{}, rng.New(6))
+	lossPath := cleanPath(50*time.Millisecond, 10*units.Mbps)
+	lossPath.LossProb = 0.05
+	lossy := NewSession(lossPath, Config{}, rng.New(6))
+
+	ct := clean.Transfer(300 * 1500)
+	lt := lossy.Transfer(300 * 1500)
+	if lt.LossEvents == 0 {
+		t.Fatal("no loss events at 5% per-packet loss over 300 packets")
+	}
+	if lt.RawDuration <= ct.RawDuration {
+		t.Errorf("lossy transfer (%v) not slower than clean (%v)", lt.RawDuration, ct.RawDuration)
+	}
+	if lossy.Cwnd() >= clean.Cwnd() {
+		t.Errorf("lossy cwnd %d not below clean %d", lossy.Cwnd(), clean.Cwnd())
+	}
+}
+
+func TestJitterStretchesRounds(t *testing.T) {
+	base := cleanPath(50*time.Millisecond, 10*units.Mbps)
+	jit := base
+	jit.JitterMean = 20 * time.Millisecond
+	var baseSum, jitSum time.Duration
+	for i := 0; i < 50; i++ {
+		b := NewSession(base, Config{}, rng.New(uint64(i)))
+		j := NewSession(jit, Config{}, rng.New(uint64(i)))
+		baseSum += b.Transfer(50 * 1500).RawDuration
+		jitSum += j.Transfer(50 * 1500).RawDuration
+	}
+	if jitSum <= baseSum {
+		t.Errorf("jitter did not stretch transfers: %v vs %v", jitSum, baseSum)
+	}
+}
+
+func TestZeroTransfer(t *testing.T) {
+	s := NewSession(cleanPath(50*time.Millisecond, units.Mbps), Config{}, rng.New(7))
+	txn := s.Transfer(0)
+	if txn.Observation.Bytes != 0 || txn.Rounds != 0 {
+		t.Errorf("zero transfer produced %+v", txn)
+	}
+}
+
+func TestMinRTTNearPropagation(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		s := NewSession(cleanPath(80*time.Millisecond, units.Mbps), Config{}, rng.New(seed))
+		if s.MinRTT() < 80*time.Millisecond || s.MinRTT() > 95*time.Millisecond {
+			t.Fatalf("MinRTT = %v, want 80ms + small residue", s.MinRTT())
+		}
+	}
+}
+
+func TestMaxCwndCap(t *testing.T) {
+	s := NewSession(cleanPath(10*time.Millisecond, 1000*units.Mbps), Config{MaxCwndPackets: 64}, rng.New(8))
+	s.Transfer(5000 * 1500)
+	if got := s.Cwnd() / 1500; got > 64 {
+		t.Errorf("cwnd %d pkts exceeds cap 64", got)
+	}
+}
+
+// TestHDJudgmentsMatchConditions: sessions on fast paths must pass the
+// HD check, sessions on slow paths must fail it.
+func TestHDJudgmentsMatchConditions(t *testing.T) {
+	eval := func(bw units.Rate, seed uint64) float64 {
+		r := rng.New(seed)
+		s := NewSession(cleanPath(40*time.Millisecond, bw), Config{}, r)
+		var txns []hdratio.Transaction
+		for i := 0; i < 5; i++ {
+			txns = append(txns, s.Transfer(100*1500).Observation)
+		}
+		out := hdratio.Evaluate(hdratio.Session{MinRTT: s.MinRTT(), Transactions: txns}, hdratio.DefaultConfig())
+		return out.HDratio()
+	}
+	if hd := eval(20*units.Mbps, 1); math.IsNaN(hd) || hd < 0.9 {
+		t.Errorf("fast path HDratio = %v, want ~1", hd)
+	}
+	if hd := eval(1*units.Mbps, 2); math.IsNaN(hd) || hd > 0.2 {
+		t.Errorf("1 Mbps path HDratio = %v, want ~0", hd)
+	}
+}
+
+// TestAgreesWithPacketSimulator cross-checks the flow-level model's
+// transfer durations against tcpsim on clean paths (the ablation the
+// DESIGN calls out).
+func TestAgreesWithPacketSimulator(t *testing.T) {
+	cases := []struct {
+		bw     units.Rate
+		rtt    time.Duration
+		sizePk int
+	}{
+		{2 * units.Mbps, 50 * time.Millisecond, 100},
+		{5 * units.Mbps, 20 * time.Millisecond, 47},
+		{1 * units.Mbps, 100 * time.Millisecond, 200},
+		{3 * units.Mbps, 150 * time.Millisecond, 30},
+	}
+	for _, c := range cases {
+		pkt := validate.RunOne(validate.Config{
+			Bottleneck: c.bw, RTT: c.rtt, InitCwnd: 10, SizePkts: c.sizePk,
+		})
+		if pkt.Err != nil {
+			t.Fatal(pkt.Err)
+		}
+		flow := NewSession(Path{PropRTT: c.rtt, Bottleneck: c.bw}, Config{}, rng.New(9))
+		// Remove the handshake residue for a fair comparison.
+		flow.minRTT = c.rtt
+		ft := flow.Transfer(int64(c.sizePk) * 1500)
+		rel := math.Abs(float64(ft.Observation.Duration-pkt.Ttotal)) / float64(pkt.Ttotal)
+		if rel > 0.30 {
+			t.Errorf("bw=%v rtt=%v size=%d: flow %v vs packet %v (rel %.2f)",
+				c.bw, c.rtt, c.sizePk, ft.Observation.Duration, pkt.Ttotal, rel)
+		}
+	}
+}
+
+func BenchmarkTransfer(b *testing.B) {
+	r := rng.New(1)
+	path := Path{PropRTT: 50 * time.Millisecond, Bottleneck: 5 * units.Mbps, LossProb: 0.001, JitterMean: 2 * time.Millisecond}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSession(path, Config{}, r)
+		s.Transfer(100 * 1500)
+	}
+}
+
+func TestIdleRestartsWindow(t *testing.T) {
+	r := rng.New(11)
+	s := NewSession(cleanPath(40*time.Millisecond, 100*units.Mbps), Config{}, r)
+	s.Transfer(200 * 1500) // grow far past the initial window
+	if s.Cwnd() <= 10*1500 {
+		t.Fatalf("window did not grow: %d", s.Cwnd())
+	}
+	// A short gap keeps the window; a long gap collapses it.
+	txn := s.TransferAfterIdle(20*1500, 200*time.Millisecond)
+	if txn.Observation.Wnic <= 10*1500 {
+		t.Errorf("short idle collapsed the window: %d", txn.Observation.Wnic)
+	}
+	s.Transfer(200 * 1500)
+	txn = s.TransferAfterIdle(20*1500, 30*time.Second)
+	if txn.Observation.Wnic != 10*1500 {
+		t.Errorf("long idle should restart from IW: Wnic=%d", txn.Observation.Wnic)
+	}
+}
+
+// TestPolicedPathFailsHD reproduces §4's explanation for high-latency
+// HD failures: a policer below the HD rate caps goodput even when the
+// nominal access bandwidth is plentiful.
+func TestPolicedPathFailsHD(t *testing.T) {
+	policed := Path{
+		PropRTT:     80 * time.Millisecond,
+		Bottleneck:  50 * units.Mbps, // plenty of raw bandwidth
+		PoliceRate:  1500 * units.Kbps,
+		PoliceBurst: 20 * 1500,
+	}
+	s := NewSession(policed, Config{}, rng.New(13))
+	var txns []hdratio.Transaction
+	for i := 0; i < 4; i++ {
+		txns = append(txns, s.Transfer(200*1500).Observation)
+	}
+	out := hdratio.Evaluate(hdratio.Session{MinRTT: s.MinRTT(), Transactions: txns}, hdratio.DefaultConfig())
+	if out.Tested == 0 {
+		t.Fatal("large transfers must test for HD")
+	}
+	if hd := out.HDratio(); hd > 0.3 {
+		t.Errorf("policed path HDratio = %v, want ~0", hd)
+	}
+	// The same path without the policer passes.
+	clean := policed
+	clean.PoliceRate = 0
+	s2 := NewSession(clean, Config{}, rng.New(13))
+	txns = txns[:0]
+	for i := 0; i < 4; i++ {
+		txns = append(txns, s2.Transfer(200*1500).Observation)
+	}
+	out = hdratio.Evaluate(hdratio.Session{MinRTT: s2.MinRTT(), Transactions: txns}, hdratio.DefaultConfig())
+	if hd := out.HDratio(); hd < 0.9 {
+		t.Errorf("unpoliced path HDratio = %v, want ~1", hd)
+	}
+}

@@ -1,0 +1,184 @@
+// Package geo models the synthetic geography the world simulator runs
+// on: continents, countries, PoPs with coordinates, and the mapping from
+// great-circle distance to propagation delay.
+//
+// It substitutes for the commercial geolocation feed the paper uses when
+// tagging samples with client country (§2.2.4) and for the physical
+// placement of Facebook's dozens of PoPs across six continents (§2.1).
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Continent codes follow the paper's figures (Figure 6 et al.).
+type Continent string
+
+// The six continents Facebook serves (§2.1).
+const (
+	Africa       Continent = "AF"
+	Asia         Continent = "AS"
+	Europe       Continent = "EU"
+	NorthAmerica Continent = "NA"
+	Oceania      Continent = "OC"
+	SouthAmerica Continent = "SA"
+)
+
+// Continents lists all continents in the order the paper's tables use.
+var Continents = []Continent{Africa, Asia, Europe, NorthAmerica, Oceania, SouthAmerica}
+
+// LatLon is a geographic coordinate in degrees.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// PoP is a point of presence: a serving site that terminates client TCP
+// connections and interconnects with peers and transits (§2.1).
+type PoP struct {
+	Name      string
+	Continent Continent
+	Loc       LatLon
+}
+
+// Country is a synthetic client country.
+type Country struct {
+	Code      string
+	Continent Continent
+	Loc       LatLon // population centroid
+}
+
+// earthRadiusKm is the mean Earth radius.
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle distance between two coordinates.
+func DistanceKm(a, b LatLon) float64 {
+	const rad = math.Pi / 180
+	lat1, lon1 := a.Lat*rad, a.Lon*rad
+	lat2, lon2 := b.Lat*rad, b.Lon*rad
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// PropagationRTT converts distance to a round-trip propagation delay.
+// Light in fiber covers ~200 km/ms one way; real paths are not
+// great-circle, so a path-stretch factor is applied.
+func PropagationRTT(distKm, pathStretch float64) time.Duration {
+	if pathStretch < 1 {
+		pathStretch = 1
+	}
+	oneWayMs := distKm * pathStretch / 200.0
+	return time.Duration(2 * oneWayMs * float64(time.Millisecond))
+}
+
+// DefaultPathStretch reflects typical fiber-route indirection.
+const DefaultPathStretch = 1.6
+
+// World is a set of PoPs and countries.
+type World struct {
+	PoPs      []PoP
+	Countries []Country
+
+	byContinent map[Continent][]int // PoP indexes
+}
+
+// DefaultWorld returns a synthetic deployment: a few PoPs per continent
+// in plausible metro locations, and client countries whose centroids
+// span each continent, weighted toward where the paper's per-continent
+// latency distributions put them.
+func DefaultWorld() *World {
+	w := &World{
+		PoPs: []PoP{
+			{"iad", NorthAmerica, LatLon{38.9, -77.0}},  // Washington DC
+			{"sjc", NorthAmerica, LatLon{37.3, -121.9}}, // San Jose
+			{"dfw", NorthAmerica, LatLon{32.8, -96.8}},  // Dallas
+			{"gru", SouthAmerica, LatLon{-23.5, -46.6}}, // São Paulo
+			{"scl", SouthAmerica, LatLon{-33.4, -70.7}}, // Santiago
+			{"ams", Europe, LatLon{52.3, 4.9}},          // Amsterdam
+			{"fra", Europe, LatLon{50.1, 8.7}},          // Frankfurt
+			{"lhr", Europe, LatLon{51.5, -0.1}},         // London
+			{"sin", Asia, LatLon{1.35, 103.8}},          // Singapore
+			{"nrt", Asia, LatLon{35.7, 139.7}},          // Tokyo
+			{"bom", Asia, LatLon{19.1, 72.9}},           // Mumbai
+			{"jnb", Africa, LatLon{-26.2, 28.0}},        // Johannesburg
+			{"los", Africa, LatLon{6.5, 3.4}},           // Lagos
+			{"syd", Oceania, LatLon{-33.9, 151.2}},      // Sydney
+		},
+		Countries: []Country{
+			{"US", NorthAmerica, LatLon{39.8, -98.6}},
+			{"CA", NorthAmerica, LatLon{56.1, -106.3}},
+			{"MX", NorthAmerica, LatLon{23.6, -102.6}},
+			{"BR", SouthAmerica, LatLon{-14.2, -51.9}},
+			{"AR", SouthAmerica, LatLon{-38.4, -63.6}},
+			{"CO", SouthAmerica, LatLon{4.6, -74.3}},
+			{"PE", SouthAmerica, LatLon{-9.2, -75.0}},
+			{"DE", Europe, LatLon{51.2, 10.4}},
+			{"GB", Europe, LatLon{55.4, -3.4}},
+			{"FR", Europe, LatLon{46.2, 2.2}},
+			{"IT", Europe, LatLon{41.9, 12.6}},
+			{"PL", Europe, LatLon{51.9, 19.1}},
+			{"IN", Asia, LatLon{20.6, 79.0}},
+			{"ID", Asia, LatLon{-0.8, 113.9}},
+			{"JP", Asia, LatLon{36.2, 138.3}},
+			{"PH", Asia, LatLon{12.9, 121.8}},
+			{"TH", Asia, LatLon{15.9, 101.0}},
+			{"VN", Asia, LatLon{14.1, 108.3}},
+			{"NG", Africa, LatLon{9.1, 8.7}},
+			{"ZA", Africa, LatLon{-30.6, 22.9}},
+			{"KE", Africa, LatLon{-0.02, 37.9}},
+			{"EG", Africa, LatLon{26.8, 30.8}},
+			{"AU", Oceania, LatLon{-25.3, 133.8}},
+			{"NZ", Oceania, LatLon{-40.9, 174.9}},
+		},
+	}
+	w.index()
+	return w
+}
+
+func (w *World) index() {
+	w.byContinent = make(map[Continent][]int)
+	for i, p := range w.PoPs {
+		w.byContinent[p.Continent] = append(w.byContinent[p.Continent], i)
+	}
+}
+
+// NearestPoP returns the PoP closest to loc and its distance.
+func (w *World) NearestPoP(loc LatLon) (PoP, float64) {
+	if len(w.PoPs) == 0 {
+		panic("geo: world has no PoPs")
+	}
+	best, bestDist := w.PoPs[0], math.Inf(1)
+	for _, p := range w.PoPs {
+		if d := DistanceKm(loc, p.Loc); d < bestDist {
+			best, bestDist = p, d
+		}
+	}
+	return best, bestDist
+}
+
+// PoPsOnContinent returns the PoPs on a continent.
+func (w *World) PoPsOnContinent(c Continent) []PoP {
+	if w.byContinent == nil {
+		w.index()
+	}
+	idx := w.byContinent[c]
+	out := make([]PoP, len(idx))
+	for i, j := range idx {
+		out[i] = w.PoPs[j]
+	}
+	return out
+}
+
+// CountryByCode looks up a country.
+func (w *World) CountryByCode(code string) (Country, error) {
+	for _, c := range w.Countries {
+		if c.Code == code {
+			return c, nil
+		}
+	}
+	return Country{}, fmt.Errorf("geo: unknown country %q", code)
+}

@@ -1,0 +1,123 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   LatLon
+		wantKm float64
+		tol    float64
+	}{
+		{"zero distance", LatLon{10, 20}, LatLon{10, 20}, 0, 0.001},
+		{"London-Amsterdam", LatLon{51.5, -0.1}, LatLon{52.3, 4.9}, 357, 15},
+		{"NYC-LA", LatLon{40.7, -74.0}, LatLon{34.1, -118.2}, 3940, 60},
+		{"Singapore-Sydney", LatLon{1.35, 103.8}, LatLon{-33.9, 151.2}, 6300, 100},
+		{"antipodal-ish", LatLon{0, 0}, LatLon{0, 180}, 20015, 30},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := DistanceKm(tt.a, tt.b)
+			if math.Abs(got-tt.wantKm) > tt.tol {
+				t.Errorf("DistanceKm = %v, want %v ± %v", got, tt.wantKm, tt.tol)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	a, b := LatLon{12.3, 45.6}, LatLon{-33.9, 151.2}
+	if d1, d2 := DistanceKm(a, b), DistanceKm(b, a); math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("distance not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestPropagationRTT(t *testing.T) {
+	// 1000 km at stretch 1: 5 ms one way, 10 ms RTT.
+	if got := PropagationRTT(1000, 1); got != 10*time.Millisecond {
+		t.Errorf("PropagationRTT(1000, 1) = %v, want 10ms", got)
+	}
+	// Stretch scales linearly.
+	if got := PropagationRTT(1000, 2); got != 20*time.Millisecond {
+		t.Errorf("PropagationRTT(1000, 2) = %v, want 20ms", got)
+	}
+	// Stretch below 1 clamps.
+	if got := PropagationRTT(1000, 0.5); got != 10*time.Millisecond {
+		t.Errorf("PropagationRTT clamp failed: %v", got)
+	}
+}
+
+func TestDefaultWorldShape(t *testing.T) {
+	w := DefaultWorld()
+	if len(w.PoPs) < 10 {
+		t.Errorf("too few PoPs: %d", len(w.PoPs))
+	}
+	if len(w.Countries) < 20 {
+		t.Errorf("too few countries: %d", len(w.Countries))
+	}
+	// Every continent must have at least one PoP (§2.1: six continents).
+	for _, c := range Continents {
+		if len(w.PoPsOnContinent(c)) == 0 {
+			t.Errorf("continent %s has no PoPs", c)
+		}
+	}
+	// PoP names must be unique.
+	seen := map[string]bool{}
+	for _, p := range w.PoPs {
+		if seen[p.Name] {
+			t.Errorf("duplicate PoP %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestNearestPoP(t *testing.T) {
+	w := DefaultWorld()
+	// A client in Berlin should map to a European PoP.
+	pop, dist := w.NearestPoP(LatLon{52.5, 13.4})
+	if pop.Continent != Europe {
+		t.Errorf("Berlin mapped to %s (%s)", pop.Name, pop.Continent)
+	}
+	if dist > 1500 {
+		t.Errorf("Berlin nearest PoP %v km away", dist)
+	}
+	// A client in Sydney maps to syd.
+	pop, _ = w.NearestPoP(LatLon{-33.9, 151.2})
+	if pop.Name != "syd" {
+		t.Errorf("Sydney mapped to %s", pop.Name)
+	}
+}
+
+func TestCountryByCode(t *testing.T) {
+	w := DefaultWorld()
+	c, err := w.CountryByCode("BR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Continent != SouthAmerica {
+		t.Errorf("BR continent = %s", c.Continent)
+	}
+	if _, err := w.CountryByCode("XX"); err == nil {
+		t.Error("unknown country should error")
+	}
+}
+
+func TestMostUsersNearAPoP(t *testing.T) {
+	// §2.1: half of traffic is within 500 km of its PoP, 90% within
+	// 2500 km. Our synthetic countries should mostly be within a few
+	// thousand km of some PoP.
+	w := DefaultWorld()
+	far := 0
+	for _, c := range w.Countries {
+		if _, d := w.NearestPoP(c.Loc); d > 4000 {
+			far++
+		}
+	}
+	if far > len(w.Countries)/5 {
+		t.Errorf("%d/%d countries are >4000km from every PoP", far, len(w.Countries))
+	}
+}

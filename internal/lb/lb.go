@@ -1,0 +1,233 @@
+// Package lb is a small HTTP/1.1 load-balancer-style server that runs
+// the measurement methodology against real sockets: it serves synthetic
+// objects ("GET /object?bytes=N"), samples sessions (§2.2.2), captures
+// TCP_INFO at the prescribed points — the congestion window when a
+// response's first byte is written, and acknowledgment progress for the
+// delayed-ACK correction — and evaluates HDratio per session at close.
+//
+// On Linux the capture uses the kernel's TCP_INFO (package tcpinfo); on
+// other platforms measurements degrade gracefully to Wnic=0, which the
+// methodology treats conservatively.
+package lb
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/hdratio"
+	"repro/internal/proxygen"
+	"repro/internal/tcpinfo"
+	"repro/internal/units"
+)
+
+// SessionReport is emitted when a sampled session's connection closes.
+type SessionReport struct {
+	RemoteAddr string
+	MinRTT     time.Duration
+	// Transactions are the corrected observations.
+	Transactions []hdratio.Transaction
+	// Outcome is the HDratio evaluation for the session.
+	Outcome hdratio.Outcome
+	// BytesServed totals response bodies.
+	BytesServed int64
+}
+
+// HDratio returns the session's HDratio (NaN if nothing tested).
+func (r SessionReport) HDratio() float64 { return r.Outcome.HDratio() }
+
+// Server serves synthetic objects and measures sampled sessions.
+type Server struct {
+	// Sampler picks the sessions to instrument; defaults to everything.
+	Sampler proxygen.Sampler
+	// Target is the goodput target (defaults to HD goodput).
+	Target units.Rate
+	// OnReport receives a report per sampled session at close.
+	OnReport func(SessionReport)
+	// AckPollInterval tunes how often acknowledgment progress is read
+	// from TCP_INFO; the default of 200µs bounds measurement error on
+	// localhost-scale RTTs.
+	AckPollInterval time.Duration
+
+	mu       sync.Mutex
+	sessions uint64
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.sessions++
+		id := s.sessions
+		s.mu.Unlock()
+		go s.handle(conn, id)
+	}
+}
+
+func (s *Server) handle(conn net.Conn, id uint64) {
+	defer conn.Close()
+	sampled := s.Sampler.Rate == 0 || s.Sampler.Sample(id)
+	tconn, _ := conn.(*net.TCPConn)
+
+	start := time.Now()
+	var raws []proxygen.RawTxn
+	var served int64
+
+	br := bufio.NewReader(conn)
+	for {
+		nbytes, keepAlive, err := readRequest(br)
+		if err != nil {
+			break
+		}
+		raw, err := s.serveObject(tconn, conn, nbytes, start)
+		if err != nil {
+			break
+		}
+		served += nbytes
+		if sampled {
+			raws = append(raws, raw)
+		}
+		if !keepAlive {
+			break
+		}
+	}
+
+	if !sampled || s.OnReport == nil || tconn == nil {
+		return
+	}
+	// Final TCP state at session close (§2.2.2).
+	minRTT := time.Duration(0)
+	if info, err := tcpinfo.FromTCPConn(tconn); err == nil {
+		minRTT = info.MinRTT
+	}
+	txns := proxygen.Correct(raws)
+	target := s.Target
+	if target <= 0 {
+		target = units.HDGoodput
+	}
+	outcome := hdratio.Evaluate(hdratio.Session{MinRTT: minRTT, Transactions: txns}, hdratio.Config{Target: target})
+	s.OnReport(SessionReport{
+		RemoteAddr:   conn.RemoteAddr().String(),
+		MinRTT:       minRTT,
+		Transactions: txns,
+		Outcome:      outcome,
+		BytesServed:  served,
+	})
+}
+
+// readRequest parses a minimal HTTP/1.1 request and returns the object
+// size requested via "GET /object?bytes=N".
+func readRequest(br *bufio.Reader) (nbytes int64, keepAlive bool, err error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return 0, false, err
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 2 || fields[0] != "GET" {
+		return 0, false, fmt.Errorf("lb: unsupported request %q", line)
+	}
+	u, err := url.Parse(fields[1])
+	if err != nil {
+		return 0, false, fmt.Errorf("lb: bad url: %w", err)
+	}
+	nbytes, _ = strconv.ParseInt(u.Query().Get("bytes"), 10, 64)
+	if nbytes <= 0 {
+		nbytes = 1000
+	}
+	keepAlive = true
+	// Drain headers; "Connection: close" ends the session.
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			return 0, false, err
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			return nbytes, keepAlive, nil
+		}
+		if strings.EqualFold(h, "Connection: close") {
+			keepAlive = false
+		}
+	}
+}
+
+var responsePad = []byte(strings.Repeat("x", 64<<10))
+
+// serveObject writes one response, instrumenting it per §2.2.2/§3.2.5.
+func (s *Server) serveObject(tconn *net.TCPConn, conn net.Conn, nbytes int64, epoch time.Time) (proxygen.RawTxn, error) {
+	mss := int64(units.DefaultMSS)
+	var ackedBefore uint64
+	raw := proxygen.RawTxn{Bytes: nbytes, LastPacketBytes: nbytes % mss}
+	if raw.LastPacketBytes == 0 {
+		raw.LastPacketBytes = mss
+	}
+	if tconn != nil {
+		if info, err := tcpinfo.FromTCPConn(tconn); err == nil {
+			raw.Wnic = info.CwndBytes()
+			ackedBefore = info.BytesAcked
+			if info.SndMSS > 0 {
+				mss = int64(info.SndMSS)
+				raw.LastPacketBytes = nbytes % mss
+				if raw.LastPacketBytes == 0 {
+					raw.LastPacketBytes = mss
+				}
+			}
+		}
+	}
+
+	header := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\nContent-Type: application/octet-stream\r\n\r\n", nbytes)
+	raw.FirstByteWrite = time.Since(epoch)
+	raw.FirstByteNIC = raw.FirstByteWrite // kernel hands off immediately on an unblocked socket
+	if _, err := conn.Write([]byte(header)); err != nil {
+		return raw, err
+	}
+	remaining := nbytes
+	for remaining > 0 {
+		chunk := int64(len(responsePad))
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if _, err := conn.Write(responsePad[:chunk]); err != nil {
+			return raw, err
+		}
+		remaining -= chunk
+	}
+	raw.LastByteNIC = time.Since(epoch)
+
+	// Poll acknowledgment progress for the delayed-ACK correction: the
+	// transaction ends at the ACK covering the second-to-last packet.
+	if tconn != nil {
+		headerLen := int64(len(header))
+		target := ackedBefore + uint64(headerLen+nbytes-raw.LastPacketBytes)
+		full := ackedBefore + uint64(headerLen+nbytes)
+		interval := s.AckPollInterval
+		if interval <= 0 {
+			interval = 200 * time.Microsecond
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			info, err := tcpinfo.FromTCPConn(tconn)
+			if err != nil {
+				break
+			}
+			if raw.SecondToLastAck == 0 && info.BytesAcked >= target {
+				raw.SecondToLastAck = time.Since(epoch)
+			}
+			if info.BytesAcked >= full {
+				raw.LastAck = time.Since(epoch)
+				break
+			}
+			time.Sleep(interval)
+		}
+	}
+	return raw, nil
+}

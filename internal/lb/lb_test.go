@@ -1,0 +1,147 @@
+package lb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/proxygen"
+)
+
+// startServer runs a Server on a loopback listener.
+func startServer(t *testing.T, srv *Server) net.Addr {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go srv.Serve(l)
+	return l.Addr()
+}
+
+// get fetches n objects over one connection and returns total body bytes.
+func get(t *testing.T, addr net.Addr, sizes []int64) int64 {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	var total int64
+	for i, size := range sizes {
+		connHdr := ""
+		if i == len(sizes)-1 {
+			connHdr = "Connection: close\r\n"
+		}
+		fmt.Fprintf(conn, "GET /object?bytes=%d HTTP/1.1\r\nHost: t\r\n%s\r\n", size, connHdr)
+		// Parse status + headers.
+		var contentLen int64
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("read header: %v", err)
+			}
+			if line == "\r\n" {
+				break
+			}
+			var n int64
+			if _, err := fmt.Sscanf(line, "Content-Length: %d", &n); err == nil {
+				contentLen = n
+			}
+		}
+		if size > 0 && contentLen != size {
+			t.Fatalf("content length %d, want %d", contentLen, size)
+		}
+		if _, err := io.CopyN(io.Discard, br, contentLen); err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		total += contentLen
+	}
+	return total
+}
+
+func TestLiveSessionMeasured(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("TCP_INFO instrumentation is linux-only")
+	}
+	reports := make(chan SessionReport, 1)
+	srv := &Server{OnReport: func(r SessionReport) { reports <- r }}
+	addr := startServer(t, srv)
+
+	got := get(t, addr, []int64{3_000, 150_000, 45_000})
+	if got != 198_000 {
+		t.Fatalf("client received %d bytes", got)
+	}
+
+	select {
+	case r := <-reports:
+		if r.BytesServed != 198_000 {
+			t.Errorf("BytesServed = %d", r.BytesServed)
+		}
+		if len(r.Transactions) == 0 {
+			t.Fatal("no corrected transactions")
+		}
+		// Loopback RTT is tiny but nonzero.
+		if r.MinRTT <= 0 || r.MinRTT > 100*time.Millisecond {
+			t.Errorf("MinRTT = %v", r.MinRTT)
+		}
+		// On loopback everything testable must achieve HD goodput.
+		if r.Outcome.Tested > 0 && r.Outcome.AchievedCount != r.Outcome.Tested {
+			t.Errorf("loopback failed HD: %d/%d", r.Outcome.AchievedCount, r.Outcome.Tested)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no session report")
+	}
+}
+
+func TestSamplerSkipsSessions(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("TCP_INFO instrumentation is linux-only")
+	}
+	reports := make(chan SessionReport, 16)
+	srv := &Server{
+		Sampler:  proxygen.Sampler{Rate: 1e-12, Salt: 7}, // effectively never
+		OnReport: func(r SessionReport) { reports <- r },
+	}
+	addr := startServer(t, srv)
+	get(t, addr, []int64{5_000})
+	select {
+	case <-reports:
+		t.Fatal("unsampled session reported")
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+func TestBadRequestClosesConnection(t *testing.T) {
+	srv := &Server{}
+	addr := startServer(t, srv)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST / HTTP/1.1\r\n\r\n")
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != io.EOF {
+		t.Errorf("expected EOF on bad request, got %v", err)
+	}
+}
+
+func TestDefaultObjectSize(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("linux-only")
+	}
+	srv := &Server{}
+	addr := startServer(t, srv)
+	if got := get(t, addr, []int64{0}); got != 1000 {
+		// bytes=0 falls back to the 1000-byte default
+		t.Errorf("default object = %d bytes", got)
+	}
+}

@@ -1,0 +1,281 @@
+// Package netsim is a discrete-event packet network simulator: an event
+// loop plus links with configurable rate, propagation delay, queue
+// bounds, random loss, and jitter.
+//
+// It plays the role NS3 plays in the paper's §3.2.3 validation: TCP
+// transfers (package tcpsim) run through a bottleneck link and the
+// goodput-estimation methodology is checked against the configured
+// bottleneck rate. It is deliberately small — single-threaded, payload
+// lengths rather than real bytes — but models the mechanics that matter
+// to transfer timing: serialization at the bottleneck, standing queues,
+// drops, and propagation delay.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// Time is simulation time measured from the start of the run.
+type Time = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so same-time events run FIFO
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation. The zero value is ready to use.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	steps  uint64
+	// MaxSteps bounds the number of events processed by Run as a
+	// runaway guard; 0 means no limit.
+	MaxSteps uint64
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Steps returns the number of events processed so far.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// Schedule runs fn after delay (clamped to now for negative delays).
+func (s *Sim) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run processes events until none remain or MaxSteps is hit. It returns
+// false if it stopped because of the step bound.
+func (s *Sim) Run() bool {
+	for len(s.events) > 0 {
+		if s.MaxSteps > 0 && s.steps >= s.MaxSteps {
+			return false
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		s.steps++
+		e.fn()
+	}
+	return true
+}
+
+// RunUntil processes events with timestamps ≤ t, then advances the clock
+// to t. It returns false if it stopped because of the step bound.
+func (s *Sim) RunUntil(t Time) bool {
+	for len(s.events) > 0 && s.events[0].at <= t {
+		if s.MaxSteps > 0 && s.steps >= s.MaxSteps {
+			return false
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		s.steps++
+		e.fn()
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return true
+}
+
+// Packet is a simulated packet. Len is the payload length used for
+// serialization timing; header overhead is modelled by HeaderBytes.
+type Packet struct {
+	// Seq is the first payload byte's sequence number (data packets).
+	Seq int64
+	// Len is the payload length in bytes; 0 for pure ACKs.
+	Len int
+	// Ack is the cumulative acknowledgment carried by this packet.
+	Ack int64
+	// IsAck marks a pure acknowledgment.
+	IsAck bool
+	// Retransmit marks a retransmitted segment.
+	Retransmit bool
+	// SackLo and SackHi describe the receiver's first out-of-order
+	// byte range on acknowledgments (a one-block SACK option); zero
+	// when the receiver holds no out-of-order data.
+	SackLo, SackHi int64
+	// SentAt is stamped by the sender for RTT sampling.
+	SentAt Time
+}
+
+// HeaderBytes approximates TCP/IP header overhead per packet for
+// serialization timing.
+const HeaderBytes = 40
+
+// wireBytes is the serialized size of p.
+func wireBytes(p Packet) int { return p.Len + HeaderBytes }
+
+// TokenBucket is a traffic policer: packets that arrive when the bucket
+// lacks tokens are dropped rather than queued. The paper identifies
+// policing (together with loss) as the largest barrier to HD goodput
+// for high-latency clients (§4, citing Flach et al.).
+type TokenBucket struct {
+	// Rate is the policing rate.
+	Rate units.Rate
+	// Burst is the bucket depth in bytes.
+	Burst int64
+
+	tokens float64
+	last   Time
+	primed bool
+}
+
+// Admit consumes tokens for n bytes at time now, returning false when
+// the packet must be dropped.
+func (tb *TokenBucket) Admit(now Time, n int) bool {
+	if tb.Rate <= 0 {
+		return true
+	}
+	if !tb.primed {
+		tb.tokens = float64(tb.Burst)
+		tb.last = now
+		tb.primed = true
+	}
+	tb.tokens += float64(tb.Rate) / 8 * (now - tb.last).Seconds()
+	if tb.tokens > float64(tb.Burst) {
+		tb.tokens = float64(tb.Burst)
+	}
+	tb.last = now
+	if tb.tokens < float64(n) {
+		return false
+	}
+	tb.tokens -= float64(n)
+	return true
+}
+
+// Link is a unidirectional link: serialization at Rate, a drop-tail
+// queue of at most QueueLimit packets, propagation Delay, optional
+// random loss and jitter. Deliver is invoked at the receiver.
+type Link struct {
+	Sim *Sim
+	// Rate is the serialization rate; 0 means infinitely fast.
+	Rate units.Rate
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueLimit bounds packets waiting for serialization (the packet
+	// being serialized does not count); 0 means unbounded.
+	QueueLimit int
+	// LossProb drops each packet independently with this probability
+	// (applied before queueing).
+	LossProb float64
+	// Jitter, if set, returns extra per-packet delay.
+	Jitter func() time.Duration
+	// Policer, if set, drops packets exceeding a token-bucket rate
+	// before they reach the queue (§4's traffic-policing barrier).
+	Policer *TokenBucket
+	// RNG drives loss; required when LossProb > 0.
+	RNG *rng.RNG
+	// Deliver receives packets at the far end.
+	Deliver func(Packet)
+	// DropFn, if set, drops packets it returns true for — deterministic
+	// loss injection for tests and failure experiments.
+	DropFn func(Packet) bool
+	// OnDrop, if set, is called for each dropped packet (loss or queue
+	// overflow) — used by tests and failure-injection experiments.
+	OnDrop func(Packet)
+
+	busyUntil Time
+	queued    int
+	// Drops counts packets lost on this link.
+	Drops uint64
+	// Delivered counts packets handed to Deliver.
+	Delivered uint64
+}
+
+// Send enqueues a packet for transmission.
+func (l *Link) Send(p Packet) {
+	if l.LossProb > 0 && l.RNG != nil && l.RNG.Bool(l.LossProb) {
+		l.drop(p)
+		return
+	}
+	if l.Policer != nil && !l.Policer.Admit(l.Sim.Now(), wireBytes(p)) {
+		l.drop(p)
+		return
+	}
+	if l.DropFn != nil && l.DropFn(p) {
+		l.drop(p)
+		return
+	}
+	now := l.Sim.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	if l.QueueLimit > 0 && start > now {
+		// Approximate queue occupancy by counting packets not yet
+		// serialized.
+		if l.queued >= l.QueueLimit {
+			l.drop(p)
+			return
+		}
+	}
+	var tx time.Duration
+	if l.Rate > 0 {
+		tx = l.Rate.TimeFor(int64(wireBytes(p)))
+	}
+	l.busyUntil = start + tx
+	jitter := time.Duration(0)
+	if l.Jitter != nil {
+		jitter = l.Jitter()
+		if jitter < 0 {
+			jitter = 0
+		}
+	}
+	arrival := l.busyUntil + l.Delay + jitter
+	if start > now {
+		l.queued++
+		l.Sim.Schedule(start-now, func() {
+			// Serialization begins; packet leaves the queue.
+			if l.queued > 0 {
+				l.queued--
+			}
+		})
+	}
+	l.Sim.Schedule(arrival-now, func() {
+		l.Delivered++
+		if l.Deliver != nil {
+			l.Deliver(p)
+		}
+	})
+}
+
+func (l *Link) drop(p Packet) {
+	l.Drops++
+	if l.OnDrop != nil {
+		l.OnDrop(p)
+	}
+}
+
+// QueueDepth returns the current number of packets awaiting
+// serialization (excluding the one on the wire).
+func (l *Link) QueueDepth() int { return l.queued }

@@ -1,0 +1,347 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var s Sim
+	var order []int
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	if !s.Run() {
+		t.Fatal("Run stopped early")
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var s Sim
+	var fired []Time
+	s.Schedule(10*time.Millisecond, func() {
+		fired = append(fired, s.Now())
+		s.Schedule(5*time.Millisecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != 10*time.Millisecond || fired[1] != 15*time.Millisecond {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	var s Sim
+	ran := false
+	s.Schedule(-time.Second, func() { ran = true })
+	s.Run()
+	if !ran || s.Now() != 0 {
+		t.Error("negative delay should run immediately at now")
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	var s Sim
+	s.MaxSteps = 5
+	var bomb func()
+	bomb = func() { s.Schedule(time.Millisecond, bomb) }
+	s.Schedule(0, bomb)
+	if s.Run() {
+		t.Error("runaway loop should stop at MaxSteps")
+	}
+	if s.Steps() != 5 {
+		t.Errorf("Steps = %d, want 5", s.Steps())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Sim
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.RunUntil(5 * time.Second)
+	if count != 5 {
+		t.Errorf("RunUntil(5s) ran %d events, want 5", count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", s.Now())
+	}
+	s.Run()
+	if count != 10 {
+		t.Errorf("after Run, count = %d, want 10", count)
+	}
+}
+
+func TestLinkPropagationOnly(t *testing.T) {
+	var s Sim
+	var arrived Time
+	l := &Link{Sim: &s, Delay: 25 * time.Millisecond, Deliver: func(p Packet) { arrived = s.Now() }}
+	l.Send(Packet{Len: 1500})
+	s.Run()
+	if arrived != 25*time.Millisecond {
+		t.Errorf("arrival = %v, want 25ms (rate 0 = infinite)", arrived)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	var s Sim
+	var arrived Time
+	l := &Link{
+		Sim:     &s,
+		Rate:    units.Rate(1e6), // 1 Mbps
+		Delay:   10 * time.Millisecond,
+		Deliver: func(p Packet) { arrived = s.Now() },
+	}
+	// 1500+40 bytes at 1 Mbps = 12.32 ms serialization + 10 ms prop.
+	l.Send(Packet{Len: 1500})
+	s.Run()
+	want := 12320*time.Microsecond + 10*time.Millisecond
+	if d := arrived - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("arrival = %v, want %v", arrived, want)
+	}
+}
+
+func TestLinkBackToBackSerialization(t *testing.T) {
+	var s Sim
+	var arrivals []Time
+	l := &Link{
+		Sim:     &s,
+		Rate:    units.Rate(1.232e6), // makes each 1540B packet exactly 10ms
+		Delay:   5 * time.Millisecond,
+		Deliver: func(p Packet) { arrivals = append(arrivals, s.Now()) },
+	}
+	for i := 0; i < 3; i++ {
+		l.Send(Packet{Len: 1500})
+	}
+	s.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	// Packets serialize back to back: 10, 20, 30ms + 5ms prop.
+	want := []Time{15 * time.Millisecond, 25 * time.Millisecond, 35 * time.Millisecond}
+	for i := range want {
+		if d := arrivals[i] - want[i]; d < -10*time.Microsecond || d > 10*time.Microsecond {
+			t.Errorf("arrival[%d] = %v, want %v", i, arrivals[i], want[i])
+		}
+	}
+}
+
+func TestLinkQueueOverflow(t *testing.T) {
+	var s Sim
+	delivered := 0
+	l := &Link{
+		Sim:        &s,
+		Rate:       units.Rate(1e6),
+		Delay:      time.Millisecond,
+		QueueLimit: 2,
+		Deliver:    func(p Packet) { delivered++ },
+	}
+	// First packet serializes immediately; next two queue; rest drop.
+	for i := 0; i < 10; i++ {
+		l.Send(Packet{Len: 1500})
+	}
+	s.Run()
+	if delivered != 3 {
+		t.Errorf("delivered %d packets, want 3 (1 in flight + 2 queued)", delivered)
+	}
+	if l.Drops != 7 {
+		t.Errorf("Drops = %d, want 7", l.Drops)
+	}
+}
+
+func TestLinkQueueDrainsOverTime(t *testing.T) {
+	var s Sim
+	delivered := 0
+	l := &Link{
+		Sim:        &s,
+		Rate:       units.Rate(1.232e6), // 10ms per 1540B packet
+		Delay:      0,
+		QueueLimit: 1,
+		Deliver:    func(p Packet) { delivered++ },
+	}
+	l.Send(Packet{Len: 1500}) // serializes 0-10ms
+	l.Send(Packet{Len: 1500}) // queued
+	// At 12ms the queue is empty again (second packet serializing).
+	s.Schedule(12*time.Millisecond, func() {
+		l.Send(Packet{Len: 1500})
+	})
+	s.Run()
+	if delivered != 3 {
+		t.Errorf("delivered = %d, want 3", delivered)
+	}
+	if l.Drops != 0 {
+		t.Errorf("Drops = %d, want 0", l.Drops)
+	}
+}
+
+func TestLinkRandomLoss(t *testing.T) {
+	var s Sim
+	delivered := 0
+	l := &Link{
+		Sim:      &s,
+		Delay:    time.Millisecond,
+		LossProb: 0.3,
+		RNG:      rng.New(42),
+		Deliver:  func(p Packet) { delivered++ },
+	}
+	n := 10000
+	for i := 0; i < n; i++ {
+		l.Send(Packet{Len: 100})
+	}
+	s.Run()
+	rate := float64(delivered) / float64(n)
+	if rate < 0.67 || rate > 0.73 {
+		t.Errorf("delivery rate %v, want ~0.7", rate)
+	}
+	if l.Drops+l.Delivered != uint64(n) {
+		t.Errorf("drops %d + delivered %d != %d", l.Drops, l.Delivered, n)
+	}
+}
+
+func TestLinkJitter(t *testing.T) {
+	var s Sim
+	var arrivals []Time
+	r := rng.New(7)
+	l := &Link{
+		Sim:     &s,
+		Delay:   10 * time.Millisecond,
+		Jitter:  func() time.Duration { return time.Duration(r.IntN(5)) * time.Millisecond },
+		Deliver: func(p Packet) { arrivals = append(arrivals, s.Now()) },
+	}
+	for i := 0; i < 100; i++ {
+		l.Send(Packet{Len: 100})
+	}
+	s.Run()
+	varied := false
+	for _, a := range arrivals {
+		if a < 10*time.Millisecond {
+			t.Fatalf("arrival %v before propagation delay", a)
+		}
+		if a > 10*time.Millisecond {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter never added delay")
+	}
+}
+
+func TestOnDropCallback(t *testing.T) {
+	var s Sim
+	drops := 0
+	l := &Link{
+		Sim:      &s,
+		LossProb: 1,
+		RNG:      rng.New(1),
+		OnDrop:   func(p Packet) { drops++ },
+	}
+	l.Send(Packet{Len: 100})
+	s.Run()
+	if drops != 1 {
+		t.Errorf("OnDrop fired %d times, want 1", drops)
+	}
+}
+
+func BenchmarkLinkThroughput(b *testing.B) {
+	var s Sim
+	l := &Link{Sim: &s, Rate: units.Rate(1e9), Delay: time.Millisecond, Deliver: func(p Packet) {}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(Packet{Len: 1500})
+		if i%1000 == 999 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func TestTokenBucketAdmitsBurstThenPolices(t *testing.T) {
+	tb := &TokenBucket{Rate: units.Rate(1e6), Burst: 10000} // 1 Mbps, 10KB burst
+	// The initial burst passes.
+	admitted := 0
+	for i := 0; i < 20; i++ {
+		if tb.Admit(0, 1000) {
+			admitted++
+		}
+	}
+	if admitted != 10 {
+		t.Errorf("burst admitted %d packets, want 10", admitted)
+	}
+	// After a second, 1 Mbps has refilled 125000 bytes (capped at burst).
+	if !tb.Admit(time.Second, 10000) {
+		t.Error("refilled bucket rejected a burst-sized packet")
+	}
+	if tb.Admit(time.Second, 1000) {
+		t.Error("drained bucket admitted a packet with no elapsed time")
+	}
+}
+
+func TestTokenBucketZeroRateAdmitsAll(t *testing.T) {
+	tb := &TokenBucket{}
+	for i := 0; i < 100; i++ {
+		if !tb.Admit(0, 1<<20) {
+			t.Fatal("zero-rate policer must admit everything")
+		}
+	}
+}
+
+func TestLinkPolicerDrops(t *testing.T) {
+	var s Sim
+	delivered := 0
+	l := &Link{
+		Sim:     &s,
+		Delay:   time.Millisecond,
+		Policer: &TokenBucket{Rate: units.Rate(8e6), Burst: 3 * 1540},
+		Deliver: func(p Packet) { delivered++ },
+	}
+	// 20 packets at t=0: only the 3-packet burst passes.
+	for i := 0; i < 20; i++ {
+		l.Send(Packet{Len: 1500})
+	}
+	s.Run()
+	if delivered != 3 {
+		t.Errorf("policer admitted %d packets at t=0, want 3", delivered)
+	}
+	if l.Drops != 17 {
+		t.Errorf("Drops = %d, want 17", l.Drops)
+	}
+	// Spread over time at the policed rate, packets pass: 8 Mbps = 1
+	// wire-packet (1540B) per 1.54ms.
+	delivered = 0
+	for i := 0; i < 10; i++ {
+		s.Schedule(time.Duration(i+1)*2*time.Millisecond, func() { l.Send(Packet{Len: 1500}) })
+	}
+	s.Run()
+	if delivered != 10 {
+		t.Errorf("paced packets delivered %d/10 through policer", delivered)
+	}
+}

@@ -1,0 +1,99 @@
+// Package pep models a performance-enhancing proxy: a middlebox —
+// common in satellite and cellular networks — that splits the TCP
+// connection between server and client and runs an independent
+// congestion-control loop on each segment (§2.2.1, RFC 3135).
+//
+// The paper identifies PEPs as the key caveat of server-side passive
+// measurement: when a PEP is on path, the server's TCP state reflects
+// the server↔PEP segment, so MinRTT underestimates the end-to-end
+// round trip and goodput can overestimate what the client experiences.
+// The paper argues this is acceptable because Facebook can only
+// optimise conditions up to the PEP anyway. This package makes the
+// distortion measurable: a split path whose server-side observations
+// and true client-side delivery can be compared directly.
+package pep
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+// SegmentConfig describes one side of the split path.
+type SegmentConfig struct {
+	// Rate and OneWay configure the segment's bottleneck link.
+	Rate   units.Rate
+	OneWay time.Duration
+	// Loss is the per-packet loss probability on the data direction.
+	Loss float64
+	// TCP configures the segment's sender.
+	TCP tcpsim.Config
+}
+
+// Split is a server → PEP → client path with independent TCP loops.
+type Split struct {
+	Sim *netsim.Sim
+	// Upstream is the server→PEP connection — the one the load
+	// balancer's instrumentation sees.
+	Upstream *tcpsim.Conn
+	// Downstream is the PEP→client connection.
+	Downstream *tcpsim.Conn
+
+	// ClientDelivered is the number of bytes that actually reached the
+	// client in order.
+	ClientDelivered int64
+	// ClientLastDelivery is when the last in-order byte arrived at the
+	// client.
+	ClientLastDelivery netsim.Time
+
+	buffered int64
+}
+
+// NewSplit builds the split path. The PEP relays bytes as they arrive
+// in order on the upstream segment.
+func NewSplit(sim *netsim.Sim, up, down SegmentConfig) *Split {
+	s := &Split{Sim: sim}
+
+	upFwd := &netsim.Link{Sim: sim, Rate: up.Rate, Delay: up.OneWay, LossProb: up.Loss}
+	upRev := &netsim.Link{Sim: sim, Delay: up.OneWay}
+	s.Upstream = tcpsim.New(sim, up.TCP, upFwd, upRev)
+
+	downFwd := &netsim.Link{Sim: sim, Rate: down.Rate, Delay: down.OneWay, LossProb: down.Loss}
+	downRev := &netsim.Link{Sim: sim, Delay: down.OneWay}
+	s.Downstream = tcpsim.New(sim, down.TCP, downFwd, downRev)
+
+	// The PEP acknowledges upstream data on arrival (that is the whole
+	// point of a split connection) and forwards it downstream.
+	s.Upstream.OnDeliver = func(n int64) {
+		s.buffered += n
+		s.Downstream.Write(int(n))
+	}
+	s.Downstream.OnDeliver = func(n int64) {
+		s.ClientDelivered += n
+		s.ClientLastDelivery = sim.Now()
+	}
+	return s
+}
+
+// ServeObject writes one response at the server and returns its write
+// range on the upstream connection.
+func (s *Split) ServeObject(bytes int64) (start, end int64) {
+	return s.Upstream.Write(int(bytes))
+}
+
+// EndToEndRTT returns the true end-to-end propagation round trip the
+// split path hides from the server.
+func EndToEndRTT(up, down SegmentConfig) time.Duration {
+	return 2 * (up.OneWay + down.OneWay)
+}
+
+// ClientGoodput returns the rate at which the client actually received
+// the object, measured from the serve time.
+func (s *Split) ClientGoodput(served netsim.Time) units.Rate {
+	if s.ClientDelivered == 0 || s.ClientLastDelivery <= served {
+		return 0
+	}
+	return units.RateOf(s.ClientDelivered, s.ClientLastDelivery-served)
+}

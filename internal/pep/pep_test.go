@@ -1,0 +1,115 @@
+package pep
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hdratio"
+	"repro/internal/netsim"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+// splitPath: fast terrestrial segment to the PEP, slow long-delay
+// segment (satellite/cellular) to the client.
+func splitPath() (up, down SegmentConfig) {
+	up = SegmentConfig{Rate: 100 * units.Mbps, OneWay: 5 * time.Millisecond}
+	down = SegmentConfig{Rate: 2 * units.Mbps, OneWay: 250 * time.Millisecond}
+	return
+}
+
+func TestRelayDeliversEverything(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 24
+	up, down := splitPath()
+	s := NewSplit(&sim, up, down)
+	const obj = 200 * 1500
+	s.ServeObject(obj)
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if s.ClientDelivered != obj {
+		t.Fatalf("client received %d of %d bytes", s.ClientDelivered, obj)
+	}
+}
+
+// TestServerSideMinRTTUnderestimates reproduces the §2.2.1 caveat:
+// the server's MinRTT reflects the server↔PEP segment only.
+func TestServerSideMinRTTUnderestimates(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 24
+	up, down := splitPath()
+	s := NewSplit(&sim, up, down)
+	s.ServeObject(50 * 1500)
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	serverRTT := s.Upstream.MinRTT()
+	e2e := EndToEndRTT(up, down)
+	if serverRTT >= e2e/5 {
+		t.Errorf("server MinRTT %v should be far below end-to-end %v", serverRTT, e2e)
+	}
+	// The client-facing segment alone dwarfs what the server sees.
+	if s.Downstream.MinRTT() < 500*time.Millisecond {
+		t.Errorf("downstream MinRTT = %v, want ≥500ms", s.Downstream.MinRTT())
+	}
+}
+
+// TestServerSideGoodputOverestimates reproduces the second half of the
+// caveat: the server-side methodology judges the transfer HD-capable
+// (the PEP absorbed it at terrestrial speed) while the client actually
+// received it below the HD floor.
+func TestServerSideGoodputOverestimates(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 24
+	up, down := splitPath()
+	s := NewSplit(&sim, up, down)
+
+	const obj = 300 * 1500
+	var tFirst, tAck netsim.Time = -1, -1
+	wnic := s.Upstream.Cwnd()
+	s.Upstream.WatchFirstSend(s.Upstream.NextWriteOffset(), func(tm netsim.Time) { tFirst = tm })
+	served := sim.Now()
+	_, end := s.ServeObject(obj)
+	s.Upstream.WatchAcked(end-1500, func(tm netsim.Time) { tAck = tm })
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+
+	// Server-side judgment (what the paper's instrumentation would do).
+	txn := hdratio.Transaction{Bytes: obj - 1500, Duration: tAck - tFirst, Wnic: wnic}
+	serverSays := hdratio.Achieved(txn, units.HDGoodput, s.Upstream.MinRTT())
+	if !serverSays {
+		t.Fatalf("server-side measurement should see HD goodput to the PEP (dur=%v)", txn.Duration)
+	}
+	// Ground truth at the client: the 2 Mbps satellite segment cannot
+	// carry HD.
+	actual := s.ClientGoodput(served)
+	if actual >= units.HDGoodput {
+		t.Fatalf("client goodput %v should be below the HD floor", actual)
+	}
+}
+
+// TestNoPEPBaseline: without a split, the same end-to-end conditions
+// are judged correctly (the server sees the real RTT and bottleneck).
+func TestNoPEPBaseline(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 24
+	fwd := &netsim.Link{Sim: &sim, Rate: 2 * units.Mbps, Delay: 255 * time.Millisecond}
+	rev := &netsim.Link{Sim: &sim, Delay: 255 * time.Millisecond}
+	conn := tcpsim.New(&sim, tcpsim.Config{}, fwd, rev)
+
+	const obj = 300 * 1500
+	var tFirst, tAck netsim.Time = -1, -1
+	wnic := conn.Cwnd()
+	conn.WatchFirstSend(conn.NextWriteOffset(), func(tm netsim.Time) { tFirst = tm })
+	_, end := conn.Write(obj)
+	conn.WatchAcked(end-1500, func(tm netsim.Time) { tAck = tm })
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	txn := hdratio.Transaction{Bytes: obj - 1500, Duration: tAck - tFirst, Wnic: wnic}
+	if hdratio.Achieved(txn, units.HDGoodput, conn.MinRTT()) {
+		t.Error("end-to-end measurement must not claim HD over a 2 Mbps path")
+	}
+}

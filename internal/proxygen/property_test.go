@@ -1,0 +1,122 @@
+package proxygen
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// randomRaws builds a plausible ordered capture sequence.
+func randomRaws(r *rng.RNG) []RawTxn {
+	n := r.IntN(8) + 1
+	out := make([]RawTxn, n)
+	clock := time.Duration(0)
+	for i := range out {
+		gap := time.Duration(r.IntN(200)) * time.Millisecond
+		write := clock + gap
+		nic := write + time.Duration(r.IntN(3))*time.Millisecond
+		lastNIC := nic + time.Duration(r.IntN(50)+1)*time.Millisecond
+		stl := lastNIC + time.Duration(r.IntN(100)+1)*time.Millisecond
+		last := stl + time.Duration(r.IntN(50))*time.Millisecond
+		bytes := int64(r.IntN(100000) + 1500)
+		lastPkt := bytes % 1500
+		if lastPkt == 0 {
+			lastPkt = 1500
+		}
+		out[i] = RawTxn{
+			FirstByteWrite: write, FirstByteNIC: nic, LastByteNIC: lastNIC,
+			SecondToLastAck: stl, LastAck: last,
+			Bytes: bytes, LastPacketBytes: lastPkt,
+			Wnic:        int64(r.IntN(60000) + 1500),
+			Multiplexed: r.Bool(0.3),
+		}
+		clock = lastNIC // next response may overlap acks but not writes
+	}
+	return out
+}
+
+func totalBytes(raws []RawTxn) int64 {
+	var t int64
+	for _, r := range raws {
+		t += r.Bytes
+	}
+	return t
+}
+
+// TestCoalescePreservesBytes: merging must never create or destroy
+// response bytes.
+func TestCoalescePreservesBytes(t *testing.T) {
+	f := func(seed uint64) bool {
+		raws := randomRaws(rng.New(seed))
+		merged := Coalesce(raws)
+		return totalBytes(merged) == totalBytes(raws) && len(merged) >= 1 && len(merged) <= len(raws)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoalesceOrderPreserved: merged output keeps capture order (the
+// first transaction's NIC-write timestamps are never later than the
+// next's writes).
+func TestCoalesceOrderPreserved(t *testing.T) {
+	f := func(seed uint64) bool {
+		merged := Coalesce(randomRaws(rng.New(seed)))
+		for i := 1; i < len(merged); i++ {
+			if merged[i].FirstByteWrite < merged[i-1].FirstByteWrite {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCorrectOutputsSane: corrected observations never have negative
+// byte counts or durations, and every output maps to a coalesced input.
+func TestCorrectOutputsSane(t *testing.T) {
+	f := func(seed uint64) bool {
+		raws := randomRaws(rng.New(seed))
+		txns := Correct(raws)
+		if len(txns) != len(Coalesce(raws)) {
+			return false
+		}
+		for _, txn := range txns {
+			if txn.Bytes < 0 || txn.Duration < 0 {
+				return false
+			}
+			if txn.Wnic < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoalesceIdempotent: coalescing an already-coalesced sequence is a
+// no-op (no further merges are possible).
+func TestCoalesceIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		once := Coalesce(randomRaws(rng.New(seed)))
+		twice := Coalesce(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i].Bytes != twice[i].Bytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

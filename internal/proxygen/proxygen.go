@@ -1,0 +1,149 @@
+// Package proxygen models the load-balancer instrumentation layer
+// (§2.2.2, named after Facebook's software load balancer): it samples
+// HTTP sessions, captures TCP state at prescribed points around each
+// transaction, and converts raw capture events into the corrected
+// per-transaction observations the HDratio methodology consumes.
+//
+// The §3.2.5 capture rules implemented here:
+//
+//   - Delayed-ACK correction: Ttotal runs from the first response byte
+//     reaching the NIC to the ACK covering the second-to-last packet,
+//     and Btotal excludes the final packet.
+//   - Coalescing: transactions whose responses are multiplexed,
+//     preempted, or written back-to-back are merged into one larger
+//     transaction, so HTTP/2 interleaving does not inflate Ttotal.
+//   - Bytes in flight: a transaction is ineligible for goodput
+//     measurement if a previous response was still in flight when its
+//     first byte was sent and the coalescing conditions were not met.
+package proxygen
+
+import (
+	"hash/fnv"
+	"time"
+
+	"repro/internal/hdratio"
+)
+
+// RawTxn is the uncorrected capture of one HTTP transaction at the load
+// balancer. Times are relative to a common session clock.
+type RawTxn struct {
+	// FirstByteWrite is when the first response byte entered the socket
+	// send buffer.
+	FirstByteWrite time.Duration
+	// FirstByteNIC is when the first response byte was written to the
+	// NIC (socket/NIC timestamping, §3.2.5 footnote 9).
+	FirstByteNIC time.Duration
+	// LastByteNIC is when the last response byte was written to the NIC.
+	LastByteNIC time.Duration
+	// SecondToLastAck is when an ACK covering the second-to-last packet
+	// was received; zero if the response fit in a single packet.
+	SecondToLastAck time.Duration
+	// LastAck is when the final byte was acknowledged.
+	LastAck time.Duration
+	// Bytes is the full response size.
+	Bytes int64
+	// LastPacketBytes is the size of the final packet.
+	LastPacketBytes int64
+	// Wnic is the congestion window when the first byte hit the NIC.
+	Wnic int64
+	// Multiplexed marks responses interleaved with another stream
+	// (HTTP/2 priority multiplexing or preemption).
+	Multiplexed bool
+}
+
+// Correct applies the §3.2.5 rules to a session's raw transactions and
+// returns the observations for the methodology, in order. The output
+// slice may be shorter than the input when transactions coalesce.
+func Correct(raw []RawTxn) []hdratio.Transaction {
+	merged := Coalesce(raw)
+	out := make([]hdratio.Transaction, 0, len(merged))
+	var prevLastAck time.Duration
+	var prevEnd time.Duration
+	for i, rt := range merged {
+		txn := hdratio.Transaction{
+			Bytes:    rt.Bytes - rt.LastPacketBytes,
+			Duration: rt.SecondToLastAck - rt.FirstByteNIC,
+			Wnic:     rt.Wnic,
+		}
+		if rt.SecondToLastAck == 0 || txn.Bytes <= 0 {
+			// Single-packet response: no measurable corrected duration.
+			txn.Bytes = 0
+			txn.Duration = 0
+			txn.Ineligible = true
+		}
+		if i > 0 && prevLastAck > rt.FirstByteNIC && rt.FirstByteWrite > prevEnd {
+			// Previous response still in flight and coalescing did not
+			// apply: unusable for goodput (§3.2.5 "Bytes in Flight").
+			txn.Ineligible = true
+		}
+		prevLastAck = rt.LastAck
+		prevEnd = rt.LastByteNIC
+		out = append(out, txn)
+	}
+	return out
+}
+
+// coalesceGap is the write-gap tolerance under which two responses are
+// considered back-to-back at the transport layer (footnote 9: no gap
+// between writes when the second write lands before the first finishes
+// reaching the NIC).
+const coalesceGap = 0
+
+// Coalesce merges multiplexed, preempted, and back-to-back responses
+// into single larger transactions (§3.2.5).
+func Coalesce(raw []RawTxn) []RawTxn {
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]RawTxn, 0, len(raw))
+	cur := raw[0]
+	for _, next := range raw[1:] {
+		backToBack := next.FirstByteWrite <= cur.LastByteNIC+coalesceGap
+		if next.Multiplexed || cur.Multiplexed || backToBack {
+			// Merge: the combined transaction spans from the first
+			// response's NIC write to the last response's ACKs.
+			cur.Bytes += next.Bytes
+			cur.LastPacketBytes = next.LastPacketBytes
+			if next.LastByteNIC > cur.LastByteNIC {
+				cur.LastByteNIC = next.LastByteNIC
+			}
+			cur.SecondToLastAck = next.SecondToLastAck
+			cur.LastAck = next.LastAck
+			cur.Multiplexed = false // merged result is a plain transaction
+			continue
+		}
+		out = append(out, cur)
+		cur = next
+	}
+	return append(out, cur)
+}
+
+// Sampler decides deterministically which sessions are sampled, by
+// hashing the session identifier against a sampling rate — the
+// production system samples a percentage of HTTP sessions (§2.2.2) and
+// randomized selection over production flows avoids sampling bias
+// (§2.2.1).
+type Sampler struct {
+	// Rate is the sampled fraction in [0, 1].
+	Rate float64
+	// Salt decorrelates sampling across deployments.
+	Salt uint64
+}
+
+// Sample reports whether the session with the given ID is sampled.
+func (s Sampler) Sample(sessionID uint64) bool {
+	if s.Rate >= 1 {
+		return true
+	}
+	if s.Rate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(sessionID >> (8 * i))
+		buf[8+i] = byte(s.Salt >> (8 * i))
+	}
+	h.Write(buf[:])
+	return float64(h.Sum64())/float64(^uint64(0)) < s.Rate
+}

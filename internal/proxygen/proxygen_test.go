@@ -1,0 +1,217 @@
+package proxygen
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// rawTxn builds a plain transaction: written at w, on NIC at w, last
+// byte at lastNIC, acks at stl and last.
+func rawTxn(write, lastNIC, stlAck, lastAck int, bytes, lastPkt int64, wnic int64) RawTxn {
+	return RawTxn{
+		FirstByteWrite:  ms(write),
+		FirstByteNIC:    ms(write),
+		LastByteNIC:     ms(lastNIC),
+		SecondToLastAck: ms(stlAck),
+		LastAck:         ms(lastAck),
+		Bytes:           bytes,
+		LastPacketBytes: lastPkt,
+		Wnic:            wnic,
+	}
+}
+
+func TestCorrectAppliesDelayedAckCorrection(t *testing.T) {
+	raw := []RawTxn{rawTxn(0, 10, 60, 100, 30000, 1500, 15000)}
+	out := Correct(raw)
+	if len(out) != 1 {
+		t.Fatalf("got %d transactions", len(out))
+	}
+	txn := out[0]
+	if txn.Bytes != 28500 {
+		t.Errorf("Bytes = %d, want 28500 (last packet excluded)", txn.Bytes)
+	}
+	if txn.Duration != ms(60) {
+		t.Errorf("Duration = %v, want 60ms (to second-to-last ACK)", txn.Duration)
+	}
+	if txn.Ineligible {
+		t.Error("clean transaction marked ineligible")
+	}
+}
+
+func TestCorrectSinglePacketResponse(t *testing.T) {
+	// A one-packet response has no second-to-last ACK: unmeasurable.
+	raw := []RawTxn{{
+		FirstByteWrite: 0, FirstByteNIC: 0, LastByteNIC: ms(1),
+		LastAck: ms(50), Bytes: 800, LastPacketBytes: 800, Wnic: 15000,
+	}}
+	out := Correct(raw)
+	if !out[0].Ineligible || out[0].Bytes != 0 {
+		t.Errorf("single-packet response should be ineligible: %+v", out[0])
+	}
+}
+
+func TestCoalesceBackToBackWrites(t *testing.T) {
+	// Second response written before the first finished reaching the
+	// NIC: treat as one large response (footnote 9).
+	raw := []RawTxn{
+		rawTxn(0, 20, 50, 60, 15000, 1500, 15000),
+		{
+			FirstByteWrite: ms(15), FirstByteNIC: ms(20), LastByteNIC: ms(40),
+			SecondToLastAck: ms(100), LastAck: ms(110),
+			Bytes: 9000, LastPacketBytes: 1500, Wnic: 15000,
+		},
+	}
+	merged := Coalesce(raw)
+	if len(merged) != 1 {
+		t.Fatalf("expected coalescing, got %d txns", len(merged))
+	}
+	if merged[0].Bytes != 24000 {
+		t.Errorf("merged bytes = %d, want 24000", merged[0].Bytes)
+	}
+	if merged[0].SecondToLastAck != ms(100) {
+		t.Errorf("merged STL ack = %v, want the later one", merged[0].SecondToLastAck)
+	}
+	out := Correct(raw)
+	if len(out) != 1 || out[0].Bytes != 22500 {
+		t.Errorf("corrected merged txn = %+v", out)
+	}
+}
+
+func TestCoalesceMultiplexed(t *testing.T) {
+	raw := []RawTxn{
+		{FirstByteWrite: 0, FirstByteNIC: 0, LastByteNIC: ms(30), SecondToLastAck: ms(55),
+			LastAck: ms(60), Bytes: 15000, LastPacketBytes: 1500, Wnic: 15000, Multiplexed: true},
+		{FirstByteWrite: ms(40), FirstByteNIC: ms(40), LastByteNIC: ms(70), SecondToLastAck: ms(95),
+			LastAck: ms(100), Bytes: 6000, LastPacketBytes: 1500, Wnic: 15000},
+	}
+	merged := Coalesce(raw)
+	if len(merged) != 1 {
+		t.Fatalf("multiplexed txns not coalesced: %d", len(merged))
+	}
+	if merged[0].Multiplexed {
+		t.Error("merged transaction should be plain")
+	}
+}
+
+func TestNoCoalesceWithGap(t *testing.T) {
+	raw := []RawTxn{
+		rawTxn(0, 10, 40, 50, 15000, 1500, 15000),
+		rawTxn(200, 210, 240, 250, 9000, 1500, 30000),
+	}
+	merged := Coalesce(raw)
+	if len(merged) != 2 {
+		t.Fatalf("independent txns wrongly coalesced: %d", len(merged))
+	}
+}
+
+func TestBytesInFlightIneligible(t *testing.T) {
+	// Second transaction starts while the first's bytes are unacked and
+	// was written after the first fully reached the NIC (no coalescing):
+	// ineligible, per §3.2.5.
+	raw := []RawTxn{
+		rawTxn(0, 10, 40, 100, 15000, 1500, 15000),
+		rawTxn(50, 60, 90, 120, 9000, 1500, 30000),
+	}
+	out := Correct(raw)
+	if len(out) != 2 {
+		t.Fatalf("got %d transactions", len(out))
+	}
+	if out[0].Ineligible {
+		t.Error("first transaction should be eligible")
+	}
+	if !out[1].Ineligible {
+		t.Error("overlapping transaction must be ineligible")
+	}
+}
+
+func TestEligibleAfterPriorAcked(t *testing.T) {
+	raw := []RawTxn{
+		rawTxn(0, 10, 40, 50, 15000, 1500, 15000),
+		rawTxn(80, 90, 120, 130, 9000, 1500, 30000),
+	}
+	out := Correct(raw)
+	if out[1].Ineligible {
+		t.Error("transaction after fully-acked predecessor should be eligible")
+	}
+}
+
+func TestCoalesceEmpty(t *testing.T) {
+	if got := Coalesce(nil); got != nil {
+		t.Errorf("Coalesce(nil) = %v", got)
+	}
+	if got := Correct(nil); len(got) != 0 {
+		t.Errorf("Correct(nil) = %v", got)
+	}
+}
+
+func TestCoalesceChain(t *testing.T) {
+	// Three back-to-back small responses merge into one.
+	raw := []RawTxn{
+		rawTxn(0, 10, 0, 12, 1500, 1500, 15000),
+		{FirstByteWrite: ms(5), FirstByteNIC: ms(10), LastByteNIC: ms(12),
+			SecondToLastAck: 0, LastAck: ms(40), Bytes: 1500, LastPacketBytes: 1500, Wnic: 15000},
+		{FirstByteWrite: ms(11), FirstByteNIC: ms(12), LastByteNIC: ms(14),
+			SecondToLastAck: ms(60), LastAck: ms(62), Bytes: 1500, LastPacketBytes: 1500, Wnic: 15000},
+	}
+	merged := Coalesce(raw)
+	if len(merged) != 1 {
+		t.Fatalf("chain did not fully coalesce: %d", len(merged))
+	}
+	if merged[0].Bytes != 4500 {
+		t.Errorf("merged bytes = %d, want 4500", merged[0].Bytes)
+	}
+	// The merged 3-packet response is measurable.
+	out := Correct(raw)
+	if out[0].Ineligible || out[0].Bytes != 3000 {
+		t.Errorf("merged sequence should be measurable: %+v", out[0])
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	s := Sampler{Rate: 0.25, Salt: 99}
+	n, hit := 200000, 0
+	for i := 0; i < n; i++ {
+		if s.Sample(uint64(i)) {
+			hit++
+		}
+	}
+	rate := float64(hit) / float64(n)
+	if rate < 0.24 || rate > 0.26 {
+		t.Errorf("sampling rate = %v, want 0.25", rate)
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	s := Sampler{Rate: 0.5, Salt: 1}
+	for i := uint64(0); i < 1000; i++ {
+		if s.Sample(i) != s.Sample(i) {
+			t.Fatal("sampler not deterministic")
+		}
+	}
+}
+
+func TestSamplerSaltDecorrelates(t *testing.T) {
+	a := Sampler{Rate: 0.5, Salt: 1}
+	b := Sampler{Rate: 0.5, Salt: 2}
+	same := 0
+	for i := uint64(0); i < 10000; i++ {
+		if a.Sample(i) == b.Sample(i) {
+			same++
+		}
+	}
+	// Independent 50% samplers agree ~50% of the time.
+	if same < 4500 || same > 5500 {
+		t.Errorf("salted samplers agree %d/10000 times", same)
+	}
+}
+
+func TestSamplerExtremes(t *testing.T) {
+	if (Sampler{Rate: 0}).Sample(1) {
+		t.Error("rate 0 sampled")
+	}
+	if !(Sampler{Rate: 1}).Sample(1) {
+		t.Error("rate 1 skipped")
+	}
+}

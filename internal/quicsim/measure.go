@@ -1,0 +1,112 @@
+package quicsim
+
+import (
+	"repro/internal/hdratio"
+	"repro/internal/netsim"
+	"repro/internal/units"
+)
+
+// StreamMeasurer applies the paper's server-side instrumentation to a
+// QUIC connection: one observation per stream (QUIC streams are
+// independent, so the HTTP/2 coalescing problem of §3.2.5 does not
+// arise), with the same delayed-last-ack correction — the duration ends
+// when all but the final packet's bytes are acknowledged.
+//
+// This demonstrates the methodology is transport-agnostic: it needs a
+// congestion window at write time, a first-byte send timestamp, and
+// acknowledgment progress — all of which QUIC exposes to the sender
+// (and, unlike TCP, to the sender only: a middlebox cannot terminate
+// the measured loop, per footnote 1).
+type StreamMeasurer struct {
+	conn *Conn
+	sim  *netsim.Sim
+	mss  int64
+
+	pending map[int]*streamObs
+	done    []hdratio.Transaction
+}
+
+type streamObs struct {
+	bytes     int64
+	threshold int64 // bytes − last packet
+	wnic      int64
+	started   netsim.Time
+	finished  bool
+}
+
+// NewStreamMeasurer instruments a connection. It chains the
+// OnStreamAcked hook; install any application hook before calling this.
+func NewStreamMeasurer(sim *netsim.Sim, conn *Conn, mss int) *StreamMeasurer {
+	if mss <= 0 {
+		mss = units.DefaultMSS
+	}
+	m := &StreamMeasurer{
+		conn:    conn,
+		sim:     sim,
+		mss:     int64(mss),
+		pending: make(map[int]*streamObs),
+	}
+	prev := conn.OnStreamAcked
+	conn.OnStreamAcked = func(stream int, total int64) {
+		if prev != nil {
+			prev(stream, total)
+		}
+		m.onAcked(stream, total)
+	}
+	return m
+}
+
+// Serve writes one response on a stream and begins its measurement.
+func (m *StreamMeasurer) Serve(stream int, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	lastPkt := bytes % m.mss
+	if lastPkt == 0 {
+		lastPkt = m.mss
+	}
+	m.pending[stream] = &streamObs{
+		bytes:     bytes,
+		threshold: bytes - lastPkt,
+		wnic:      m.conn.Cwnd(),
+		started:   m.sim.Now(),
+	}
+	m.conn.WriteStream(stream, bytes)
+}
+
+func (m *StreamMeasurer) onAcked(stream int, total int64) {
+	obs := m.pending[stream]
+	if obs == nil || obs.finished {
+		return
+	}
+	if obs.threshold <= 0 {
+		// Single-packet response: unmeasurable, as in TCP (§3.2.5).
+		if total >= obs.bytes {
+			obs.finished = true
+			m.done = append(m.done, hdratio.Transaction{Wnic: obs.wnic, Ineligible: true})
+		}
+		return
+	}
+	if total >= obs.threshold {
+		obs.finished = true
+		m.done = append(m.done, hdratio.Transaction{
+			Bytes:    obs.threshold,
+			Duration: m.sim.Now() - obs.started,
+			Wnic:     obs.wnic,
+		})
+	}
+}
+
+// Observations returns the corrected transactions measured so far, in
+// completion order.
+func (m *StreamMeasurer) Observations() []hdratio.Transaction {
+	return append([]hdratio.Transaction(nil), m.done...)
+}
+
+// Evaluate runs the HDratio methodology over the measured streams.
+func (m *StreamMeasurer) Evaluate(cfg hdratio.Config) hdratio.Outcome {
+	return hdratio.Evaluate(hdratio.Session{
+		MinRTT:       m.conn.MinRTT(),
+		Transactions: m.Observations(),
+	}, cfg)
+}

@@ -1,0 +1,77 @@
+package quicsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hdratio"
+	"repro/internal/netsim"
+	"repro/internal/units"
+)
+
+// serveSequential measures n sequential responses over one connection at
+// the given bottleneck and returns the outcome.
+func serveSequential(t *testing.T, bw units.Rate, sizes []int64) hdratio.Outcome {
+	t.Helper()
+	var nsim netsim.Sim
+	nsim.MaxSteps = 1 << 24
+	data, acks := links(&nsim, bw, 40*time.Millisecond)
+	c := New(&nsim, Config{}, data, acks)
+	m := NewStreamMeasurer(&nsim, c, 0)
+	// Space the requests out so transfers do not overlap.
+	for i, size := range sizes {
+		stream, size := i+1, size
+		nsim.Schedule(time.Duration(i)*5*time.Second, func() { m.Serve(stream, size) })
+	}
+	if !nsim.Run() {
+		t.Fatal("no convergence")
+	}
+	return m.Evaluate(hdratio.DefaultConfig())
+}
+
+func TestQUICMeasurementFastPath(t *testing.T) {
+	out := serveSequential(t, 20*units.Mbps, []int64{150_000, 150_000, 150_000})
+	if out.Tested == 0 {
+		t.Fatal("nothing tested")
+	}
+	if out.AchievedCount != out.Tested {
+		t.Errorf("fast QUIC path achieved %d/%d", out.AchievedCount, out.Tested)
+	}
+}
+
+func TestQUICMeasurementSlowPath(t *testing.T) {
+	out := serveSequential(t, 1*units.Mbps, []int64{150_000, 150_000})
+	if out.Tested == 0 {
+		t.Fatal("nothing tested")
+	}
+	if out.AchievedCount != 0 {
+		t.Errorf("1 Mbps QUIC path achieved HD %d/%d times", out.AchievedCount, out.Tested)
+	}
+}
+
+func TestQUICMeasurementSmallObjectsUntestable(t *testing.T) {
+	out := serveSequential(t, 10*units.Mbps, []int64{1000, 1400})
+	if out.Tested != 0 {
+		t.Errorf("single-packet responses tested: %d", out.Tested)
+	}
+}
+
+func TestQUICMeasurementWnicCaptured(t *testing.T) {
+	var nsim netsim.Sim
+	nsim.MaxSteps = 1 << 22
+	data, acks := links(&nsim, 10*units.Mbps, 20*time.Millisecond)
+	c := New(&nsim, Config{InitCwndPackets: 10}, data, acks)
+	m := NewStreamMeasurer(&nsim, c, 0)
+	m.Serve(1, 60_000)
+	nsim.Run()
+	obs := m.Observations()
+	if len(obs) != 1 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+	if obs[0].Wnic != 10*1500 {
+		t.Errorf("Wnic = %d, want initial window", obs[0].Wnic)
+	}
+	if obs[0].Bytes != 60_000-1500 {
+		t.Errorf("corrected bytes = %d", obs[0].Bytes)
+	}
+}

@@ -1,0 +1,403 @@
+// Package quicsim models a QUIC-like transport over netsim: a single
+// connection carrying independent streams, packet-number-based loss
+// detection, and per-stream in-order delivery — so the loss of one
+// stream's packet does not block another stream's data (no transport
+// head-of-line blocking, unlike HTTP/2 over TCP).
+//
+// The paper's footnote 1 points at QUIC for two reasons this package
+// makes testable:
+//
+//   - QUIC's encryption prevents performance-enhancing proxies from
+//     splitting the connection (§2.2.1), so server-side measurements
+//     become end-to-end by construction — the split-TCP distortion
+//     package pep demonstrates simply cannot occur.
+//   - Stream independence changes multiplexing behaviour: under loss,
+//     an HTTP/2-over-TCP session stalls every stream behind the hole,
+//     while QUIC delivers unaffected streams immediately.
+//
+// Simplifications versus real QUIC: one stream frame per packet, an
+// ACK per received packet, a 3-packet reordering threshold for loss
+// detection, and NewReno-style congestion control.
+package quicsim
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/units"
+)
+
+// Config parameterises a connection.
+type Config struct {
+	// MSS is the stream payload per packet (default units.DefaultMSS).
+	MSS int
+	// InitCwndPackets is the initial congestion window (default 10).
+	InitCwndPackets int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS <= 0 {
+		c.MSS = units.DefaultMSS
+	}
+	if c.InitCwndPackets <= 0 {
+		c.InitCwndPackets = 10
+	}
+	return c
+}
+
+// frame is one stream frame in flight or queued.
+type frame struct {
+	stream int
+	offset int64
+	length int64
+	retx   bool
+}
+
+// sentPacket tracks an unacknowledged packet.
+type sentPacket struct {
+	frame  frame
+	sentAt netsim.Time
+}
+
+// recvStream reassembles one stream at the receiver.
+type recvStream struct {
+	delivered int64 // contiguous bytes handed to the application
+	ranges    []span
+}
+
+type span struct{ lo, hi int64 }
+
+// Conn is a QUIC-like connection: sender on one side, receiver on the
+// other, over a data link and an ack link.
+type Conn struct {
+	sim  *netsim.Sim
+	cfg  Config
+	data *netsim.Link
+	acks *netsim.Link
+
+	// Sender state.
+	cwnd          int64
+	ssthresh      int64
+	bytesInFlight int64
+	nextPktNum    int64
+	largestAcked  int64
+	unacked       map[int64]sentPacket
+	sendQueues    map[int]*sendQueue
+	streamOrder   []int
+	rr            int
+	recoveryEnd   int64 // loss events within one window count once
+
+	minRTT time.Duration
+
+	// Receiver state.
+	streams map[int]*recvStream
+
+	// OnStreamDeliver fires when contiguous stream bytes become
+	// available to the application.
+	OnStreamDeliver func(stream int, newBytes int64)
+	// OnStreamAcked fires at the sender when stream bytes are
+	// acknowledged, with the stream's cumulative acked byte count — the
+	// hook server-side instrumentation measures from.
+	OnStreamAcked func(stream int, totalAcked int64)
+
+	// ackedByStream tracks cumulative acknowledged bytes per stream.
+	ackedByStream map[int]int64
+
+	// Counters.
+	Lost        uint64
+	Retransmits uint64
+}
+
+// sendQueue is a stream's unsent data.
+type sendQueue struct {
+	next int64 // next fresh offset to send
+	end  int64 // total bytes written by the application
+	retx []frame
+}
+
+// New wires a connection over the links.
+func New(sim *netsim.Sim, cfg Config, data, acks *netsim.Link) *Conn {
+	cfg = cfg.withDefaults()
+	c := &Conn{
+		sim:           sim,
+		cfg:           cfg,
+		data:          data,
+		acks:          acks,
+		cwnd:          int64(cfg.InitCwndPackets * cfg.MSS),
+		ssthresh:      1 << 40,
+		largestAcked:  -1,
+		unacked:       make(map[int64]sentPacket),
+		sendQueues:    make(map[int]*sendQueue),
+		streams:       make(map[int]*recvStream),
+		ackedByStream: make(map[int]int64),
+		minRTT:        time.Duration(1<<62 - 1),
+	}
+	data.Deliver = c.receive
+	acks.Deliver = c.onAck
+	return c
+}
+
+// MinRTT returns the smallest RTT observed (end to end: no middlebox
+// can split a QUIC connection).
+func (c *Conn) MinRTT() time.Duration {
+	if c.minRTT >= time.Duration(1<<62-1) {
+		return 0
+	}
+	return c.minRTT
+}
+
+// WriteStream appends n bytes to a stream and sends what the window
+// allows.
+func (c *Conn) WriteStream(stream int, n int64) {
+	if n <= 0 {
+		return
+	}
+	q := c.sendQueues[stream]
+	if q == nil {
+		q = &sendQueue{}
+		c.sendQueues[stream] = q
+		c.streamOrder = append(c.streamOrder, stream)
+		sort.Ints(c.streamOrder)
+	}
+	q.end += n
+	c.trySend()
+}
+
+// Cwnd returns the sender congestion window in bytes — the QUIC analog
+// of the Wnic the TCP instrumentation records.
+func (c *Conn) Cwnd() int64 { return c.cwnd }
+
+// StreamAcked returns the cumulative acknowledged bytes on a stream.
+func (c *Conn) StreamAcked(stream int) int64 { return c.ackedByStream[stream] }
+
+// Delivered returns the contiguous bytes delivered on a stream.
+func (c *Conn) Delivered(stream int) int64 {
+	rs := c.streams[stream]
+	if rs == nil {
+		return 0
+	}
+	return rs.delivered
+}
+
+// trySend transmits frames round-robin across streams while the window
+// allows, retransmissions first.
+func (c *Conn) trySend() {
+	mss := int64(c.cfg.MSS)
+	for c.bytesInFlight+mss <= c.cwnd {
+		f, ok := c.nextFrame()
+		if !ok {
+			return
+		}
+		c.sendFrame(f)
+	}
+}
+
+// nextFrame picks the next frame: retransmissions first, then fresh
+// data round-robin across streams.
+func (c *Conn) nextFrame() (frame, bool) {
+	for _, id := range c.streamOrder {
+		q := c.sendQueues[id]
+		if len(q.retx) > 0 {
+			f := q.retx[0]
+			q.retx = q.retx[1:]
+			return f, true
+		}
+	}
+	if len(c.streamOrder) == 0 {
+		return frame{}, false
+	}
+	mss := int64(c.cfg.MSS)
+	for i := 0; i < len(c.streamOrder); i++ {
+		id := c.streamOrder[c.rr%len(c.streamOrder)]
+		c.rr++
+		q := c.sendQueues[id]
+		if q.next < q.end {
+			ln := mss
+			if q.next+ln > q.end {
+				ln = q.end - q.next
+			}
+			f := frame{stream: id, offset: q.next, length: ln}
+			q.next += ln
+			return f, true
+		}
+	}
+	return frame{}, false
+}
+
+// sendFrame puts one frame on the wire as its own packet.
+func (c *Conn) sendFrame(f frame) {
+	pn := c.nextPktNum
+	c.nextPktNum++
+	c.unacked[pn] = sentPacket{frame: f, sentAt: c.sim.Now()}
+	c.bytesInFlight += f.length
+	if f.retx {
+		c.Retransmits++
+	}
+	// Probe timeout: tail losses have no later acks to trip the
+	// reordering threshold, so every packet carries its own deadline.
+	c.sim.Schedule(c.probeTimeout(), func() { c.onProbeTimeout(pn) })
+	// Encode the frame into the generic packet: Seq carries the packet
+	// number; SackLo/SackHi carry stream id and offset.
+	c.data.Send(netsim.Packet{
+		Seq:    pn,
+		Len:    int(f.length),
+		SackLo: int64(f.stream),
+		SackHi: f.offset,
+		SentAt: c.sim.Now(),
+	})
+}
+
+// receive handles a data packet at the receiver and acks it.
+func (c *Conn) receive(p netsim.Packet) {
+	stream := int(p.SackLo)
+	offset := p.SackHi
+	rs := c.streams[stream]
+	if rs == nil {
+		rs = &recvStream{}
+		c.streams[stream] = rs
+	}
+	rs.insert(span{offset, offset + int64(p.Len)})
+	before := rs.delivered
+	rs.integrate()
+	if rs.delivered > before && c.OnStreamDeliver != nil {
+		c.OnStreamDeliver(stream, rs.delivered-before)
+	}
+	// Ack the packet number; echo the send timestamp for RTT.
+	c.acks.Send(netsim.Packet{IsAck: true, Ack: p.Seq, SentAt: p.SentAt})
+}
+
+func (rs *recvStream) insert(s span) {
+	rs.ranges = append(rs.ranges, s)
+	sort.Slice(rs.ranges, func(i, j int) bool { return rs.ranges[i].lo < rs.ranges[j].lo })
+	merged := rs.ranges[:0]
+	for _, r := range rs.ranges {
+		if n := len(merged); n > 0 && r.lo <= merged[n-1].hi {
+			if r.hi > merged[n-1].hi {
+				merged[n-1].hi = r.hi
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	rs.ranges = merged
+}
+
+func (rs *recvStream) integrate() {
+	for len(rs.ranges) > 0 && rs.ranges[0].lo <= rs.delivered {
+		if rs.ranges[0].hi > rs.delivered {
+			rs.delivered = rs.ranges[0].hi
+		}
+		rs.ranges = rs.ranges[1:]
+	}
+}
+
+// reorderingThreshold is QUIC's packet-threshold loss detection.
+const reorderingThreshold = 3
+
+// probeTimeout is the deadline after which an unacknowledged packet is
+// declared lost regardless of later acks.
+func (c *Conn) probeTimeout() time.Duration {
+	if c.minRTT < time.Duration(1<<62-1) {
+		pto := 3 * c.minRTT
+		if pto < 200*time.Millisecond {
+			pto = 200 * time.Millisecond
+		}
+		return pto
+	}
+	return time.Second
+}
+
+// onProbeTimeout declares a still-unacked packet lost.
+func (c *Conn) onProbeTimeout(pn int64) {
+	sp, ok := c.unacked[pn]
+	if !ok {
+		return
+	}
+	delete(c.unacked, pn)
+	c.bytesInFlight -= sp.frame.length
+	c.Lost++
+	f := sp.frame
+	f.retx = true
+	if q := c.sendQueues[f.stream]; q != nil {
+		q.retx = append(q.retx, f)
+	}
+	if pn > c.recoveryEnd {
+		c.recoveryEnd = c.nextPktNum
+		c.ssthresh = c.cwnd / 2
+		if min := int64(2 * c.cfg.MSS); c.ssthresh < min {
+			c.ssthresh = min
+		}
+		c.cwnd = c.ssthresh
+	}
+	c.trySend()
+}
+
+// onAck processes an acknowledgment at the sender.
+func (c *Conn) onAck(p netsim.Packet) {
+	if !p.IsAck {
+		return
+	}
+	pn := p.Ack
+	sp, ok := c.unacked[pn]
+	if ok {
+		delete(c.unacked, pn)
+		c.bytesInFlight -= sp.frame.length
+		if rtt := c.sim.Now() - p.SentAt; rtt > 0 && rtt < c.minRTT && !sp.frame.retx {
+			c.minRTT = rtt
+		}
+		c.ackedByStream[sp.frame.stream] += sp.frame.length
+		if c.OnStreamAcked != nil {
+			c.OnStreamAcked(sp.frame.stream, c.ackedByStream[sp.frame.stream])
+		}
+		// Congestion control: slow start doubles, then AIMD.
+		if c.cwnd < c.ssthresh {
+			c.cwnd += sp.frame.length
+		} else {
+			c.cwnd += int64(c.cfg.MSS) * sp.frame.length / c.cwnd
+		}
+	}
+	if pn > c.largestAcked {
+		c.largestAcked = pn
+	}
+	c.detectLosses()
+	c.trySend()
+}
+
+// detectLosses declares packets lost once the reordering threshold is
+// exceeded, re-enqueues their frames, and reduces the window once per
+// recovery epoch.
+func (c *Conn) detectLosses() {
+	var lostPns []int64
+	for pn := range c.unacked {
+		if c.largestAcked-pn >= reorderingThreshold {
+			lostPns = append(lostPns, pn)
+		}
+	}
+	if len(lostPns) == 0 {
+		return
+	}
+	sort.Slice(lostPns, func(i, j int) bool { return lostPns[i] < lostPns[j] })
+	reduced := false
+	for _, pn := range lostPns {
+		sp := c.unacked[pn]
+		delete(c.unacked, pn)
+		c.bytesInFlight -= sp.frame.length
+		c.Lost++
+		f := sp.frame
+		f.retx = true
+		q := c.sendQueues[f.stream]
+		if q != nil {
+			q.retx = append(q.retx, f)
+		}
+		if pn > c.recoveryEnd && !reduced {
+			reduced = true
+			c.recoveryEnd = c.nextPktNum
+			c.ssthresh = c.cwnd / 2
+			if min := int64(2 * c.cfg.MSS); c.ssthresh < min {
+				c.ssthresh = min
+			}
+			c.cwnd = c.ssthresh
+		}
+	}
+}

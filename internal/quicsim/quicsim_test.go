@@ -1,0 +1,244 @@
+package quicsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+func links(sim *netsim.Sim, rate units.Rate, oneWay time.Duration) (data, acks *netsim.Link) {
+	data = &netsim.Link{Sim: sim, Rate: rate, Delay: oneWay}
+	acks = &netsim.Link{Sim: sim, Delay: oneWay}
+	return
+}
+
+func TestSingleStreamDelivery(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	data, acks := links(&sim, 10*units.Mbps, 20*time.Millisecond)
+	c := New(&sim, Config{}, data, acks)
+	c.WriteStream(1, 100*1500)
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if got := c.Delivered(1); got != 100*1500 {
+		t.Fatalf("delivered %d bytes", got)
+	}
+	if rtt := c.MinRTT(); rtt < 40*time.Millisecond || rtt > 45*time.Millisecond {
+		t.Errorf("MinRTT = %v, want ~40ms", rtt)
+	}
+}
+
+func TestMultiStreamFairInterleaving(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	data, acks := links(&sim, 2*units.Mbps, 30*time.Millisecond)
+	c := New(&sim, Config{}, data, acks)
+	progress := map[int][]int64{}
+	c.OnStreamDeliver = func(stream int, n int64) {
+		progress[stream] = append(progress[stream], c.Delivered(stream))
+	}
+	c.WriteStream(1, 60*1500)
+	c.WriteStream(2, 60*1500)
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if c.Delivered(1) != 60*1500 || c.Delivered(2) != 60*1500 {
+		t.Fatal("streams incomplete")
+	}
+	// Both streams must progress during the transfer (round-robin), not
+	// one after the other.
+	if len(progress[1]) == 0 || len(progress[2]) == 0 {
+		t.Fatal("no delivery callbacks")
+	}
+	// At the halfway point of stream 1, stream 2 must have made
+	// substantial progress too.
+	mid1 := progress[1][len(progress[1])/2]
+	var s2AtMid int64
+	for i, v := range progress[1] {
+		if v >= mid1 {
+			if i < len(progress[2]) {
+				s2AtMid = progress[2][i]
+			}
+			break
+		}
+	}
+	if s2AtMid < 10*1500 {
+		t.Errorf("stream 2 had only %d bytes when stream 1 was halfway", s2AtMid)
+	}
+}
+
+func TestLossRecovered(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 24
+	data, acks := links(&sim, 5*units.Mbps, 25*time.Millisecond)
+	data.LossProb = 0.03
+	data.RNG = rng.New(3)
+	c := New(&sim, Config{}, data, acks)
+	c.WriteStream(1, 400*1500)
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if got := c.Delivered(1); got != 400*1500 {
+		t.Fatalf("delivered %d/%d under loss", got, 400*1500)
+	}
+	if c.Lost == 0 || c.Retransmits == 0 {
+		t.Error("expected loss detection and retransmissions")
+	}
+}
+
+func TestTailLossRecoveredByProbeTimeout(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	data, acks := links(&sim, 10*units.Mbps, 10*time.Millisecond)
+	// Drop exactly the last data packet of the initial flight.
+	dropped := false
+	data.DropFn = func(p netsim.Packet) bool {
+		if !dropped && p.Seq == 9 { // 10-packet initial window: pn 0..9
+			dropped = true
+			return true
+		}
+		return false
+	}
+	c := New(&sim, Config{}, data, acks)
+	c.WriteStream(1, 10*1500)
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if got := c.Delivered(1); got != 10*1500 {
+		t.Fatalf("tail loss never repaired: %d", got)
+	}
+}
+
+// TestNoHeadOfLineBlockingAcrossStreams is the QUIC property the
+// paper's footnote 1 implies: a loss on one stream must not delay
+// another stream's delivery, unlike HTTP/2 over TCP where the byte
+// stream stalls behind the hole.
+func TestNoHeadOfLineBlockingAcrossStreams(t *testing.T) {
+	runQUIC := func() (s2done time.Duration) {
+		var sim netsim.Sim
+		sim.MaxSteps = 1 << 22
+		data, acks := links(&sim, 10*units.Mbps, 50*time.Millisecond)
+		// Drop one early packet belonging to stream 1 only.
+		dropped := false
+		data.DropFn = func(p netsim.Packet) bool {
+			if !dropped && p.SackLo == 1 && p.SackHi == 0 {
+				dropped = true
+				return true
+			}
+			return false
+		}
+		c := New(&sim, Config{}, data, acks)
+		var done netsim.Time
+		c.OnStreamDeliver = func(stream int, n int64) {
+			if stream == 2 && c.Delivered(2) == 20*1500 {
+				done = sim.Now()
+			}
+		}
+		c.WriteStream(1, 20*1500)
+		c.WriteStream(2, 20*1500)
+		if !sim.Run() {
+			t.Fatal("no convergence")
+		}
+		if c.Delivered(1) != 20*1500 || c.Delivered(2) != 20*1500 {
+			t.Fatal("streams incomplete")
+		}
+		return done
+	}
+
+	runH2 := func() (s2done time.Duration) {
+		// The same workload over a single TCP byte stream: stream 1's
+		// bytes precede stream 2's interleaved chunks; drop stream 1's
+		// first packet.
+		var sim netsim.Sim
+		sim.MaxSteps = 1 << 22
+		fwd := &netsim.Link{Sim: &sim, Rate: 10 * units.Mbps, Delay: 50 * time.Millisecond}
+		rev := &netsim.Link{Sim: &sim, Delay: 50 * time.Millisecond}
+		dropped := false
+		fwd.DropFn = func(p netsim.Packet) bool {
+			if !dropped && !p.IsAck && p.Seq == 0 && p.Len > 0 {
+				dropped = true
+				return true
+			}
+			return false
+		}
+		conn := tcpsim.New(&sim, tcpsim.Config{}, fwd, rev)
+		// Interleave the two responses in 1-MSS chunks, as HTTP/2 would.
+		total := 0
+		for i := 0; i < 20; i++ {
+			conn.Write(1500) // stream 1 chunk
+			conn.Write(1500) // stream 2 chunk
+			total += 3000
+		}
+		var done netsim.Time
+		conn.OnAllAcked = func() { done = sim.Now() }
+		if !sim.Run() {
+			t.Fatal("no convergence")
+		}
+		if conn.Acked() != int64(total) {
+			t.Fatal("tcp transfer incomplete")
+		}
+		// Stream 2's last byte is only delivered when the whole byte
+		// stream (behind the retransmitted hole) completes.
+		return done
+	}
+
+	quicDone := runQUIC()
+	h2Done := runH2()
+	// QUIC's unaffected stream finishes promptly; the TCP byte stream
+	// stalls behind the retransmission. The difference must be at least
+	// one retransmission round trip.
+	if quicDone+80*time.Millisecond > h2Done {
+		t.Errorf("no HoL advantage: quic stream2 done at %v, h2 at %v", quicDone, h2Done)
+	}
+}
+
+// TestEndToEndMeasurementByConstruction: there is no split point in a
+// QUIC connection, so the sender's MinRTT is the true end-to-end RTT —
+// unlike the split-TCP case (internal/pep) where it collapses to the
+// server↔PEP segment.
+func TestEndToEndMeasurementByConstruction(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	// The same asymmetric path as the PEP tests: 5ms "terrestrial" leg
+	// plus 250ms "satellite" leg — one QUIC connection spans both.
+	data := &netsim.Link{Sim: &sim, Rate: 10 * units.Mbps, Delay: 255 * time.Millisecond}
+	acks := &netsim.Link{Sim: &sim, Delay: 255 * time.Millisecond}
+	c := New(&sim, Config{}, data, acks)
+	c.WriteStream(1, 50*1500)
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if rtt := c.MinRTT(); rtt < 510*time.Millisecond {
+		t.Errorf("MinRTT = %v, want the full end-to-end 510ms", rtt)
+	}
+}
+
+func TestZeroWrite(t *testing.T) {
+	var sim netsim.Sim
+	data, acks := links(&sim, units.Mbps, time.Millisecond)
+	c := New(&sim, Config{}, data, acks)
+	c.WriteStream(1, 0)
+	sim.Run()
+	if c.Delivered(1) != 0 {
+		t.Error("zero write delivered bytes")
+	}
+}
+
+func BenchmarkQUICTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sim netsim.Sim
+		sim.MaxSteps = 1 << 22
+		data, acks := links(&sim, 10*units.Mbps, 20*time.Millisecond)
+		c := New(&sim, Config{}, data, acks)
+		c.WriteStream(1, 200*1500)
+		sim.Run()
+		if c.Delivered(1) != 200*1500 {
+			b.Fatal("incomplete")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package report renders analysis results as aligned text tables and
+// CDF series — the rows and curves the paper's tables and figures show,
+// printed by cmd/edgereport and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CDF writes a named weighted-CDF as a quantile series: one line per
+// sampled quantile, "q value".
+func CDF(w io.Writer, name string, cdf *stats.WeightedCDF, points int) {
+	fmt.Fprintf(w, "# %s (n_weight=%.0f)\n", name, cdf.Total())
+	for _, p := range cdf.Series(points) {
+		fmt.Fprintf(w, "%.3f\t%.4f\n", p.Weight, p.Value)
+	}
+}
+
+// Quantiler is any sketch with quantile queries (t-digests, CDFs).
+type Quantiler interface {
+	Quantile(q float64) float64
+}
+
+// QuantileRow formats a standard set of quantiles from a sketch.
+func QuantileRow(d Quantiler) string {
+	qs := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99}
+	parts := make([]string, len(qs))
+	for i, q := range qs {
+		parts[i] = fmt.Sprintf("p%02.0f=%s", q*100, F(d.Quantile(q)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// F formats a float compactly, tolerating NaN.
+func F(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+
+// Frac formats a traffic fraction as the paper's tables do (".575").
+func Frac(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	s := fmt.Sprintf("%.3f", v)
+	return strings.TrimPrefix(s, "0")
+}

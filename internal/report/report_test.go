@@ -1,0 +1,87 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tdigest"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header: %q", lines[0])
+	}
+	// The "value" column must start at the same offset on every row.
+	col := strings.Index(lines[0], "value")
+	if lines[3][col:col+2] != "22" {
+		t.Errorf("misaligned column: %q", lines[3])
+	}
+}
+
+func TestTableExtraCells(t *testing.T) {
+	var buf bytes.Buffer
+	// More cells than headers must not panic.
+	Table(&buf, []string{"a"}, [][]string{{"1", "2", "3"}})
+	if !strings.Contains(buf.String(), "3") {
+		t.Error("extra cells dropped")
+	}
+}
+
+func TestCDFOutput(t *testing.T) {
+	cdf := stats.NewWeightedCDF([]stats.WeightedPoint{
+		{Value: 1, Weight: 1}, {Value: 5, Weight: 1},
+	})
+	var buf bytes.Buffer
+	CDF(&buf, "test", cdf, 3)
+	out := buf.String()
+	if !strings.HasPrefix(out, "# test") {
+		t.Errorf("missing header: %q", out)
+	}
+	if got := strings.Count(out, "\n"); got != 4 {
+		t.Errorf("line count = %d", got)
+	}
+}
+
+func TestQuantileRow(t *testing.T) {
+	d := tdigest.New(100)
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	row := QuantileRow(d)
+	if !strings.Contains(row, "p50=") || !strings.Contains(row, "p99=") {
+		t.Errorf("QuantileRow = %q", row)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{F(1234.5), "1234"},
+		{F(42.25), "42.2"},
+		{F(1.23456), "1.235"},
+		{F(math.NaN()), "n/a"},
+		{Pct(0.0213), "2.1%"},
+		{Pct(math.NaN()), "n/a"},
+		{Frac(0.575), ".575"},
+		{Frac(0.0), ".000"},
+		{Frac(math.NaN()), "n/a"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+}

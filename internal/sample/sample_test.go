@@ -1,0 +1,117 @@
+package sample
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/geo"
+)
+
+func TestHDratio(t *testing.T) {
+	s := Sample{HDTested: 4, HDAchieved: 3}
+	hd, ok := s.HDratio()
+	if !ok || hd != 0.75 {
+		t.Errorf("HDratio = %v, %v", hd, ok)
+	}
+	if _, ok := (Sample{}).HDratio(); ok {
+		t.Error("HDratio defined with zero tested")
+	}
+}
+
+func TestSimpleHDratio(t *testing.T) {
+	s := Sample{HDTested: 4, SimpleAchieved: 1}
+	hd, ok := s.SimpleHDratio()
+	if !ok || hd != 0.25 {
+		t.Errorf("SimpleHDratio = %v, %v", hd, ok)
+	}
+}
+
+func TestGroupKey(t *testing.T) {
+	s := Sample{PoP: "ams", Prefix: "10.0.0.0/16", Country: "DE"}
+	k := s.Key()
+	if k != (GroupKey{"ams", "10.0.0.0/16", "DE"}) {
+		t.Errorf("Key = %+v", k)
+	}
+	if k.String() != "ams/10.0.0.0/16/DE" {
+		t.Errorf("String = %s", k.String())
+	}
+	// Keys must be usable as map keys and distinguish fields.
+	m := map[GroupKey]int{k: 1}
+	other := GroupKey{"fra", "10.0.0.0/16", "DE"}
+	if m[other] != 0 {
+		t.Error("different PoPs collided")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := []Sample{
+		{
+			SessionID: 1, PoP: "ams", Prefix: "192.0.2.0/24", ClientAS: 64500,
+			Country: "DE", Continent: geo.Europe, Proto: HTTP2,
+			RouteID: "r1", RouteRel: bgp.PrivatePeer, ASPathLen: 1,
+			Start: 5 * time.Minute, Duration: 42 * time.Second, BusyFraction: 0.07,
+			Bytes: 123456, Transactions: 9, ResponseBytes: []int64{3000, 120456},
+			MinRTT: 23 * time.Millisecond, HDTested: 3, HDAchieved: 2,
+		},
+		{SessionID: 2, PoP: "gru", Proto: HTTP1, AltIndex: 2, Prepended: true, HostingProvider: true},
+	}
+	for _, s := range in {
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 2 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	out, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("read %d samples", len(out))
+	}
+	if out[0].MinRTT != in[0].MinRTT || out[0].Continent != geo.Europe || out[0].ResponseBytes[1] != 120456 {
+		t.Errorf("sample 0 mismatch: %+v", out[0])
+	}
+	if !out[1].HostingProvider || out[1].AltIndex != 2 || !out[1].Prepended {
+		t.Errorf("sample 1 mismatch: %+v", out[1])
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("empty read err = %v, want EOF", err)
+	}
+}
+
+func TestReaderBadInput(t *testing.T) {
+	r := NewReader(bytes.NewBufferString("{not json\n"))
+	if _, err := r.ReadAll(); err == nil {
+		t.Error("bad input should error")
+	}
+}
+
+func TestHDratioRange(t *testing.T) {
+	for tested := 0; tested <= 5; tested++ {
+		for ach := 0; ach <= tested; ach++ {
+			s := Sample{HDTested: tested, HDAchieved: ach}
+			hd, ok := s.HDratio()
+			if tested == 0 {
+				if ok {
+					t.Error("defined with 0 tested")
+				}
+				continue
+			}
+			if !ok || hd < 0 || hd > 1 || math.IsNaN(hd) {
+				t.Errorf("HDratio(%d/%d) = %v", ach, tested, hd)
+			}
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Comparing two aggregations per §3.4: the difference of medians with a
+// distribution-free confidence interval decides whether an alternate
+// route is significantly better than the preferred one.
+func ExampleDiffMedianCI() {
+	preferred := make([]float64, 0, 101)
+	alternate := make([]float64, 0, 101)
+	for i := 0; i <= 100; i++ {
+		preferred = append(preferred, 30+float64(i)/10) // median ≈ 35 ms
+		alternate = append(alternate, 20+float64(i)/10) // median ≈ 25 ms
+	}
+	iv := stats.DiffMedianCI(preferred, alternate, stats.DefaultConfidence)
+	fmt.Printf("diff=%.0fms significant@5ms=%v\n", iv.Point, iv.Lo > 5)
+	// Output: diff=10ms significant@5ms=true
+}

@@ -1,0 +1,265 @@
+package study
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+	"repro/internal/geo"
+	"repro/internal/report"
+	"repro/internal/sample"
+)
+
+// WriteReport renders every reproduced table and figure as text.
+func (r *Results) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "Dataset: %d groups × %d days (%d windows), %d samples (%d filtered as hosting/VPN)\n",
+		r.Cfg.Groups, r.Cfg.Days, r.Cfg.Windows(), r.Collector.Accepted, r.Collector.FilteredHosting)
+	fmt.Fprintf(w, "Generated and analysed in %v\n\n", r.Elapsed.Round(1e7))
+
+	r.writeTrafficCharacterisation(w)
+	r.writePoPs(w)
+	r.writeFig6(w)
+	r.writeFig7(w)
+	r.writeSimpleAblation(w)
+	r.writeFig8(w)
+	r.writeTable1(w)
+	r.writeFig9(w)
+	r.writeTable2(w)
+	r.writeFig10(w)
+}
+
+func (r *Results) writeTrafficCharacterisation(w io.Writer) {
+	o := r.Overview
+	fmt.Fprintln(w, "== §2.3 Traffic characteristics (Figures 1-3) ==")
+	rows := [][]string{}
+	for _, proto := range []sample.Protocol{"all", sample.HTTP1, sample.HTTP2} {
+		d := o.SessionDuration[proto]
+		b := o.BusyFraction[proto]
+		tx := o.TxnsPerSession[proto]
+		rows = append(rows, []string{
+			string(proto),
+			report.Pct(d.CDF(1)),
+			report.Pct(d.CDF(60)),
+			report.Pct(1 - d.CDF(180)),
+			report.Pct(b.CDF(0.10)),
+			report.Pct(tx.CDF(4.5)),
+		})
+	}
+	report.Table(w, []string{"proto", "dur<1s", "dur<1min", "dur>3min", "busy<10%", "txns<5"}, rows)
+	fmt.Fprintf(w, "Fig2: sessions<10KB=%s responses<6KB=%s media-median=%sB sessions>1MB=%s\n",
+		report.Pct(o.SessionBytes.CDF(10_000)),
+		report.Pct(o.ResponseBytes.CDF(6_000)),
+		report.F(o.MediaRespBytes.Quantile(0.5)),
+		report.Pct(1-o.SessionBytes.CDF(1_000_000)))
+	fmt.Fprintf(w, "Fig3: bytes on 50+txn sessions=%s\n",
+		report.Pct(float64(o.BytesOver50Txns)/float64(o.TotalBytes)))
+	fmt.Fprintf(w, "§2.1 locality: traffic within 500km=%s within 2500km=%s cross-continent=%s (paper: 50%%, 90%%, 10%%)\n\n",
+		report.Pct(o.ServingDistance.CDF(500)),
+		report.Pct(o.ServingDistance.CDF(2500)),
+		report.Pct(float64(o.CrossContinentBytes)/float64(o.TotalBytes)))
+}
+
+func (r *Results) writePoPs(w io.Writer) {
+	o := r.Overview
+	fmt.Fprintln(w, "== §2.1 Serving infrastructure (per-PoP traffic) ==")
+	names := make([]string, 0, len(o.PerPoP))
+	for name := range o.PerPoP {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return o.PerPoP[names[i]].Bytes > o.PerPoP[names[j]].Bytes })
+	var rows [][]string
+	for _, name := range names {
+		pp := o.PerPoP[name]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", pp.Sessions),
+			report.Pct(float64(pp.Bytes) / float64(o.TotalBytes)),
+			report.F(pp.MinRTT.Quantile(0.5)) + "ms",
+		})
+	}
+	report.Table(w, []string{"pop", "sessions", "traffic", "minrtt-p50"}, rows)
+	fmt.Fprintln(w)
+}
+
+func (r *Results) writeFig6(w io.Writer) {
+	o := r.Overview
+	fmt.Fprintln(w, "== §4 Global performance (Figure 6) ==")
+	fmt.Fprintf(w, "MinRTT: %s\n", report.QuantileRow(o.MinRTT))
+	fmt.Fprintf(w, "HDratio: >0 for %s of sessions, =1 for %s\n",
+		report.Pct(o.HDPositiveShare()), report.Pct(o.HDFullShare()))
+	rows := [][]string{}
+	for _, cont := range geo.Continents {
+		co := o.PerContinent[cont]
+		if co == nil || co.HDDefined == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			string(cont),
+			report.F(co.MinRTT.Quantile(0.5)) + "ms",
+			report.Pct(float64(co.HDZero) / float64(co.HDDefined)),
+			report.Pct(float64(co.HDOne) / float64(co.HDDefined)),
+		})
+	}
+	report.Table(w, []string{"continent", "MinRTT p50", "HDratio=0", "HDratio=1"}, rows)
+	fmt.Fprintln(w)
+}
+
+func (r *Results) writeFig7(w io.Writer) {
+	fmt.Fprintln(w, "== Figure 7: HDratio by MinRTT bucket ==")
+	rows := [][]string{}
+	for i, b := range analysis.RTTBuckets {
+		d := r.Overview.HDByRTTBucket[i]
+		if d.Count() == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			b.Name + "ms",
+			fmt.Sprintf("%.0f", d.Count()),
+			report.F(d.Quantile(0.25)),
+			report.F(d.Quantile(0.5)),
+			report.Pct(d.CDF(0.001)),
+		})
+	}
+	report.Table(w, []string{"MinRTT", "sessions", "HD p25", "HD p50", "HDratio=0"}, rows)
+	fmt.Fprintln(w)
+}
+
+func (r *Results) writeSimpleAblation(w io.Writer) {
+	fmt.Fprintf(w, "== §4 ablation: naive goodput baseline ==\n")
+	fmt.Fprintf(w, "corrected HDratio: median=%s mean=%s | naive: median=%s mean=%s (paper: naive underestimates, median 0.69)\n\n",
+		report.F(r.Overview.HD.Quantile(0.5)), report.F(r.Overview.HD.Mean()),
+		report.F(r.Overview.SimpleApproachMedian()), report.F(r.Overview.SimpleHD.Mean()))
+}
+
+func (r *Results) writeFig8(w io.Writer) {
+	fmt.Fprintln(w, "== §5 Degradation (Figure 8) ==")
+	for _, dr := range []analysis.DegradationResult{r.DegMinRTT, r.DegHD} {
+		cdf, _, _ := dr.CDF()
+		cov := float64(dr.CoveredBytes) / float64(dr.TotalBytes)
+		fmt.Fprintf(w, "%s: coverage=%s p50=%s p90=%s p99=%s  traffic with ≥4ms|0.065 degradation: %s\n",
+			dr.Metric, report.Pct(cov),
+			report.F(cdf.Quantile(0.5)), report.F(cdf.Quantile(0.9)), report.F(cdf.Quantile(0.99)),
+			report.Pct(fig8Anchor(dr)))
+	}
+	fmt.Fprintln(w)
+}
+
+func fig8Anchor(dr analysis.DegradationResult) float64 {
+	cdf, _, _ := dr.CDF()
+	if dr.Metric == analysis.MetricHDratio {
+		return cdf.FractionAbove(0.065)
+	}
+	return cdf.FractionAbove(4)
+}
+
+func (r *Results) writeTable1(w io.Writer) {
+	fmt.Fprintln(w, "== Table 1: temporal classes × continent ==")
+	write := func(name string, tbl analysis.ClassTable) {
+		fmt.Fprintf(w, "-- %s, thresholds %v --\n", name, tbl.Thresholds)
+		headers := []string{"class/continent"}
+		for _, th := range tbl.Thresholds {
+			headers = append(headers, fmt.Sprintf("@%v", th))
+		}
+		var rows [][]string
+		for _, class := range analysis.Classes {
+			row := []string{class.String()}
+			for ti := range tbl.Thresholds {
+				cell := tbl.Overall[class][ti]
+				row = append(row, report.Frac(cell.GroupTrafficShare)+" "+report.Frac(cell.EventTrafficShare))
+			}
+			rows = append(rows, row)
+			for _, cont := range geo.Continents {
+				crow := []string{"  " + string(cont)}
+				for ti := range tbl.Thresholds {
+					cell := tbl.Rows[class][cont][ti]
+					crow = append(crow, report.Frac(cell.GroupTrafficShare)+" "+report.Frac(cell.EventTrafficShare))
+				}
+				rows = append(rows, crow)
+			}
+		}
+		report.Table(w, headers, rows)
+		fmt.Fprintln(w)
+	}
+	write("Degradation MinRTTP50 (ms)", r.Table1DegMinRTT)
+	write("Degradation HDratioP50", r.Table1DegHD)
+	write("Opportunity MinRTTP50 (ms)", r.Table1OppMinRTT)
+	write("Opportunity HDratioP50", r.Table1OppHD)
+}
+
+func (r *Results) writeFig9(w io.Writer) {
+	fmt.Fprintln(w, "== §6.2 Opportunity (Figure 9) ==")
+	fmt.Fprintf(w, "MinRTTP50: within 3ms of optimal for %s of traffic; improvable ≥5ms for %s (paper: 83.9%%, 2.0%%)\n",
+		report.Pct(r.OppMinRTT.FractionWithinOfOptimal(3)),
+		report.Pct(r.OppMinRTT.FractionImprovableAtLeast(5)))
+	fmt.Fprintf(w, "HDratioP50: within 0.025 of optimal for %s; improvable ≥0.05 for %s (paper: 93.4%%, 0.2%%)\n",
+		report.Pct(r.OppHD.FractionWithinOfOptimal(0.025)),
+		report.Pct(r.OppHD.FractionImprovableAtLeast(0.05)))
+	covM := float64(r.OppMinRTT.CoveredBytes) / float64(r.OppMinRTT.TotalBytes)
+	covH := float64(r.OppHD.CoveredBytes) / float64(r.OppHD.TotalBytes)
+	fmt.Fprintf(w, "valid-aggregation coverage: MinRTT %s, HDratio %s (paper: 89.5%%, 85.8%%)\n\n",
+		report.Pct(covM), report.Pct(covH))
+}
+
+func (r *Results) writeTable2(w io.Writer) {
+	fmt.Fprintln(w, "== Table 2: opportunity by relationship pair ==")
+	write := func(name string, tbl analysis.RelationshipTable) {
+		fmt.Fprintf(w, "-- %s --\n", name)
+		type row struct {
+			pair RelPairName
+			ro   analysis.RelOpportunity
+		}
+		var rows []row
+		for pair, ro := range tbl.Pairs {
+			rows = append(rows, row{RelPairName{pair.Pref, pair.Alt}, *ro})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ro.EventBytes > rows[j].ro.EventBytes })
+		var cells [][]string
+		for _, rr := range rows {
+			abs, rel, longer, prep := "n/a", "n/a", "n/a", "n/a"
+			if tbl.TotalBytes > 0 {
+				abs = report.Frac(float64(rr.ro.EventBytes) / float64(tbl.TotalBytes))
+			}
+			if tbl.TotalEventBytes > 0 {
+				rel = report.Frac(float64(rr.ro.EventBytes) / float64(tbl.TotalEventBytes))
+			}
+			if rr.ro.EventBytes > 0 {
+				longer = report.Frac(float64(rr.ro.LongerBytes) / float64(rr.ro.EventBytes))
+				prep = report.Frac(float64(rr.ro.PrependedBytes) / float64(rr.ro.EventBytes))
+			}
+			cells = append(cells, []string{rr.pair.String(), abs, rel, longer, prep})
+		}
+		report.Table(w, []string{"relationships", "absolute", "relative", "longer", "prepended"}, cells)
+		fmt.Fprintln(w)
+	}
+	write("MinRTTP50 (≥5ms)", r.Table2MinRTT)
+	write("HDratioP50 (≥0.05)", r.Table2HD)
+}
+
+// RelPairName renders a relationship pair as the paper's rows do.
+type RelPairName struct{ Pref, Alt bgp.RelType }
+
+// String renders "Private → Transit".
+func (p RelPairName) String() string { return p.Pref.String() + " -> " + p.Alt.String() }
+
+func (r *Results) writeFig10(w io.Writer) {
+	fmt.Fprintln(w, "== §6.3 Peer vs transit (Figure 10) ==")
+	cdfs := analysis.CompareRelationships(r.Store, analysis.MetricMinRTT)
+	var rows [][]string
+	for _, c := range analysis.RelComparisons {
+		cdf, ok := cdfs[c]
+		if !ok || cdf.Total() == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			c.String(),
+			report.F(cdf.Quantile(0.1)),
+			report.F(cdf.Quantile(0.5)),
+			report.F(cdf.Quantile(0.9)),
+			report.Pct(cdf.FractionAtOrBelow(0)),
+		})
+	}
+	report.Table(w, []string{"comparison", "p10", "p50", "p90", "pref better"}, rows)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,209 @@
+package study
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+	"repro/internal/world"
+)
+
+var (
+	resOnce sync.Once
+	res     *Results
+)
+
+// fullStudy runs a dense 5-day dataset once; dense windows are needed
+// so per-window per-route aggregations clear the 30-sample floor.
+func fullStudy(t testing.TB) *Results {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full study skipped in -short mode")
+	}
+	resOnce.Do(func() {
+		res = Run(world.Config{
+			Seed:                   42,
+			Groups:                 30,
+			Days:                   5,
+			SessionsPerGroupWindow: 110,
+		})
+	})
+	return res
+}
+
+func TestStudyCollectorFiltering(t *testing.T) {
+	r := fullStudy(t)
+	share := float64(r.Collector.FilteredHosting) / float64(r.Collector.Received)
+	if share < 0.01 || share > 0.04 {
+		t.Errorf("hosting filter share = %v, want ~0.02", share)
+	}
+	if r.Collector.Accepted != r.Store.TotalSamples {
+		t.Errorf("store samples %d != accepted %d", r.Store.TotalSamples, r.Collector.Accepted)
+	}
+}
+
+// TestFig8DegradationShape: the vast majority of traffic sees minimal
+// degradation; ~10% sees ≥4 ms; the tail is small (§5).
+func TestFig8DegradationShape(t *testing.T) {
+	r := fullStudy(t)
+	cov := float64(r.DegMinRTT.CoveredBytes) / float64(r.DegMinRTT.TotalBytes)
+	if cov < 0.55 {
+		t.Errorf("degradation coverage = %v, want most traffic valid", cov)
+	}
+	cdf, _, _ := r.DegMinRTT.CDF()
+	at4 := cdf.FractionAbove(4)
+	if at4 < 0.01 || at4 > 0.30 {
+		t.Errorf("traffic with ≥4ms degradation = %v, paper ~0.10", at4)
+	}
+	at20 := cdf.FractionAbove(20)
+	if at20 > at4/2 {
+		t.Errorf("≥20ms share (%v) should be far below ≥4ms share (%v)", at20, at4)
+	}
+	// Median degradation near zero.
+	if med := cdf.Quantile(0.5); med > 3 {
+		t.Errorf("median degradation = %vms, want ~0", med)
+	}
+}
+
+func TestTable1DegradationStructure(t *testing.T) {
+	r := fullStudy(t)
+	tbl := r.Table1DegMinRTT
+	uneventful := tbl.Overall[analysis.Uneventful][0]
+	if uneventful.GroupTrafficShare < 0.30 {
+		t.Errorf("uneventful share at 5ms = %v, paper .575", uneventful.GroupTrafficShare)
+	}
+	// Group shares at a threshold sum to ≤1 (unclassified excluded).
+	var sum float64
+	for _, class := range analysis.Classes {
+		sum += tbl.Overall[class][0].GroupTrafficShare
+	}
+	if sum < 0.6 || sum > 1.001 {
+		t.Errorf("class shares sum to %v", sum)
+	}
+	// Higher thresholds shrink the degraded classes.
+	for _, class := range []analysis.Class{analysis.Diurnal, analysis.Episodic, analysis.Continuous} {
+		lo := tbl.Overall[class][0].EventTrafficShare
+		hi := tbl.Overall[class][len(tbl.Thresholds)-1].EventTrafficShare
+		if hi > lo+1e-9 {
+			t.Errorf("%v event share grew with threshold: %v → %v", class, lo, hi)
+		}
+	}
+}
+
+// TestFig9OpportunityShape: default routing is close to optimal (§6.2).
+func TestFig9OpportunityShape(t *testing.T) {
+	r := fullStudy(t)
+	within := r.OppMinRTT.FractionWithinOfOptimal(3)
+	if within < 0.60 {
+		t.Errorf("within 3ms of optimal = %v, paper 0.839", within)
+	}
+	imp5 := r.OppMinRTT.FractionImprovableAtLeast(5)
+	if imp5 < 0.001 || imp5 > 0.12 {
+		t.Errorf("improvable ≥5ms = %v, paper 0.020", imp5)
+	}
+	impHD := r.OppHD.FractionImprovableAtLeast(0.05)
+	if impHD > 0.05 {
+		t.Errorf("HD improvable = %v, paper 0.002", impHD)
+	}
+	// HD opportunity is rarer than MinRTT opportunity (destination
+	// congestion is shared across routes).
+	if impHD > imp5 {
+		t.Errorf("HD opportunity (%v) exceeds MinRTT opportunity (%v)", impHD, imp5)
+	}
+}
+
+func TestFig9DifferencesConcentratedNearZero(t *testing.T) {
+	r := fullStudy(t)
+	cdf, _, _ := r.OppMinRTT.CDF()
+	if cdf.Total() == 0 {
+		t.Fatal("no valid opportunity comparisons")
+	}
+	med := cdf.Quantile(0.5)
+	if med < -8 || med > 2 {
+		t.Errorf("median preferred-vs-alternate diff = %v, want near/below 0", med)
+	}
+	// Skew: the preferred route is more often better (more mass below 0).
+	below := cdf.FractionAtOrBelow(0)
+	if below < 0.5 {
+		t.Errorf("preferred better for only %v of traffic", below)
+	}
+}
+
+func TestTable2RelationshipStructure(t *testing.T) {
+	r := fullStudy(t)
+	tbl := r.Table2MinRTT
+	if tbl.TotalEventBytes == 0 {
+		t.Skip("no opportunity events in this draw")
+	}
+	// Opportunity pairs must have peer or transit preferred routes and
+	// account fully for event traffic.
+	var sum int64
+	for pair, ro := range tbl.Pairs {
+		sum += ro.EventBytes
+		if ro.LongerBytes > ro.EventBytes || ro.PrependedBytes > ro.EventBytes {
+			t.Errorf("pair %v accounting exceeds event bytes", pair)
+		}
+	}
+	if sum != tbl.TotalEventBytes {
+		t.Errorf("pair bytes %d != total %d", sum, tbl.TotalEventBytes)
+	}
+}
+
+func TestFig10PeeringUsuallyBetter(t *testing.T) {
+	r := fullStudy(t)
+	cdfs := analysis.CompareRelationships(r.Store, analysis.MetricMinRTT)
+	pvt, ok := cdfs[analysis.PeeringVsTransit]
+	if !ok || pvt.Total() == 0 {
+		t.Fatal("no peering-vs-transit comparisons")
+	}
+	// Peer routes are usually better: most mass at diff ≤ 0 (the
+	// distribution is left-shifted, §6.3).
+	if below := pvt.FractionAtOrBelow(0); below < 0.5 {
+		t.Errorf("preferred peer better for only %v of traffic", below)
+	}
+}
+
+func TestOverviewAnchorsInStudy(t *testing.T) {
+	r := fullStudy(t)
+	o := r.Overview
+	med := o.MinRTT.Quantile(0.5)
+	if med < 25 || med > 55 {
+		t.Errorf("global MinRTT median = %v ms, paper 39", med)
+	}
+	if pos := o.HDPositiveShare(); pos < 0.70 || pos > 0.95 {
+		t.Errorf("HDratio>0 share = %v, paper 0.82", pos)
+	}
+	// The naive baseline underestimates the corrected median (§4).
+	if o.SimpleApproachMedian() > o.HD.Quantile(0.5) {
+		t.Errorf("naive median %v above corrected %v", o.SimpleApproachMedian(), o.HD.Quantile(0.5))
+	}
+}
+
+func TestWriteReportRenders(t *testing.T) {
+	r := fullStudy(t)
+	var buf bytes.Buffer
+	r.WriteReport(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Traffic characteristics", "Global performance", "Figure 7",
+		"Degradation (Figure 8)", "Table 1", "Opportunity (Figure 9)",
+		"Table 2", "Peer vs transit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+	if len(out) < 2000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestRelPairName(t *testing.T) {
+	p := RelPairName{Pref: bgp.PrivatePeer, Alt: bgp.Transit}
+	if p.String() != "Private -> Transit" {
+		t.Errorf("RelPairName = %q", p.String())
+	}
+}

@@ -1,0 +1,147 @@
+//go:build linux
+
+// Package tcpinfo reads the Linux kernel's TCP_INFO socket state — the
+// same state the production instrumentation captures at prescribed
+// points (§2.2.2): smoothed and minimum RTT, the congestion window at
+// the moment of a write (Wnic), bytes acknowledged, and retransmission
+// counters. It backs the live load-balancer demonstration (package lb),
+// where the methodology runs against real sockets instead of the
+// simulator.
+package tcpinfo
+
+import (
+	"fmt"
+	"net"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// linuxTCPInfo mirrors the prefix of struct tcp_info from linux/tcp.h
+// through tcpi_delivery_rate. Fields beyond what Info exposes are
+// retained for offset correctness.
+type linuxTCPInfo struct {
+	State         uint8
+	CaState       uint8
+	Retransmits   uint8
+	Probes        uint8
+	Backoff       uint8
+	Options       uint8
+	WscaleFlags   uint8
+	DeliveryFlags uint8
+
+	Rto     uint32
+	Ato     uint32
+	SndMss  uint32
+	RcvMss  uint32
+	Unacked uint32
+	Sacked  uint32
+	Lost    uint32
+	Retrans uint32
+	Fackets uint32
+
+	LastDataSent uint32
+	LastAckSent  uint32
+	LastDataRecv uint32
+	LastAckRecv  uint32
+
+	Pmtu         uint32
+	RcvSsthresh  uint32
+	Rtt          uint32
+	Rttvar       uint32
+	SndSsthresh  uint32
+	SndCwnd      uint32
+	Advmss       uint32
+	Reordering   uint32
+	RcvRtt       uint32
+	RcvSpace     uint32
+	TotalRetrans uint32
+
+	PacingRate    uint64
+	MaxPacingRate uint64
+	BytesAcked    uint64
+	BytesReceived uint64
+	SegsOut       uint32
+	SegsIn        uint32
+
+	NotsentBytes uint32
+	MinRtt       uint32
+	DataSegsIn   uint32
+	DataSegsOut  uint32
+
+	DeliveryRate uint64
+}
+
+// Info is the TCP state the methodology needs.
+type Info struct {
+	// RTT and RTTVar are the kernel's smoothed estimates.
+	RTT    time.Duration
+	RTTVar time.Duration
+	// MinRTT is the kernel's windowed minimum RTT (§3.1's metric).
+	MinRTT time.Duration
+	// SndCwnd is the congestion window in packets; CwndBytes converts.
+	SndCwnd int
+	// SndMSS is the sender maximum segment size.
+	SndMSS int
+	// BytesAcked counts cumulatively acknowledged bytes.
+	BytesAcked uint64
+	// NotSentBytes is data buffered but not yet handed to the network.
+	NotSentBytes uint32
+	// TotalRetrans counts retransmitted segments over the connection.
+	TotalRetrans uint32
+	// DeliveryRate is the kernel's delivery-rate estimate (bytes/sec).
+	DeliveryRate uint64
+}
+
+// CwndBytes returns the congestion window in bytes — Wnic when sampled
+// at the moment a response's first byte is written (§3.2.2).
+func (i Info) CwndBytes() int64 { return int64(i.SndCwnd) * int64(i.SndMSS) }
+
+const tcpInfoOpt = 11 // TCP_INFO
+
+// Get reads TCP_INFO from a raw connection.
+func Get(rc syscall.RawConn) (Info, error) {
+	var info linuxTCPInfo
+	var sockErr error
+	err := rc.Control(func(fd uintptr) {
+		size := uint32(unsafe.Sizeof(info))
+		_, _, errno := syscall.Syscall6(
+			syscall.SYS_GETSOCKOPT,
+			fd,
+			uintptr(syscall.IPPROTO_TCP),
+			uintptr(tcpInfoOpt),
+			uintptr(unsafe.Pointer(&info)),
+			uintptr(unsafe.Pointer(&size)),
+			0,
+		)
+		if errno != 0 {
+			sockErr = errno
+		}
+	})
+	if err != nil {
+		return Info{}, fmt.Errorf("tcpinfo: control: %w", err)
+	}
+	if sockErr != nil {
+		return Info{}, fmt.Errorf("tcpinfo: getsockopt: %w", sockErr)
+	}
+	return Info{
+		RTT:          time.Duration(info.Rtt) * time.Microsecond,
+		RTTVar:       time.Duration(info.Rttvar) * time.Microsecond,
+		MinRTT:       time.Duration(info.MinRtt) * time.Microsecond,
+		SndCwnd:      int(info.SndCwnd),
+		SndMSS:       int(info.SndMss),
+		BytesAcked:   info.BytesAcked,
+		NotSentBytes: info.NotsentBytes,
+		TotalRetrans: info.TotalRetrans,
+		DeliveryRate: info.DeliveryRate,
+	}, nil
+}
+
+// FromTCPConn reads TCP_INFO from a *net.TCPConn.
+func FromTCPConn(c *net.TCPConn) (Info, error) {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return Info{}, fmt.Errorf("tcpinfo: syscall conn: %w", err)
+	}
+	return Get(rc)
+}

@@ -1,0 +1,35 @@
+//go:build !linux
+
+package tcpinfo
+
+import (
+	"errors"
+	"net"
+	"syscall"
+	"time"
+)
+
+// ErrUnsupported is returned on platforms without TCP_INFO support.
+var ErrUnsupported = errors.New("tcpinfo: TCP_INFO is only supported on linux")
+
+// Info is the TCP state the methodology needs; see the linux build.
+type Info struct {
+	RTT          time.Duration
+	RTTVar       time.Duration
+	MinRTT       time.Duration
+	SndCwnd      int
+	SndMSS       int
+	BytesAcked   uint64
+	NotSentBytes uint32
+	TotalRetrans uint32
+	DeliveryRate uint64
+}
+
+// CwndBytes returns the congestion window in bytes.
+func (i Info) CwndBytes() int64 { return int64(i.SndCwnd) * int64(i.SndMSS) }
+
+// Get is unsupported on this platform.
+func Get(syscall.RawConn) (Info, error) { return Info{}, ErrUnsupported }
+
+// FromTCPConn is unsupported on this platform.
+func FromTCPConn(*net.TCPConn) (Info, error) { return Info{}, ErrUnsupported }

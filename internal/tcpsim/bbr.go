@@ -1,0 +1,159 @@
+package tcpsim
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// BBR is a simplified model-based congestion controller in the spirit
+// of Cardwell et al.'s BBR (the paper's [20]): instead of backing off
+// on loss, it estimates the path's bottleneck bandwidth and minimum
+// round trip and sizes the congestion window to the measured
+// bandwidth-delay product. The paper names the congestion-control
+// algorithm as one of the determinants of achievable goodput (§3.2),
+// and loss-tolerance is why BBR sustains goodput on lossy paths where
+// loss-based algorithms collapse.
+//
+// Simplifications versus real BBRv1: window-based (no pacing), a
+// three-phase state machine (startup → drain → steady probing), a
+// sliding-maximum bandwidth filter, and RTT-probe handled implicitly by
+// the transport's MinRTT tracking.
+
+// bbrState is the controller phase.
+type bbrState int
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbe
+)
+
+// bbr holds the controller's estimator state inside Conn.
+type bbr struct {
+	state bbrState
+	// btlBw is the bottleneck bandwidth estimate in bytes/sec (sliding
+	// maximum over the last bwWindow samples).
+	bwSamples []float64
+	// fullBwCount tracks consecutive rounds without ≥25% growth.
+	fullBw      float64
+	fullBwCount int
+	// lastAckAt and ackedSince measure delivery rate between acks.
+	lastAckAt  netsim.Time
+	ackedSince int64
+	roundStart int64 // sndUna at the start of the current round
+	probeCycle int
+	cycleStamp netsim.Time
+}
+
+// bbrBwWindow is the number of delivery-rate samples in the max filter.
+const bbrBwWindow = 10
+
+// bbrGainCycle is the steady-state pacing-gain cycle: one probing round,
+// one draining round, six cruising rounds.
+var bbrGainCycle = []float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// bbrOnAck updates the model and returns the new congestion window.
+func (c *Conn) bbrOnAck(bytesAcked int64) {
+	now := c.sim.Now()
+	b := &c.bbrS
+
+	// Delivery-rate sample: bytes acknowledged per unit time.
+	b.ackedSince += bytesAcked
+	if b.lastAckAt == 0 {
+		b.lastAckAt = now
+	} else if now > b.lastAckAt {
+		rate := float64(b.ackedSince) / (now - b.lastAckAt).Seconds()
+		b.bwSamples = append(b.bwSamples, rate)
+		if len(b.bwSamples) > bbrBwWindow {
+			b.bwSamples = b.bwSamples[1:]
+		}
+		b.lastAckAt = now
+		b.ackedSince = 0
+	}
+
+	bw := b.maxBw()
+	rtProp := c.MinRTT()
+	if bw <= 0 || rtProp <= 0 {
+		// No model yet: grow like slow start.
+		c.cwnd += bytesAcked
+		return
+	}
+	bdp := int64(bw * rtProp.Seconds())
+
+	// Round accounting: a round ends when data sent at round start is
+	// acknowledged.
+	roundEnded := c.sndUna > b.roundStart
+	if roundEnded {
+		b.roundStart = c.sndNxt
+	}
+
+	switch b.state {
+	case bbrStartup:
+		// Exponential growth until bandwidth stops increasing ≥25% for
+		// three consecutive rounds ("full pipe").
+		c.cwnd += bytesAcked
+		if roundEnded {
+			if bw > b.fullBw*1.25 {
+				b.fullBw = bw
+				b.fullBwCount = 0
+			} else {
+				b.fullBwCount++
+				if b.fullBwCount >= 3 {
+					b.state = bbrDrain
+				}
+			}
+		}
+	case bbrDrain:
+		// Shrink to the BDP to drain the startup queue.
+		c.cwnd = bdp + int64(3*c.cfg.MSS)
+		if c.InFlight() <= bdp {
+			b.state = bbrProbe
+			b.cycleStamp = now
+		}
+	case bbrProbe:
+		// Cycle the window gain around the BDP estimate.
+		if now-b.cycleStamp > rtProp {
+			b.probeCycle = (b.probeCycle + 1) % len(bbrGainCycle)
+			b.cycleStamp = now
+		}
+		gain := bbrGainCycle[b.probeCycle]
+		target := int64(float64(bdp)*gain) + int64(3*c.cfg.MSS)
+		// Move toward the target without collapsing below 4 segments.
+		c.cwnd = target
+	}
+	if min := int64(4 * c.cfg.MSS); c.cwnd < min {
+		c.cwnd = min
+	}
+}
+
+// maxBw returns the sliding-maximum bandwidth estimate (bytes/sec).
+func (b *bbr) maxBw() float64 {
+	max := 0.0
+	for _, s := range b.bwSamples {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// bbrOnLoss is BBR's loss response: none, beyond bounding the window to
+// the model (loss is not a congestion signal for BBR).
+func (c *Conn) bbrOnLoss() {
+	b := &c.bbrS
+	bw := b.maxBw()
+	rtProp := c.MinRTT()
+	if bw > 0 && rtProp > 0 {
+		bdp := int64(bw * rtProp.Seconds())
+		limit := 2*bdp + int64(3*c.cfg.MSS)
+		if c.cwnd > limit {
+			c.cwnd = limit
+		}
+	}
+}
+
+// bbrMinRTTProbeInterval would schedule RTT probes in a full
+// implementation; the transport's windowless MinRTT tracking plays that
+// role here.
+const bbrMinRTTProbeInterval = 10 * time.Second

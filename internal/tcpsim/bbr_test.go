@@ -1,0 +1,104 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// bbrTransfer runs one transfer and returns achieved goodput.
+func ccTransfer(t *testing.T, cc Algorithm, loss float64, seed uint64) units.Rate {
+	t.Helper()
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 24
+	fwd := &netsim.Link{Sim: &sim, Rate: 10 * units.Mbps, Delay: 25 * time.Millisecond}
+	rev := &netsim.Link{Sim: &sim, Delay: 25 * time.Millisecond}
+	if loss > 0 {
+		fwd.LossProb = loss
+		fwd.RNG = rng.New(seed)
+	}
+	c := New(&sim, Config{CC: cc}, fwd, rev)
+	total := int64(2000 * 1500)
+	var done netsim.Time
+	c.OnAllAcked = func() { done = sim.Now() }
+	c.Write(int(total))
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if c.Acked() != total {
+		t.Fatalf("incomplete transfer (cc=%v loss=%v): %d", cc, loss, c.Acked())
+	}
+	return units.RateOf(total, time.Duration(done))
+}
+
+func TestBBRCompletesCleanPath(t *testing.T) {
+	g := ccTransfer(t, BBR, 0, 1)
+	if g < 6*units.Mbps {
+		t.Errorf("BBR clean-path goodput = %v on a 10 Mbps link", g)
+	}
+	if g > 10*units.Mbps {
+		t.Errorf("BBR goodput %v exceeds the link", g)
+	}
+}
+
+// TestBBRSustainsGoodputUnderLoss is the headline BBR property the
+// paper's [20] reports: random (non-congestion) loss barely dents BBR
+// while halving-based algorithms collapse.
+func TestBBRSustainsGoodputUnderLoss(t *testing.T) {
+	const loss = 0.02
+	bbrSum, renoSum := units.Rate(0), units.Rate(0)
+	const trials = 3
+	for s := uint64(0); s < trials; s++ {
+		bbrSum += ccTransfer(t, BBR, loss, 100+s)
+		renoSum += ccTransfer(t, Reno, loss, 100+s)
+	}
+	bbr, reno := bbrSum/trials, renoSum/trials
+	if bbr < reno {
+		t.Errorf("BBR (%v) did not beat Reno (%v) at 2%% loss", bbr, reno)
+	}
+	if bbr < 2*reno {
+		t.Logf("note: BBR advantage modest: %v vs %v", bbr, reno)
+	}
+	if bbr < 3*units.Mbps {
+		t.Errorf("BBR goodput %v too low at 2%% random loss on 10 Mbps", bbr)
+	}
+}
+
+func TestBBRDoesNotBlowUpQueue(t *testing.T) {
+	// With a bounded queue, BBR must still complete and not livelock.
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 24
+	fwd := &netsim.Link{Sim: &sim, Rate: 5 * units.Mbps, Delay: 30 * time.Millisecond, QueueLimit: 32}
+	rev := &netsim.Link{Sim: &sim, Delay: 30 * time.Millisecond}
+	c := New(&sim, Config{CC: BBR}, fwd, rev)
+	total := int64(1500 * 1500)
+	c.Write(int(total))
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if c.Acked() != total {
+		t.Fatalf("incomplete: %d/%d", c.Acked(), total)
+	}
+}
+
+func TestBBRWindowTracksBDP(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 24
+	// 10 Mbps × 100 ms RTT ⇒ BDP = 125 kB ≈ 83 packets.
+	fwd := &netsim.Link{Sim: &sim, Rate: 10 * units.Mbps, Delay: 50 * time.Millisecond}
+	rev := &netsim.Link{Sim: &sim, Delay: 50 * time.Millisecond}
+	c := New(&sim, Config{CC: BBR}, fwd, rev)
+	c.Write(4000 * 1500)
+	var cwndLate int64
+	sim.Schedule(6*time.Second, func() { cwndLate = c.Cwnd() })
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	bdp := int64(125_000)
+	if cwndLate < bdp/2 || cwndLate > 4*bdp {
+		t.Errorf("steady-state BBR cwnd = %d, want within a small factor of BDP %d", cwndLate, bdp)
+	}
+}

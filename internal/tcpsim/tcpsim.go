@@ -1,0 +1,738 @@
+// Package tcpsim models a TCP sender/receiver pair over netsim links,
+// with the mechanics the paper's methodology depends on: slow start with
+// byte-counted congestion-window growth gated on being cwnd-limited
+// (the Linux behaviour described in the paper's footnote 3), Reno and
+// CUBIC congestion avoidance (with optional HyStart), fast retransmit
+// and a simplified NewReno recovery, retransmission timeouts, delayed
+// acknowledgments, and MinRTT/sRTT tracking.
+//
+// The connection carries data in one direction (server → client), which
+// matches the measurement setting: the load balancer serves responses
+// and observes acknowledgments. Requests are modelled at the HTTP layer
+// (package httpsim).
+package tcpsim
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/units"
+)
+
+// Algorithm selects the congestion-control algorithm.
+type Algorithm int
+
+// Supported congestion-control algorithms.
+const (
+	Reno Algorithm = iota
+	Cubic
+	// BBR is the simplified model-based controller in bbr.go.
+	BBR
+)
+
+// Config parameterises a connection.
+type Config struct {
+	// MSS is the payload bytes per segment. Defaults to units.DefaultMSS.
+	MSS int
+	// InitCwndPackets is the initial congestion window in segments
+	// (Linux default 10).
+	InitCwndPackets int
+	// CC selects the congestion-control algorithm.
+	CC Algorithm
+	// DelayedAcks enables receiver delayed acknowledgments (ack every
+	// second segment or after DelayedAckTimeout). The §3.2.3 validation
+	// disables them to match cwnd growth in the Linux kernel, as the
+	// paper does with NS3 (footnote 7).
+	DelayedAcks bool
+	// DelayedAckTimeout is the delayed-ack timer (Linux uses 40ms+).
+	DelayedAckTimeout time.Duration
+	// MinRTO clamps the retransmission timeout (Linux: 200ms).
+	MinRTO time.Duration
+	// HyStart enables hybrid slow start (delay-based exit) for CUBIC.
+	HyStart bool
+	// SlowStartAfterIdle restarts the congestion window from the
+	// initial window after the connection idles longer than the RTO
+	// (RFC 2861, the Linux default behaviour) — one of the reasons the
+	// measured Wnic can sit far below the ideal chained Wstart (§3.2.2).
+	SlowStartAfterIdle bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS <= 0 {
+		c.MSS = units.DefaultMSS
+	}
+	if c.InitCwndPackets <= 0 {
+		c.InitCwndPackets = 10
+	}
+	if c.DelayedAckTimeout <= 0 {
+		c.DelayedAckTimeout = 40 * time.Millisecond
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	return c
+}
+
+// watch is an instrumentation trigger on a sequence number.
+type watch struct {
+	seq int64
+	fn  func(t netsim.Time)
+}
+
+// Conn is a simulated TCP connection carrying a byte stream from the
+// sender (server) to the receiver (client).
+type Conn struct {
+	sim *netsim.Sim
+	cfg Config
+	fwd *netsim.Link // data: server → client
+	rev *netsim.Link // acks: client → server
+
+	// Sender state (byte sequence space).
+	sndUna   int64
+	sndNxt   int64
+	writeEnd int64
+	cwnd     int64
+	ssthresh int64
+	dupAcks  int
+
+	inRecovery  bool
+	recoveryEnd int64
+	// SACK-assisted recovery state: the receiver's reported first
+	// out-of-order block, and the next hole byte to repair.
+	sackLo, sackHi int64
+	recoverNext    int64
+
+	srtt, rttvar, rto time.Duration
+	minRTT            time.Duration
+	lastSend          netsim.Time
+	rtoGen            uint64
+	backoff           int
+
+	// cwnd-limited tracking (footnote 3): in slow start the connection
+	// is limited if more than half the cwnd was in flight; after slow
+	// start, if sending was blocked on cwnd since the last ack.
+	blockedOnCwnd bool
+
+	// CUBIC state.
+	wMax       int64
+	epochStart netsim.Time
+	hystartOn  bool
+
+	// BBR state.
+	bbrS bbr
+
+	// Receiver state.
+	rcvNxt     int64
+	ooo        []interval // out-of-order byte ranges, sorted, disjoint
+	unackedPkt int
+	ackTimGen  uint64
+
+	// Instrumentation.
+	sendWatches []watch
+	ackWatches  []watch
+
+	// Counters for tests and debugging.
+	Retransmits   uint64
+	Timeouts      uint64
+	FastRecovered uint64
+
+	// OnAllAcked, if set, fires whenever every written byte has been
+	// acknowledged.
+	OnAllAcked func()
+	// OnDeliver, if set, fires at the receiver whenever in-order data
+	// becomes available, with the number of newly contiguous bytes —
+	// the hook split-connection proxies (package pep) relay from.
+	OnDeliver func(newBytes int64)
+
+	closed bool
+}
+
+type interval struct{ lo, hi int64 }
+
+// New creates a connection over the given links and wires their Deliver
+// callbacks. The links must not be shared with other connections.
+func New(sim *netsim.Sim, cfg Config, fwd, rev *netsim.Link) *Conn {
+	cfg = cfg.withDefaults()
+	c := &Conn{
+		sim:       sim,
+		cfg:       cfg,
+		fwd:       fwd,
+		rev:       rev,
+		cwnd:      int64(cfg.InitCwndPackets * cfg.MSS),
+		ssthresh:  math.MaxInt64 / 4,
+		rto:       time.Second,
+		minRTT:    time.Duration(math.MaxInt64),
+		hystartOn: cfg.HyStart && cfg.CC == Cubic,
+	}
+	fwd.Deliver = c.clientReceive
+	rev.Deliver = c.serverReceive
+	// Handshake: a zero-length segment gives the first RTT sample before
+	// any data is transmitted, as SYN/SYN-ACK does for the kernel.
+	fwd.Send(netsim.Packet{Seq: -1, Len: 0, SentAt: sim.Now()})
+	return c
+}
+
+// Cwnd returns the sender congestion window in bytes — the value the
+// instrumentation records as Wnic when a response's first byte reaches
+// the NIC.
+func (c *Conn) Cwnd() int64 { return c.cwnd }
+
+// MinRTT returns the minimum RTT observed, or 0 if no sample yet.
+func (c *Conn) MinRTT() time.Duration {
+	if c.minRTT == time.Duration(math.MaxInt64) {
+		return 0
+	}
+	return c.minRTT
+}
+
+// SRTT returns the smoothed RTT estimate.
+func (c *Conn) SRTT() time.Duration { return c.srtt }
+
+// Acked returns the highest cumulatively acknowledged byte offset.
+func (c *Conn) Acked() int64 { return c.sndUna }
+
+// NextWriteOffset returns the stream offset the next Write will start at.
+func (c *Conn) NextWriteOffset() int64 { return c.writeEnd }
+
+// InFlight returns unacknowledged bytes.
+func (c *Conn) InFlight() int64 { return c.sndNxt - c.sndUna }
+
+// Idle reports whether all written data has been acknowledged.
+func (c *Conn) Idle() bool { return c.sndUna >= c.writeEnd }
+
+// Write appends n bytes to the outgoing stream and attempts to send.
+// It returns the byte range [start, end) occupied by the write.
+func (c *Conn) Write(n int) (start, end int64) {
+	if n <= 0 || c.closed {
+		return c.writeEnd, c.writeEnd
+	}
+	if c.cfg.SlowStartAfterIdle && c.Idle() {
+		if idle := c.sim.Now() - c.lastSend; idle > c.rto {
+			iw := int64(c.cfg.InitCwndPackets * c.cfg.MSS)
+			if c.cwnd > iw {
+				c.cwnd = iw
+				c.ssthresh = math.MaxInt64 / 4
+			}
+		}
+	}
+	start = c.writeEnd
+	c.writeEnd += int64(n)
+	c.trySend()
+	return start, c.writeEnd
+}
+
+// Close stops the connection: pending timers become no-ops and no new
+// data is accepted.
+func (c *Conn) Close() {
+	c.closed = true
+	c.rtoGen++
+	c.ackTimGen++
+}
+
+// WatchFirstSend registers fn to run when the byte at offset seq is
+// first written to the wire ("written to the NIC" in the paper).
+// Register the watch before writing the data: if seq has already been
+// transmitted the callback fires immediately with the current time,
+// which is later than the true transmission time.
+func (c *Conn) WatchFirstSend(seq int64, fn func(t netsim.Time)) {
+	if seq < c.sndNxt {
+		fn(c.sim.Now())
+		return
+	}
+	c.sendWatches = append(c.sendWatches, watch{seq: seq, fn: fn})
+	sort.Slice(c.sendWatches, func(i, j int) bool { return c.sendWatches[i].seq < c.sendWatches[j].seq })
+}
+
+// WatchAcked registers fn to run when the cumulative acknowledgment
+// reaches at least seq.
+func (c *Conn) WatchAcked(seq int64, fn func(t netsim.Time)) {
+	if c.sndUna >= seq {
+		fn(c.sim.Now())
+		return
+	}
+	c.ackWatches = append(c.ackWatches, watch{seq: seq, fn: fn})
+	sort.Slice(c.ackWatches, func(i, j int) bool { return c.ackWatches[i].seq < c.ackWatches[j].seq })
+}
+
+// trySend transmits as many segments as the window allows.
+func (c *Conn) trySend() {
+	if c.closed {
+		return
+	}
+	sent := false
+	for c.sndNxt < c.writeEnd {
+		if c.sndNxt-c.sndUna+int64(c.cfg.MSS) > c.cwnd {
+			// Blocked on cwnd with data pending.
+			c.blockedOnCwnd = true
+			break
+		}
+		segLen := int64(c.cfg.MSS)
+		if c.sndNxt+segLen > c.writeEnd {
+			segLen = c.writeEnd - c.sndNxt
+		}
+		c.transmit(c.sndNxt, int(segLen), false)
+		c.sndNxt += segLen
+		c.lastSend = c.sim.Now()
+		sent = true
+	}
+	if sent {
+		c.armRTO()
+	}
+}
+
+// transmit puts one segment on the wire and fires send watches.
+func (c *Conn) transmit(seq int64, length int, retx bool) {
+	now := c.sim.Now()
+	c.fireSendWatches(seq+int64(length), now)
+	sentAt := now
+	if retx {
+		c.Retransmits++
+		sentAt = -1 // Karn: no RTT sample from retransmitted segments
+	}
+	c.fwd.Send(netsim.Packet{Seq: seq, Len: length, SentAt: sentAt, Retransmit: retx})
+}
+
+// fireSendWatches fires watches for every byte below segEnd (the
+// exclusive end of the segment just written to the wire).
+func (c *Conn) fireSendWatches(segEnd int64, now netsim.Time) {
+	fired := 0
+	for _, w := range c.sendWatches {
+		if w.seq >= segEnd {
+			break
+		}
+		w.fn(now)
+		fired++
+	}
+	if fired > 0 {
+		c.sendWatches = c.sendWatches[fired:]
+	}
+}
+
+// --- Receiver side -----------------------------------------------------
+
+func (c *Conn) clientReceive(p netsim.Packet) {
+	if c.closed {
+		return
+	}
+	if p.Seq == -1 {
+		// Handshake probe: ack immediately.
+		c.sendAck(p.SentAt, true)
+		return
+	}
+	end := p.Seq + int64(p.Len)
+	switch {
+	case p.Seq <= c.rcvNxt && end > c.rcvNxt:
+		before := c.rcvNxt
+		c.rcvNxt = end
+		c.integrateOOO()
+		if c.OnDeliver != nil {
+			c.OnDeliver(c.rcvNxt - before)
+		}
+		c.scheduleAck(p)
+	case p.Seq > c.rcvNxt:
+		c.insertOOO(p.Seq, end)
+		// Out-of-order data: immediate duplicate ack.
+		c.sendAck(p.SentAt, true)
+	default:
+		// Fully duplicate segment: immediate ack restores sender state.
+		c.sendAck(p.SentAt, true)
+	}
+}
+
+func (c *Conn) insertOOO(lo, hi int64) {
+	c.ooo = append(c.ooo, interval{lo, hi})
+	sort.Slice(c.ooo, func(i, j int) bool { return c.ooo[i].lo < c.ooo[j].lo })
+	// Merge overlaps.
+	merged := c.ooo[:0]
+	for _, iv := range c.ooo {
+		if n := len(merged); n > 0 && iv.lo <= merged[n-1].hi {
+			if iv.hi > merged[n-1].hi {
+				merged[n-1].hi = iv.hi
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	c.ooo = merged
+}
+
+func (c *Conn) integrateOOO() {
+	for len(c.ooo) > 0 && c.ooo[0].lo <= c.rcvNxt {
+		if c.ooo[0].hi > c.rcvNxt {
+			c.rcvNxt = c.ooo[0].hi
+		}
+		c.ooo = c.ooo[1:]
+	}
+}
+
+// scheduleAck applies the delayed-ack policy for in-order data.
+func (c *Conn) scheduleAck(p netsim.Packet) {
+	if !c.cfg.DelayedAcks {
+		c.sendAck(p.SentAt, true)
+		return
+	}
+	c.unackedPkt++
+	if c.unackedPkt >= 2 || len(c.ooo) > 0 {
+		c.sendAck(p.SentAt, true)
+		return
+	}
+	gen := c.ackTimGen
+	echo := p.SentAt
+	c.sim.Schedule(c.cfg.DelayedAckTimeout, func() {
+		if c.closed || gen != c.ackTimGen || c.unackedPkt == 0 {
+			return
+		}
+		c.sendAck(echo, false)
+	})
+}
+
+func (c *Conn) sendAck(echo netsim.Time, resetTimer bool) {
+	c.unackedPkt = 0
+	if resetTimer {
+		c.ackTimGen++
+	}
+	p := netsim.Packet{IsAck: true, Ack: c.rcvNxt, Len: 0, SentAt: echo}
+	if len(c.ooo) > 0 {
+		// One-block SACK: report the first out-of-order range so the
+		// sender can repair multiple holes per round trip.
+		p.SackLo, p.SackHi = c.ooo[0].lo, c.ooo[0].hi
+	}
+	c.rev.Send(p)
+}
+
+// --- Sender ACK processing ---------------------------------------------
+
+func (c *Conn) serverReceive(p netsim.Packet) {
+	if c.closed || !p.IsAck {
+		return
+	}
+	now := c.sim.Now()
+	if p.SentAt >= 0 {
+		c.sampleRTT(now - p.SentAt)
+	}
+	// Track the receiver's out-of-order block (one-block SACK).
+	c.sackLo, c.sackHi = p.SackLo, p.SackHi
+	ack := p.Ack
+	switch {
+	case ack > c.sndUna:
+		bytesAcked := ack - c.sndUna
+		c.sndUna = ack
+		c.dupAcks = 0
+		c.backoff = 0
+		if c.inRecovery {
+			if ack >= c.recoveryEnd {
+				c.exitRecovery()
+			} else {
+				// NewReno partial ack: deflate the window by the bytes
+				// the ack cleared, then repair more holes. BBR keeps its
+				// model-sized window.
+				if c.cfg.CC != BBR {
+					c.cwnd -= bytesAcked
+					if c.cwnd < c.ssthresh {
+						c.cwnd = c.ssthresh
+					}
+				} else {
+					c.bbrOnAck(bytesAcked)
+				}
+				if c.recoverNext < c.sndUna {
+					c.recoverNext = c.sndUna
+				}
+				c.repairHoles()
+			}
+		} else {
+			c.grow(bytesAcked)
+		}
+		c.fireAckWatches(now)
+		if c.sndUna >= c.writeEnd {
+			c.rtoGen++ // nothing outstanding; disarm RTO
+			if c.OnAllAcked != nil {
+				c.OnAllAcked()
+			}
+		} else {
+			c.armRTO()
+		}
+		c.trySend()
+	case ack == c.sndUna && c.InFlight() > 0:
+		c.dupAcks++
+		if c.inRecovery {
+			c.repairHoles()
+			c.trySend()
+		} else if c.dupAcks >= 3 {
+			c.enterRecovery()
+		}
+	}
+}
+
+// repairHoles retransmits missing segments during recovery, guided by
+// the receiver's SACK block: bytes between the cumulative ack and the
+// out-of-order block are holes. At most two segments go out per
+// incoming ack, preserving ack clocking.
+func (c *Conn) repairHoles() {
+	if !c.inRecovery {
+		return
+	}
+	mss := int64(c.cfg.MSS)
+	for budget := 2; budget > 0; budget-- {
+		if c.recoverNext < c.sndUna {
+			c.recoverNext = c.sndUna
+		}
+		// Skip bytes the receiver already holds.
+		if c.sackHi > 0 && c.recoverNext >= c.sackLo && c.recoverNext < c.sackHi {
+			c.recoverNext = c.sackHi
+		}
+		if c.recoverNext >= c.recoveryEnd || c.recoverNext >= c.writeEnd {
+			return
+		}
+		// Without newer SACK information, do not spray past the first
+		// reported hole region plus one segment.
+		segLen := mss
+		if c.recoverNext+segLen > c.writeEnd {
+			segLen = c.writeEnd - c.recoverNext
+		}
+		if segLen <= 0 {
+			return
+		}
+		c.transmit(c.recoverNext, int(segLen), true)
+		c.recoverNext += segLen
+	}
+}
+
+func (c *Conn) sampleRTT(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if rtt < c.minRTT {
+		c.minRTT = rtt
+	}
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+	} else {
+		d := c.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + rtt) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < c.cfg.MinRTO {
+		c.rto = c.cfg.MinRTO
+	}
+	if c.hystartOn && c.minRTT < time.Duration(math.MaxInt64) {
+		// HyStart delay-based exit: leave slow start when RTT rises
+		// noticeably above the floor.
+		thresh := c.minRTT + maxDur(4*time.Millisecond, c.minRTT/8)
+		if c.cwnd < c.ssthresh && rtt > thresh {
+			c.ssthresh = c.cwnd
+			c.cubicEpoch()
+		}
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// grow applies congestion-window growth for newly acknowledged bytes,
+// gated on the connection having been cwnd-limited (footnote 3).
+func (c *Conn) grow(bytesAcked int64) {
+	if c.cfg.CC == BBR {
+		// BBR maintains its path model on every ack and sizes the
+		// window from it; the cwnd-limited gate does not apply.
+		c.bbrOnAck(bytesAcked)
+		return
+	}
+	inSlowStart := c.cwnd < c.ssthresh
+	limited := c.blockedOnCwnd
+	if inSlowStart {
+		// In slow start Linux considers the connection limited if more
+		// than half the cwnd was in flight.
+		limited = limited || c.InFlight()*2 > c.cwnd
+	}
+	c.blockedOnCwnd = false
+	if !limited {
+		return
+	}
+	if inSlowStart {
+		c.cwnd += bytesAcked
+		return
+	}
+	switch c.cfg.CC {
+	case Cubic:
+		c.cubicGrow(bytesAcked)
+	default: // Reno additive increase, byte counted
+		c.cwnd += int64(c.cfg.MSS) * bytesAcked / c.cwnd
+		if c.cwnd < int64(c.cfg.MSS) {
+			c.cwnd = int64(c.cfg.MSS)
+		}
+	}
+}
+
+// --- CUBIC --------------------------------------------------------------
+
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+func (c *Conn) cubicEpoch() {
+	c.epochStart = c.sim.Now()
+	c.wMax = c.cwnd
+}
+
+func (c *Conn) cubicGrow(bytesAcked int64) {
+	if c.epochStart == 0 {
+		c.cubicEpoch()
+	}
+	t := (c.sim.Now() - c.epochStart).Seconds()
+	mss := float64(c.cfg.MSS)
+	wmaxPkts := float64(c.wMax) / mss
+	k := math.Cbrt(wmaxPkts * (1 - cubicBeta) / cubicC)
+	target := cubicC*math.Pow(t-k, 3) + wmaxPkts // in packets
+	cur := float64(c.cwnd) / mss
+	if target > cur {
+		// Approach the cubic target, bounded to 1.5x per RTT worth of acks.
+		inc := (target - cur) / cur * float64(bytesAcked)
+		if inc > float64(bytesAcked)/2 {
+			inc = float64(bytesAcked) / 2
+		}
+		c.cwnd += int64(inc)
+	} else {
+		// TCP-friendly floor: grow at least like Reno.
+		c.cwnd += int64(mss) * bytesAcked / c.cwnd
+	}
+	if c.cwnd < int64(c.cfg.MSS) {
+		c.cwnd = int64(c.cfg.MSS)
+	}
+}
+
+// --- Loss recovery -------------------------------------------------------
+
+func (c *Conn) enterRecovery() {
+	c.inRecovery = true
+	c.recoveryEnd = c.sndNxt
+	c.FastRecovered++
+	if c.cfg.CC == BBR {
+		// BBR retransmits but does not treat loss as congestion.
+		c.bbrOnLoss()
+		c.recoverNext = c.sndUna
+		c.retransmitOne()
+		c.recoverNext = c.sndUna + int64(c.cfg.MSS)
+		c.armRTO()
+		return
+	}
+	half := c.InFlight() / 2
+	minW := int64(2 * c.cfg.MSS)
+	if half < minW {
+		half = minW
+	}
+	c.ssthresh = half
+	if c.cfg.CC == Cubic {
+		c.wMax = c.cwnd
+		c.ssthresh = int64(float64(c.cwnd) * cubicBeta)
+		if c.ssthresh < minW {
+			c.ssthresh = minW
+		}
+	}
+	c.cwnd = c.ssthresh + int64(3*c.cfg.MSS)
+	c.recoverNext = c.sndUna
+	c.retransmitOne()
+	c.recoverNext = c.sndUna + int64(c.cfg.MSS)
+	c.armRTO()
+}
+
+func (c *Conn) exitRecovery() {
+	c.inRecovery = false
+	if c.cfg.CC == BBR {
+		return // the model, not ssthresh, sizes the window
+	}
+	c.cwnd = c.ssthresh
+	if c.cfg.CC == Cubic {
+		c.cubicEpoch()
+		c.wMax = c.cwnd
+	}
+}
+
+// retransmitOne resends the first unacknowledged segment.
+func (c *Conn) retransmitOne() {
+	segLen := int64(c.cfg.MSS)
+	if c.sndUna+segLen > c.writeEnd {
+		segLen = c.writeEnd - c.sndUna
+	}
+	if segLen <= 0 {
+		return
+	}
+	c.transmit(c.sndUna, int(segLen), true)
+}
+
+func (c *Conn) armRTO() {
+	c.rtoGen++
+	gen := c.rtoGen
+	timeout := c.rto << uint(c.backoff)
+	if timeout > 60*time.Second {
+		timeout = 60 * time.Second
+	}
+	c.sim.Schedule(timeout, func() {
+		if c.closed || gen != c.rtoGen || c.InFlight() == 0 {
+			return
+		}
+		c.onTimeout()
+	})
+}
+
+func (c *Conn) onTimeout() {
+	c.Timeouts++
+	if c.cfg.CC == BBR {
+		// Conservative restart, but the model re-expands immediately.
+		c.bbrOnLoss()
+		c.sndNxt = c.sndUna
+		c.dupAcks = 0
+		c.inRecovery = false
+		c.backoff++
+		if c.backoff > 6 {
+			c.backoff = 6
+		}
+		c.trySend()
+		c.armRTO()
+		return
+	}
+	half := c.InFlight() / 2
+	minW := int64(2 * c.cfg.MSS)
+	if half < minW {
+		half = minW
+	}
+	c.ssthresh = half
+	c.cwnd = int64(c.cfg.MSS)
+	c.sndNxt = c.sndUna // go-back-N
+	c.dupAcks = 0
+	c.inRecovery = false
+	c.backoff++
+	if c.backoff > 6 {
+		c.backoff = 6
+	}
+	if c.cfg.CC == Cubic {
+		c.epochStart = 0
+	}
+	c.trySend()
+	c.armRTO()
+}
+
+func (c *Conn) fireAckWatches(now netsim.Time) {
+	fired := 0
+	for _, w := range c.ackWatches {
+		if w.seq > c.sndUna {
+			break
+		}
+		w.fn(now)
+		fired++
+	}
+	if fired > 0 {
+		c.ackWatches = c.ackWatches[fired:]
+	}
+}

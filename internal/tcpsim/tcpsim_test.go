@@ -1,0 +1,430 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// dumbbell builds the standard test topology: a forward (data) link with
+// the given bottleneck rate and per-direction delay, and an unconstrained
+// reverse (ack) path.
+func dumbbell(sim *netsim.Sim, rate units.Rate, oneWay time.Duration, queue int) (fwd, rev *netsim.Link) {
+	fwd = &netsim.Link{Sim: sim, Rate: rate, Delay: oneWay, QueueLimit: queue}
+	rev = &netsim.Link{Sim: sim, Delay: oneWay}
+	return fwd, rev
+}
+
+func TestTransferCompletes(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 20
+	fwd, rev := dumbbell(&sim, 10*units.Mbps, 20*time.Millisecond, 0)
+	c := New(&sim, Config{}, fwd, rev)
+	done := netsim.Time(-1)
+	c.OnAllAcked = func() { done = sim.Now() }
+	c.Write(100 * 1500)
+	if !sim.Run() {
+		t.Fatal("simulation did not converge")
+	}
+	if done < 0 {
+		t.Fatal("transfer never completed")
+	}
+	if c.Acked() != 100*1500 {
+		t.Fatalf("acked %d bytes, want %d", c.Acked(), 100*1500)
+	}
+}
+
+func TestMinRTTMatchesPropagation(t *testing.T) {
+	var sim netsim.Sim
+	fwd, rev := dumbbell(&sim, 100*units.Mbps, 30*time.Millisecond, 0)
+	c := New(&sim, Config{}, fwd, rev)
+	c.Write(10 * 1500)
+	sim.Run()
+	// True propagation RTT is 60ms; header serialization at 100 Mbps is
+	// negligible. MinRTT should be within a millisecond.
+	if got := c.MinRTT(); got < 60*time.Millisecond || got > 61*time.Millisecond {
+		t.Errorf("MinRTT = %v, want ~60ms", got)
+	}
+}
+
+func TestSlowStartDoublesPerRTT(t *testing.T) {
+	// With acks for every packet and byte-counted growth, the window
+	// doubles each round trip while in slow start.
+	var sim netsim.Sim
+	fwd, rev := dumbbell(&sim, 1000*units.Mbps, 50*time.Millisecond, 0)
+	c := New(&sim, Config{InitCwndPackets: 10}, fwd, rev)
+	c.Write(1000 * 1500) // plenty of data
+
+	type snap struct {
+		at   netsim.Time
+		cwnd int64
+	}
+	var snaps []snap
+	for i := 1; i <= 4; i++ {
+		d := time.Duration(i)*100*time.Millisecond + 90*time.Millisecond
+		sim.Schedule(d, func() { snaps = append(snaps, snap{sim.Now(), c.Cwnd()}) })
+	}
+	sim.RunUntil(600 * time.Millisecond)
+
+	// cwnd after k full round trips of a fully-utilised slow start is
+	// 10 * 2^k packets.
+	want := []int64{20, 40, 80, 160}
+	for i, s := range snaps {
+		pkts := s.cwnd / 1500
+		if pkts < want[i]-2 || pkts > want[i]+2 {
+			t.Errorf("cwnd at %v = %d pkts, want ~%d", s.at, pkts, want[i])
+		}
+	}
+}
+
+func TestNoGrowthWhenNotCwndLimited(t *testing.T) {
+	// An application sending a trickle (far below the window) must not
+	// grow the cwnd (footnote 3).
+	var sim netsim.Sim
+	fwd, rev := dumbbell(&sim, 100*units.Mbps, 10*time.Millisecond, 0)
+	c := New(&sim, Config{InitCwndPackets: 10}, fwd, rev)
+	for i := 0; i < 50; i++ {
+		sim.Schedule(time.Duration(i)*50*time.Millisecond, func() { c.Write(1500) })
+	}
+	sim.Run()
+	if pkts := c.Cwnd() / 1500; pkts > 11 {
+		t.Errorf("cwnd grew to %d pkts without being cwnd-limited", pkts)
+	}
+}
+
+func TestThroughputApproachesBottleneck(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	rate := 5 * units.Mbps
+	fwd, rev := dumbbell(&sim, rate, 25*time.Millisecond, 0)
+	c := New(&sim, Config{}, fwd, rev)
+	total := int64(2000 * 1500) // 3 MB
+	var done netsim.Time
+	c.OnAllAcked = func() { done = sim.Now() }
+	c.Write(int(total))
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	goodput := units.RateOf(total, time.Duration(done))
+	// Overheads (headers, slow start) keep goodput below the bottleneck,
+	// but a 3MB transfer should get within 25%.
+	if goodput < rate*3/4 {
+		t.Errorf("goodput %v far below bottleneck %v", goodput, rate)
+	}
+	if goodput > rate {
+		t.Errorf("goodput %v exceeds bottleneck %v", goodput, rate)
+	}
+}
+
+func TestLossTriggersFastRecovery(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	fwd, rev := dumbbell(&sim, 10*units.Mbps, 20*time.Millisecond, 0)
+	fwd.LossProb = 0.02
+	fwd.RNG = rng.New(3)
+	c := New(&sim, Config{}, fwd, rev)
+	c.Write(500 * 1500)
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if c.Acked() != 500*1500 {
+		t.Fatalf("transfer incomplete under loss: %d", c.Acked())
+	}
+	if c.Retransmits == 0 {
+		t.Error("expected retransmissions under 2% loss")
+	}
+	if c.FastRecovered == 0 && c.Timeouts == 0 {
+		t.Error("expected at least one recovery episode")
+	}
+}
+
+func TestQueueOverflowCausesLossAndRecovery(t *testing.T) {
+	// A small drop-tail queue at the bottleneck forces self-induced loss
+	// once slow start overshoots.
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	fwd, rev := dumbbell(&sim, 2*units.Mbps, 20*time.Millisecond, 10)
+	c := New(&sim, Config{}, fwd, rev)
+	c.Write(1000 * 1500)
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if c.Acked() != 1000*1500 {
+		t.Fatalf("transfer incomplete: %d", c.Acked())
+	}
+	if fwd.Drops == 0 {
+		t.Error("expected queue-overflow drops")
+	}
+}
+
+func TestTimeoutRecovery(t *testing.T) {
+	// Drop everything for a while: the sender must RTO and retry.
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	fwd, rev := dumbbell(&sim, 10*units.Mbps, 10*time.Millisecond, 0)
+	fwd.LossProb = 1
+	fwd.RNG = rng.New(1)
+	c := New(&sim, Config{}, fwd, rev)
+	c.Write(10 * 1500)
+	sim.Schedule(900*time.Millisecond, func() { fwd.LossProb = 0 })
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if c.Acked() != 10*1500 {
+		t.Fatalf("transfer incomplete after blackout: %d", c.Acked())
+	}
+	if c.Timeouts == 0 {
+		t.Error("expected RTO during blackout")
+	}
+}
+
+func TestDelayedAcksReduceAckCount(t *testing.T) {
+	run := func(delayed bool) uint64 {
+		var sim netsim.Sim
+		sim.MaxSteps = 1 << 22
+		fwd, rev := dumbbell(&sim, 10*units.Mbps, 20*time.Millisecond, 0)
+		c := New(&sim, Config{DelayedAcks: delayed}, fwd, rev)
+		c.Write(200 * 1500)
+		sim.Run()
+		if c.Acked() != 200*1500 {
+			t.Fatalf("incomplete (delayed=%v): %d", delayed, c.Acked())
+		}
+		return rev.Delivered
+	}
+	withoutDelay := run(false)
+	withDelay := run(true)
+	if withDelay >= withoutDelay {
+		t.Errorf("delayed acks (%d) should be fewer than immediate (%d)", withDelay, withoutDelay)
+	}
+	if withDelay < withoutDelay/3 {
+		t.Errorf("delayed acks too few: %d vs %d", withDelay, withoutDelay)
+	}
+}
+
+func TestDelayedAckTimeoutFlushesLastAck(t *testing.T) {
+	// A single odd packet must still be acked after the delayed-ack
+	// timeout.
+	var sim netsim.Sim
+	fwd, rev := dumbbell(&sim, 100*units.Mbps, 5*time.Millisecond, 0)
+	c := New(&sim, Config{DelayedAcks: true}, fwd, rev)
+	c.Write(1500)
+	sim.Run()
+	if c.Acked() != 1500 {
+		t.Errorf("odd final packet never acked: %d", c.Acked())
+	}
+	// The ack must have waited for the 40ms delayed-ack timer.
+	if now := sim.Now(); now < 45*time.Millisecond {
+		t.Errorf("final state at %v, expected delayed-ack timer to fire ≥45ms", now)
+	}
+}
+
+func TestWatchFirstSendAndAcked(t *testing.T) {
+	var sim netsim.Sim
+	fwd, rev := dumbbell(&sim, 10*units.Mbps, 20*time.Millisecond, 0)
+	c := New(&sim, Config{}, fwd, rev)
+	var sentAt, ackedAt netsim.Time
+	start, end := c.Write(20 * 1500)
+	c.WatchFirstSend(start, func(tm netsim.Time) { sentAt = tm })
+	c.WatchAcked(end, func(tm netsim.Time) { ackedAt = tm })
+	// Writing already transmitted the first window, so WatchFirstSend on
+	// `start` fires immediately via the sorted scan on the next segment…
+	// verify both eventually fire with sane ordering.
+	sim.Run()
+	if ackedAt == 0 {
+		t.Fatal("ack watch never fired")
+	}
+	if sentAt > ackedAt {
+		t.Errorf("send watch at %v after ack watch at %v", sentAt, ackedAt)
+	}
+	if ackedAt < 40*time.Millisecond {
+		t.Errorf("full ack at %v, impossible before one RTT", ackedAt)
+	}
+}
+
+func TestWatchFirstSendBeforeWrite(t *testing.T) {
+	var sim netsim.Sim
+	fwd, rev := dumbbell(&sim, 10*units.Mbps, 20*time.Millisecond, 0)
+	c := New(&sim, Config{}, fwd, rev)
+	var sentAt netsim.Time = -1
+	c.WatchFirstSend(0, func(tm netsim.Time) { sentAt = tm })
+	sim.Schedule(100*time.Millisecond, func() { c.Write(1500) })
+	sim.Run()
+	if sentAt != 100*time.Millisecond {
+		t.Errorf("first send at %v, want 100ms", sentAt)
+	}
+}
+
+func TestWatchAckedAlreadySatisfied(t *testing.T) {
+	var sim netsim.Sim
+	fwd, rev := dumbbell(&sim, 10*units.Mbps, 5*time.Millisecond, 0)
+	c := New(&sim, Config{}, fwd, rev)
+	c.Write(1500)
+	sim.Run()
+	fired := false
+	c.WatchAcked(1500, func(tm netsim.Time) { fired = true })
+	if !fired {
+		t.Error("watch on already-acked seq must fire immediately")
+	}
+}
+
+func TestCubicCompletesAndRecovers(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	fwd, rev := dumbbell(&sim, 5*units.Mbps, 30*time.Millisecond, 20)
+	c := New(&sim, Config{CC: Cubic, HyStart: true}, fwd, rev)
+	c.Write(2000 * 1500)
+	var done netsim.Time
+	c.OnAllAcked = func() { done = sim.Now() }
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if c.Acked() != 2000*1500 {
+		t.Fatalf("cubic transfer incomplete: %d", c.Acked())
+	}
+	goodput := units.RateOf(2000*1500, time.Duration(done))
+	if goodput < 3*units.Mbps {
+		t.Errorf("cubic goodput %v too low for 5 Mbps bottleneck", goodput)
+	}
+}
+
+func TestIdleAndOffsets(t *testing.T) {
+	var sim netsim.Sim
+	fwd, rev := dumbbell(&sim, 10*units.Mbps, 5*time.Millisecond, 0)
+	c := New(&sim, Config{}, fwd, rev)
+	if !c.Idle() {
+		t.Error("new conn should be idle")
+	}
+	s1, e1 := c.Write(3000)
+	if s1 != 0 || e1 != 3000 {
+		t.Errorf("first write range [%d,%d)", s1, e1)
+	}
+	s2, e2 := c.Write(1000)
+	if s2 != 3000 || e2 != 4000 {
+		t.Errorf("second write range [%d,%d)", s2, e2)
+	}
+	if c.Idle() {
+		t.Error("conn with unacked data should not be idle")
+	}
+	sim.Run()
+	if !c.Idle() {
+		t.Error("conn should be idle after all acks")
+	}
+	if c.NextWriteOffset() != 4000 {
+		t.Errorf("NextWriteOffset = %d", c.NextWriteOffset())
+	}
+}
+
+func TestCloseStopsActivity(t *testing.T) {
+	var sim netsim.Sim
+	fwd, rev := dumbbell(&sim, units.Mbps, 20*time.Millisecond, 0)
+	c := New(&sim, Config{}, fwd, rev)
+	c.Write(100 * 1500)
+	sim.RunUntil(50 * time.Millisecond)
+	c.Close()
+	if s, e := c.Write(1000); s != e {
+		t.Error("write after close should be a no-op")
+	}
+	sim.Run() // must terminate without the conn rescheduling forever
+}
+
+func TestZeroWriteNoOp(t *testing.T) {
+	var sim netsim.Sim
+	fwd, rev := dumbbell(&sim, units.Mbps, time.Millisecond, 0)
+	c := New(&sim, Config{}, fwd, rev)
+	if s, e := c.Write(0); s != e {
+		t.Error("Write(0) should be a no-op")
+	}
+	if s, e := c.Write(-5); s != e {
+		t.Error("Write(-5) should be a no-op")
+	}
+}
+
+func TestRetransmitsNotSampledForRTT(t *testing.T) {
+	// Karn's algorithm: with heavy loss the RTT estimate must not be
+	// corrupted by retransmission ambiguity — MinRTT stays ≥ propagation.
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 22
+	fwd, rev := dumbbell(&sim, 5*units.Mbps, 25*time.Millisecond, 0)
+	fwd.LossProb = 0.1
+	fwd.RNG = rng.New(9)
+	c := New(&sim, Config{}, fwd, rev)
+	c.Write(300 * 1500)
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if got := c.MinRTT(); got < 50*time.Millisecond {
+		t.Errorf("MinRTT = %v below propagation RTT 50ms", got)
+	}
+}
+
+func BenchmarkTransfer1MB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sim netsim.Sim
+		sim.MaxSteps = 1 << 22
+		fwd, rev := dumbbell(&sim, 10*units.Mbps, 20*time.Millisecond, 0)
+		c := New(&sim, Config{}, fwd, rev)
+		c.Write(1 << 20)
+		sim.Run()
+		if c.Acked() != 1<<20 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func TestSlowStartAfterIdle(t *testing.T) {
+	run := func(enabled bool) int64 {
+		var sim netsim.Sim
+		sim.MaxSteps = 1 << 22
+		fwd, rev := dumbbell(&sim, 100*units.Mbps, 10*time.Millisecond, 0)
+		c := New(&sim, Config{SlowStartAfterIdle: enabled}, fwd, rev)
+		c.Write(200 * 1500) // grow the window
+		sim.Run()
+		// Idle well past the RTO, then observe the window at next write.
+		var wnic int64
+		sim.Schedule(10*time.Second, func() {
+			wnic = c.Cwnd()
+			c.Write(1500)
+		})
+		sim.Run()
+		_ = wnic
+		return c.Cwnd()
+	}
+	withReset := run(true)
+	without := run(false)
+	if withReset > 10*1500+1500 {
+		t.Errorf("idle restart left cwnd at %d", withReset)
+	}
+	if without <= 10*1500 {
+		t.Errorf("without restart, cwnd should stay grown: %d", without)
+	}
+}
+
+// TestPolicedTransferThrottled: a token-bucket policer on the data path
+// forces the sender down to the policed rate.
+func TestPolicedTransferThrottled(t *testing.T) {
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 24
+	fwd, rev := dumbbell(&sim, 50*units.Mbps, 20*time.Millisecond, 0)
+	fwd.Policer = &netsim.TokenBucket{Rate: 2 * units.Mbps, Burst: 30 * 1540}
+	c := New(&sim, Config{}, fwd, rev)
+	total := int64(500 * 1500)
+	var done netsim.Time
+	c.OnAllAcked = func() { done = sim.Now() }
+	c.Write(int(total))
+	if !sim.Run() {
+		t.Fatal("no convergence")
+	}
+	if c.Acked() != total {
+		t.Fatalf("incomplete under policing: %d", c.Acked())
+	}
+	goodput := units.RateOf(total, time.Duration(done))
+	if goodput > 2500*units.Kbps {
+		t.Errorf("goodput %v exceeds the 2 Mbps policer meaningfully", goodput)
+	}
+	if fwd.Drops == 0 {
+		t.Error("policer never dropped")
+	}
+}

@@ -1,0 +1,32 @@
+package tdigest_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tdigest"
+)
+
+// A digest summarises a stream of latencies in bounded memory and
+// answers quantile queries — the per-aggregation sketch of §3.4.1.
+func Example() {
+	d := tdigest.New(tdigest.DefaultCompression)
+	for i := 1; i <= 1000; i++ {
+		d.Add(float64(i)) // e.g. MinRTT samples in ms
+	}
+	fmt.Printf("p50=%.0f p99=%.0f n=%.0f\n", d.Quantile(0.5), d.Quantile(0.99), d.Count())
+	// Output: p50=500 p99=990 n=1000
+}
+
+// Digests merge losslessly in count and approximately in shape, which
+// is how per-server sketches combine into per-PoP aggregations.
+func ExampleTDigest_Merge() {
+	a, b := tdigest.New(100), tdigest.New(100)
+	for i := 1; i <= 500; i++ {
+		a.Add(float64(i))
+		b.Add(float64(500 + i))
+	}
+	a.Merge(b)
+	fmt.Printf("n=%.0f p50≈%.0f\n", a.Count(), math.Round(a.Quantile(0.5)/50)*50)
+	// Output: n=1000 p50≈500
+}

@@ -1,0 +1,254 @@
+// Package tdigest implements the merging t-digest of Dunning & Ertl
+// ("Computing Extremely Accurate Quantiles Using t-Digests",
+// arXiv:1902.04023), the streaming quantile sketch the paper cites for
+// computing percentiles and confidence intervals in near real time
+// (§3.4.1, footnote 11).
+//
+// The digest maintains a set of centroids whose sizes are bounded by the
+// k1 scale function, which concentrates resolution near the tails while
+// keeping memory bounded by the compression parameter. Aggregations in
+// this repository use a digest per (user group, window, route, metric).
+package tdigest
+
+import (
+	"math"
+	"sort"
+)
+
+// TDigest is a streaming quantile sketch. The zero value is not usable;
+// call New.
+type TDigest struct {
+	compression float64
+
+	// Processed centroids, sorted by mean.
+	means   []float64
+	weights []float64
+	total   float64
+
+	// Unprocessed points buffered until the next merge.
+	bufMeans   []float64
+	bufWeights []float64
+	bufTotal   float64
+
+	min, max float64
+}
+
+// DefaultCompression trades ~1KB of state for roughly 0.1–1% quantile
+// error at the median and much better accuracy at the tails.
+const DefaultCompression = 100
+
+// New returns an empty digest with the given compression (δ). Larger
+// compression means more centroids and better accuracy.
+func New(compression float64) *TDigest {
+	if compression < 20 {
+		compression = 20
+	}
+	return &TDigest{
+		compression: compression,
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}
+}
+
+// Add inserts a value with weight 1.
+func (t *TDigest) Add(x float64) { t.AddWeighted(x, 1) }
+
+// AddWeighted inserts a value with the given weight. NaN values and
+// non-positive weights are ignored.
+func (t *TDigest) AddWeighted(x, w float64) {
+	if math.IsNaN(x) || w <= 0 {
+		return
+	}
+	t.bufMeans = append(t.bufMeans, x)
+	t.bufWeights = append(t.bufWeights, w)
+	t.bufTotal += w
+	if x < t.min {
+		t.min = x
+	}
+	if x > t.max {
+		t.max = x
+	}
+	if len(t.bufMeans) >= int(8*t.compression) {
+		t.process()
+	}
+}
+
+// Count returns the total weight added.
+func (t *TDigest) Count() float64 { return t.total + t.bufTotal }
+
+// Min returns the smallest value added, or +Inf if empty.
+func (t *TDigest) Min() float64 { return t.min }
+
+// Max returns the largest value added, or -Inf if empty.
+func (t *TDigest) Max() float64 { return t.max }
+
+// Merge folds other into t. The other digest is unchanged.
+func (t *TDigest) Merge(other *TDigest) {
+	if other == nil {
+		return
+	}
+	other.process()
+	for i := range other.means {
+		t.AddWeighted(other.means[i], other.weights[i])
+	}
+}
+
+// k1 scale function and its inverse, mapping quantile space to k space.
+func (t *TDigest) k(q float64) float64 {
+	return t.compression / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+func (t *TDigest) kInv(k float64) float64 {
+	return (math.Sin(k*2*math.Pi/t.compression) + 1) / 2
+}
+
+// process merges buffered points into the centroid set.
+func (t *TDigest) process() {
+	if len(t.bufMeans) == 0 {
+		return
+	}
+	means := append(t.means, t.bufMeans...)
+	weights := append(t.weights, t.bufWeights...)
+	t.bufMeans = t.bufMeans[:0]
+	t.bufWeights = t.bufWeights[:0]
+	total := t.total + t.bufTotal
+	t.bufTotal = 0
+
+	idx := make([]int, len(means))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return means[idx[a]] < means[idx[b]] })
+
+	outM := make([]float64, 0, int(t.compression)*2)
+	outW := make([]float64, 0, int(t.compression)*2)
+
+	soFar := 0.0
+	curM, curW := means[idx[0]], weights[idx[0]]
+	qLimit := t.kInv(t.k(0) + 1)
+	for _, i := range idx[1:] {
+		m, w := means[i], weights[i]
+		projected := (soFar + curW + w) / total
+		if projected <= qLimit {
+			// Merge into the current centroid.
+			curM += (m - curM) * w / (curW + w)
+			curW += w
+			continue
+		}
+		outM = append(outM, curM)
+		outW = append(outW, curW)
+		soFar += curW
+		qLimit = t.kInv(t.k(soFar/total) + 1)
+		curM, curW = m, w
+	}
+	outM = append(outM, curM)
+	outW = append(outW, curW)
+
+	t.means, t.weights, t.total = outM, outW, total
+}
+
+// Quantile returns an estimate of the q-th quantile (q in [0,1]).
+// It returns NaN for an empty digest.
+func (t *TDigest) Quantile(q float64) float64 {
+	t.process()
+	if t.total == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return t.min
+	}
+	if q >= 1 {
+		return t.max
+	}
+	if len(t.means) == 1 {
+		return t.means[0]
+	}
+
+	target := q * t.total
+	// Walk centroids tracking the cumulative weight at each centroid's
+	// midpoint, interpolating linearly between midpoints.
+	cum := 0.0
+	for i := range t.means {
+		mid := cum + t.weights[i]/2
+		if target < mid {
+			if i == 0 {
+				// Between min and the first centroid midpoint.
+				lo, hi := t.min, t.means[0]
+				frac := target / mid
+				return lo + (hi-lo)*frac
+			}
+			prevMid := cum - t.weights[i-1]/2
+			frac := (target - prevMid) / (mid - prevMid)
+			return t.means[i-1] + (t.means[i]-t.means[i-1])*frac
+		}
+		cum += t.weights[i]
+	}
+	// Between the last centroid midpoint and max.
+	lastMid := t.total - t.weights[len(t.weights)-1]/2
+	frac := (target - lastMid) / (t.total - lastMid)
+	if frac > 1 {
+		frac = 1
+	}
+	last := t.means[len(t.means)-1]
+	return last + (t.max-last)*frac
+}
+
+// CDF returns an estimate of the fraction of mass at or below x.
+func (t *TDigest) CDF(x float64) float64 {
+	t.process()
+	if t.total == 0 {
+		return math.NaN()
+	}
+	if x < t.min {
+		return 0
+	}
+	if x >= t.max {
+		return 1
+	}
+	if len(t.means) == 1 {
+		// Single centroid: interpolate across [min, max].
+		if t.max == t.min {
+			return 1
+		}
+		return (x - t.min) / (t.max - t.min)
+	}
+	cum := 0.0
+	for i := range t.means {
+		if x < t.means[i] {
+			if i == 0 {
+				if t.means[0] == t.min {
+					return 0
+				}
+				return (x - t.min) / (t.means[0] - t.min) * (t.weights[0] / 2) / t.total
+			}
+			prevMid := cum - t.weights[i-1]/2
+			mid := cum + t.weights[i]/2
+			frac := (x - t.means[i-1]) / (t.means[i] - t.means[i-1])
+			return (prevMid + frac*(mid-prevMid)) / t.total
+		}
+		cum += t.weights[i]
+	}
+	return 1
+}
+
+// Mean returns the exact weighted mean of all values added (NaN when
+// empty). Unlike quantiles, the mean is preserved exactly by centroid
+// merging.
+func (t *TDigest) Mean() float64 {
+	t.process()
+	if t.total == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := range t.means {
+		sum += t.means[i] * t.weights[i]
+	}
+	return sum / t.total
+}
+
+// Centroids returns copies of the centroid means and weights, mainly for
+// testing and debugging.
+func (t *TDigest) Centroids() (means, weights []float64) {
+	t.process()
+	return append([]float64(nil), t.means...), append([]float64(nil), t.weights...)
+}

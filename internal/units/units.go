@@ -1,0 +1,124 @@
+// Package units provides the small value types shared across the
+// measurement pipeline: data rates, byte counts, and helpers for
+// converting between bytes, packets, and durations.
+//
+// Rates are represented in bits per second as a float64-backed type so
+// that goodput arithmetic (bytes over a duration) stays exact enough for
+// the thresholds the methodology uses (the paper's HD target is 2.5 Mbps).
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Rate is a data rate in bits per second.
+type Rate float64
+
+// Common rate units.
+const (
+	BitPerSecond Rate = 1
+	Kbps              = 1e3 * BitPerSecond
+	Mbps              = 1e6 * BitPerSecond
+	Gbps              = 1e9 * BitPerSecond
+)
+
+// HDGoodput is the paper's target goodput: the minimum bitrate required
+// to stream HD video (§3.2.1).
+const HDGoodput = 2.5 * Mbps
+
+// RateOf returns the rate achieved by transferring n bytes in d.
+// It returns 0 if d is not positive.
+func RateOf(nbytes int64, d time.Duration) Rate {
+	if d <= 0 {
+		return 0
+	}
+	return Rate(float64(nbytes) * 8 / d.Seconds())
+}
+
+// BytesIn returns the number of bytes delivered at rate r over d,
+// truncated to an integer byte count.
+func (r Rate) BytesIn(d time.Duration) int64 {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	return int64(float64(r) / 8 * d.Seconds())
+}
+
+// TimeFor returns how long transferring n bytes takes at rate r.
+// It returns a very large duration for non-positive rates.
+func (r Rate) TimeFor(nbytes int64) time.Duration {
+	if r <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	sec := float64(nbytes) * 8 / float64(r)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Mbps reports the rate in megabits per second.
+func (r Rate) Mbps() float64 { return float64(r) / 1e6 }
+
+// String renders the rate with an adaptive unit.
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.2fGbps", float64(r)/1e9)
+	case r >= Mbps:
+		return fmt.Sprintf("%.2fMbps", float64(r)/1e6)
+	case r >= Kbps:
+		return fmt.Sprintf("%.2fKbps", float64(r)/1e3)
+	default:
+		return fmt.Sprintf("%.0fbps", float64(r))
+	}
+}
+
+// ByteSize is a byte count with human-readable formatting.
+type ByteSize int64
+
+// Common byte sizes.
+const (
+	Byte ByteSize = 1
+	KB            = 1000 * Byte
+	MB            = 1000 * KB
+	GB            = 1000 * MB
+)
+
+// String renders the size with an adaptive unit.
+func (b ByteSize) String() string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/1e9)
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/1e6)
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// DefaultMSS is the maximum segment size assumed throughout the
+// methodology and simulators (the paper's examples use 1500-byte packets;
+// we model the TCP payload portion).
+const DefaultMSS = 1500
+
+// PacketHeaderBytes approximates per-packet TCP/IP header overhead for
+// serialization-time accounting.
+const PacketHeaderBytes = 40
+
+// ByteOverheadFor returns the total header bytes added when payload is
+// split into MSS-sized packets.
+func ByteOverheadFor(payload int64, mss int) int64 {
+	return int64(Packets(payload, mss)) * PacketHeaderBytes
+}
+
+// Packets returns the number of MSS-sized packets needed for n bytes.
+func Packets(nbytes int64, mss int) int {
+	if mss <= 0 {
+		mss = DefaultMSS
+	}
+	if nbytes <= 0 {
+		return 0
+	}
+	return int((nbytes + int64(mss) - 1) / int64(mss))
+}

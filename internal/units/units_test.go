@@ -1,0 +1,136 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRateOf(t *testing.T) {
+	tests := []struct {
+		name  string
+		bytes int64
+		d     time.Duration
+		want  Rate
+	}{
+		{"one KB per second", 1000, time.Second, 8 * Kbps},
+		{"fig4 txn1: 2 packets in 60ms", 2 * 1500, 60 * time.Millisecond, Rate(0.4 * 1e6)},
+		{"fig4 txn2: 24 packets in 120ms", 24 * 1500, 120 * time.Millisecond, Rate(2.4 * 1e6)},
+		{"fig4 txn3: 14 packets in 60ms", 14 * 1500, 60 * time.Millisecond, Rate(2.8 * 1e6)},
+		{"zero duration", 1000, 0, 0},
+		{"negative duration", 1000, -time.Second, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := RateOf(tt.bytes, tt.d)
+			if math.Abs(float64(got-tt.want)) > 1 {
+				t.Errorf("RateOf(%d, %v) = %v, want %v", tt.bytes, tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHDGoodputConstant(t *testing.T) {
+	if HDGoodput.Mbps() != 2.5 {
+		t.Errorf("HDGoodput = %v Mbps, want 2.5", HDGoodput.Mbps())
+	}
+}
+
+func TestTimeForInvertsBytesIn(t *testing.T) {
+	f := func(kb uint16, mbpsTenths uint8) bool {
+		nbytes := int64(kb)*1000 + 1
+		r := Rate(float64(mbpsTenths)/10+0.1) * Rate(1e6)
+		d := r.TimeFor(nbytes)
+		back := r.BytesIn(d)
+		// Truncation may lose up to a handful of bytes.
+		return back <= nbytes && nbytes-back <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeForNonPositiveRate(t *testing.T) {
+	if d := Rate(0).TimeFor(1000); d < time.Duration(1<<61) {
+		t.Errorf("zero rate should yield huge duration, got %v", d)
+	}
+	if d := Rate(-5).TimeFor(1000); d < time.Duration(1<<61) {
+		t.Errorf("negative rate should yield huge duration, got %v", d)
+	}
+}
+
+func TestBytesInNonPositive(t *testing.T) {
+	if got := Rate(1e6).BytesIn(-time.Second); got != 0 {
+		t.Errorf("BytesIn negative duration = %d, want 0", got)
+	}
+	if got := Rate(-1).BytesIn(time.Second); got != 0 {
+		t.Errorf("BytesIn negative rate = %d, want 0", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	tests := []struct {
+		r    Rate
+		want string
+	}{
+		{2.5 * Mbps, "2.50Mbps"},
+		{1 * Gbps, "1.00Gbps"},
+		{500 * Kbps, "500.00Kbps"},
+		{12 * BitPerSecond, "12bps"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("Rate(%v).String() = %q, want %q", float64(tt.r), got, tt.want)
+		}
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	tests := []struct {
+		b    ByteSize
+		want string
+	}{
+		{512, "512B"},
+		{3 * KB, "3.00KB"},
+		{19 * KB, "19.00KB"},
+		{2 * MB, "2.00MB"},
+		{5 * GB, "5.00GB"},
+	}
+	for _, tt := range tests {
+		if got := tt.b.String(); got != tt.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(tt.b), got, tt.want)
+		}
+	}
+}
+
+func TestPackets(t *testing.T) {
+	tests := []struct {
+		bytes int64
+		mss   int
+		want  int
+	}{
+		{0, 1500, 0},
+		{-10, 1500, 0},
+		{1, 1500, 1},
+		{1500, 1500, 1},
+		{1501, 1500, 2},
+		{36000, 1500, 24},
+		{100, 0, 1}, // mss defaults
+	}
+	for _, tt := range tests {
+		if got := Packets(tt.bytes, tt.mss); got != tt.want {
+			t.Errorf("Packets(%d, %d) = %d, want %d", tt.bytes, tt.mss, got, tt.want)
+		}
+	}
+}
+
+func TestPacketsProperty(t *testing.T) {
+	f := func(n uint32) bool {
+		p := Packets(int64(n), 1500)
+		return int64(p)*1500 >= int64(n) && (p == 0 || int64(p-1)*1500 < int64(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

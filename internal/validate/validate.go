@@ -1,0 +1,272 @@
+// Package validate reproduces the paper's §3.2.3 validation: single TCP
+// transfers are simulated through a configured bottleneck (the paper used
+// NS3; we use netsim/tcpsim), the transfer is measured exactly as the
+// production instrumentation would measure it, and the goodput estimated
+// by the methodology is compared against the known bottleneck rate.
+//
+// The paper sweeps 15,840 configurations — bottleneck bandwidth 0.5–5
+// Mbps, round-trip propagation delay 20–200 ms, initial cwnd 1–50
+// packets, and transfer size 1–500 packets — and verifies that for every
+// configuration able to test for the bottleneck rate (Gtestable >
+// Gbottleneck) the estimate never overestimates the bottleneck and the
+// 99th-percentile relative error is small (the paper reports 0.066).
+// Delayed ACKs are disabled to match kernel-style byte-counted cwnd
+// growth, as the paper does with NS3 (footnote 7).
+package validate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hdratio"
+	"repro/internal/netsim"
+	"repro/internal/tcpsim"
+	"repro/internal/units"
+)
+
+// Config is one point in the sweep.
+type Config struct {
+	Bottleneck units.Rate
+	RTT        time.Duration // round-trip propagation delay
+	InitCwnd   int           // packets
+	SizePkts   int           // transfer size in MSS packets
+	MSS        int           // defaults to units.DefaultMSS
+}
+
+// Result is the measured outcome for one configuration.
+type Result struct {
+	Config
+	// Wnic is the cwnd when the first byte was written (here, the
+	// initial window).
+	Wnic int64
+	// Btotal and Ttotal are the delayed-ACK-corrected observation
+	// (§3.2.5): bytes excluding the final packet, duration to the ACK
+	// covering the second-to-last packet.
+	Btotal int64
+	Ttotal time.Duration
+	// MinRTT is the connection's minimum RTT at completion.
+	MinRTT time.Duration
+	// Gtestable is the maximum rate this transfer could test for.
+	Gtestable units.Rate
+	// Estimated is the methodology's delivery-rate estimate.
+	Estimated units.Rate
+	// Testable reports Gtestable > Bottleneck: the transfer could have
+	// demonstrated the bottleneck rate.
+	Testable bool
+	// RelError is (Bottleneck − Estimated) / Bottleneck; negative means
+	// the methodology overestimated.
+	RelError float64
+	// Err is set when the measurement could not be taken (e.g. the
+	// transfer is a single packet and the correction leaves no bytes).
+	Err error
+}
+
+// RunOne simulates one transfer and measures it per the methodology.
+func RunOne(cfg Config) Result {
+	if cfg.MSS <= 0 {
+		cfg.MSS = units.DefaultMSS
+	}
+	res := Result{Config: cfg}
+	total := int64(cfg.SizePkts) * int64(cfg.MSS)
+	lastPkt := int64(cfg.MSS)
+	if rem := total % int64(cfg.MSS); rem != 0 {
+		lastPkt = rem
+	}
+	res.Btotal = total - lastPkt
+	if res.Btotal <= 0 {
+		res.Err = fmt.Errorf("transfer of %d packets leaves no measurable bytes after last-packet correction", cfg.SizePkts)
+		return res
+	}
+
+	var sim netsim.Sim
+	sim.MaxSteps = 1 << 24
+	fwd := &netsim.Link{Sim: &sim, Rate: cfg.Bottleneck, Delay: cfg.RTT / 2}
+	rev := &netsim.Link{Sim: &sim, Delay: cfg.RTT / 2}
+	conn := tcpsim.New(&sim, tcpsim.Config{
+		MSS:             cfg.MSS,
+		InitCwndPackets: cfg.InitCwnd,
+		DelayedAcks:     false,
+	}, fwd, rev)
+
+	res.Wnic = conn.Cwnd()
+	var tFirst, tAck netsim.Time = -1, -1
+	// Register the NIC-write watch before writing, as the production
+	// instrumentation observes the write before the stack transmits.
+	conn.WatchFirstSend(conn.NextWriteOffset(), func(t netsim.Time) { tFirst = t })
+	_, end := conn.Write(int(total))
+	conn.WatchAcked(end-lastPkt, func(t netsim.Time) { tAck = t })
+	if !sim.Run() {
+		res.Err = fmt.Errorf("simulation exceeded step bound")
+		return res
+	}
+	if tFirst < 0 || tAck < 0 {
+		res.Err = fmt.Errorf("instrumentation watches never fired")
+		return res
+	}
+	res.Ttotal = tAck - tFirst
+	res.MinRTT = conn.MinRTT()
+
+	txn := hdratio.Transaction{Bytes: res.Btotal, Duration: res.Ttotal, Wnic: res.Wnic}
+	res.Gtestable = hdratio.Gtestable(res.Btotal, res.Wnic, res.MinRTT)
+	res.Estimated = hdratio.EstimateDeliveryRate(txn, res.MinRTT)
+	res.Testable = res.Gtestable > cfg.Bottleneck
+	res.RelError = float64(cfg.Bottleneck-res.Estimated) / float64(cfg.Bottleneck)
+	return res
+}
+
+// SweepParams defines the grid. DefaultSweep reproduces the paper's
+// 15,840 configurations.
+type SweepParams struct {
+	Bandwidths []units.Rate
+	RTTs       []time.Duration
+	InitCwnds  []int
+	SizesPkts  []int
+}
+
+// DefaultSweep returns the paper's grid: 8 bandwidths × 10 RTTs × 9
+// initial windows × 22 sizes = 15,840 configurations spanning 0.5–5
+// Mbps, 20–200 ms, 1–50 packets, 1–500 packets.
+func DefaultSweep() SweepParams {
+	var p SweepParams
+	for i := 0; i < 8; i++ {
+		p.Bandwidths = append(p.Bandwidths, units.Rate((0.5+4.5*float64(i)/7)*1e6))
+	}
+	for i := 0; i < 10; i++ {
+		p.RTTs = append(p.RTTs, time.Duration(20+20*i)*time.Millisecond)
+	}
+	p.InitCwnds = []int{1, 2, 4, 6, 10, 16, 25, 36, 50}
+	// 22 log-spaced sizes from 1 to 500 packets.
+	for i := 0; i < 22; i++ {
+		s := int(math.Round(math.Pow(500, float64(i)/21)))
+		if s < 1 {
+			s = 1
+		}
+		p.SizesPkts = append(p.SizesPkts, s)
+	}
+	return p
+}
+
+// Count returns the number of configurations in the grid.
+func (p SweepParams) Count() int {
+	return len(p.Bandwidths) * len(p.RTTs) * len(p.InitCwnds) * len(p.SizesPkts)
+}
+
+// Configs enumerates the grid, subsampled by stride (1 = everything).
+func (p SweepParams) Configs(stride int) []Config {
+	if stride < 1 {
+		stride = 1
+	}
+	var out []Config
+	i := 0
+	for _, bw := range p.Bandwidths {
+		for _, rtt := range p.RTTs {
+			for _, iw := range p.InitCwnds {
+				for _, sz := range p.SizesPkts {
+					if i%stride == 0 {
+						out = append(out, Config{Bottleneck: bw, RTT: rtt, InitCwnd: iw, SizePkts: sz})
+					}
+					i++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sweep runs every configuration and returns the results in grid order.
+// stride > 1 subsamples the grid (for quick tests).
+func Sweep(p SweepParams, stride int) []Result {
+	return run(p.Configs(stride), 1)
+}
+
+// SweepParallel is Sweep sharded across workers; configurations are
+// independent simulations, so results are identical to Sweep.
+func SweepParallel(p SweepParams, stride, workers int) []Result {
+	return run(p.Configs(stride), workers)
+}
+
+func run(cfgs []Config, workers int) []Result {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]Result, len(cfgs))
+	if workers == 1 {
+		for i, cfg := range cfgs {
+			out[i] = RunOne(cfg)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(cfgs) {
+					return
+				}
+				out[i] = RunOne(cfgs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Summary aggregates a sweep per the paper's report.
+type Summary struct {
+	Total         int
+	Measured      int // configurations with a valid measurement
+	Testable      int // Gtestable > bottleneck
+	Overestimates int
+	// RelErrors holds (Gbottleneck − G)/Gbottleneck for testable configs.
+	RelErrors []float64
+}
+
+// P99RelError returns the 99th percentile of the relative error
+// distribution over testable configurations.
+func (s Summary) P99RelError() float64 {
+	if len(s.RelErrors) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), s.RelErrors...)
+	sort.Float64s(sorted)
+	idx := int(0.99 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// MedianRelError returns the median relative error over testable configs.
+func (s Summary) MedianRelError() float64 {
+	if len(s.RelErrors) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), s.RelErrors...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2]
+}
+
+// Summarise computes the validation summary over results.
+func Summarise(results []Result) Summary {
+	s := Summary{Total: len(results)}
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		s.Measured++
+		if !r.Testable {
+			continue
+		}
+		s.Testable++
+		s.RelErrors = append(s.RelErrors, r.RelError)
+		if r.RelError < 0 {
+			s.Overestimates++
+		}
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestRunOneBasic(t *testing.T) {
+	res := RunOne(Config{
+		Bottleneck: 2 * units.Mbps,
+		RTT:        50 * time.Millisecond,
+		InitCwnd:   10,
+		SizePkts:   100,
+	})
+	if res.Err != nil {
+		t.Fatalf("RunOne error: %v", res.Err)
+	}
+	if res.Btotal != 99*1500 {
+		t.Errorf("Btotal = %d, want %d", res.Btotal, 99*1500)
+	}
+	if res.MinRTT < 50*time.Millisecond || res.MinRTT > 55*time.Millisecond {
+		t.Errorf("MinRTT = %v, want ~50ms", res.MinRTT)
+	}
+	if !res.Testable {
+		t.Errorf("100-packet transfer should test for 2 Mbps: Gtestable=%v", res.Gtestable)
+	}
+	if res.Estimated > res.Bottleneck {
+		t.Errorf("overestimate: estimated %v > bottleneck %v", res.Estimated, res.Bottleneck)
+	}
+	if res.RelError > 0.25 {
+		t.Errorf("estimate too low: rel error %v (estimated %v of %v)", res.RelError, res.Estimated, res.Bottleneck)
+	}
+}
+
+func TestRunOneSinglePacketUnmeasurable(t *testing.T) {
+	res := RunOne(Config{
+		Bottleneck: 2 * units.Mbps,
+		RTT:        50 * time.Millisecond,
+		InitCwnd:   10,
+		SizePkts:   1,
+	})
+	if res.Err == nil {
+		t.Error("single-packet transfer should be unmeasurable after correction")
+	}
+}
+
+func TestRunOneSmallTransferNotTestable(t *testing.T) {
+	// 3 packets minus the last = 2 packets over ≥1 RTT: far below 5 Mbps.
+	res := RunOne(Config{
+		Bottleneck: 5 * units.Mbps,
+		RTT:        100 * time.Millisecond,
+		InitCwnd:   10,
+		SizePkts:   3,
+	})
+	if res.Err != nil {
+		t.Fatalf("unexpected error: %v", res.Err)
+	}
+	if res.Testable {
+		t.Errorf("tiny transfer should not test for 5 Mbps: Gtestable=%v", res.Gtestable)
+	}
+}
+
+func TestDefaultSweepShape(t *testing.T) {
+	p := DefaultSweep()
+	if got := p.Count(); got != 15840 {
+		t.Errorf("sweep size = %d, want 15840", got)
+	}
+	if p.Bandwidths[0] != 0.5*1e6 || p.Bandwidths[len(p.Bandwidths)-1] != 5*1e6 {
+		t.Errorf("bandwidth range wrong: %v…%v", p.Bandwidths[0], p.Bandwidths[len(p.Bandwidths)-1])
+	}
+	if p.RTTs[0] != 20*time.Millisecond || p.RTTs[len(p.RTTs)-1] != 200*time.Millisecond {
+		t.Errorf("RTT range wrong: %v…%v", p.RTTs[0], p.RTTs[len(p.RTTs)-1])
+	}
+	if p.SizesPkts[0] != 1 || p.SizesPkts[len(p.SizesPkts)-1] != 500 {
+		t.Errorf("size range wrong: %v…%v", p.SizesPkts[0], p.SizesPkts[len(p.SizesPkts)-1])
+	}
+	if p.InitCwnds[0] != 1 || p.InitCwnds[len(p.InitCwnds)-1] != 50 {
+		t.Errorf("initcwnd range wrong: %v", p.InitCwnds)
+	}
+}
+
+// TestValidationNeverOverestimates is the paper's core validation claim
+// (§3.2.3) on a subsample of the grid: for configurations that can test
+// for the bottleneck rate, the estimated goodput never exceeds it, and
+// the error distribution is small.
+func TestValidationNeverOverestimates(t *testing.T) {
+	stride := 23 // ~690 configs; full grid runs in the bench / cmd tool
+	if testing.Short() {
+		stride = 97
+	}
+	results := Sweep(DefaultSweep(), stride)
+	s := Summarise(results)
+	if s.Testable < 50 {
+		t.Fatalf("too few testable configs to validate: %d", s.Testable)
+	}
+	if s.Overestimates != 0 {
+		for _, r := range results {
+			if r.Err == nil && r.Testable && r.RelError < 0 {
+				t.Errorf("overestimate at bw=%v rtt=%v iw=%d size=%d: est %v (rel %v)",
+					r.Bottleneck, r.RTT, r.InitCwnd, r.SizePkts, r.Estimated, r.RelError)
+			}
+		}
+		t.Fatalf("%d/%d testable configs overestimated the bottleneck", s.Overestimates, s.Testable)
+	}
+	p99 := s.P99RelError()
+	if math.IsNaN(p99) || p99 > 0.30 {
+		t.Errorf("p99 relative error %v too large (paper: 0.066)", p99)
+	}
+	t.Logf("testable=%d/%d median-rel-err=%.4f p99-rel-err=%.4f",
+		s.Testable, s.Measured, s.MedianRelError(), p99)
+}
+
+// TestSweepParallelMatchesSerial: sharding the sweep across workers must
+// not change any result (simulations are independent and deterministic).
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	p := DefaultSweep()
+	serial := Sweep(p, 311)
+	parallel := SweepParallel(p, 311, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Estimated != parallel[i].Estimated || serial[i].Ttotal != parallel[i].Ttotal {
+			t.Fatalf("result %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestSummariseSkipsErrors(t *testing.T) {
+	results := []Result{
+		{Err: nil, Testable: true, RelError: 0.05},
+		{Err: errFake, Testable: true, RelError: -1},
+		{Err: nil, Testable: false},
+	}
+	s := Summarise(results)
+	if s.Total != 3 || s.Measured != 2 || s.Testable != 1 || s.Overestimates != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+var errFake = fmt.Errorf("fake")

@@ -1,0 +1,376 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/cartographer"
+	"repro/internal/edgefabric"
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// World is a fully built synthetic Internet.
+type World struct {
+	Cfg    Config
+	Geo    *geo.World
+	Groups []*Group
+
+	mapper *cartographer.Mapper
+	pinner edgefabric.Pinner
+}
+
+// New builds a world deterministically from cfg.Seed.
+func New(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	w := &World{Cfg: cfg, Geo: geo.DefaultWorld(), pinner: edgefabric.DefaultPinner()}
+	w.mapper = cartographer.New(w.Geo)
+	// The steering biases come from the continent profiles (§2.1's
+	// cross-continent serving shares).
+	w.mapper.RemoteBias = map[geo.Continent]float64{}
+	for cont, prof := range Profiles {
+		w.mapper.RemoteBias[cont] = prof.RemoteShare
+	}
+
+	assignment := stratifyContinents(cfg)
+	for i := 0; i < cfg.Groups; i++ {
+		r := rng.ChildAt(cfg.Seed, "group", i)
+		w.Groups = append(w.Groups, w.buildGroup(r, i, assignment[i]))
+	}
+	return w
+}
+
+// stratifyContinents assigns continents to groups with exact
+// largest-remainder proportions, shuffled deterministically, so small
+// worlds still realise the configured traffic shares.
+func stratifyContinents(cfg Config) []geo.Continent {
+	type rem struct {
+		cont geo.Continent
+		frac float64
+	}
+	out := make([]geo.Continent, 0, cfg.Groups)
+	var rems []rem
+	for _, c := range geo.Continents {
+		exact := Profiles[c].TrafficShare * float64(cfg.Groups)
+		n := int(exact)
+		for i := 0; i < n; i++ {
+			out = append(out, c)
+		}
+		rems = append(rems, rem{c, exact - float64(n)})
+	}
+	sort.Slice(rems, func(i, j int) bool { return rems[i].frac > rems[j].frac })
+	for i := 0; len(out) < cfg.Groups; i++ {
+		out = append(out, rems[i%len(rems)].cont)
+	}
+	shuf := rng.New(cfg.Seed).Child("continent-shuffle")
+	perm := shuf.Perm(len(out))
+	shuffled := make([]geo.Continent, len(out))
+	for i, p := range perm {
+		shuffled[i] = out[p]
+	}
+	return shuffled
+}
+
+// buildGroup synthesises one user group on the given continent.
+func (w *World) buildGroup(r *rng.RNG, idx int, cont geo.Continent) *Group {
+	prof := Profiles[cont]
+
+	// Pick a country on the continent.
+	var countries []geo.Country
+	for _, c := range w.Geo.Countries {
+		if c.Continent == cont {
+			countries = append(countries, c)
+		}
+	}
+	country := countries[r.IntN(len(countries))]
+
+	// Client populations concentrate in metros: blend the group's
+	// location from the country centroid toward the nearest PoP (§2.1:
+	// half of all traffic is within 500 km of its serving PoP).
+	nearest, _ := w.Geo.NearestPoP(country.Loc)
+	blend := math.Pow(r.Float64(), 0.45) // biased toward the metro
+	loc := geo.LatLon{
+		Lat: country.Loc.Lat + (nearest.Loc.Lat-country.Loc.Lat)*blend,
+		Lon: country.Loc.Lon + (nearest.Loc.Lon-country.Loc.Lon)*blend,
+	}
+
+	// Cartographer assigns the serving PoP: nearest by default, with a
+	// RemoteShare of groups steered to Europe (§2.1), and an occasional
+	// mid-study remap.
+	sched, remote := w.mapper.Assign(loc, cont, w.Cfg.Windows(), r)
+	pop := sched[0].PoP
+	distKm := geo.DistanceKm(loc, pop.Loc)
+	rttMedian := prof.RTTMedian
+	if remote {
+		rttMedian = prof.RemoteRTTMedian
+	}
+
+	// Base MinRTT: statistical draw floored by the geographic
+	// propagation minimum to the serving PoP.
+	floor := geo.PropagationRTT(distKm, geo.DefaultPathStretch) / 2 * 2
+	base := time.Duration(r.LogNormalMedian(float64(rttMedian), prof.RTTSigma))
+	if base < floor/2 {
+		base = floor / 2 // allow some sub-floor spread for nearby metros
+	}
+	if base < 2*time.Millisecond {
+		base = 2 * time.Millisecond
+	}
+
+	g := &Group{
+		PoP:            pop.Name,
+		DistanceKm:     distKm,
+		CrossContinent: pop.Continent != cont,
+		Prefix:         fmt.Sprintf("10.%d.%d.0/24", (idx/250)%250, idx%250),
+		ASN:            64500 + idx/2, // two prefixes per AS on average
+		Country:        country.Code,
+		Continent:      cont,
+		Weight:         r.LogNormalMedian(1, 0.8),
+		BaseRTT:        base,
+		Access:         units.Rate(r.LogNormalMedian(float64(prof.AccessMedian), prof.AccessSigma*0.8)),
+		AccessSigma:    0.6,
+		BaseLoss:       prof.BaseLoss * (0.5 + r.Exponential(0.5)),
+	}
+
+	g.PoPSchedule = sched
+	if len(sched) > 1 {
+		// Serving from the remap target costs the difference in
+		// propagation floors plus some path indirection.
+		d0 := cartographer.RTTFloor(country.Loc, sched[0].PoP)
+		d1 := cartographer.RTTFloor(country.Loc, sched[1].PoP)
+		g.RemapRTTDelta = d1 - d0 + 5*time.Millisecond
+		if g.RemapRTTDelta < time.Millisecond {
+			g.RemapRTTDelta = time.Millisecond
+		}
+	}
+	if w.Cfg.PolicedShare > 0 && r.Bool(w.Cfg.PolicedShare) {
+		// Policed plans typically sit just below the HD floor (§4).
+		g.PoliceRate = units.Rate(r.LogNormalMedian(1.8e6, 0.3))
+		g.PoliceBurst = int64(r.IntN(12)+8) * 1500
+	}
+	g.ActivityPeakUTC = localEveningUTC(r, country.Loc.Lon)
+
+	w.buildRoutes(r, g)
+	w.assignDegradation(r, g, prof)
+	w.assignOpportunity(r, g, idx)
+
+	// Figure 5 population shifts: a small share of prefixes serve two
+	// regions whose activity peaks at different hours.
+	if r.Bool(0.02) {
+		g.PopulationShift = newPopulationShift(r, g.BaseRTT)
+	}
+	return g
+}
+
+// buildRoutes synthesises the route set at the group's PoP and orders it
+// by the egress policy (§6.1).
+func (w *World) buildRoutes(r *rng.RNG, g *Group) {
+	prefix := netip.MustParsePrefix(g.Prefix)
+	transitASBase := 3000 + r.IntN(200)
+
+	var routes []bgp.Route
+	addPeer := func(rel bgp.RelType) {
+		routes = append(routes, bgp.Route{
+			ID:     fmt.Sprintf("%s-%s-%d", g.PoP, rel, len(routes)),
+			Prefix: prefix,
+			ASPath: []int{g.ASN},
+			Rel:    rel,
+		})
+	}
+	addTransit := func() {
+		path := []int{transitASBase + len(routes), g.ASN}
+		if r.Bool(0.35) { // some transit paths have an extra hop
+			path = []int{transitASBase + len(routes), 2000 + r.IntN(500), g.ASN}
+		}
+		if r.Bool(0.15) { // ingress TE prepending (§6.2.2, Table 2)
+			path = append(path, g.ASN)
+		}
+		routes = append(routes, bgp.Route{
+			ID:     fmt.Sprintf("%s-Transit-%d", g.PoP, len(routes)),
+			Prefix: prefix,
+			ASPath: path,
+			Rel:    bgp.Transit,
+		})
+	}
+
+	// addPeerVia adds a two-hop peer route: the destination is reached
+	// through a directly-peered upstream (how the same prefix can have
+	// two PNI routes — Table 2's Private→Private rows).
+	addPeerVia := func(rel bgp.RelType) {
+		routes = append(routes, bgp.Route{
+			ID:     fmt.Sprintf("%s-%s-via-%d", g.PoP, rel, len(routes)),
+			Prefix: prefix,
+			ASPath: []int{4000 + r.IntN(300), g.ASN},
+			Rel:    rel,
+		})
+	}
+
+	// Interconnect mix: most groups are reached over a PNI peer plus
+	// transit alternatives (§6.1: peers preferred, PNIs monitored).
+	switch {
+	case r.Bool(0.55):
+		addPeer(bgp.PrivatePeer)
+		if r.Bool(0.35) {
+			addPeerVia(bgp.PrivatePeer) // multi-homed: second PNI path
+		} else {
+			addPeer(bgp.PublicPeer)
+		}
+		addTransit()
+		addTransit()
+	case r.Bool(0.55): // 0.45*0.55 ≈ 0.25 overall
+		addPeer(bgp.PrivatePeer)
+		addTransit()
+		addTransit()
+	case r.Bool(0.75): // ≈ 0.15 overall
+		addPeer(bgp.PublicPeer)
+		addTransit()
+		addTransit()
+	default: // transit only
+		addTransit()
+		addTransit()
+		addTransit()
+	}
+
+	preferred, alts, _ := bgp.Best(routes, w.Cfg.AlternateRoutes)
+	g.Routes = []RouteCondition{{Route: preferred}}
+	for _, alt := range alts {
+		rc := RouteCondition{Route: alt}
+		// Alternates are usually slightly worse than the preferred
+		// route: the §6.2 difference distributions concentrate near zero
+		// and skew toward "preferred is better".
+		rc.RTTDelta = time.Duration(r.Exponential(float64(2 * time.Millisecond)))
+		if alt.Rel == bgp.Transit {
+			rc.RTTDelta += time.Duration(r.Exponential(float64(3 * time.Millisecond)))
+		}
+		if alt.Prepended() {
+			// Prepending signals the destination wants traffic elsewhere;
+			// such routes also tend to be longer.
+			rc.RTTDelta += time.Duration(r.Exponential(float64(4 * time.Millisecond)))
+		}
+		g.Routes = append(g.Routes, rc)
+	}
+}
+
+// assignDegradation seeds the §5 temporal behaviour.
+func (w *World) assignDegradation(r *rng.RNG, g *Group, prof ContinentProfile) {
+	boost := prof.DegradationBoost
+	pDiurnal := clamp01(0.13 * boost)
+	pEpisodic := clamp01(0.08 * boost)
+	pContinuous := 0.008
+
+	switch {
+	case r.Bool(pContinuous):
+		g.DegradeClass = Continuous
+	case r.Bool(pDiurnal):
+		g.DegradeClass = Diurnal
+	case r.Bool(pEpisodic):
+		g.DegradeClass = Episodic
+	default:
+		g.DegradeClass = Uneventful
+	}
+	if g.DegradeClass == Uneventful {
+		return
+	}
+	// Severity: mostly small (Figure 8 shows 90% of traffic under ~4 ms
+	// degradation), with a heavier tail on high-boost continents.
+	g.DegradeRTT = time.Duration(2*float64(time.Millisecond) + r.Exponential(4*float64(time.Millisecond))*boost)
+	g.DegradeLoss = r.Exponential(0.008) * boost
+	// Peak-hour congestion shrinks the usable bandwidth to 35–90%.
+	g.DegradeBW = 0.9 - r.Float64()*0.55*clamp01(boost/2)
+	// Diurnal congestion coincides with the local traffic peak.
+	g.PeakStartHour = g.ActivityPeakUTC
+
+	if g.DegradeClass == Episodic {
+		g.EpisodeWindows = makeEpisodes(r, w.Cfg.Windows())
+	}
+}
+
+// assignOpportunity seeds the §6 structure: a small fraction of groups
+// where an alternate route beats the preferred one. Assignment uses a
+// deterministic coprime stride over group indexes so even small worlds
+// realise the configured per-mille rates (continuous 17‰, diurnal 6‰,
+// episodic 4‰ — summing to the paper's ~2% of traffic improvable).
+func (w *World) assignOpportunity(r *rng.RNG, g *Group, idx int) {
+	if len(g.Routes) < 2 {
+		g.OppClass = Uneventful
+		return
+	}
+	switch quota := (idx*37 + 13) % 1000; {
+	case quota < 17: // continuous MinRTT opportunity (§6.2.1: most of it)
+		g.OppClass = Continuous
+		g.OppRTT = time.Duration(7*float64(time.Millisecond) + r.Exponential(5*float64(time.Millisecond)))
+	case quota < 23:
+		g.OppClass = Diurnal
+		g.OppRTT = time.Duration(6*float64(time.Millisecond) + r.Exponential(4*float64(time.Millisecond)))
+	case quota < 27:
+		g.OppClass = Episodic
+		g.OppRTT = time.Duration(6*float64(time.Millisecond) + r.Exponential(6*float64(time.Millisecond)))
+		if g.EpisodeWindows == nil {
+			g.EpisodeWindows = makeEpisodes(r, w.Cfg.Windows())
+		}
+	default:
+		g.OppClass = Uneventful
+		return
+	}
+	// The winning alternate is genuinely good: near the group's base
+	// conditions rather than carrying the usual alternate penalty.
+	g.Routes[1].RTTDelta = time.Duration(r.Exponential(float64(500 * time.Microsecond)))
+	// A sliver of opportunity groups also see loss on the preferred
+	// route (congested interconnect), creating HDratio opportunity.
+	if r.Bool(0.12) {
+		g.OppLoss = 0.004 + r.Exponential(0.006)
+	}
+}
+
+// localEveningUTC maps a longitude to the UTC hour at which local
+// evening peak (≈20:00) begins, with ±1h jitter.
+func localEveningUTC(r *rng.RNG, lon float64) int {
+	local := 19 + r.IntN(3) // 19–21 local
+	utc := local - int(math.Round(lon/15.0))
+	return ((utc % 24) + 24) % 24
+}
+
+// makeEpisodes selects a handful of short degradation episodes.
+func makeEpisodes(r *rng.RNG, windows int) map[int]bool {
+	out := make(map[int]bool)
+	episodes := 2 + r.IntN(5)
+	for e := 0; e < episodes; e++ {
+		start := r.IntN(windows)
+		length := 2 + r.IntN(10)
+		for i := 0; i < length && start+i < windows; i++ {
+			out[start+i] = true
+		}
+	}
+	return out
+}
+
+func newPopulationShift(r *rng.RNG, base time.Duration) *PopulationShift {
+	ps := &PopulationShift{
+		AltRTT: base + time.Duration(30*float64(time.Millisecond)+r.Exponential(20*float64(time.Millisecond))),
+	}
+	// The alternate region's share peaks ~8 hours offset from the main
+	// population's evening.
+	phase := r.IntN(24)
+	for h := 0; h < 24; h++ {
+		d := float64(((h-phase)%24+24)%24) / 24 * 2 * math.Pi
+		ps.AltShareByHour[h] = 0.25 + 0.35*math.Cos(d)
+		if ps.AltShareByHour[h] < 0 {
+			ps.AltShareByHour[h] = 0
+		}
+	}
+	return ps
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

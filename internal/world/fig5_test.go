@@ -1,0 +1,74 @@
+package world
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/analysis"
+	"repro/internal/sample"
+)
+
+// TestFig5PopulationShift reproduces Figure 5: a prefix serving two
+// regions (e.g. California and Hawaii) whose diurnal activity peaks at
+// different hours sees its group-level median MinRTT oscillate between
+// the two regional levels even though each subpopulation is stable.
+func TestFig5PopulationShift(t *testing.T) {
+	w := New(Config{Seed: 3, Groups: 1, Days: 2, SessionsPerGroupWindow: 120})
+	g := w.Groups[0]
+
+	// Configure the group as the paper's example: a 20 ms main
+	// population and a 60 ms alternate whose share peaks 12h offset.
+	g.BaseRTT = 20 * time.Millisecond
+	g.DegradeClass = Uneventful
+	g.OppClass = Uneventful
+	var shift PopulationShift
+	shift.AltRTT = 60 * time.Millisecond
+	for h := 0; h < 24; h++ {
+		// Hawaii-like population dominates around hour 12, vanishes at 0.
+		d := h - 12
+		if d < 0 {
+			d = -d
+		}
+		shift.AltShareByHour[h] = 0.75 * (1 - float64(d)/12)
+	}
+	g.PopulationShift = &shift
+
+	store := agg.NewStore()
+	w.GenerateGroup(0, func(s sample.Sample) {
+		if s.AltIndex == 0 && !s.HostingProvider {
+			store.Add(s)
+		}
+	})
+	series := analysis.RTTSeries(store.Groups()[0])
+	if len(series) < 100 {
+		t.Fatalf("series too sparse: %d windows", len(series))
+	}
+
+	// Median around hour 0 (alt share ~0) must sit near 20 ms; around
+	// hour 12 (alt share 0.75) near 60 ms; and the series must visit
+	// both regimes.
+	avgAt := func(hour int) float64 {
+		sum, n := 0.0, 0
+		for win, v := range series {
+			if (win/4)%24 == hour {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("no windows at hour %d", hour)
+		}
+		return sum / float64(n)
+	}
+	low, high := avgAt(0), avgAt(12)
+	if low < 18 || low > 32 {
+		t.Errorf("off-peak median = %.1f ms, want ~20-25", low)
+	}
+	if high < 45 || high > 70 {
+		t.Errorf("peak median = %.1f ms, want ~55-65", high)
+	}
+	if high-low < 20 {
+		t.Errorf("population shift moved the median only %.1f ms", high-low)
+	}
+}

@@ -1,0 +1,306 @@
+package world
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cartographer"
+	"repro/internal/flowsim"
+	"repro/internal/hdratio"
+	"repro/internal/rng"
+	"repro/internal/sample"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// maxSimulatedTxns caps how many transactions per session run through
+// the transfer model; sessions can have 1000+ transactions (Figure 3)
+// and the HDratio evidence saturates long before that.
+const maxSimulatedTxns = 48
+
+// Generate produces the full dataset, invoking emit for every sampled
+// session in deterministic order (group by group, windows ascending).
+// Generation is parallel across groups; emission is ordered.
+func (w *World) Generate(emit func(sample.Sample)) {
+	nw := runtime.NumCPU()
+	if nw > 16 {
+		nw = 16
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	type result struct {
+		idx     int
+		samples []sample.Sample
+	}
+	for batchStart := 0; batchStart < len(w.Groups); batchStart += nw {
+		end := batchStart + nw
+		if end > len(w.Groups) {
+			end = len(w.Groups)
+		}
+		results := make([][]sample.Sample, end-batchStart)
+		var wg sync.WaitGroup
+		for i := batchStart; i < end; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var buf []sample.Sample
+				w.GenerateGroup(i, func(s sample.Sample) { buf = append(buf, s) })
+				results[i-batchStart] = buf
+			}(i)
+		}
+		wg.Wait()
+		for _, buf := range results {
+			for _, s := range buf {
+				emit(s)
+			}
+		}
+	}
+}
+
+// GenerateAll buffers the whole dataset; intended for tests and small
+// configurations.
+func (w *World) GenerateAll() []sample.Sample {
+	var out []sample.Sample
+	w.Generate(func(s sample.Sample) { out = append(out, s) })
+	return out
+}
+
+// GenerateGroup produces every sample for one group across all windows.
+func (w *World) GenerateGroup(groupIdx int, emit func(sample.Sample)) {
+	g := w.Groups[groupIdx]
+	r := rng.ChildAt(w.Cfg.Seed, "traffic", groupIdx)
+	gen := workload.NewGenerator(r.Child("workload"), workload.Config{})
+	seq := uint64(0)
+	for win := 0; win < w.Cfg.Windows(); win++ {
+		w.generateWindow(g, uint64(groupIdx), win, r, gen, &seq, emit)
+	}
+}
+
+// generateWindow produces the samples for one group × window.
+func (w *World) generateWindow(g *Group, groupIdx uint64, win int, r *rng.RNG,
+	gen *workload.Generator, seq *uint64, emit func(sample.Sample)) {
+
+	hour := (win / 4) % 24
+	mean := w.Cfg.SessionsPerGroupWindow * g.Weight * activity(hour, g.ActivityPeakUTC)
+	n := poisson(r, mean)
+	winStart := time.Duration(win) * WindowDuration
+
+	// Cartographer may have remapped the group to another PoP for this
+	// window (§3.4.2's coverage-gap cause).
+	pop := g.PoP
+	remapped := false
+	if len(g.PoPSchedule) > 1 {
+		if cur := cartographer.PoPAt(g.PoPSchedule, win); cur.Name != g.PoP {
+			pop, remapped = cur.Name, true
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		*seq++
+		s := w.generateSession(g, groupIdx, win, hour, r, gen, remapped)
+		s.PoP = pop
+		s.SessionID = groupIdx<<40 | *seq
+		s.Start = winStart + time.Duration(r.Int64N(int64(WindowDuration)))
+		emit(s)
+	}
+}
+
+// generateSession runs one sampled session through the transfer model
+// and the measurement methodology.
+func (w *World) generateSession(g *Group, groupIdx uint64, win, hour int,
+	r *rng.RNG, gen *workload.Generator, remapped bool) sample.Sample {
+
+	// Route pinning (§2.2.3): sampled sessions are pinned in
+	// coordination with Edge Fabric — ~47% ride the policy-preferred
+	// route, the rest measure the alternates.
+	alt := w.pinner.Pin(r, len(g.Routes))
+	rc := g.Routes[alt]
+
+	path := w.pathConditions(g, rc, alt, win, hour, r)
+	if remapped {
+		path.PropRTT += g.RemapRTTDelta
+	}
+	spec := gen.Session()
+
+	fs := flowsim.NewSession(path, flowsim.Config{}, r)
+	nSim := len(spec.Txns)
+	if nSim > maxSimulatedTxns {
+		nSim = maxSimulatedTxns
+	}
+	txns := make([]hdratio.Transaction, 0, nSim)
+	var busy time.Duration
+	var prevEnd time.Duration
+	for _, t := range spec.Txns[:nSim] {
+		// Idle gap since the previous transfer finished: long gaps
+		// collapse the congestion window (slow start after idle), which
+		// is exactly what the methodology's Wstart chaining compensates
+		// for (§3.2.2).
+		idle := t.At - prevEnd
+		res := fs.TransferAfterIdle(t.Bytes, idle)
+		txns = append(txns, res.Observation)
+		busy += res.RawDuration
+		end := t.At + res.RawDuration
+		if end > prevEnd {
+			prevEnd = end
+		}
+	}
+	if nSim > 0 && len(spec.Txns) > nSim {
+		// Extrapolate busy time for the unsimulated tail.
+		busy += time.Duration(float64(busy) / float64(nSim) * float64(len(spec.Txns)-nSim))
+	}
+	busyFrac := 0.0
+	if spec.Duration > 0 {
+		busyFrac = float64(busy) / float64(spec.Duration)
+		if busyFrac > 0.98 {
+			busyFrac = 0.98
+		}
+	}
+
+	hsess := hdratio.Session{MinRTT: fs.MinRTT(), Transactions: txns}
+	out := hdratio.Evaluate(hsess, hdratio.DefaultConfig())
+	simple := hdratio.EvaluateSimple(hsess, hdratio.DefaultConfig())
+
+	return sample.Sample{
+		PoP:             g.PoP,
+		DistanceKm:      g.DistanceKm,
+		CrossContinent:  g.CrossContinent,
+		ClientSubnet:    uint8(r.IntN(4)),
+		Prefix:          g.Prefix,
+		ClientAS:        g.ASN,
+		Country:         g.Country,
+		Continent:       g.Continent,
+		Proto:           spec.Proto,
+		RouteID:         rc.Route.ID,
+		RouteRel:        rc.Route.Rel,
+		ASPathLen:       rc.Route.PathLen(),
+		Prepended:       rc.Route.Prepended(),
+		AltIndex:        alt,
+		Duration:        spec.Duration,
+		BusyFraction:    busyFrac,
+		Bytes:           spec.TotalBytes(),
+		Transactions:    len(spec.Txns),
+		ResponseBytes:   gen.RecordedResponses(spec),
+		MediaEndpoint:   spec.Media,
+		MinRTT:          fs.MinRTT(),
+		HDTested:        out.Tested,
+		HDAchieved:      out.AchievedCount,
+		SimpleAchieved:  simple.AchievedCount,
+		HostingProvider: r.Bool(w.Cfg.HostingShare),
+	}
+}
+
+// pathConditions assembles the flow-level path for one session.
+func (w *World) pathConditions(g *Group, rc RouteCondition, alt, win, hour int, r *rng.RNG) flowsim.Path {
+	base := g.BaseRTT
+	if ps := g.PopulationShift; ps != nil && r.Bool(ps.AltShareByHour[hour]) {
+		base = ps.AltRTT
+	}
+	rtt := base + rc.RTTDelta
+	loss := g.BaseLoss + rc.LossDelta
+	jitter := 700*time.Microsecond + rtt/35
+
+	// Destination-network degradation (§5) affects every route.
+	bwFactor := 1.0
+	if w.degradeActive(g, win, hour) {
+		rtt += g.DegradeRTT
+		loss += g.DegradeLoss
+		jitter += g.DegradeRTT / 4
+		if g.DegradeBW > 0 {
+			bwFactor = g.DegradeBW
+		}
+	}
+	// Opportunity penalties (§6) hit only the preferred route, so the
+	// best alternate wins while the episode lasts.
+	if alt == 0 && w.oppActive(g, win, hour) {
+		rtt += g.OppRTT
+		loss += g.OppLoss
+	}
+
+	access := units.Rate(r.LogNormalMedian(float64(g.Access), g.AccessSigma) * bwFactor)
+	if access < 100*units.Kbps {
+		access = 100 * units.Kbps
+	}
+	if access > 300*units.Mbps {
+		access = 300 * units.Mbps
+	}
+	if loss > 0.3 {
+		loss = 0.3
+	}
+	return flowsim.Path{
+		PropRTT:         rtt,
+		Bottleneck:      access,
+		LossProb:        loss,
+		JitterMean:      jitter,
+		BottleneckSigma: 0.45,
+		PoliceRate:      g.PoliceRate,
+		PoliceBurst:     g.PoliceBurst,
+	}
+}
+
+// degradeActive reports whether the group's degradation is in effect.
+func (w *World) degradeActive(g *Group, win, hour int) bool {
+	switch g.DegradeClass {
+	case Continuous:
+		return true
+	case Diurnal:
+		return inPeak(hour, g.PeakStartHour)
+	case Episodic:
+		return g.EpisodeWindows[win]
+	}
+	return false
+}
+
+// oppActive reports whether the preferred-route penalty is in effect.
+func (w *World) oppActive(g *Group, win, hour int) bool {
+	switch g.OppClass {
+	case Continuous:
+		return true
+	case Diurnal:
+		return inPeak(hour, g.ActivityPeakUTC)
+	case Episodic:
+		return g.EpisodeWindows[win]
+	}
+	return false
+}
+
+// inPeak reports whether hour falls in the 4-hour window from start.
+func inPeak(hour, start int) bool {
+	d := ((hour-start)%24 + 24) % 24
+	return d < 4
+}
+
+// activity is the diurnal demand curve: sessions concentrate around the
+// local evening peak.
+func activity(hourUTC, peakUTC int) float64 {
+	d := float64(((hourUTC-peakUTC)%24 + 24) % 24)
+	if d > 12 {
+		d = 24 - d
+	}
+	// Cosine bump: 1.4 at the peak, 0.4 at the trough.
+	return 0.9 + 0.5*math.Cos(math.Pi*d/12)
+}
+
+// poisson draws a Poisson variate via Knuth's method (means here are
+// small) with a normal approximation above 30.
+func poisson(r *rng.RNG, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := int(r.Normal(mean, math.Sqrt(mean)) + 0.5)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for p > l {
+		k++
+		p *= r.Float64()
+	}
+	return k - 1
+}

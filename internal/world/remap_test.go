@@ -1,0 +1,68 @@
+package world
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/analysis"
+	"repro/internal/cartographer"
+	"repro/internal/geo"
+	"repro/internal/sample"
+)
+
+// TestCartographerRemapCreatesCoverageGap verifies the §3.4.2 mechanism
+// the paper cites for excluding sparse groups: when Cartographer moves a
+// population to another PoP mid-study, the original (PoP, prefix,
+// country) group stops receiving traffic — its coverage falls below the
+// classification floor — and a new group key appears at the other PoP.
+func TestCartographerRemapCreatesCoverageGap(t *testing.T) {
+	w := New(Config{Seed: 21, Groups: 1, Days: 5, SessionsPerGroupWindow: 10})
+	g := w.Groups[0]
+
+	// Force a mid-study remap to a different PoP at the dataset midpoint.
+	var other geo.PoP
+	for _, p := range w.Geo.PoPs {
+		if p.Name != g.PoP {
+			other = p
+			break
+		}
+	}
+	mid := w.Cfg.Windows() / 2
+	g.PoPSchedule = []cartographer.Assignment{
+		{PoP: w.Geo.PoPs[popIndex(w.Geo, g.PoP)], FromWindow: 0},
+		{PoP: other, FromWindow: mid},
+	}
+	g.RemapRTTDelta = 10_000_000 // 10ms
+
+	store := agg.NewStore()
+	w.GenerateGroup(0, func(s sample.Sample) { store.Add(s) })
+
+	if store.Len() != 2 {
+		t.Fatalf("remap should split traffic across 2 group keys, got %d", store.Len())
+	}
+	params := analysis.DefaultClassifyParams(w.Cfg.Days)
+	for _, gs := range store.Groups() {
+		cov := gs.CoverageFraction(w.Cfg.Windows())
+		if cov > 0.65 {
+			t.Errorf("group %s coverage = %.2f; a half-study group must be below the 0.60 floor (±windows at the boundary)", gs.Key, cov)
+		}
+		// The §3.4.2 classifier must refuse to classify such a group.
+		verdicts := make([]analysis.WindowVerdict, 0, len(gs.Windows))
+		for _, win := range gs.WindowIndexes() {
+			verdicts = append(verdicts, analysis.WindowVerdict{Window: win, Valid: true})
+		}
+		class := analysis.Classify(verdicts, len(gs.Windows), w.Cfg.Windows(), params)
+		if class != analysis.Unclassified {
+			t.Errorf("group %s with %.0f%% coverage classified %v, want Unclassified", gs.Key, cov*100, class)
+		}
+	}
+}
+
+func popIndex(w *geo.World, name string) int {
+	for i, p := range w.PoPs {
+		if p.Name == name {
+			return i
+		}
+	}
+	return 0
+}
