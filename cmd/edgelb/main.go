@@ -8,10 +8,15 @@
 // Usage:
 //
 //	edgelb [-listen 127.0.0.1:8080] [-rate 1.0] [-target 2.5e6]
+//	       [-metrics-addr 127.0.0.1:8081]
 //
 // Exercise it with any HTTP client:
 //
 //	curl -o /dev/null 'http://127.0.0.1:8080/object?bytes=1250000'
+//
+// The metrics listener serves the server's own health: request-latency
+// histograms, session/byte counters, and TCP_INFO capture failures on
+// /metrics (Prometheus text), plus /debug/vars and /debug/pprof.
 package main
 
 import (
@@ -20,15 +25,18 @@ import (
 	"net"
 
 	"repro/internal/lb"
+	"repro/internal/obs"
 	"repro/internal/proxygen"
 	"repro/internal/units"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
-		rate   = flag.Float64("rate", 1.0, "session sampling rate (0..1]")
-		target = flag.Float64("target", float64(units.HDGoodput), "target goodput in bits/sec")
+		listen      = flag.String("listen", "127.0.0.1:8080", "listen address")
+		rate        = flag.Float64("rate", 1.0, "session sampling rate (0..1]")
+		target      = flag.Float64("target", float64(units.HDGoodput), "target goodput in bits/sec")
+		metricsAddr = flag.String("metrics-addr", "127.0.0.1:8081", "serve /metrics, /debug/vars and /debug/pprof on this address ('' to disable)")
+		quiet       = flag.Bool("quiet", false, "suppress per-session report logging")
 	)
 	flag.Parse()
 
@@ -39,14 +47,32 @@ func main() {
 	log.Printf("edgelb: serving on %s (sampling %.0f%% of sessions, target %v)",
 		l.Addr(), *rate*100, units.Rate(*target))
 
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		go func() {
+			if err := reg.ListenAndServe(*metricsAddr); err != nil {
+				log.Printf("edgelb: metrics server: %v", err)
+			}
+		}()
+		log.Printf("edgelb: metrics on http://%s/metrics (pprof under /debug/pprof/)", *metricsAddr)
+	}
+
+	hd := reg.Digest("edgelb_session_hdratio")
 	srv := &lb.Server{
 		Sampler: proxygen.Sampler{Rate: *rate, Salt: 0x5eed},
 		Target:  units.Rate(*target),
 		OnReport: func(r lb.SessionReport) {
+			if v := r.HDratio(); v == v { // skip NaN (nothing tested)
+				hd.Observe(v)
+			}
+			if *quiet {
+				return
+			}
 			log.Printf("session %s: minrtt=%v bytes=%d txns=%d tested=%d achieved=%d hdratio=%.2f",
 				r.RemoteAddr, r.MinRTT, r.BytesServed, len(r.Transactions),
 				r.Outcome.Tested, r.Outcome.AchievedCount, r.HDratio())
 		},
 	}
+	srv.Instrument(reg)
 	log.Fatal(srv.Serve(l))
 }

@@ -8,9 +8,12 @@
 // Usage:
 //
 //	edgereport [-seed N] [-groups N] [-days N] [-spw N] [-in dataset.jsonl] [-deagg] [-cdf]
+//	           [-progress] [-metrics-addr host:port]
 //
 // The defaults (120 groups × 5 days) run in a minute or two on a laptop. -cdf additionally
-// dumps the raw CDF series behind Figures 8 and 9 for plotting.
+// dumps the raw CDF series behind Figures 8 and 9 for plotting. -progress reports pipeline
+// throughput and per-stage timings to stderr while the study runs; -metrics-addr serves
+// /metrics, /debug/vars and /debug/pprof for live introspection of long runs.
 package main
 
 import (
@@ -19,7 +22,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sample"
 	"repro/internal/study"
@@ -28,15 +33,30 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 42, "world seed (same seed, same dataset)")
-		groups = flag.Int("groups", 120, "number of user groups")
-		days   = flag.Int("days", 5, "dataset length in days (paper: 10)")
-		spw    = flag.Float64("spw", 110, "mean sampled sessions per group per 15-minute window")
-		in     = flag.String("in", "", "analyse an existing dataset (JSON lines from edgesim) instead of generating one")
-		cdf    = flag.Bool("cdf", false, "also dump raw CDF series for Figures 8 and 9")
-		deagg  = flag.Bool("deagg", false, "also run the §3.3 prefix-deaggregation experiment")
+		seed        = flag.Uint64("seed", 42, "world seed (same seed, same dataset)")
+		groups      = flag.Int("groups", 120, "number of user groups")
+		days        = flag.Int("days", 5, "dataset length in days (paper: 10)")
+		spw         = flag.Float64("spw", 110, "mean sampled sessions per group per 15-minute window")
+		in          = flag.String("in", "", "analyse an existing dataset (JSON lines from edgesim) instead of generating one")
+		cdf         = flag.Bool("cdf", false, "also dump raw CDF series for Figures 8 and 9")
+		deagg       = flag.Bool("deagg", false, "also run the §3.3 prefix-deaggregation experiment")
+		progress    = flag.Bool("progress", false, "report study progress to stderr every 2s")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		go func() {
+			if err := reg.ListenAndServe(*metricsAddr); err != nil {
+				log.Printf("edgereport: metrics server: %v", err)
+			}
+		}()
+	}
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = obs.StartProgress(reg, os.Stderr, 2*time.Second)
+	}
 
 	var res *study.Results
 	var deagResult *struct {
@@ -58,18 +78,19 @@ func main() {
 			log.Fatalf("edgereport: %v", err)
 		}
 		defer f.Close()
-		res, err = study.FromSamples(sample.NewReader(bufio.NewReaderSize(f, 1<<20)))
+		res, err = study.FromSamplesObs(sample.NewReader(bufio.NewReaderSize(f, 1<<20)), reg)
 		if err != nil {
 			log.Fatalf("edgereport: reading %s: %v", *in, err)
 		}
 	} else {
-		res = study.Run(world.Config{
+		res = study.RunObs(world.Config{
 			Seed:                   *seed,
 			Groups:                 *groups,
 			Days:                   *days,
 			SessionsPerGroupWindow: *spw,
-		})
+		}, reg)
 	}
+	stopProgress()
 	res.WriteReport(os.Stdout)
 	if deagResult != nil {
 		fmt.Printf("== §3.3 deaggregation experiment ==\ngroups %d→%d, coverage loss %.0f%%, variability reduction %.0f%% (paper: large loss, minimal reduction)\n\n",

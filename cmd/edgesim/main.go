@@ -6,10 +6,15 @@
 // Usage:
 //
 //	edgesim [-seed N] [-groups N] [-days N] [-spw N] [-o dataset.jsonl]
+//	        [-progress] [-metrics-addr host:port]
 //
 // A 10-day, 300-group dataset is a few million sessions and a few GB of
-// JSON; scale -groups/-days/-spw to taste. The output feeds external
-// tooling; cmd/edgereport regenerates and analyses in-process instead.
+// JSON; scale -groups/-days/-spw to taste. -progress reports sessions
+// per second and per-stage wall time to stderr while the run grinds;
+// -metrics-addr additionally serves /metrics (Prometheus text),
+// /debug/vars, and /debug/pprof for live introspection. The output
+// feeds external tooling; cmd/edgereport regenerates and analyses
+// in-process instead.
 package main
 
 import (
@@ -18,19 +23,23 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/collector"
+	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/world"
 )
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 1, "world seed")
-		groups = flag.Int("groups", 300, "number of user groups")
-		days   = flag.Int("days", 10, "dataset length in days")
-		spw    = flag.Float64("spw", 8, "mean sampled sessions per group per window")
-		out    = flag.String("o", "-", "output path ('-' for stdout)")
+		seed        = flag.Uint64("seed", 1, "world seed")
+		groups      = flag.Int("groups", 300, "number of user groups")
+		days        = flag.Int("days", 10, "dataset length in days")
+		spw         = flag.Float64("spw", 8, "mean sampled sessions per group per window")
+		out         = flag.String("o", "-", "output path ('-' for stdout)")
+		progress    = flag.Bool("progress", false, "report generation progress to stderr every 2s")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -43,10 +52,21 @@ func main() {
 		if err != nil {
 			log.Fatalf("edgesim: %v", err)
 		}
-		defer f.Close()
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
-	defer bw.Flush()
+
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		go func() {
+			if err := reg.ListenAndServe(*metricsAddr); err != nil {
+				log.Printf("edgesim: metrics server: %v", err)
+			}
+		}()
+	}
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = obs.StartProgress(reg, os.Stderr, 2*time.Second)
+	}
 
 	w := world.New(world.Config{
 		Seed:                   *seed,
@@ -54,12 +74,24 @@ func main() {
 		Days:                   *days,
 		SessionsPerGroupWindow: *spw,
 	})
-	writer := sample.NewWriter(bw)
-	var writeErr error
-	col := collector.New(collector.WriterSink(writer, func(err error) { writeErr = err }))
+	w.Instrument(reg)
+	col := collector.New(collector.WriterSink(sample.NewWriter(bw)))
+	col.Instrument(reg)
 	w.Generate(col.Offer)
-	if writeErr != nil {
-		log.Fatalf("edgesim: write: %v", writeErr)
+	stopProgress()
+	if err := col.Err(); err != nil {
+		st := col.Stats()
+		log.Fatalf("edgesim: write: %v (%d samples dropped after the error)", err, st.DroppedAfterError)
+	}
+	// A full disk can surface only at flush or close; either way the
+	// dataset is truncated and the run must fail loudly.
+	if err := bw.Flush(); err != nil {
+		log.Fatalf("edgesim: flush: %v", err)
+	}
+	if f != os.Stdout {
+		if err := f.Close(); err != nil {
+			log.Fatalf("edgesim: close: %v", err)
+		}
 	}
 	st := col.Stats()
 	fmt.Fprintf(os.Stderr, "edgesim: wrote %d samples (%d filtered as hosting/VPN) across %d groups × %d windows\n",

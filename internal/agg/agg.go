@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/stats"
 	"repro/internal/tdigest"
@@ -57,17 +58,22 @@ func newAggregation() *Aggregation {
 	}
 }
 
-// Add folds one sample in.
-func (a *Aggregation) Add(s sample.Sample) {
+// Add folds one sample in and returns how many digest observations it
+// produced (MinRTT always; HD/SimpleHD only for tested sessions).
+func (a *Aggregation) Add(s sample.Sample) int {
 	a.Sessions++
 	a.Bytes += s.Bytes
 	a.MinRTT.Add(float64(s.MinRTT) / float64(time.Millisecond))
+	adds := 1
 	if hd, ok := s.HDratio(); ok {
 		a.HD.Add(hd)
+		adds++
 	}
 	if shd, ok := s.SimpleHDratio(); ok {
 		a.SimpleHD.Add(shd)
+		adds++
 	}
+	return adds
 }
 
 // MinRTTP50 returns the median MinRTT in milliseconds.
@@ -134,11 +140,26 @@ type Store struct {
 	TotalWindows int
 	// TotalSamples counts samples aggregated.
 	TotalSamples int
+
+	// Pre-resolved obs handles; nil (no-op) until Instrument is called.
+	cWindows    *obs.Counter
+	cDigestAdds *obs.Counter
+	gGroups     *obs.Gauge
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{groups: make(map[sample.GroupKey]*GroupSeries)}
+}
+
+// Instrument registers aggregation metrics on reg: (group, window)
+// cells opened, t-digest observations merged, and the number of user
+// groups tracked. The per-sample cost is a single atomic add. A nil
+// registry leaves the store uninstrumented.
+func (st *Store) Instrument(reg *obs.Registry) {
+	st.cWindows = reg.Counter("agg_window_cells_total")
+	st.cDigestAdds = reg.Counter("agg_digest_adds_total")
+	st.gGroups = reg.Gauge("agg_groups")
 }
 
 // WindowOf returns the window index for a sample start time.
@@ -157,6 +178,7 @@ func (st *Store) Add(s sample.Sample) {
 			RouteMeta: make(map[int]RouteMeta),
 		}
 		st.groups[key] = g
+		st.gGroups.Set(float64(len(st.groups)))
 	}
 	if _, ok := g.RouteMeta[s.AltIndex]; !ok {
 		g.RouteMeta[s.AltIndex] = RouteMeta{
@@ -168,13 +190,14 @@ func (st *Store) Add(s sample.Sample) {
 	if !ok {
 		wa = &WindowAgg{Routes: make(map[int]*Aggregation)}
 		g.Windows[win] = wa
+		st.cWindows.Inc()
 	}
 	a, ok := wa.Routes[s.AltIndex]
 	if !ok {
 		a = newAggregation()
 		wa.Routes[s.AltIndex] = a
 	}
-	a.Add(s)
+	st.cDigestAdds.Add(int64(a.Add(s)))
 	if s.AltIndex == 0 {
 		g.PreferredBytes += s.Bytes
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/tdigest"
 )
@@ -77,6 +78,9 @@ type Overview struct {
 	TotalBytes      int64
 
 	Sessions int
+
+	// cSamples, when wired via Instrument, counts samples folded in.
+	cSamples *obs.Counter
 }
 
 func newProtoDigests() map[sample.Protocol]*tdigest.TDigest {
@@ -115,9 +119,15 @@ func NewOverview() *Overview {
 	return o
 }
 
+// Instrument registers the overview's ingest counter on reg (nil-safe).
+func (o *Overview) Instrument(reg *obs.Registry) {
+	o.cSamples = reg.Counter("analysis_overview_samples_total")
+}
+
 // Add folds one sample in.
 func (o *Overview) Add(s sample.Sample) {
 	o.Sessions++
+	o.cSamples.Inc()
 
 	// Traffic characterisation uses every session.
 	protoAdd := func(m map[sample.Protocol]*tdigest.TDigest, v float64) {

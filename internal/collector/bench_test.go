@@ -1,0 +1,47 @@
+package collector
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/obs"
+	"repro/internal/sample"
+	"repro/internal/world"
+)
+
+// benchSamples generates one small world's worth of realistic samples
+// for the ingest benchmarks.
+func benchSamples(b *testing.B) []sample.Sample {
+	b.Helper()
+	w := world.New(world.Config{Seed: 7, Groups: 6, Days: 1, SessionsPerGroupWindow: 10})
+	out := w.GenerateAll()
+	if len(out) == 0 {
+		b.Fatal("no samples generated")
+	}
+	return out
+}
+
+// BenchmarkObsOverhead documents the cost of the obs fast path on the
+// ingest hot path: the same collector→store pipeline with metrics off
+// (nil handles) and on (live registry). EXPERIMENTS.md records the
+// measured delta; the acceptance bar is <5% overhead.
+func BenchmarkObsOverhead(b *testing.B) {
+	samples := benchSamples(b)
+	run := func(b *testing.B, reg *obs.Registry) {
+		st := agg.NewStore()
+		st.Instrument(reg)
+		c := New(StoreSink(st))
+		c.Instrument(reg)
+		// Warm the store so the timed loop measures steady-state ingest,
+		// not map/digest growth.
+		for _, s := range samples {
+			c.Offer(s)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Offer(samples[i%len(samples)])
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, obs.NewRegistry()) })
+}

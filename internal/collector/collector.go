@@ -8,11 +8,14 @@ package collector
 
 import (
 	"repro/internal/agg"
+	"repro/internal/obs"
 	"repro/internal/sample"
 )
 
-// Sink consumes accepted samples.
-type Sink func(sample.Sample)
+// Sink consumes accepted samples. A non-nil error poisons the
+// pipeline: the collector stops offering samples to every sink (a
+// half-written dataset must not keep growing behind a failed writer).
+type Sink func(sample.Sample) error
 
 // Stats counts the pipeline's activity.
 type Stats struct {
@@ -20,8 +23,13 @@ type Stats struct {
 	Received int
 	// FilteredHosting counts samples dropped by the hosting/VPN filter.
 	FilteredHosting int
-	// Accepted = Received − filtered.
+	// Accepted = Received − filtered − dropped.
 	Accepted int
+	// SinkErrors counts sink invocations that returned an error.
+	SinkErrors int
+	// DroppedAfterError counts samples discarded because a sink had
+	// already failed.
+	DroppedAfterError int
 }
 
 // Collector filters and fans out samples.
@@ -31,6 +39,13 @@ type Collector struct {
 	KeepHosting bool
 	sinks       []Sink
 	stats       Stats
+	err         error
+
+	// Pre-resolved obs handles; nil (no-op) until Instrument is called.
+	cAccepted *obs.Counter
+	cFiltered *obs.Counter
+	cSinkErrs *obs.Counter
+	cDropped  *obs.Counter
 }
 
 // New returns a collector feeding the given sinks.
@@ -41,33 +56,72 @@ func New(sinks ...Sink) *Collector {
 // AddSink attaches another sink.
 func (c *Collector) AddSink(s Sink) { c.sinks = append(c.sinks, s) }
 
-// Offer runs one sample through the pipeline.
+// Instrument registers the pipeline counters on reg (nil-safe: a nil
+// registry leaves the collector uninstrumented).
+func (c *Collector) Instrument(reg *obs.Registry) {
+	c.cAccepted = reg.Counter("collector_accepted_total")
+	c.cFiltered = reg.Counter("collector_filtered_hosting_total")
+	c.cSinkErrs = reg.Counter("collector_sink_errors_total")
+	c.cDropped = reg.Counter("collector_dropped_after_error_total")
+	// Every offered sample lands in exactly one of these, so the total
+	// is derived at exposition time and costs nothing per sample.
+	acc, fil, drop := c.cAccepted, c.cFiltered, c.cDropped
+	reg.CounterFunc("collector_offered_total", func() int64 {
+		return acc.Value() + fil.Value() + drop.Value()
+	})
+}
+
+// Offer runs one sample through the pipeline. After the first sink
+// error the pipeline is poisoned: subsequent samples are counted as
+// dropped and not offered to any sink (see Err).
 func (c *Collector) Offer(s sample.Sample) {
 	c.stats.Received++
+	if c.err != nil {
+		c.stats.DroppedAfterError++
+		c.cDropped.Inc()
+		return
+	}
 	if s.HostingProvider && !c.KeepHosting {
 		c.stats.FilteredHosting++
+		c.cFiltered.Inc()
 		return
 	}
 	c.stats.Accepted++
+	c.cAccepted.Inc()
 	for _, sink := range c.sinks {
-		sink(s)
+		if err := sink(s); err != nil {
+			c.stats.SinkErrors++
+			c.cSinkErrs.Inc()
+			c.err = err
+			return
+		}
 	}
 }
+
+// Err returns the first sink error, or nil.
+func (c *Collector) Err() error { return c.err }
 
 // Stats returns the pipeline counters.
 func (c *Collector) Stats() Stats { return c.stats }
 
 // StoreSink adapts an aggregation store into a sink.
 func StoreSink(st *agg.Store) Sink {
-	return func(s sample.Sample) { st.Add(s) }
+	return func(s sample.Sample) error {
+		st.Add(s)
+		return nil
+	}
 }
 
-// WriterSink adapts a sample writer into a sink; write errors are
-// reported through errf (which may be nil to ignore them).
-func WriterSink(w *sample.Writer, errf func(error)) Sink {
-	return func(s sample.Sample) {
-		if err := w.Write(s); err != nil && errf != nil {
-			errf(err)
-		}
+// WriterSink adapts a sample writer into a sink; write errors poison
+// the collector (see Offer).
+func WriterSink(w *sample.Writer) Sink {
+	return func(s sample.Sample) error { return w.Write(s) }
+}
+
+// FuncSink adapts an infallible consumer into a sink.
+func FuncSink(f func(sample.Sample)) Sink {
+	return func(s sample.Sample) error {
+		f(s)
+		return nil
 	}
 }

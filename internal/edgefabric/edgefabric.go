@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/bgp"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/units"
 )
@@ -52,6 +53,11 @@ type Controller struct {
 	EWMA float64
 
 	ics []*Interconnect
+
+	// Pre-resolved obs handles; nil (no-op) until Instrument is called.
+	cDetoured    *obs.Counter
+	cActivations *obs.Counter
+	detouring    bool
 }
 
 // New creates a controller over the prefix's interconnects.
@@ -61,6 +67,15 @@ func New(ics []*Interconnect) *Controller {
 
 // Interconnects exposes the controller's state (for reports).
 func (c *Controller) Interconnects() []*Interconnect { return c.ics }
+
+// Instrument registers override metrics on reg: every detoured routing
+// decision, and each activation (transition from following BGP policy
+// to overriding it). A nil registry leaves the controller
+// uninstrumented.
+func (c *Controller) Instrument(reg *obs.Registry) {
+	c.cDetoured = reg.Counter("edgefabric_detoured_flows_total")
+	c.cActivations = reg.Counter("edgefabric_override_activations_total")
+}
 
 // ObserveLoad folds a load measurement (bits/sec) for route index i.
 func (c *Controller) ObserveLoad(i int, bps float64) error {
@@ -78,6 +93,19 @@ func (c *Controller) ObserveLoad(i int, bps float64) error {
 // overflow. With every interconnect hot, the preferred route is used
 // anyway (shedding capacity problems downstream beats blackholing).
 func (c *Controller) Route() int {
+	route := c.route()
+	if route != 0 {
+		c.cDetoured.Inc()
+		if !c.detouring {
+			c.cActivations.Inc()
+		}
+	}
+	c.detouring = route != 0
+	return route
+}
+
+// route is the side-effect-free decision shared by Route and Detouring.
+func (c *Controller) route() int {
 	for i, ic := range c.ics {
 		if ic.Utilization() < c.DetourThreshold {
 			return i
@@ -88,7 +116,7 @@ func (c *Controller) Route() int {
 
 // Detouring reports whether production traffic is currently shifted off
 // the preferred route.
-func (c *Controller) Detouring() bool { return c.Route() != 0 }
+func (c *Controller) Detouring() bool { return c.route() != 0 }
 
 // Pinner assigns sampled sessions to routes for measurement (§2.2.3):
 // a PreferredShare of sessions rides the policy-preferred route
@@ -97,6 +125,10 @@ func (c *Controller) Detouring() bool { return c.Route() != 0 }
 type Pinner struct {
 	// PreferredShare is the fraction pinned to the preferred route.
 	PreferredShare float64
+	// PinnedPreferred and PinnedAlternate, when non-nil, count pin
+	// decisions (wired by the world generator's Instrument).
+	PinnedPreferred *obs.Counter
+	PinnedAlternate *obs.Counter
 }
 
 // DefaultPinner matches the paper's split.
@@ -106,6 +138,7 @@ func DefaultPinner() Pinner { return Pinner{PreferredShare: 0.47} }
 // given the number of routes available.
 func (p Pinner) Pin(r *rng.RNG, routes int) int {
 	if routes <= 1 {
+		p.PinnedPreferred.Inc()
 		return 0
 	}
 	share := p.PreferredShare
@@ -113,7 +146,9 @@ func (p Pinner) Pin(r *rng.RNG, routes int) int {
 		share = 0.47
 	}
 	if r.Bool(share) {
+		p.PinnedPreferred.Inc()
 		return 0
 	}
+	p.PinnedAlternate.Inc()
 	return 1 + r.IntN(routes-1)
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/hdratio"
+	"repro/internal/obs"
 	"repro/internal/proxygen"
 	"repro/internal/tcpinfo"
 	"repro/internal/units"
@@ -56,6 +57,29 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions uint64
+
+	// Pre-resolved obs handles; nil (no-op) until Instrument is called.
+	hRequest     *obs.Histogram
+	dSessionRTT  *obs.Digest
+	cSessions    *obs.Counter
+	cSampled     *obs.Counter
+	cRequests    *obs.Counter
+	cBytes       *obs.Counter
+	cTCPInfoErrs *obs.Counter
+}
+
+// Instrument registers the server's metrics on reg: a per-request
+// service-latency histogram, a per-session MinRTT summary, and counters
+// for sessions, sampled sessions, requests, bytes served, and TCP_INFO
+// capture failures. A nil registry leaves the server uninstrumented.
+func (s *Server) Instrument(reg *obs.Registry) {
+	s.hRequest = reg.Histogram("lb_request_seconds", nil)
+	s.dSessionRTT = reg.Digest("lb_session_minrtt_ms")
+	s.cSessions = reg.Counter("lb_sessions_total")
+	s.cSampled = reg.Counter("lb_sampled_sessions_total")
+	s.cRequests = reg.Counter("lb_requests_total")
+	s.cBytes = reg.Counter("lb_bytes_served_total")
+	s.cTCPInfoErrs = reg.Counter("lb_tcpinfo_errors_total")
 }
 
 // Serve accepts connections until the listener closes.
@@ -77,6 +101,10 @@ func (s *Server) handle(conn net.Conn, id uint64) {
 	defer conn.Close()
 	sampled := s.Sampler.Rate == 0 || s.Sampler.Sample(id)
 	tconn, _ := conn.(*net.TCPConn)
+	s.cSessions.Inc()
+	if sampled {
+		s.cSampled.Inc()
+	}
 
 	start := time.Now()
 	var raws []proxygen.RawTxn
@@ -88,10 +116,14 @@ func (s *Server) handle(conn net.Conn, id uint64) {
 		if err != nil {
 			break
 		}
+		reqStart := time.Now()
 		raw, err := s.serveObject(tconn, conn, nbytes, start)
 		if err != nil {
 			break
 		}
+		s.cRequests.Inc()
+		s.cBytes.Add(nbytes)
+		s.hRequest.ObserveDuration(time.Since(reqStart))
 		served += nbytes
 		if sampled {
 			raws = append(raws, raw)
@@ -108,7 +140,10 @@ func (s *Server) handle(conn net.Conn, id uint64) {
 	minRTT := time.Duration(0)
 	if info, err := tcpinfo.FromTCPConn(tconn); err == nil {
 		minRTT = info.MinRTT
+	} else {
+		s.cTCPInfoErrs.Inc()
 	}
+	s.dSessionRTT.Observe(float64(minRTT) / float64(time.Millisecond))
 	txns := proxygen.Correct(raws)
 	target := s.Target
 	if target <= 0 {
@@ -181,6 +216,8 @@ func (s *Server) serveObject(tconn *net.TCPConn, conn net.Conn, nbytes int64, ep
 					raw.LastPacketBytes = mss
 				}
 			}
+		} else {
+			s.cTCPInfoErrs.Inc()
 		}
 	}
 
@@ -217,6 +254,7 @@ func (s *Server) serveObject(tconn *net.TCPConn, conn net.Conn, nbytes int64, ep
 		for time.Now().Before(deadline) {
 			info, err := tcpinfo.FromTCPConn(tconn)
 			if err != nil {
+				s.cTCPInfoErrs.Inc()
 				break
 			}
 			if raw.SecondToLastAck == 0 && info.BytesAcked >= target {

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// series is one exposition sample: a full metric name (base + label
+// body) and a rendered value.
+type series struct {
+	base   string
+	labels string
+	value  string
+}
+
+// family groups the series owned by one TYPE-bearing base name (a
+// histogram family owns its _bucket/_sum/_count series).
+type family struct {
+	base   string
+	typ    string // counter | gauge | histogram | summary
+	series []series
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "," + b
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// families snapshots the registry into sorted exposition families.
+// Metric names are processed in sorted order and series appended in
+// insertion order, so output is deterministic and histogram buckets
+// stay ascending.
+func (r *Registry) families() []family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	fams := map[string]*family{}
+	add := func(famKey, typ, seriesBase, labels, value string) {
+		f, ok := fams[famKey]
+		if !ok {
+			f = &family{base: famKey, typ: typ}
+			fams[famKey] = f
+		}
+		f.series = append(f.series, series{base: seriesBase, labels: labels, value: value})
+	}
+
+	for _, name := range sortedKeys(r.counters) {
+		base, labels := splitName(name)
+		add(base, "counter", base, labels, strconv.FormatInt(r.counters[name].Value(), 10))
+	}
+	for _, name := range sortedKeys(r.counterFuncs) {
+		base, labels := splitName(name)
+		add(base, "counter", base, labels, strconv.FormatInt(r.counterFuncs[name](), 10))
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		base, labels := splitName(name)
+		add(base, "gauge", base, labels, formatFloat(r.gauges[name].Value()))
+	}
+	for _, name := range sortedKeys(r.gaugeFuncs) {
+		base, labels := splitName(name)
+		add(base, "gauge", base, labels, formatFloat(r.gaugeFuncs[name]()))
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		base, labels := splitName(name)
+		bounds, counts := h.cumulative()
+		for i, ub := range bounds {
+			add(base, "histogram", base+"_bucket",
+				joinLabels(labels, `le="`+formatFloat(ub)+`"`),
+				strconv.FormatInt(counts[i], 10))
+		}
+		add(base, "histogram", base+"_bucket",
+			joinLabels(labels, `le="+Inf"`), strconv.FormatInt(counts[len(counts)-1], 10))
+		add(base, "histogram", base+"_sum", labels, formatFloat(h.Sum()))
+		add(base, "histogram", base+"_count", labels, strconv.FormatInt(h.Count(), 10))
+	}
+	for _, name := range sortedKeys(r.digests) {
+		d := r.digests[name]
+		base, labels := splitName(name)
+		if d.Count() > 0 {
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				add(base, "summary", base,
+					joinLabels(labels, `quantile="`+formatFloat(q)+`"`),
+					formatFloat(d.Quantile(q)))
+			}
+		}
+		add(base, "summary", base+"_count", labels, strconv.FormatInt(d.Count(), 10))
+	}
+	for _, name := range sortedKeys(r.spans) {
+		t := r.spans[name]
+		base, labels := splitName(name)
+		if t.parent != "" {
+			labels = joinLabels(labels, `parent="`+t.parent+`"`)
+		}
+		add(base+"_total", "counter", base+"_total", labels, formatFloat(t.Total().Seconds()))
+		add(base+"_count", "counter", base+"_count", labels, strconv.FormatInt(t.Count(), 10))
+		add(base+"_active", "gauge", base+"_active", labels, strconv.FormatInt(t.Active(), 10))
+	}
+
+	out := make([]family, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].base < out[j].base })
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text format.
+// Output is deterministic: families and series are sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.families() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.base, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			name := s.base
+			if s.labels != "" {
+				name += "{" + s.labels + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", name, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns an expvar-style flat view of the registry: metric
+// name → value for counters and gauges, and small objects for
+// histograms, digests, and spans.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, f := range r.counterFuncs {
+		out[name] = f()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, f := range r.gaugeFuncs {
+		out[name] = f()
+	}
+	for name, h := range r.histograms {
+		out[name] = map[string]any{"count": h.Count(), "sum": h.Sum()}
+	}
+	for name, d := range r.digests {
+		m := map[string]any{"count": d.Count()}
+		if d.Count() > 0 {
+			m["p50"] = d.Quantile(0.5)
+			m["p90"] = d.Quantile(0.9)
+			m["p99"] = d.Quantile(0.99)
+		}
+		out[name] = m
+	}
+	for name, t := range r.spans {
+		m := map[string]any{
+			"count": t.Count(), "total_seconds": t.Total().Seconds(), "active": t.Active(),
+		}
+		if t.parent != "" {
+			m["parent"] = t.parent
+		}
+		out[name] = m
+	}
+	out["uptime_seconds"] = r.Uptime().Seconds()
+	return out
+}
+
+// WriteJSON renders the Snapshot as indented JSON (the /debug/vars
+// payload — expvar-compatible in shape: one flat JSON object).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler serves the Prometheus text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewServeMux returns the introspection mux: /metrics (Prometheus
+// text), /debug/vars (JSON snapshot), and the /debug/pprof endpoints
+// for profiling long runs.
+func (r *Registry) NewServeMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		io.WriteString(w, "edge observability: /metrics /debug/vars /debug/pprof/\n")
+	})
+	return mux
+}
+
+// ListenAndServe serves the introspection mux on addr; it blocks, so
+// run it in a goroutine. Errors (including a busy port) are returned
+// for the caller to log.
+func (r *Registry) ListenAndServe(addr string) error {
+	if strings.TrimSpace(addr) == "" {
+		return nil
+	}
+	return http.ListenAndServe(addr, r.NewServeMux())
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the full text exposition for a registry
+// exercising every metric kind: counters (plain and labelled), gauges,
+// histograms, digest summaries, and spans with parent attribution.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("collector_offered_total").Add(5)
+	reg.Counter(L("world_stage_done_total", "stage", "emit")).Add(2)
+	reg.Gauge("agg_groups").Set(3)
+	h := reg.Histogram("lb_request_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	d := reg.Digest("lb_session_minrtt_ms")
+	for i := 1; i <= 4; i++ {
+		d.Observe(float64(10 * i))
+	}
+	sp := reg.Span(L("analysis_seconds", "analysis", "degradation"), "analyse")
+	sp.nanos.Add(1_500_000_000) // 1.5s, injected for determinism
+	sp.count.Add(3)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE agg_groups gauge
+agg_groups 3
+# TYPE analysis_seconds_active gauge
+analysis_seconds_active{analysis="degradation",parent="analyse"} 0
+# TYPE analysis_seconds_count counter
+analysis_seconds_count{analysis="degradation",parent="analyse"} 3
+# TYPE analysis_seconds_total counter
+analysis_seconds_total{analysis="degradation",parent="analyse"} 1.5
+# TYPE collector_offered_total counter
+collector_offered_total 5
+# TYPE lb_request_seconds histogram
+lb_request_seconds_bucket{le="0.01"} 1
+lb_request_seconds_bucket{le="0.1"} 3
+lb_request_seconds_bucket{le="1"} 3
+lb_request_seconds_bucket{le="+Inf"} 4
+lb_request_seconds_sum 5.105
+lb_request_seconds_count 4
+# TYPE lb_session_minrtt_ms summary
+lb_session_minrtt_ms{quantile="0.5"} 25
+lb_session_minrtt_ms{quantile="0.9"} 40
+lb_session_minrtt_ms{quantile="0.99"} 40
+lb_session_minrtt_ms_count 4
+# TYPE world_stage_done_total counter
+world_stage_done_total{stage="emit"} 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total").Add(7)
+	reg.Gauge("g").Set(2.5)
+	reg.Histogram("h", []float64{1}).Observe(0.5)
+	reg.Digest("d").Observe(3)
+	reg.Span("s", "p").Time(func() {})
+
+	snap := reg.Snapshot()
+	if snap["c_total"] != int64(7) {
+		t.Errorf("counter snapshot = %v", snap["c_total"])
+	}
+	if snap["g"] != 2.5 {
+		t.Errorf("gauge snapshot = %v", snap["g"])
+	}
+	if _, ok := snap["uptime_seconds"]; !ok {
+		t.Error("snapshot missing uptime_seconds")
+	}
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if decoded["c_total"].(float64) != 7 {
+		t.Errorf("round-tripped counter = %v", decoded["c_total"])
+	}
+	span := decoded["s"].(map[string]any)
+	if span["parent"] != "p" || span["count"].(float64) != 1 {
+		t.Errorf("span snapshot = %v", span)
+	}
+}
+
+// TestServeMux drives the HTTP surface: /metrics, /debug/vars, the
+// pprof index, and the root help page.
+func TestServeMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total").Inc()
+	mux := reg.NewServeMux()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/metrics"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Errorf("/metrics: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	rec := get("/debug/vars")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/vars: code=%d", rec.Code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars["hits_total"].(float64) != 1 {
+		t.Errorf("/debug/vars hits_total = %v", vars["hits_total"])
+	}
+	if rec := get("/debug/pprof/"); rec.Code != 200 {
+		t.Errorf("/debug/pprof/: code=%d", rec.Code)
+	}
+	if rec := get("/"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "/metrics") {
+		t.Errorf("root help page: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	if rec := get("/nope"); rec.Code != 404 {
+		t.Errorf("unknown path: code=%d, want 404", rec.Code)
+	}
+}

@@ -1,0 +1,465 @@
+// Package obs is the observability substrate for the whole edge stack:
+// an atomic counter/gauge registry, fixed-bucket histograms, t-digest
+// summaries (reusing internal/tdigest, the same sketch the aggregation
+// pipeline trusts for §3.4.1 quantiles), and lightweight pipeline spans
+// with parent-stage attribution. Two exposition paths are provided
+// (package expo.go): Prometheus text format over HTTP and an
+// expvar-compatible JSON snapshot.
+//
+// The paper's system is itself a monitoring system — §3.4 detects
+// degradation from streaming aggregates in near real time — so the
+// reproduction's own pipelines (world generation, collection,
+// aggregation, analysis, the live load balancer) report their health
+// through this package.
+//
+// Instrumentation is designed to be near-zero-cost when unregistered:
+// every handle type (*Counter, *Gauge, *Histogram, *Digest, *SpanTimer)
+// is nil-safe, and a nil *Registry hands out nil handles, so code holds
+// pre-resolved handles and pays a single nil check per event. With a
+// live registry the fast path is one atomic add.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tdigest"
+)
+
+// Registry owns a process's metrics. The zero value is not usable; call
+// NewRegistry. A nil *Registry is valid everywhere and hands out nil
+// (no-op) handles.
+type Registry struct {
+	mu           sync.Mutex
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	histograms   map[string]*Histogram
+	digests      map[string]*Digest
+	spans        map[string]*SpanTimer
+	counterFuncs map[string]func() int64
+	gaugeFuncs   map[string]func() float64
+	start        time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:     make(map[string]*Counter),
+		gauges:       make(map[string]*Gauge),
+		histograms:   make(map[string]*Histogram),
+		digests:      make(map[string]*Digest),
+		spans:        make(map[string]*SpanTimer),
+		counterFuncs: make(map[string]func() int64),
+		gaugeFuncs:   make(map[string]func() float64),
+		start:        time.Now(),
+	}
+}
+
+// CounterFunc registers a callback counter evaluated at exposition
+// time — zero hot-path cost for values derivable from other atomics.
+// The callback must be safe to call concurrently. No-op on a nil
+// registry.
+func (r *Registry) CounterFunc(name string, f func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFuncs[name] = f
+}
+
+// GaugeFunc registers a callback gauge evaluated at exposition time.
+// The callback must be safe to call concurrently. No-op on a nil
+// registry.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = f
+}
+
+// Uptime is the time since the registry was created.
+func (r *Registry) Uptime() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// L builds a metric name with labels: L("x_total", "stage", "emit")
+// → `x_total{stage="emit"}`. Pairs are emitted in the order given.
+func L(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(kv[i+1])
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitName separates `base{labels}` into base and the label body
+// (without braces); labels is "" when the name has none.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// --- Counter -------------------------------------------------------------
+
+// Counter is a monotonically increasing atomic counter. Methods on a
+// nil *Counter are no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (atomic; safe for concurrent use).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// --- Gauge ---------------------------------------------------------------
+
+// Gauge is an atomic float64 that can go up and down. Methods on a nil
+// *Gauge are no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add folds a delta in with a CAS loop.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// --- Histogram -----------------------------------------------------------
+
+// DefBuckets are latency-shaped default histogram bounds in seconds,
+// 500µs to 10s.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+// Methods on a nil *Histogram are no-ops.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// Histogram returns (creating if needed) the named histogram. A nil or
+// empty bounds slice selects DefBuckets; bounds are fixed at first
+// creation. Nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = DefBuckets
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Observe folds one value in.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration folds one duration in, in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// cumulative returns the bucket upper bounds and cumulative counts,
+// ending with the +Inf bucket (== Count()).
+func (h *Histogram) cumulative() (bounds []float64, counts []int64) {
+	counts = make([]int64, len(h.counts))
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		counts[i] = acc
+	}
+	return h.bounds, counts
+}
+
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// --- Digest --------------------------------------------------------------
+
+// Digest is a t-digest-backed summary for quantiles over unbounded
+// domains (the histogram's fixed buckets don't fit every metric).
+// Observations take a mutex — keep it off per-packet hot paths; it is
+// fine per session or per request. Methods on a nil *Digest are no-ops.
+type Digest struct {
+	mu sync.Mutex
+	td *tdigest.TDigest
+	n  int64
+}
+
+// Digest returns (creating if needed) the named digest summary; nil on
+// a nil registry.
+func (r *Registry) Digest(name string) *Digest {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.digests[name]
+	if !ok {
+		d = &Digest{td: tdigest.New(tdigest.DefaultCompression)}
+		r.digests[name] = d
+	}
+	return d
+}
+
+// Observe folds one value in.
+func (d *Digest) Observe(v float64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.td.Add(v)
+	d.n++
+	d.mu.Unlock()
+}
+
+// Quantile returns the q-quantile (NaN when empty or nil).
+func (d *Digest) Quantile(q float64) float64 {
+	if d == nil {
+		return math.NaN()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.td.Quantile(q)
+}
+
+// Count returns the number of observations (0 on a nil digest).
+func (d *Digest) Count() int64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// --- Spans ---------------------------------------------------------------
+
+// SpanTimer accumulates wall time for one named pipeline stage. Parent
+// attribution ties sub-stages to the stage that contains them (e.g.
+// world generation's "emit" inside "world"), so exposition can show a
+// stage breakdown. Methods on a nil *SpanTimer are no-ops.
+type SpanTimer struct {
+	name   string
+	parent string
+	count  atomic.Int64
+	active atomic.Int64
+	nanos  atomic.Int64
+}
+
+// Span returns (creating if needed) the named span timer; parent names
+// the containing stage ("" for a root stage). Nil on a nil registry.
+func (r *Registry) Span(name, parent string) *SpanTimer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.spans[name]
+	if !ok {
+		t = &SpanTimer{name: name, parent: parent}
+		r.spans[name] = t
+	}
+	return t
+}
+
+// Start opens a span; call End on the returned Span. On a nil timer the
+// returned span is inert and Start does not even read the clock.
+func (t *SpanTimer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	t.active.Add(1)
+	return Span{t: t, start: time.Now()}
+}
+
+// Count returns completed spans (0 on a nil timer).
+func (t *SpanTimer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns accumulated wall time (0 on a nil timer).
+func (t *SpanTimer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.nanos.Load())
+}
+
+// Active returns the number of open spans (0 on a nil timer).
+func (t *SpanTimer) Active() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.active.Load()
+}
+
+// Span is one open timing; End is idempotent-safe on the zero value.
+type Span struct {
+	t     *SpanTimer
+	start time.Time
+}
+
+// End closes the span and returns its duration (0 on an inert span).
+func (s Span) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.t.nanos.Add(int64(d))
+	s.t.count.Add(1)
+	s.t.active.Add(-1)
+	return d
+}
+
+// Time runs f inside a span on t.
+func (t *SpanTimer) Time(f func()) {
+	sp := t.Start()
+	f()
+	sp.End()
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentUpdates hammers every handle type from many goroutines;
+// run under -race this doubles as the data-race check.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h_seconds", []float64{0.001, 0.01, 0.1, 1})
+	d := reg.Digest("d_ms")
+	sp := reg.Span("stage", "parent")
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%5) / 100)
+				d.Observe(float64(i % 100))
+				s := sp.Start()
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const want = workers * perWorker
+	if got := c.Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != want {
+		t.Errorf("gauge = %v, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := d.Count(); got != want {
+		t.Errorf("digest count = %d, want %d", got, want)
+	}
+	if got := sp.Count(); got != want {
+		t.Errorf("span count = %d, want %d", got, want)
+	}
+	if got := sp.Active(); got != 0 {
+		t.Errorf("span active = %d, want 0", got)
+	}
+	// Exposition must be safe concurrently with updates too.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNilRegistryFastPath asserts the unregistered hot path allocates
+// nothing: a nil registry hands out nil handles, and every operation on
+// them is a no-op.
+func TestNilRegistryFastPath(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total")
+	g := reg.Gauge("x")
+	h := reg.Histogram("x_seconds", nil)
+	d := reg.Digest("x_ms")
+	sp := reg.Span("x_stage", "")
+	if c != nil || g != nil || h != nil || d != nil || sp != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(0.5)
+		h.ObserveDuration(time.Millisecond)
+		d.Observe(1)
+		s := sp.Start()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-handle operations allocated %.1f times per run, want 0", allocs)
+	}
+
+	// Reads on nil handles are well-defined zeros.
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 ||
+		d.Count() != 0 || sp.Count() != 0 || sp.Total() != 0 || sp.Active() != 0 {
+		t.Error("nil-handle reads must return zero")
+	}
+	if !math.IsNaN(d.Quantile(0.5)) {
+		t.Error("nil digest quantile must be NaN")
+	}
+	if reg.Uptime() != 0 {
+		t.Error("nil registry uptime must be zero")
+	}
+	if got := reg.Snapshot(); len(got) != 0 {
+		t.Errorf("nil registry snapshot = %v, want empty", got)
+	}
+}
+
+// TestLiveCounterFastPath asserts the instrumented fast path is a bare
+// atomic add: no allocations per event.
+func TestLiveCounterFastPath(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x_total")
+	h := reg.Histogram("x_seconds", nil)
+	g := reg.Gauge("x")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(4)
+		h.Observe(0.25)
+	})
+	if allocs != 0 {
+		t.Errorf("live counter/gauge/histogram path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestHandleReuse(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("same")
+	b := reg.Counter("same")
+	if a != b {
+		t.Error("same name must return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("handles must share state")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	bounds, counts := h.cumulative()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("bounds=%v counts=%v", bounds, counts)
+	}
+	// Cumulative: ≤1 → 2 (0.5 and 1), ≤10 → 3, ≤100 → 4, +Inf → 5.
+	want := []int64{2, 3, 4, 5}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, counts[i], w)
+		}
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum = %v, want 556.5", h.Sum())
+	}
+}
+
+func TestSpanTiming(t *testing.T) {
+	reg := NewRegistry()
+	st := reg.Span("work", "root")
+	sp := st.Start()
+	if st.Active() != 1 {
+		t.Error("active should be 1 while span is open")
+	}
+	time.Sleep(2 * time.Millisecond)
+	d := sp.End()
+	if d <= 0 || st.Total() < d {
+		t.Errorf("span duration %v, timer total %v", d, st.Total())
+	}
+	if st.Count() != 1 || st.Active() != 0 {
+		t.Errorf("count=%d active=%d", st.Count(), st.Active())
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("world_sessions_total").Add(1234567)
+	reg.Span(L("world_stage_seconds", "stage", "generate"), "world").Time(func() {
+		time.Sleep(time.Millisecond)
+	})
+	line := reg.progressLine(map[string]int64{"world_sessions_total": 234567}, time.Second, false)
+	if !strings.Contains(line, "world_sessions=1.23M") {
+		t.Errorf("line missing humanized counter: %q", line)
+	}
+	if !strings.Contains(line, "(+1.00M/s)") {
+		t.Errorf("line missing rate: %q", line)
+	}
+	if !strings.Contains(line, "world_stage_seconds:generate=") {
+		t.Errorf("line missing stage timing: %q", line)
+	}
+}
+
+func TestStartProgressStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total").Inc()
+	var mu sync.Mutex
+	var out strings.Builder
+	w := lockedWriter{mu: &mu, b: &out}
+	stop := StartProgress(reg, w, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(out.String(), "progress t=") {
+		t.Errorf("no progress output: %q", out.String())
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	b  *strings.Builder
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}

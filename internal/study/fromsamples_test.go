@@ -23,8 +23,11 @@ func TestFromSamplesMatchesInProcess(t *testing.T) {
 	// samples; replicate edgesim exactly: filter first, then write.
 	var buf bytes.Buffer
 	w := sample.NewWriter(&buf)
-	col := collector.New(collector.WriterSink(w, func(err error) { t.Fatal(err) }))
+	col := collector.New(collector.WriterSink(w))
 	world.New(cfg).Generate(col.Offer)
+	if err := col.Err(); err != nil {
+		t.Fatal(err)
+	}
 
 	loaded, err := FromSamples(sample.NewReader(&buf))
 	if err != nil {

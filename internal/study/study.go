@@ -14,6 +14,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/analysis"
 	"repro/internal/collector"
+	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/world"
 )
@@ -58,14 +59,23 @@ type Results struct {
 // example one written by cmd/edgesim) instead of generating one. The
 // dataset's shape — window count, and therefore the day count the
 // temporal classifier needs — is inferred from the samples.
-func FromSamples(r *sample.Reader) (*Results, error) {
+func FromSamples(r *sample.Reader) (*Results, error) { return FromSamplesObs(r, nil) }
+
+// FromSamplesObs is FromSamples with pipeline metrics registered on reg
+// (which may be nil).
+func FromSamplesObs(r *sample.Reader, reg *obs.Registry) (*Results, error) {
 	start := time.Now()
 	store := agg.NewStore()
+	store.Instrument(reg)
 	overview := analysis.NewOverview()
+	overview.Instrument(reg)
 	col := collector.New(
 		collector.StoreSink(store),
-		func(s sample.Sample) { overview.Add(s) },
+		collector.FuncSink(overview.Add),
 	)
+	col.Instrument(reg)
+	read := reg.Span(obs.L("study_stage_seconds", "stage", "read"), "study")
+	sp := read.Start()
 	for {
 		s, err := r.Read()
 		if errors.Is(err, io.EOF) {
@@ -76,6 +86,7 @@ func FromSamples(r *sample.Reader) (*Results, error) {
 		}
 		col.Offer(s)
 	}
+	sp.End()
 	days := (store.TotalWindows + world.WindowsPerDay - 1) / world.WindowsPerDay
 	if days < 1 {
 		days = 1
@@ -91,7 +102,7 @@ func FromSamples(r *sample.Reader) (*Results, error) {
 	}
 	// The inferred config must report the true window count.
 	res.Cfg.SessionsPerGroupWindow = float64(store.TotalSamples) / float64(max(1, store.Len()*store.TotalWindows))
-	res.analyse()
+	res.analyse(reg)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -108,7 +119,7 @@ func RunDeaggregation(cfg world.Config) (*Results, analysis.DeaggregationResult)
 	fineSink := analysis.DeaggregateSink(fine)
 	col := collector.New(
 		collector.StoreSink(store),
-		func(s sample.Sample) { overview.Add(s); fineSink(s) },
+		collector.FuncSink(func(s sample.Sample) { overview.Add(s); fineSink(s) }),
 	)
 	w.Generate(col.Offer)
 	res := &Results{
@@ -117,22 +128,31 @@ func RunDeaggregation(cfg world.Config) (*Results, analysis.DeaggregationResult)
 		Overview:  overview,
 		Store:     store,
 	}
-	res.analyse()
+	res.analyse(nil)
 	res.Elapsed = time.Since(start)
 	return res, analysis.CompareDeaggregation(store, fine)
 }
 
 // Run generates the dataset for cfg and runs every analysis.
-func Run(cfg world.Config) *Results {
+func Run(cfg world.Config) *Results { return RunObs(cfg, nil) }
+
+// RunObs is Run with the whole pipeline instrumented on reg (which may
+// be nil): world generation, collection, aggregation, and per-analysis
+// durations all report through it.
+func RunObs(cfg world.Config, reg *obs.Registry) *Results {
 	start := time.Now()
 	w := world.New(cfg)
+	w.Instrument(reg)
 
 	store := agg.NewStore()
+	store.Instrument(reg)
 	overview := analysis.NewOverview()
+	overview.Instrument(reg)
 	col := collector.New(
 		collector.StoreSink(store),
-		func(s sample.Sample) { overview.Add(s) },
+		collector.FuncSink(overview.Add),
 	)
+	col.Instrument(reg)
 	w.Generate(col.Offer)
 
 	res := &Results{
@@ -141,13 +161,14 @@ func Run(cfg world.Config) *Results {
 		Overview:  overview,
 		Store:     store,
 	}
-	res.analyse()
+	res.analyse(reg)
 	res.Elapsed = time.Since(start)
 	return res
 }
 
-// analyse runs the §5/§6 analyses over the aggregated store.
-func (r *Results) analyse() {
+// analyse runs the §5/§6 analyses over the aggregated store, timing
+// each one on reg (which may be nil).
+func (r *Results) analyse(reg *obs.Registry) {
 	params := analysis.DefaultClassifyParams(r.Cfg.Days)
 	// Use the dataset's true window span (matters for datasets loaded
 	// from disk, whose length is inferred rather than configured).
@@ -156,19 +177,25 @@ func (r *Results) analyse() {
 		windows = r.Cfg.Windows()
 	}
 
-	r.DegMinRTT = analysis.Degradation(r.Store, analysis.MetricMinRTT)
-	r.DegHD = analysis.Degradation(r.Store, analysis.MetricHDratio)
-	r.OppMinRTT = analysis.Opportunity(r.Store, analysis.MetricMinRTT)
-	r.OppHD = analysis.Opportunity(r.Store, analysis.MetricHDratio)
+	timed := func(name string, f func()) {
+		reg.Span(obs.L("analysis_seconds", "analysis", name), "analyse").Time(f)
+	}
+	timed("degradation_minrtt", func() { r.DegMinRTT = analysis.Degradation(r.Store, analysis.MetricMinRTT) })
+	timed("degradation_hdratio", func() { r.DegHD = analysis.Degradation(r.Store, analysis.MetricHDratio) })
+	timed("opportunity_minrtt", func() { r.OppMinRTT = analysis.Opportunity(r.Store, analysis.MetricMinRTT) })
+	timed("opportunity_hdratio", func() { r.OppHD = analysis.Opportunity(r.Store, analysis.MetricHDratio) })
 
-	r.Table1DegMinRTT = r.DegMinRTT.Classify(windows, params, Table1DegMinRTTMs)
-	r.Table1DegHD = r.DegHD.Classify(windows, params, Table1DegHD)
-	// Table 1 writes the MinRTT opportunity thresholds as −5/−10 ms (the
-	// alternate is lower); our diffs are oriented positive-is-better, so
-	// the thresholds are passed as positive magnitudes.
-	r.Table1OppMinRTT = r.OppMinRTT.Classify(windows, params, Table1OppMinRTTMs)
-	r.Table1OppHD = r.OppHD.Classify(windows, params, Table1OppHD)
-
-	r.Table2MinRTT = r.OppMinRTT.Relationships(5)
-	r.Table2HD = r.OppHD.Relationships(0.05)
+	timed("classify", func() {
+		r.Table1DegMinRTT = r.DegMinRTT.Classify(windows, params, Table1DegMinRTTMs)
+		r.Table1DegHD = r.DegHD.Classify(windows, params, Table1DegHD)
+		// Table 1 writes the MinRTT opportunity thresholds as −5/−10 ms (the
+		// alternate is lower); our diffs are oriented positive-is-better, so
+		// the thresholds are passed as positive magnitudes.
+		r.Table1OppMinRTT = r.OppMinRTT.Classify(windows, params, Table1OppMinRTTMs)
+		r.Table1OppHD = r.OppHD.Classify(windows, params, Table1OppHD)
+	})
+	timed("relationships", func() {
+		r.Table2MinRTT = r.OppMinRTT.Relationships(5)
+		r.Table2HD = r.OppHD.Relationships(0.05)
+	})
 }

@@ -23,6 +23,7 @@ type World struct {
 
 	mapper *cartographer.Mapper
 	pinner edgefabric.Pinner
+	obs    worldObs
 }
 
 // New builds a world deterministically from cfg.Seed.

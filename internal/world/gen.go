@@ -42,6 +42,7 @@ func (w *World) Generate(emit func(sample.Sample)) {
 		}
 		results := make([][]sample.Sample, end-batchStart)
 		var wg sync.WaitGroup
+		gen := w.obs.genStage.Start()
 		for i := batchStart; i < end; i++ {
 			wg.Add(1)
 			go func(i int) {
@@ -52,11 +53,15 @@ func (w *World) Generate(emit func(sample.Sample)) {
 			}(i)
 		}
 		wg.Wait()
+		gen.End()
+		sp := w.obs.emit.Start()
 		for _, buf := range results {
 			for _, s := range buf {
 				emit(s)
 			}
+			w.obs.sessions.Add(int64(len(buf)))
 		}
+		sp.End()
 	}
 }
 
@@ -76,7 +81,9 @@ func (w *World) GenerateGroup(groupIdx int, emit func(sample.Sample)) {
 	seq := uint64(0)
 	for win := 0; win < w.Cfg.Windows(); win++ {
 		w.generateWindow(g, uint64(groupIdx), win, r, gen, &seq, emit)
+		w.obs.windows.Inc()
 	}
+	w.obs.groups.Inc()
 }
 
 // generateWindow produces the samples for one group × window.

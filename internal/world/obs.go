@@ -1,0 +1,34 @@
+package world
+
+import (
+	"repro/internal/obs"
+)
+
+// worldObs holds pre-resolved observability handles for the generator
+// hot path. The zero value (nil handles) is a no-op, so an
+// uninstrumented world pays one nil check per event.
+type worldObs struct {
+	sessions *obs.Counter
+	windows  *obs.Counter
+	groups   *obs.Counter
+	genStage *obs.SpanTimer
+	emit     *obs.SpanTimer
+}
+
+// Instrument registers generation metrics on reg: sessions, windows and
+// groups completed, plus per-stage wall time for the parallel group
+// simulation ("generate") and the ordered fan-out ("emit"). A nil
+// registry leaves the world uninstrumented.
+func (w *World) Instrument(reg *obs.Registry) {
+	w.obs = worldObs{
+		sessions: reg.Counter("world_sessions_total"),
+		windows:  reg.Counter("world_windows_total"),
+		groups:   reg.Counter("world_groups_total"),
+		genStage: reg.Span(obs.L("world_stage_seconds", "stage", "generate"), "world"),
+		emit:     reg.Span(obs.L("world_stage_seconds", "stage", "emit"), "world"),
+	}
+	// The pinner's route-assignment counters ride along (§2.2.3's
+	// preferred/alternate measurement split).
+	w.pinner.PinnedPreferred = reg.Counter("edgefabric_pinned_preferred_total")
+	w.pinner.PinnedAlternate = reg.Counter("edgefabric_pinned_alternate_total")
+}
