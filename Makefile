@@ -1,11 +1,12 @@
-# Development targets. `make check` is the full gate: vet, build,
-# race-detector runs over the concurrency-sensitive packages (the obs
-# registry and the collector pipeline), then the whole suite (tier-1:
-# `go build ./... && go test ./...`).
+# Development targets. `make check` is the full gate: vet, build, the
+# race detector across every package (the determinism golden tests run
+# the sharded pipeline under -race) plus a real multi-worker study run
+# under -race, then the whole suite (tier-1: `go build ./... && go test
+# ./...`).
 
 GO ?= go
 
-.PHONY: check vet build race test bench-obs bench
+.PHONY: check vet build race test bench-obs bench-pipeline bench
 
 check: vet build race test
 
@@ -16,7 +17,8 @@ build:
 	$(GO) build ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/collector/...
+	$(GO) test -race ./...
+	$(GO) run -race ./cmd/edgereport -groups 8 -days 1 -spw 12 -workers 4 > /dev/null
 
 test:
 	$(GO) test ./...
@@ -25,6 +27,11 @@ test:
 # records the measured overhead; the bar is <5%).
 bench-obs:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem -count 5 ./internal/collector/
+
+# The sharded-pipeline scaling curve (EXPERIMENTS.md records measured
+# samples/s per worker count; flat on single-core machines).
+bench-pipeline:
+	$(GO) test -run '^$$' -bench BenchmarkPipelineThroughput -benchtime 3x .
 
 bench:
 	$(GO) test -bench . -benchmem

@@ -8,23 +8,34 @@
 // Usage:
 //
 //	edgereport [-seed N] [-groups N] [-days N] [-spw N] [-in dataset.jsonl] [-deagg] [-cdf]
-//	           [-progress] [-metrics-addr host:port]
+//	           [-workers N] [-progress] [-metrics-addr host:port]
 //
-// The defaults (120 groups × 5 days) run in a minute or two on a laptop. -cdf additionally
-// dumps the raw CDF series behind Figures 8 and 9 for plotting. -progress reports pipeline
-// throughput and per-stage timings to stderr while the study runs; -metrics-addr serves
-// /metrics, /debug/vars and /debug/pprof for live introspection of long runs.
+// The defaults (120 groups × 5 days) run in a minute or two on a laptop.
+// -workers (default GOMAXPROCS) runs the sharded concurrent pipeline —
+// generation or dataset decoding fans out to a worker pool feeding
+// hash-partitioned aggregation shards, and the analyses run in parallel
+// once the shards merge; the report is byte-identical to -workers 1 on
+// the same seed or dataset. -cdf additionally dumps the raw CDF series
+// behind Figures 8 and 9 for plotting. -progress reports pipeline
+// throughput and per-stage timings to stderr while the study runs;
+// -metrics-addr serves /metrics, /debug/vars and /debug/pprof — the
+// pipeline_queue_depth{stage=...} gauges expose live shard-queue
+// occupancy — for introspection of long runs.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/sample"
 	"repro/internal/study"
@@ -40,10 +51,14 @@ func main() {
 		in          = flag.String("in", "", "analyse an existing dataset (JSON lines from edgesim) instead of generating one")
 		cdf         = flag.Bool("cdf", false, "also dump raw CDF series for Figures 8 and 9")
 		deagg       = flag.Bool("deagg", false, "also run the §3.3 prefix-deaggregation experiment")
+		workers     = flag.Int("workers", pipeline.DefaultWorkers(), "pipeline workers and aggregation shards (1 = sequential)")
 		progress    = flag.Bool("progress", false, "report study progress to stderr every 2s")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	reg := obs.NewRegistry()
 	if *metricsAddr != "" {
@@ -58,12 +73,15 @@ func main() {
 		stopProgress = obs.StartProgress(reg, os.Stderr, 2*time.Second)
 	}
 
+	opt := study.Options{Workers: *workers, Reg: reg}
 	var res *study.Results
 	var deagResult *struct {
 		covLoss, varRed float64
 		baseG, fineG    int
 	}
 	if *deagg && *in == "" {
+		// The deaggregation experiment re-buckets the same world two ways;
+		// it stays on the sequential path regardless of -workers.
 		r, d := study.RunDeaggregation(world.Config{
 			Seed: *seed, Groups: *groups, Days: *days, SessionsPerGroupWindow: *spw,
 		})
@@ -78,17 +96,26 @@ func main() {
 			log.Fatalf("edgereport: %v", err)
 		}
 		defer f.Close()
-		res, err = study.FromSamplesObs(sample.NewReader(bufio.NewReaderSize(f, 1<<20)), reg)
+		br := bufio.NewReaderSize(f, 1<<20)
+		if *workers > 1 {
+			res, err = study.FromStream(ctx, br, opt)
+		} else {
+			res, err = study.FromSamplesObs(sample.NewReader(br), reg)
+		}
 		if err != nil {
 			log.Fatalf("edgereport: reading %s: %v", *in, err)
 		}
 	} else {
-		res = study.RunObs(world.Config{
+		var err error
+		res, err = study.RunCtx(ctx, world.Config{
 			Seed:                   *seed,
 			Groups:                 *groups,
 			Days:                   *days,
 			SessionsPerGroupWindow: *spw,
-		}, reg)
+		}, opt)
+		if err != nil {
+			log.Fatalf("edgereport: %v", err)
+		}
 	}
 	stopProgress()
 	res.WriteReport(os.Stdout)

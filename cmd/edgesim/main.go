@@ -6,27 +6,42 @@
 // Usage:
 //
 //	edgesim [-seed N] [-groups N] [-days N] [-spw N] [-o dataset.jsonl]
-//	        [-progress] [-metrics-addr host:port]
+//	        [-workers N] [-progress] [-metrics-addr host:port]
 //
 // A 10-day, 300-group dataset is a few million sessions and a few GB of
-// JSON; scale -groups/-days/-spw to taste. -progress reports sessions
-// per second and per-stage wall time to stderr while the run grinds;
-// -metrics-addr additionally serves /metrics (Prometheus text),
-// /debug/vars, and /debug/pprof for live introspection. The output
-// feeds external tooling; cmd/edgereport regenerates and analyses
-// in-process instead.
+// JSON; scale -groups/-days/-spw to taste. -workers (default GOMAXPROCS)
+// generates and encodes groups concurrently while a single writer stage
+// keeps the output in deterministic group order, so the dataset bytes do
+// not depend on the worker count. -progress reports sessions per second
+// and per-stage wall time to stderr while the run grinds; -metrics-addr
+// additionally serves /metrics (Prometheus text), /debug/vars, and
+// /debug/pprof — including pipeline_queue_depth{stage="write"} for the
+// encode→write queue. The output feeds external tooling; cmd/edgereport
+// regenerates and analyses in-process instead.
+//
+// SIGINT/SIGTERM cancel the pipeline cleanly: in-flight groups are
+// abandoned, the contiguous prefix already ordered is flushed, and the
+// process exits with a valid (truncated) JSONL dataset rather than a
+// torn file.
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/collector"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/sample"
 	"repro/internal/world"
 )
@@ -38,10 +53,14 @@ func main() {
 		days        = flag.Int("days", 10, "dataset length in days")
 		spw         = flag.Float64("spw", 8, "mean sampled sessions per group per window")
 		out         = flag.String("o", "-", "output path ('-' for stdout)")
+		workers     = flag.Int("workers", pipeline.DefaultWorkers(), "concurrent generate/encode workers (1 = sequential)")
 		progress    = flag.Bool("progress", false, "report generation progress to stderr every 2s")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var f *os.File
 	if *out == "-" {
@@ -75,25 +94,112 @@ func main() {
 		SessionsPerGroupWindow: *spw,
 	})
 	w.Instrument(reg)
-	col := collector.New(collector.WriterSink(sample.NewWriter(bw)))
-	col.Instrument(reg)
-	w.Generate(col.Offer)
+
+	st, written, runErr := run(ctx, w, bw, reg, *workers)
 	stopProgress()
-	if err := col.Err(); err != nil {
-		st := col.Stats()
-		log.Fatalf("edgesim: write: %v (%d samples dropped after the error)", err, st.DroppedAfterError)
-	}
-	// A full disk can surface only at flush or close; either way the
-	// dataset is truncated and the run must fail loudly.
-	if err := bw.Flush(); err != nil {
-		log.Fatalf("edgesim: flush: %v", err)
-	}
+
+	// Flush and close unconditionally: on cancellation the contiguous
+	// prefix already written is still a valid dataset, and a full disk
+	// can surface only here. A pipeline error takes precedence over the
+	// flush error it usually caused (bufio keeps the first write failure
+	// sticky, so both fire together on e.g. a full disk).
+	flushErr := bw.Flush()
+	var closeErr error
 	if f != os.Stdout {
-		if err := f.Close(); err != nil {
-			log.Fatalf("edgesim: close: %v", err)
-		}
+		closeErr = f.Close()
 	}
-	st := col.Stats()
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		if st.DroppedAfterError > 0 {
+			log.Fatalf("edgesim: %v (%d samples dropped after the error)", runErr, st.DroppedAfterError)
+		}
+		log.Fatalf("edgesim: %v", runErr)
+	}
+	if flushErr != nil {
+		log.Fatalf("edgesim: flush: %v", flushErr)
+	}
+	if closeErr != nil {
+		log.Fatalf("edgesim: close: %v", closeErr)
+	}
+	if runErr != nil { // interrupted, and the prefix flushed cleanly
+		fmt.Fprintf(os.Stderr, "edgesim: interrupted — dataset truncated after %d samples (prefix is valid JSONL)\n", written)
+		os.Exit(130)
+	}
 	fmt.Fprintf(os.Stderr, "edgesim: wrote %d samples (%d filtered as hosting/VPN) across %d groups × %d windows\n",
 		st.Accepted, st.FilteredHosting, *groups, w.Cfg.Windows())
+}
+
+// run generates the dataset into bw and returns the collector totals,
+// the number of samples actually written, and the first pipeline error
+// (context.Canceled after SIGINT). Whatever it returns, bytes already
+// handed to bw form whole JSON lines in group order.
+func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registry, workers int) (collector.Stats, int, error) {
+	if workers <= 1 {
+		col := collector.New(collector.WriterSink(sample.NewWriter(bw)))
+		col.Instrument(reg)
+		err := w.GenerateCtx(ctx, 1, col.Offer)
+		if serr := col.Err(); serr != nil {
+			err = serr // the write failure is the root cause
+		}
+		st := col.Stats()
+		return st, st.Accepted, err
+	}
+
+	// Parallel mode: workers generate and encode whole groups
+	// concurrently; a single writer stage restores group order so the
+	// output is byte-identical to -workers 1. Each batch filters through
+	// its own collector (WriterSink is single-threaded) and the per-batch
+	// stats merge into the run totals.
+	type encBatch struct {
+		group   int
+		data    []byte
+		samples int
+	}
+	var (
+		mu      sync.Mutex
+		total   collector.Stats
+		written int
+	)
+	encSpan := reg.Span(obs.L("edgesim_stage_seconds", "stage", "encode"), "edgesim")
+	writeSpan := reg.Span(obs.L("edgesim_stage_seconds", "stage", "write"), "edgesim")
+
+	g := pipeline.NewGroup(ctx)
+	enc := pipeline.NewStream[encBatch](workers)
+	enc.Instrument(reg, "write")
+	g.Go(func(ctx context.Context) error {
+		defer enc.Close()
+		return w.GenerateBatchesUnordered(ctx, workers, func(b world.Batch) error {
+			sp := encSpan.Start()
+			var buf bytes.Buffer
+			c := collector.New(collector.WriterSink(sample.NewWriter(&buf)))
+			c.Instrument(reg)
+			for _, s := range b.Samples {
+				c.Offer(s)
+			}
+			sp.End()
+			if err := c.Err(); err != nil {
+				return err
+			}
+			st := c.Stats()
+			mu.Lock()
+			total = total.Merge(st)
+			mu.Unlock()
+			return enc.Send(ctx, encBatch{group: b.Group, data: buf.Bytes(), samples: st.Accepted})
+		})
+	})
+	g.Go(func(ctx context.Context) error {
+		return pipeline.Reorder(ctx, enc, func(b encBatch) int { return b.group }, 0, func(b encBatch) error {
+			sp := writeSpan.Start()
+			defer sp.End()
+			if _, err := bw.Write(b.data); err != nil {
+				return err
+			}
+			written += b.samples
+			return nil
+		})
+	})
+	err := g.Wait()
+	mu.Lock()
+	st := total
+	mu.Unlock()
+	return st, written, err
 }

@@ -13,6 +13,7 @@ package agg
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bgp"
@@ -205,6 +206,122 @@ func (st *Store) Add(s sample.Sample) {
 		st.TotalWindows = win + 1
 	}
 	st.TotalSamples++
+}
+
+// Merge folds other into st — the §3.4.1 mergeable-aggregation
+// property: shard-local stores built from a partitioned sample stream
+// combine into the global store. Group series present in only one
+// store are adopted wholesale (the common case when the stream was
+// sharded by user group, where the merge is exact and byte-identical
+// to sequential ingestion); series present in both are folded cell by
+// cell through the t-digest merge path, which preserves counts and
+// bytes exactly and quantiles within compression tolerance.
+//
+// other must not be used afterwards: its group series are owned by st.
+func (st *Store) Merge(other *Store) {
+	if other == nil {
+		return
+	}
+	for key, og := range other.groups {
+		g, ok := st.groups[key]
+		if !ok {
+			st.groups[key] = og
+			continue
+		}
+		g.merge(og)
+	}
+	if other.TotalWindows > st.TotalWindows {
+		st.TotalWindows = other.TotalWindows
+	}
+	st.TotalSamples += other.TotalSamples
+	st.gGroups.Set(float64(len(st.groups)))
+}
+
+// merge folds another series for the same group key into g.
+func (g *GroupSeries) merge(o *GroupSeries) {
+	for win, owa := range o.Windows {
+		wa, ok := g.Windows[win]
+		if !ok {
+			g.Windows[win] = owa
+			continue
+		}
+		for alt, oa := range owa.Routes {
+			a, ok := wa.Routes[alt]
+			if !ok {
+				wa.Routes[alt] = oa
+				continue
+			}
+			a.Merge(oa)
+		}
+	}
+	for alt, meta := range o.RouteMeta {
+		if _, ok := g.RouteMeta[alt]; !ok {
+			g.RouteMeta[alt] = meta
+		}
+	}
+	g.PreferredBytes += o.PreferredBytes
+}
+
+// Merge folds another aggregation of the same (group, window, route)
+// cell into a. Sessions and Bytes are exact; digests merge within
+// compression tolerance.
+func (a *Aggregation) Merge(o *Aggregation) {
+	if o == nil {
+		return
+	}
+	a.Sessions += o.Sessions
+	a.Bytes += o.Bytes
+	a.MinRTT.Merge(o.MinRTT)
+	a.HD.Merge(o.HD)
+	a.SimpleHD.Merge(o.SimpleHD)
+}
+
+// Seal compacts every digest in the store (with up to workers
+// goroutines, clamped to the group count) so that subsequent reads —
+// Quantile, CDF, the §5/§6 analyses — are pure and safe to run
+// concurrently over a shared store. Digest reads fold buffered points
+// lazily, so an unsealed store must not be shared across goroutines.
+func (st *Store) Seal(workers int) {
+	groups := make([]*GroupSeries, 0, len(st.groups))
+	for _, g := range st.groups {
+		groups = append(groups, g)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for _, g := range groups {
+			g.seal()
+		}
+		return
+	}
+	idx := make(chan *GroupSeries, len(groups))
+	for _, g := range groups {
+		idx <- g
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range idx {
+				g.seal()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// seal compacts every digest of one group series.
+func (g *GroupSeries) seal() {
+	for _, wa := range g.Windows {
+		for _, a := range wa.Routes {
+			a.MinRTT.Compact()
+			a.HD.Compact()
+			a.SimpleHD.Compact()
+		}
+	}
 }
 
 // Groups returns the group series, sorted by key for determinism.

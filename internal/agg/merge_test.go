@@ -1,0 +1,170 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sample"
+)
+
+// mergeSample fabricates a deterministic sample for merge tests.
+func mergeSample(r *rng.RNG, group int, win int) sample.Sample {
+	prefix := []string{"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"}[group%4]
+	s := sample.Sample{
+		PoP:     "pop" + string(rune('a'+group%3)),
+		Prefix:  prefix,
+		Country: "XX",
+		RouteID: "r0",
+		Bytes:   int64(1000 + r.IntN(5000)),
+		MinRTT:  time.Duration(20+r.IntN(80)) * time.Millisecond,
+		Start:   time.Duration(win) * WindowDuration,
+	}
+	s.HDTested = 4
+	s.HDAchieved = r.IntN(5)
+	s.SimpleAchieved = r.IntN(5)
+	if r.IntN(10) == 0 {
+		s.AltIndex = 1
+	}
+	return s
+}
+
+// Sharding a stream by group key and merging the shard stores must
+// reproduce the sequential store exactly: same totals, same per-cell
+// digests (per-key order is preserved, so the merge is pure adoption).
+func TestStoreMergeDisjointIsExact(t *testing.T) {
+	r := rng.New(1)
+	var stream []sample.Sample
+	for win := 0; win < 8; win++ {
+		for g := 0; g < 12; g++ {
+			for i := 0; i < 40; i++ {
+				stream = append(stream, mergeSample(r, g, win))
+			}
+		}
+	}
+
+	seq := NewStore()
+	for _, s := range stream {
+		seq.Add(s)
+	}
+
+	const shards = 4
+	parts := make([]*Store, shards)
+	for i := range parts {
+		parts[i] = NewStore()
+	}
+	for _, s := range stream {
+		parts[s.Key().Hash()%shards].Add(s)
+	}
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		merged.Merge(p)
+	}
+
+	if merged.TotalSamples != seq.TotalSamples {
+		t.Fatalf("TotalSamples %d != %d", merged.TotalSamples, seq.TotalSamples)
+	}
+	if merged.TotalWindows != seq.TotalWindows {
+		t.Fatalf("TotalWindows %d != %d", merged.TotalWindows, seq.TotalWindows)
+	}
+	if merged.Len() != seq.Len() {
+		t.Fatalf("groups %d != %d", merged.Len(), seq.Len())
+	}
+	if merged.TotalPreferredBytes() != seq.TotalPreferredBytes() {
+		t.Fatalf("preferred bytes %d != %d", merged.TotalPreferredBytes(), seq.TotalPreferredBytes())
+	}
+
+	sg, mg := seq.Groups(), merged.Groups()
+	for i := range sg {
+		if sg[i].Key != mg[i].Key {
+			t.Fatalf("group %d key %v != %v", i, mg[i].Key, sg[i].Key)
+		}
+		if sg[i].PreferredBytes != mg[i].PreferredBytes {
+			t.Fatalf("group %v preferred bytes differ", sg[i].Key)
+		}
+		for win, wa := range sg[i].Windows {
+			mwa := mg[i].Windows[win]
+			if mwa == nil {
+				t.Fatalf("group %v window %d missing after merge", sg[i].Key, win)
+			}
+			for alt, a := range wa.Routes {
+				ma := mwa.Routes[alt]
+				if ma == nil || ma.Sessions != a.Sessions || ma.Bytes != a.Bytes {
+					t.Fatalf("group %v win %d route %d cell differs", sg[i].Key, win, alt)
+				}
+				// Disjoint sharding preserves per-digest add order, so
+				// even order-sensitive quantiles are bit-identical.
+				if got, want := ma.MinRTTP50(), a.MinRTTP50(); got != want {
+					t.Fatalf("group %v win %d MinRTTP50 %v != %v", sg[i].Key, win, got, want)
+				}
+				if got, want := ma.HD.Count(), a.HD.Count(); got != want {
+					t.Fatalf("group %v win %d HD count %v != %v", sg[i].Key, win, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Overlapping merge (the same group key in both stores) goes through
+// the t-digest merge path: counts exact, medians within tolerance.
+func TestStoreMergeOverlapping(t *testing.T) {
+	r := rng.New(2)
+	a, b, both := NewStore(), NewStore(), NewStore()
+	for i := 0; i < 4000; i++ {
+		s := mergeSample(r, 0, i%4) // a single group key
+		both.Add(s)
+		if i%2 == 0 {
+			a.Add(s)
+		} else {
+			b.Add(s)
+		}
+	}
+	a.Merge(b)
+	if a.TotalSamples != both.TotalSamples {
+		t.Fatalf("TotalSamples %d != %d", a.TotalSamples, both.TotalSamples)
+	}
+	if a.Len() != both.Len() {
+		t.Fatalf("groups %d != %d", a.Len(), both.Len())
+	}
+	ga, gb := a.Groups()[0], both.Groups()[0]
+	if ga.PreferredBytes != gb.PreferredBytes {
+		t.Fatalf("preferred bytes %d != %d", ga.PreferredBytes, gb.PreferredBytes)
+	}
+	for win, wa := range gb.Windows {
+		for alt, cell := range wa.Routes {
+			mcell := ga.Windows[win].Routes[alt]
+			if mcell.Sessions != cell.Sessions || mcell.Bytes != cell.Bytes {
+				t.Fatalf("win %d route %d sessions/bytes differ", win, alt)
+			}
+			if d := math.Abs(mcell.MinRTTP50() - cell.MinRTTP50()); d > 2.0 {
+				t.Fatalf("win %d route %d merged median off by %v ms", win, alt, d)
+			}
+		}
+	}
+}
+
+// Seal must leave every observable value unchanged and be callable
+// repeatedly; the race tests in study exercise the concurrent-read
+// guarantee it exists for.
+func TestSealPreservesValues(t *testing.T) {
+	r := rng.New(3)
+	st := NewStore()
+	for i := 0; i < 5000; i++ {
+		st.Add(mergeSample(r, i%6, i%8))
+	}
+	type cellVal struct{ p50, hd float64 }
+	snap := map[int]cellVal{}
+	for i, g := range st.Groups() {
+		a := g.Windows[g.WindowIndexes()[0]].Route(0)
+		snap[i] = cellVal{a.MinRTTP50(), a.HD.Quantile(0.5)}
+	}
+	st.Seal(4)
+	st.Seal(1)
+	for i, g := range st.Groups() {
+		a := g.Windows[g.WindowIndexes()[0]].Route(0)
+		if a.MinRTTP50() != snap[i].p50 || a.HD.Quantile(0.5) != snap[i].hd {
+			t.Fatalf("group %d observables changed across Seal", i)
+		}
+	}
+}

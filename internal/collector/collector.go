@@ -4,9 +4,34 @@
 // providers or VPN relays (~2% of traffic, which would otherwise
 // mislead temporal analysis — §2.2.4 footnote 2), and fans the stream
 // out to sinks (dataset writers, aggregation stores).
+//
+// # Concurrency contract
+//
+// Offer, Err and Stats are safe for concurrent use: the counters are
+// atomics and error poisoning is a compare-and-swap, so a collector
+// may terminate several pipeline worker goroutines at once. Two caveats
+// define the contract:
+//
+//   - The sink set is fixed before ingestion: New and AddSink must not
+//     race with Offer. Configure, then run.
+//   - Offer is only as concurrent as its sinks. StoreSink and
+//     WriterSink wrap single-threaded consumers, so concurrent
+//     pipelines give each shard its own collector (and store), then
+//     combine counts with Stats.Merge and stores with agg's Store.Merge.
+//     A collector whose sinks are themselves thread-safe (or that has
+//     none, as in the filter-only stage of cmd/edgesim) may be shared
+//     outright.
+//
+// Poisoning under concurrency keeps the sequential semantics per
+// goroutine: after a sink returns an error, no goroutine starts a new
+// sink fan-out, and samples offered from then on count as dropped.
+// Offers already mid-fan-out in other goroutines complete against the
+// pre-error sink state, exactly as interleaved sequential offers would.
 package collector
 
 import (
+	"sync/atomic"
+
 	"repro/internal/agg"
 	"repro/internal/obs"
 	"repro/internal/sample"
@@ -32,14 +57,34 @@ type Stats struct {
 	DroppedAfterError int
 }
 
-// Collector filters and fans out samples.
+// Merge returns the element-wise sum of s and o — the reduction for
+// per-shard collectors. Every sample passes through exactly one shard,
+// so the merged stats match what a single sequential collector would
+// have counted.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{
+		Received:          s.Received + o.Received,
+		FilteredHosting:   s.FilteredHosting + o.FilteredHosting,
+		Accepted:          s.Accepted + o.Accepted,
+		SinkErrors:        s.SinkErrors + o.SinkErrors,
+		DroppedAfterError: s.DroppedAfterError + o.DroppedAfterError,
+	}
+}
+
+// Collector filters and fans out samples. See the package comment for
+// the concurrency contract.
 type Collector struct {
 	// KeepHosting disables the hosting-provider filter (the filter is on
-	// by default, matching the paper).
+	// by default, matching the paper). Set before ingestion starts.
 	KeepHosting bool
 	sinks       []Sink
-	stats       Stats
-	err         error
+
+	received atomic.Int64
+	filtered atomic.Int64
+	accepted atomic.Int64
+	sinkErrs atomic.Int64
+	dropped  atomic.Int64
+	err      atomic.Pointer[error]
 
 	// Pre-resolved obs handles; nil (no-op) until Instrument is called.
 	cAccepted *obs.Counter
@@ -53,11 +98,13 @@ func New(sinks ...Sink) *Collector {
 	return &Collector{sinks: sinks}
 }
 
-// AddSink attaches another sink.
+// AddSink attaches another sink; must not race with Offer.
 func (c *Collector) AddSink(s Sink) { c.sinks = append(c.sinks, s) }
 
 // Instrument registers the pipeline counters on reg (nil-safe: a nil
-// registry leaves the collector uninstrumented).
+// registry leaves the collector uninstrumented). Shard collectors in a
+// concurrent pipeline share one registry: the named counters resolve to
+// the same atomics, so /metrics shows pipeline-wide totals.
 func (c *Collector) Instrument(reg *obs.Registry) {
 	c.cAccepted = reg.Counter("collector_accepted_total")
 	c.cFiltered = reg.Counter("collector_filtered_hosting_total")
@@ -73,38 +120,53 @@ func (c *Collector) Instrument(reg *obs.Registry) {
 
 // Offer runs one sample through the pipeline. After the first sink
 // error the pipeline is poisoned: subsequent samples are counted as
-// dropped and not offered to any sink (see Err).
+// dropped and not offered to any sink (see Err). Safe for concurrent
+// use when the sinks are (package comment).
 func (c *Collector) Offer(s sample.Sample) {
-	c.stats.Received++
-	if c.err != nil {
-		c.stats.DroppedAfterError++
+	c.received.Add(1)
+	if c.err.Load() != nil {
+		c.dropped.Add(1)
 		c.cDropped.Inc()
 		return
 	}
 	if s.HostingProvider && !c.KeepHosting {
-		c.stats.FilteredHosting++
+		c.filtered.Add(1)
 		c.cFiltered.Inc()
 		return
 	}
-	c.stats.Accepted++
+	c.accepted.Add(1)
 	c.cAccepted.Inc()
 	for _, sink := range c.sinks {
 		if err := sink(s); err != nil {
-			c.stats.SinkErrors++
+			c.sinkErrs.Add(1)
 			c.cSinkErrs.Inc()
-			c.err = err
+			c.err.CompareAndSwap(nil, &err)
 			return
 		}
 	}
 }
 
 // Err returns the first sink error, or nil.
-func (c *Collector) Err() error { return c.err }
+func (c *Collector) Err() error {
+	if p := c.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
-// Stats returns the pipeline counters.
-func (c *Collector) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the pipeline counters.
+func (c *Collector) Stats() Stats {
+	return Stats{
+		Received:          int(c.received.Load()),
+		FilteredHosting:   int(c.filtered.Load()),
+		Accepted:          int(c.accepted.Load()),
+		SinkErrors:        int(c.sinkErrs.Load()),
+		DroppedAfterError: int(c.dropped.Load()),
+	}
+}
 
-// StoreSink adapts an aggregation store into a sink.
+// StoreSink adapts an aggregation store into a sink. The store is
+// single-threaded: use one per shard collector in concurrent pipelines.
 func StoreSink(st *agg.Store) Sink {
 	return func(s sample.Sample) error {
 		st.Add(s)

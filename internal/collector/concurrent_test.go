@@ -1,0 +1,103 @@
+package collector
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sample"
+)
+
+// Concurrent offers against one shared collector (thread-safe sink)
+// must count exactly, with the hosting filter applied per sample. Run
+// under -race this is the package-contract check for the sharded
+// pipeline's filter stage.
+func TestOfferConcurrent(t *testing.T) {
+	var delivered atomic.Int64
+	c := New(func(sample.Sample) error {
+		delivered.Add(1)
+		return nil
+	})
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Offer(sample.Sample{HostingProvider: i%10 == g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	wantFiltered := goroutines * perG / 10
+	if st.Received != goroutines*perG {
+		t.Errorf("Received = %d, want %d", st.Received, goroutines*perG)
+	}
+	if st.FilteredHosting != wantFiltered {
+		t.Errorf("FilteredHosting = %d, want %d", st.FilteredHosting, wantFiltered)
+	}
+	if st.Accepted != goroutines*perG-wantFiltered {
+		t.Errorf("Accepted = %d, want %d", st.Accepted, goroutines*perG-wantFiltered)
+	}
+	if int64(st.Accepted) != delivered.Load() {
+		t.Errorf("sink saw %d samples, stats claim %d", delivered.Load(), st.Accepted)
+	}
+}
+
+// Concurrent poisoning: once any goroutine's sink errors, every later
+// offer must drop, and the books must balance across the transition.
+func TestOfferConcurrentPoisoning(t *testing.T) {
+	boom := errors.New("sink failed")
+	var n atomic.Int64
+	c := New(func(sample.Sample) error {
+		if n.Add(1) == 1000 {
+			return boom
+		}
+		return nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				c.Offer(sample.Sample{})
+			}
+		}()
+	}
+	wg.Wait()
+	if !errors.Is(c.Err(), boom) {
+		t.Fatalf("Err = %v, want %v", c.Err(), boom)
+	}
+	st := c.Stats()
+	if st.Received != 16000 {
+		t.Errorf("Received = %d, want 16000", st.Received)
+	}
+	if st.SinkErrors != 1 {
+		t.Errorf("SinkErrors = %d, want 1", st.SinkErrors)
+	}
+	if st.DroppedAfterError == 0 {
+		t.Error("no samples recorded as dropped after the error")
+	}
+	if st.Accepted+st.DroppedAfterError != st.Received {
+		t.Errorf("accepted %d + dropped %d != received %d", st.Accepted, st.DroppedAfterError, st.Received)
+	}
+}
+
+// Stats.Merge is the per-shard reduction; the sum of disjoint shard
+// stats must match one collector seeing the union.
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Received: 10, FilteredHosting: 1, Accepted: 9}
+	b := Stats{Received: 5, FilteredHosting: 2, Accepted: 2, SinkErrors: 1, DroppedAfterError: 1}
+	got := a.Merge(b)
+	want := Stats{Received: 15, FilteredHosting: 3, Accepted: 11, SinkErrors: 1, DroppedAfterError: 1}
+	if got != want {
+		t.Errorf("Merge = %+v, want %+v", got, want)
+	}
+}

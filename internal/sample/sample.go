@@ -135,6 +135,24 @@ func (k GroupKey) String() string {
 	return fmt.Sprintf("%s/%s/%s", k.PoP, k.Prefix, k.Country)
 }
 
+// Hash returns a stable FNV-1a hash of the key — the sharding function
+// for the concurrent aggregation pipeline. It is deterministic across
+// processes (no per-run seeding) so shard assignment is reproducible,
+// though nothing downstream depends on which shard a key lands on.
+func (k GroupKey) Hash() uint32 {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for _, s := range [...]string{k.PoP, k.Prefix, k.Country} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint32(s[i])
+			h *= prime
+		}
+		h ^= 0x2f // separator, so ("ab","c") and ("a","bc") differ
+		h *= prime
+	}
+	return h
+}
+
 // Writer streams samples as JSON lines.
 type Writer struct {
 	enc *json.Encoder

@@ -1,0 +1,374 @@
+package study
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/analysis"
+	"repro/internal/collector"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/sample"
+	"repro/internal/world"
+
+	"context"
+)
+
+// Options configures a concurrent study run.
+type Options struct {
+	// Workers is the pipeline parallelism: generation (or dataset
+	// decoding) workers and aggregation shards. 0 means
+	// pipeline.DefaultWorkers (GOMAXPROCS); 1 runs the whole pipeline on
+	// the calling goroutine — the determinism oracle the sharded path is
+	// tested against.
+	Workers int
+	// Reg receives pipeline metrics (may be nil).
+	Reg *obs.Registry
+}
+
+func (o Options) workers() int {
+	if o.Workers == 0 {
+		return pipeline.DefaultWorkers()
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// RunCtx generates the dataset for cfg and runs every analysis on a
+// sharded concurrent pipeline (§3.3's structure: per-group sample
+// streams hash-partitioned into shard-local aggregations, merged into
+// one store). The rendered report is byte-identical at every worker
+// count: per-group sample order is preserved end to end, shard stores
+// partition the group-key space so their merge is exact, and the
+// global Overview folds over the stream in sequential order.
+func RunCtx(ctx context.Context, cfg world.Config, opt Options) (*Results, error) {
+	start := time.Now()
+	reg := opt.Reg
+	workers := opt.workers()
+
+	w := world.New(cfg)
+	w.Instrument(reg)
+
+	if workers <= 1 {
+		// Sequential oracle: one goroutine end to end.
+		store := agg.NewStore()
+		store.Instrument(reg)
+		overview := analysis.NewOverview()
+		overview.Instrument(reg)
+		col := collector.New(
+			collector.StoreSink(store),
+			collector.FuncSink(overview.Add),
+		)
+		col.Instrument(reg)
+		if err := w.GenerateCtx(ctx, 1, col.Offer); err != nil {
+			return nil, err
+		}
+		if err := col.Err(); err != nil {
+			return nil, err
+		}
+		res := &Results{Cfg: w.Cfg, Collector: col.Stats(), Overview: overview, Store: store}
+		res.analyse(reg)
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	ing := newIngest(workers, reg)
+	g := pipeline.NewGroup(ctx)
+	ing.start(g)
+	g.Go(func(ctx context.Context) error {
+		defer ing.close()
+		return w.GenerateBatches(ctx, workers, func(b world.Batch) error {
+			return ing.feed(ctx, b.Samples)
+		})
+	})
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	store, stats := ing.merge()
+	res := &Results{Cfg: w.Cfg, Collector: stats, Overview: ing.overview, Store: store}
+	res.analyseConcurrent(reg, workers)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// FromStream runs every analysis over a JSON-lines dataset (as written
+// by cmd/edgesim) on the sharded pipeline: a sequential scanner splits
+// lines, a worker pool decodes them, and a reorder stage restores the
+// on-disk order before the same sharded ingestion RunCtx uses — so the
+// report is byte-identical to FromSamples over the same bytes.
+func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error) {
+	start := time.Now()
+	reg := opt.Reg
+	workers := opt.workers()
+	if workers <= 1 {
+		return FromSamplesObs(sample.NewReader(r), reg)
+	}
+
+	type lineBatch struct {
+		seq  int
+		data []byte // concatenated lines
+		ends []int  // end offset of each line in data
+	}
+	type decBatch struct {
+		seq     int
+		samples []sample.Sample
+	}
+
+	const linesPerBatch = 1024
+
+	ing := newIngest(workers, reg)
+	g := pipeline.NewGroup(ctx)
+	lines := pipeline.NewStream[lineBatch](workers * 2)
+	lines.Instrument(reg, "decode")
+	decoded := pipeline.NewStream[decBatch](workers * 2)
+	decoded.Instrument(reg, "reorder")
+	readSpan := reg.Span(obs.L("study_stage_seconds", "stage", "read"), "study")
+
+	// Stage 1: split the stream into line batches (sequential, cheap).
+	g.Go(func(ctx context.Context) error {
+		defer lines.Close()
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		seq := 0
+		cur := lineBatch{seq: seq}
+		sp := readSpan.Start()
+		defer sp.End()
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			cur.data = append(cur.data, line...)
+			cur.ends = append(cur.ends, len(cur.data))
+			if len(cur.ends) >= linesPerBatch {
+				if err := lines.Send(ctx, cur); err != nil {
+					return err
+				}
+				seq++
+				cur = lineBatch{seq: seq}
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		if len(cur.ends) > 0 {
+			if err := lines.Send(ctx, cur); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// Stage 2: decode workers.
+	g.GoPool(workers, func(ctx context.Context, _ int) error {
+		return lines.Range(ctx, func(lb lineBatch) error {
+			db := decBatch{seq: lb.seq, samples: make([]sample.Sample, len(lb.ends))}
+			startOff := 0
+			for i, end := range lb.ends {
+				if err := json.Unmarshal(lb.data[startOff:end], &db.samples[i]); err != nil {
+					return fmt.Errorf("decoding dataset line %d: %w", lb.seq*linesPerBatch+i+1, err)
+				}
+				startOff = end
+			}
+			return decoded.Send(ctx, db)
+		})
+	}, decoded.Close)
+
+	// Stage 3: restore on-disk order, then shard.
+	g.Go(func(ctx context.Context) error {
+		defer ing.close()
+		return pipeline.Reorder(ctx, decoded, func(db decBatch) int { return db.seq }, 0,
+			func(db decBatch) error { return ing.feed(ctx, db.samples) })
+	})
+	ing.start(g)
+
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	store, stats := ing.merge()
+	days := (store.TotalWindows + world.WindowsPerDay - 1) / world.WindowsPerDay
+	if days < 1 {
+		days = 1
+	}
+	res := &Results{
+		Cfg:       world.Config{Groups: store.Len(), Days: days},
+		Collector: stats,
+		Overview:  ing.overview,
+		Store:     store,
+	}
+	// The inferred config must report the true window count.
+	res.Cfg.SessionsPerGroupWindow = float64(store.TotalSamples) / float64(max(1, store.Len()*store.TotalWindows))
+	res.analyseConcurrent(reg, workers)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ingest is the sharded back half of the pipeline: an ordered Overview
+// fold plus N collector shards, each filtering its share of the stream
+// into a shard-local aggregation store. feed is called with batches in
+// sequential order; samples are routed to shards by group-key hash, so
+// each (group, window, route) digest sees exactly the subsequence — in
+// exactly the order — it would under sequential ingestion, which is why
+// the final merge is exact rather than approximate.
+type ingest struct {
+	shards   []*ingestShard
+	overview *analysis.Overview
+	foldSpan *obs.SpanTimer
+}
+
+type ingestShard struct {
+	stream *pipeline.Stream[[]sample.Sample]
+	col    *collector.Collector
+	store  *agg.Store
+	span   *obs.SpanTimer
+}
+
+func newIngest(shards int, reg *obs.Registry) *ingest {
+	ov := analysis.NewOverview()
+	ov.Instrument(reg)
+	in := &ingest{
+		overview: ov,
+		foldSpan: reg.Span(obs.L("study_stage_seconds", "stage", "overview_fold"), "study"),
+	}
+	for i := 0; i < shards; i++ {
+		st := agg.NewStore()
+		st.Instrument(reg)
+		col := collector.New(collector.StoreSink(st))
+		col.Instrument(reg)
+		sh := &ingestShard{
+			stream: pipeline.NewStream[[]sample.Sample](4),
+			col:    col,
+			store:  st,
+			span:   reg.Span(obs.L("study_stage_seconds", "stage", "agg_shard"), "study"),
+		}
+		sh.stream.Instrument(reg, fmt.Sprintf("agg_shard_%d", i))
+		in.shards = append(in.shards, sh)
+	}
+	return in
+}
+
+// start launches one worker per shard in g.
+func (in *ingest) start(g *pipeline.Group) {
+	for _, sh := range in.shards {
+		sh := sh
+		g.Go(func(ctx context.Context) error {
+			return sh.stream.Range(ctx, func(run []sample.Sample) error {
+				sp := sh.span.Start()
+				for _, s := range run {
+					sh.col.Offer(s)
+				}
+				sp.End()
+				return sh.col.Err()
+			})
+		})
+	}
+}
+
+// close marks the producer side done; call once no more feeds follow.
+func (in *ingest) close() {
+	for _, sh := range in.shards {
+		sh.stream.Close()
+	}
+}
+
+// feed folds one ordered batch into the Overview and routes it to the
+// shards in runs of consecutive same-shard samples (keys change only at
+// window boundaries, so runs are long and the per-sample routing cost
+// is a struct compare).
+func (in *ingest) feed(ctx context.Context, samples []sample.Sample) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	sp := in.foldSpan.Start()
+	for i := range samples {
+		if samples[i].HostingProvider {
+			continue // mirrors the shard collectors' filter (KeepHosting=false)
+		}
+		in.overview.Add(samples[i])
+	}
+	sp.End()
+
+	nShards := uint32(len(in.shards))
+	runStart := 0
+	key := samples[0].Key()
+	shard := key.Hash() % nShards
+	for i := 1; i < len(samples); i++ {
+		k := samples[i].Key()
+		if k == key {
+			continue
+		}
+		next := k.Hash() % nShards
+		key = k
+		if next == shard {
+			continue
+		}
+		if err := in.shards[shard].stream.Send(ctx, samples[runStart:i]); err != nil {
+			return err
+		}
+		runStart, shard = i, next
+	}
+	return in.shards[shard].stream.Send(ctx, samples[runStart:])
+}
+
+// merge reduces the shards: stats sum; stores merge through the agg
+// merge path (exact here, because the key space is partitioned).
+func (in *ingest) merge() (*agg.Store, collector.Stats) {
+	store := in.shards[0].store
+	stats := in.shards[0].col.Stats()
+	for _, sh := range in.shards[1:] {
+		store.Merge(sh.store)
+		stats = stats.Merge(sh.col.Stats())
+	}
+	return store, stats
+}
+
+// analyseConcurrent is analyse with the independent §5/§6 analyses
+// fanned out over the merged store. The store is sealed first: digest
+// reads fold lazily buffered points, so sealing is what makes the
+// shared store safe for concurrent readers.
+func (r *Results) analyseConcurrent(reg *obs.Registry, workers int) {
+	if workers <= 1 {
+		r.analyse(reg)
+		return
+	}
+	r.Store.Seal(workers)
+	params := analysis.DefaultClassifyParams(r.Cfg.Days)
+	windows := r.Store.TotalWindows
+	if windows == 0 {
+		windows = r.Cfg.Windows()
+	}
+	timed := func(name string, f func()) func(context.Context) error {
+		return func(context.Context) error {
+			reg.Span(obs.L("analysis_seconds", "analysis", name), "analyse").Time(f)
+			return nil
+		}
+	}
+
+	g := pipeline.NewGroup(context.Background())
+	g.Go(timed("degradation_minrtt", func() { r.DegMinRTT = analysis.Degradation(r.Store, analysis.MetricMinRTT) }))
+	g.Go(timed("degradation_hdratio", func() { r.DegHD = analysis.Degradation(r.Store, analysis.MetricHDratio) }))
+	g.Go(timed("opportunity_minrtt", func() { r.OppMinRTT = analysis.Opportunity(r.Store, analysis.MetricMinRTT) }))
+	g.Go(timed("opportunity_hdratio", func() { r.OppHD = analysis.Opportunity(r.Store, analysis.MetricHDratio) }))
+	_ = g.Wait() // the analyses cannot fail
+
+	// Classification needs all four results; Table 2 only the
+	// opportunity pair — a second, smaller fan-out.
+	g = pipeline.NewGroup(context.Background())
+	g.Go(timed("classify", func() {
+		r.Table1DegMinRTT = r.DegMinRTT.Classify(windows, params, Table1DegMinRTTMs)
+		r.Table1DegHD = r.DegHD.Classify(windows, params, Table1DegHD)
+		r.Table1OppMinRTT = r.OppMinRTT.Classify(windows, params, Table1OppMinRTTMs)
+		r.Table1OppHD = r.OppHD.Classify(windows, params, Table1OppHD)
+	}))
+	g.Go(timed("relationships", func() {
+		r.Table2MinRTT = r.OppMinRTT.Relationships(5)
+		r.Table2HD = r.OppHD.Relationships(0.05)
+	}))
+	_ = g.Wait()
+}

@@ -82,7 +82,12 @@ func (t *TDigest) Min() float64 { return t.min }
 // Max returns the largest value added, or -Inf if empty.
 func (t *TDigest) Max() float64 { return t.max }
 
-// Merge folds other into t. The other digest is unchanged.
+// Merge folds other into t — the mergeability property (§3.4.1,
+// footnote 11) that lets shard-local aggregations combine into a global
+// one. Centroids carry their accumulated weight across, so Count and
+// Mean are preserved exactly and quantiles stay within the usual
+// compression tolerance. The other digest is compacted but its contents
+// are unchanged; merging nil is a no-op.
 func (t *TDigest) Merge(other *TDigest) {
 	if other == nil {
 		return
@@ -91,7 +96,25 @@ func (t *TDigest) Merge(other *TDigest) {
 	for i := range other.means {
 		t.AddWeighted(other.means[i], other.weights[i])
 	}
+	// Centroid means never reach the extremes, so the true min/max must
+	// carry over explicitly or the merged digest's tails collapse to the
+	// outermost centroids.
+	if other.min < t.min {
+		t.min = other.min
+	}
+	if other.max > t.max {
+		t.max = other.max
+	}
 }
+
+// Compact folds any buffered points into the centroid set. Adds are
+// buffered for speed, and every read path (Quantile, CDF, Mean, ...)
+// triggers the fold lazily — a hidden mutation that makes concurrent
+// reads a data race. After Compact, reads are pure until the next Add
+// or Merge, so a compacted digest may be shared by concurrent readers;
+// the aggregation store seals every digest this way before the analysis
+// fan-out.
+func (t *TDigest) Compact() { t.process() }
 
 // k1 scale function and its inverse, mapping quantile space to k space.
 func (t *TDigest) k(q float64) float64 {

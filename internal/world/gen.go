@@ -1,14 +1,15 @@
 package world
 
 import (
+	"context"
 	"math"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/cartographer"
 	"repro/internal/flowsim"
 	"repro/internal/hdratio"
+	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/sample"
 	"repro/internal/units"
@@ -20,10 +21,19 @@ import (
 // and the HDratio evidence saturates long before that.
 const maxSimulatedTxns = 48
 
-// Generate produces the full dataset, invoking emit for every sampled
-// session in deterministic order (group by group, windows ascending).
-// Generation is parallel across groups; emission is ordered.
-func (w *World) Generate(emit func(sample.Sample)) {
+// Batch is one group's full sample stream — the unit of work in the
+// concurrent generation pipeline. Samples are in the group's canonical
+// order (windows ascending, sessions in draw order), so delivering
+// batches in Group order reproduces the exact sequential stream.
+type Batch struct {
+	Group   int
+	Samples []sample.Sample
+}
+
+// DefaultWorkers is the generation worker count used by the legacy
+// Generate entry point: one per CPU, capped — group simulation is
+// compute-bound and stops scaling past the core count.
+func DefaultWorkers() int {
 	nw := runtime.NumCPU()
 	if nw > 16 {
 		nw = 16
@@ -31,38 +41,129 @@ func (w *World) Generate(emit func(sample.Sample)) {
 	if nw < 1 {
 		nw = 1
 	}
-	type result struct {
-		idx     int
-		samples []sample.Sample
-	}
-	for batchStart := 0; batchStart < len(w.Groups); batchStart += nw {
-		end := batchStart + nw
-		if end > len(w.Groups) {
-			end = len(w.Groups)
-		}
-		results := make([][]sample.Sample, end-batchStart)
-		var wg sync.WaitGroup
-		gen := w.obs.genStage.Start()
-		for i := batchStart; i < end; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				var buf []sample.Sample
-				w.GenerateGroup(i, func(s sample.Sample) { buf = append(buf, s) })
-				results[i-batchStart] = buf
-			}(i)
-		}
-		wg.Wait()
-		gen.End()
+	return nw
+}
+
+// Generate produces the full dataset, invoking emit for every sampled
+// session in deterministic order (group by group, windows ascending).
+// Generation is parallel across groups; emission is ordered.
+func (w *World) Generate(emit func(sample.Sample)) {
+	// Only context cancellation or a failing deliver can error, and this
+	// legacy path has neither.
+	_ = w.GenerateCtx(context.Background(), DefaultWorkers(), emit)
+}
+
+// GenerateCtx is Generate with explicit worker count and cancellation:
+// workers ≤ 1 simulates groups on the calling goroutine (the
+// determinism oracle, and the only mode with zero goroutine overhead);
+// larger counts fan group simulation out over a worker pool while
+// keeping emission in sequential order. Cancelling ctx stops generation
+// at the next group boundary and returns the cause.
+func (w *World) GenerateCtx(ctx context.Context, workers int, emit func(sample.Sample)) error {
+	return w.GenerateBatches(ctx, workers, func(b Batch) error {
 		sp := w.obs.emit.Start()
-		for _, buf := range results {
-			for _, s := range buf {
-				emit(s)
-			}
-			w.obs.sessions.Add(int64(len(buf)))
+		for _, s := range b.Samples {
+			emit(s)
 		}
+		w.obs.sessions.Add(int64(len(b.Samples)))
 		sp.End()
+		return nil
+	})
+}
+
+// GenerateBatches streams per-group batches to deliver in ascending
+// group order (deliver runs on one goroutine; its error poisons the
+// pipeline). Group simulation runs on up to workers goroutines; each
+// group's RNG lineage is independent (rng.ChildAt per group), so the
+// batch contents are identical at any worker count — ordered delivery
+// then makes the whole stream identical.
+func (w *World) GenerateBatches(ctx context.Context, workers int, deliver func(Batch) error) error {
+	if workers > len(w.Groups) {
+		workers = len(w.Groups)
 	}
+	if workers <= 1 {
+		for i := range w.Groups {
+			if err := ctx.Err(); err != nil {
+				return context.Cause(ctx)
+			}
+			if err := deliver(w.generateBatch(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	idx := make(chan int, len(w.Groups))
+	for i := range w.Groups {
+		idx <- i
+	}
+	close(idx)
+
+	g := pipeline.NewGroup(ctx)
+	out := pipeline.NewStream[Batch](workers)
+	g.GoPool(workers, func(ctx context.Context, _ int) error {
+		for i := range idx {
+			if err := ctx.Err(); err != nil {
+				return context.Cause(ctx)
+			}
+			if err := out.Send(ctx, w.generateBatch(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, out.Close)
+	g.Go(func(ctx context.Context) error {
+		return pipeline.Reorder(ctx, out, func(b Batch) int { return b.Group }, 0, deliver)
+	})
+	return g.Wait()
+}
+
+// GenerateBatchesUnordered is GenerateBatches without the ordered
+// delivery: handle runs concurrently on the worker goroutines, once per
+// group. Callers that need deterministic output restore order
+// themselves (cmd/edgesim reorders encoded batches before writing).
+func (w *World) GenerateBatchesUnordered(ctx context.Context, workers int, handle func(Batch) error) error {
+	if workers > len(w.Groups) {
+		workers = len(w.Groups)
+	}
+	if workers <= 1 {
+		for i := range w.Groups {
+			if err := ctx.Err(); err != nil {
+				return context.Cause(ctx)
+			}
+			if err := handle(w.generateBatch(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	idx := make(chan int, len(w.Groups))
+	for i := range w.Groups {
+		idx <- i
+	}
+	close(idx)
+	g := pipeline.NewGroup(ctx)
+	g.GoPool(workers, func(ctx context.Context, _ int) error {
+		for i := range idx {
+			if err := ctx.Err(); err != nil {
+				return context.Cause(ctx)
+			}
+			if err := handle(w.generateBatch(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil)
+	return g.Wait()
+}
+
+// generateBatch simulates one group under the generation span.
+func (w *World) generateBatch(i int) Batch {
+	sp := w.obs.genStage.Start()
+	var buf []sample.Sample
+	w.GenerateGroup(i, func(s sample.Sample) { buf = append(buf, s) })
+	sp.End()
+	return Batch{Group: i, Samples: buf}
 }
 
 // GenerateAll buffers the whole dataset; intended for tests and small

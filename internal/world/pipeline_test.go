@@ -1,0 +1,140 @@
+package world
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/sample"
+)
+
+func testCfg() Config {
+	return Config{Seed: 9, Groups: 10, Days: 1, SessionsPerGroupWindow: 4}
+}
+
+// The sample stream must be identical — same samples, same order — at
+// every worker count. This is the generation half of the pipeline's
+// byte-identical-report guarantee.
+func TestGenerateCtxDeterministicAcrossWorkers(t *testing.T) {
+	collect := func(workers int) []sample.Sample {
+		w := New(testCfg())
+		var out []sample.Sample
+		if err := w.GenerateCtx(context.Background(), workers, func(s sample.Sample) {
+			out = append(out, s)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	want := collect(1)
+	if len(want) == 0 {
+		t.Fatal("sequential generation produced no samples")
+	}
+	for _, workers := range []int{2, 4, 32} {
+		got := collect(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d produced %d samples, sequential %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d sample %d differs: %+v vs %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Batches must arrive in ascending group order even when workers finish
+// out of order.
+func TestGenerateBatchesOrdered(t *testing.T) {
+	w := New(testCfg())
+	next := 0
+	if err := w.GenerateBatches(context.Background(), 4, func(b Batch) error {
+		if b.Group != next {
+			t.Fatalf("batch for group %d delivered, want %d", b.Group, next)
+		}
+		next++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if next != w.Cfg.Groups {
+		t.Fatalf("delivered %d batches, want %d", next, w.Cfg.Groups)
+	}
+}
+
+// A cancelled context must stop generation promptly with the cause, in
+// both sequential and parallel modes.
+func TestGenerateCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		w := New(testCfg())
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		err := w.GenerateBatches(ctx, workers, func(b Batch) error {
+			n++
+			if n == 2 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n >= w.Cfg.Groups {
+			t.Fatalf("workers=%d: all %d batches delivered despite cancellation", workers, n)
+		}
+	}
+}
+
+// A deliver error must poison the parallel pipeline and surface as-is.
+func TestGenerateBatchesDeliverErrorPoisons(t *testing.T) {
+	boom := errors.New("deliver failed")
+	w := New(testCfg())
+	calls := 0
+	err := w.GenerateBatches(context.Background(), 4, func(b Batch) error {
+		calls++
+		if calls == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// GenerateBatchesUnordered must hand every group to exactly one handler
+// invocation with the same contents as the ordered path.
+func TestGenerateBatchesUnorderedCoverage(t *testing.T) {
+	w := New(testCfg())
+	want := map[int]int{} // group -> sample count
+	if err := w.GenerateBatches(context.Background(), 1, func(b Batch) error {
+		want[b.Group] = len(b.Samples)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w2 := New(testCfg())
+	got := make(map[int]int)
+	var mu chan struct{} = make(chan struct{}, 1)
+	mu <- struct{}{}
+	if err := w2.GenerateBatchesUnordered(context.Background(), 4, func(b Batch) error {
+		<-mu
+		defer func() { mu <- struct{}{} }()
+		if _, dup := got[b.Group]; dup {
+			t.Errorf("group %d handled twice", b.Group)
+		}
+		got[b.Group] = len(b.Samples)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("handled %d groups, want %d", len(got), len(want))
+	}
+	for g, n := range want {
+		if got[g] != n {
+			t.Errorf("group %d: %d samples, want %d", g, got[g], n)
+		}
+	}
+}
