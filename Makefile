@@ -6,12 +6,18 @@
 
 GO ?= go
 
-.PHONY: check vet build race test bench-obs bench-pipeline bench
+.PHONY: check vet lint build race test fuzz-smoke bench-obs bench-pipeline bench
 
-check: vet build race test
+check: vet lint build race test
 
 vet:
 	$(GO) vet ./...
+
+# edgelint enforces the repo's determinism, unit-safety, and poisoning
+# contracts (DESIGN.md §8). Also runnable through the vet toolchain:
+#   go build -o edgelint ./cmd/edgelint && go vet -vettool=./edgelint ./...
+lint:
+	$(GO) run ./cmd/edgelint .
 
 build:
 	$(GO) build ./...
@@ -22,6 +28,12 @@ race:
 
 test:
 	$(GO) test ./...
+
+# A short burst on each fuzz target; the invariants live next to the
+# targets (tdigest merge structure, hdratio classification ranges).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzTDigestMerge -fuzztime 10s ./internal/tdigest/
+	$(GO) test -run '^$$' -fuzz FuzzHDRatioClassify -fuzztime 10s ./internal/hdratio/
 
 # Documents the obs fast-path cost on collector ingest (EXPERIMENTS.md
 # records the measured overhead; the bar is <5%).

@@ -1,0 +1,139 @@
+// Command edgelint runs the repo's domain-specific static analyzers
+// (internal/lint/...): nondeterminism, rngsplit, unitsafety,
+// closecheck, and poisonpath — the contracts the compiler cannot see
+// (DESIGN.md §8).
+//
+// Two modes share one diagnostic pipeline:
+//
+// Standalone, over a module tree (type-checking from source, no build
+// cache needed):
+//
+//	edgelint            # the module containing the current directory
+//	edgelint ./agg      # only packages under a directory
+//	edgelint -list      # print the analyzers and their contracts
+//
+// As a go vet tool, speaking vet's unitchecker protocol (-V=full,
+// -flags, and JSON vet.cfg units with gc export data):
+//
+//	go vet -vettool=$(which edgelint) ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or analysis failure.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/load"
+	"repro/internal/lint/suite"
+)
+
+func main() {
+	// The go vet tool protocol probes first with -V=full (version for
+	// the build cache key) and -flags (supported analyzer flags).
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(runVetUnit(os.Args[1]))
+	}
+
+	list := flag.Bool("list", false, "list analyzers and their contracts")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: edgelint [-list] [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range suite.Analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = strings.TrimSuffix(flag.Arg(0), "/...")
+		if dir == "" {
+			dir = "."
+		}
+	}
+	os.Exit(runStandalone(dir, os.Stdout))
+}
+
+// printVersion emits a line whose content changes whenever the binary
+// does, so `go vet` caches results against the right tool build.
+func printVersion() {
+	sum := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				sum = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			_ = f.Close()
+		}
+	}
+	// cmd/go requires the last field to be buildID=<hex>.
+	fmt.Printf("edgelint version devel buildID=%s\n", sum)
+}
+
+// runStandalone lints every module package under dir.
+func runStandalone(dir string, out io.Writer) int {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+		return 2
+	}
+	moduleDir, err := load.FindModuleRoot(abs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+		return 2
+	}
+	loader, err := load.NewLoader(moduleDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+		return 2
+	}
+	// Restrict to packages rooted under dir (so `edgelint ./agg` works)
+	// without losing cross-package type information.
+	var selected []*load.Package
+	for _, p := range pkgs {
+		if p.Dir == abs || strings.HasPrefix(p.Dir, abs+string(filepath.Separator)) {
+			selected = append(selected, p)
+		}
+	}
+	findings, err := suite.Run(selected, suite.Analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(abs, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		fmt.Fprintln(out, rel)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "edgelint: %d finding(s) in %d package(s)\n", len(findings), len(selected))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,19 @@
+// Package pipeline mirrors the shape of repro/internal/pipeline so the
+// poisonpath contract applies inside the fixture module.
+package pipeline
+
+import "context"
+
+// Group is a trivial stage group.
+type Group struct{ ctx context.Context }
+
+// NewGroup returns a group under parent.
+func NewGroup(parent context.Context) *Group {
+	if parent == nil {
+		parent = context.Background()
+	}
+	return &Group{ctx: parent}
+}
+
+// Wait reports the group error.
+func (g *Group) Wait() error { return nil }

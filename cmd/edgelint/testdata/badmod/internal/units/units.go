@@ -1,0 +1,12 @@
+// Package units mirrors the shape of repro/internal/units so the
+// unitsafety contract applies inside the fixture module.
+package units
+
+// Rate is a data rate in bits per second.
+type Rate float64
+
+// ByteSize is a byte count.
+type ByteSize int64
+
+// Mbps is one megabit per second.
+const Mbps Rate = 1e6

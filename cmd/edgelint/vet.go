@@ -1,0 +1,127 @@
+// go vet unitchecker protocol: vet invokes the tool once per package
+// ("unit") with a JSON config naming the unit's files and the export
+// data of its dependencies, and expects facts written to VetxOutput,
+// diagnostics on stderr, and exit 2 when any diagnostic fired. This
+// mirrors golang.org/x/tools/go/analysis/unitchecker on the subset the
+// edgelint suite needs (the suite defines no cross-package facts, so
+// the vetx files are empty placeholders).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/lint/load"
+	"repro/internal/lint/suite"
+)
+
+// vetConfig is the JSON unit description go vet writes; field names
+// must match cmd/go's (a superset is tolerated, unknown keys ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "edgelint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The suite has no facts, but vet requires the output file to exist
+	// for caching. Write it before anything can fail partway.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies resolve through the gc export data vet compiled.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg := &load.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Error:     func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	pkg.Types, _ = tconf.Check(cfg.ImportPath, fset, files, info)
+	pkg.Info = info
+	if len(pkg.Errors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+
+	findings, err := suite.Run([]*load.Package{pkg}, suite.Analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

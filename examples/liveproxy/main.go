@@ -23,7 +23,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer l.Close()
+	defer func() { _ = l.Close() }()
 
 	reports := make(chan lb.SessionReport, 1)
 	srv := &lb.Server{OnReport: func(r lb.SessionReport) { reports <- r }}
@@ -58,7 +58,7 @@ func fetch(addr string, sizes []int64) error {
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 	br := bufio.NewReader(conn)
 	for i, size := range sizes {
 		connHdr := ""

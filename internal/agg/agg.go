@@ -286,6 +286,9 @@ func (st *Store) Seal(workers int) {
 	for _, g := range st.groups {
 		groups = append(groups, g)
 	}
+	// Seal work order is observable through per-digest compaction
+	// metrics; sort so it does not depend on map iteration order.
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key.String() < groups[j].Key.String() })
 	if workers > len(groups) {
 		workers = len(groups)
 	}

@@ -39,6 +39,49 @@ func FuzzEvaluate(f *testing.F) {
 	})
 }
 
+// FuzzHDRatioClassify classifies whole sessions with arbitrary
+// transaction chains through both estimators (§4.1's full model and the
+// §4.2 simplification): neither may panic, achieved stays within
+// tested, tested stays within the chain length, and the HD ratio is
+// NaN (nothing tested) or in [0,1].
+func FuzzHDRatioClassify(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 0, 50, 60, 70, 80, 1}, int64(60))
+	f.Add([]byte{}, int64(0))
+	f.Add([]byte{255, 255, 255, 255, 255}, int64(-10))
+	f.Fuzz(func(t *testing.T, raw []byte, rttMs int64) {
+		if rttMs < -1000 || rttMs > 1e7 {
+			return
+		}
+		var txns []Transaction
+		for i := 0; i+4 < len(raw); i += 5 {
+			txns = append(txns, Transaction{
+				Bytes:      int64(raw[i])<<12 - 1000,
+				Duration:   time.Duration(int64(raw[i+1])<<10-5000) * time.Microsecond,
+				Wnic:       int64(raw[i+2])<<8 | int64(raw[i+3]),
+				Ineligible: raw[i+4]&1 == 1,
+			})
+		}
+		sess := Session{
+			MinRTT:       time.Duration(rttMs) * time.Millisecond,
+			Transactions: txns,
+		}
+		for _, out := range []Outcome{
+			Evaluate(sess, DefaultConfig()),
+			EvaluateSimple(sess, DefaultConfig()),
+		} {
+			if out.Tested > len(txns) {
+				t.Fatalf("tested %d > %d transactions", out.Tested, len(txns))
+			}
+			if out.AchievedCount > out.Tested {
+				t.Fatalf("achieved %d > tested %d", out.AchievedCount, out.Tested)
+			}
+			if hd := out.HDratio(); !math.IsNaN(hd) && (hd < 0 || hd > 1) {
+				t.Fatalf("HDratio out of range: %v", hd)
+			}
+		}
+	})
+}
+
 // FuzzTmodel checks the model time is always nonnegative and at least
 // the pure transmission time.
 func FuzzTmodel(f *testing.F) {

@@ -98,7 +98,7 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 func (s *Server) handle(conn net.Conn, id uint64) {
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 	sampled := s.Sampler.Rate == 0 || s.Sampler.Sample(id)
 	tconn, _ := conn.(*net.TCPConn)
 	s.cSessions.Inc()

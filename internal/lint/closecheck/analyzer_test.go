@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/closecheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, closecheck.Analyzer, "ccfix")
+}

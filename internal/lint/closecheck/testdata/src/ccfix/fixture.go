@@ -1,0 +1,47 @@
+// Fixture for the closecheck analyzer.
+package ccfix
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+type enc struct{}
+
+func (enc) Close() error { return nil }
+func (enc) Flush() error { return nil }
+func (enc) Seal() error  { return nil }
+
+type noerr struct{}
+
+func (noerr) Close() {}
+
+func bad(e enc, bw *bufio.Writer) {
+	e.Close()      // want "unchecked error from \\(enc\\).Close"
+	bw.Flush()     // want "unchecked error from \\(\\*bufio.Writer\\).Flush"
+	defer e.Seal() // want "unchecked error from \\(enc\\).Seal"
+	go e.Flush()   // want "unchecked error from \\(enc\\).Flush"
+}
+
+// --- accepted forms ---
+
+func okFile(f *os.File) {
+	defer f.Close() // the conventional read-side close
+}
+
+func okExplicit(e enc) error {
+	_ = e.Close() // visible, reviewable discard
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	return e.Seal()
+}
+
+func okNoError(n noerr) {
+	n.Close() // returns nothing: nothing to drop
+}
+
+func okCloser(c io.Closer) error {
+	return c.Close()
+}

@@ -1,0 +1,18 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nondeterminism"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, nondeterminism.Analyzer, "agg")
+}
+
+func TestNonDeterministicPackageExempt(t *testing.T) {
+	// The same hazards in a package outside the deterministic set (the
+	// fixture's import path is "wallclockok") produce no findings.
+	analysistest.Run(t, nondeterminism.Analyzer, "wallclockok")
+}

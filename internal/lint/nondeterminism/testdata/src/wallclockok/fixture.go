@@ -1,0 +1,16 @@
+// Fixture: import path "wallclockok" is not in the deterministic set,
+// so wall clocks and map iteration pass without findings.
+package wallclockok
+
+import (
+	"fmt"
+	"time"
+)
+
+func clock() time.Time { return time.Now() }
+
+func emit(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}

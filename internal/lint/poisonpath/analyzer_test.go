@@ -1,0 +1,12 @@
+package poisonpath_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/poisonpath"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, poisonpath.Analyzer, "ppfix")
+}

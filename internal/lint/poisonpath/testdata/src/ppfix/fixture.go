@@ -1,0 +1,39 @@
+// Fixture for the poisonpath analyzer: importing the real
+// repro/internal/pipeline makes this package a pipeline consumer.
+package ppfix
+
+import (
+	"context"
+
+	"repro/internal/pipeline"
+)
+
+func noCtxGroup() {
+	g := pipeline.NewGroup(nil) // want "noCtxGroup creates a pipeline group but has no context.Context parameter"
+	_ = g.Wait()
+}
+
+func rawGo() {
+	done := make(chan struct{})
+	go func() { close(done) }() // want "rawGo spawns a goroutine but has no context.Context parameter"
+	<-done
+}
+
+func severed(ctx context.Context) error {
+	g := pipeline.NewGroup(context.Background()) // want "severed has a context.Context parameter but roots its pipeline group in context.Background"
+	_ = ctx
+	return g.Wait()
+}
+
+// --- accepted forms ---
+
+func threaded(ctx context.Context) error {
+	g := pipeline.NewGroup(ctx)
+	g.Go(func(ctx context.Context) error { return nil })
+	return g.Wait()
+}
+
+func submitOnly(g *pipeline.Group) {
+	// No spawn of its own: the group hands its context to each stage.
+	g.Go(func(ctx context.Context) error { return nil })
+}

@@ -1,0 +1,12 @@
+package rngsplit_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/rngsplit"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, rngsplit.Analyzer, "rsfix")
+}

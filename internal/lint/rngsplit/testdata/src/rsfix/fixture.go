@@ -1,0 +1,42 @@
+// Fixture for the rngsplit analyzer.
+package rsfix
+
+import (
+	"math/rand" // want "import of math/rand outside internal/rng"
+
+	"repro/internal/rng"
+)
+
+func use(r *rand.Rand) int { return r.Int() }
+
+func leakGo(r *rng.RNG) {
+	go func() {
+		_ = r.Float64() // want "r of type \\*repro/internal/rng.RNG captured by goroutine closure"
+	}()
+}
+
+type group struct{}
+
+func (group) Go(f func())            { go f() }
+func (group) GoPool(n int, f func()) { go f() }
+
+func leakPool(g group, r *rng.RNG) {
+	g.Go(func() {
+		_ = r.IntN(3) // want "captured by goroutine closure"
+	})
+}
+
+func leakStd(g group, r *rand.Rand) {
+	g.GoPool(2, func() {
+		_ = r.Int() // want "captured by goroutine closure"
+	})
+}
+
+// --- the blessed pattern: hand the child in by parameter, never by
+// capture, so each goroutine's stream lineage is explicit ---
+
+func passAsParam(parent *rng.RNG) {
+	go func(r *rng.RNG) {
+		_ = r.Float64()
+	}(parent.Child("w"))
+}

@@ -1,0 +1,143 @@
+// Package suite assembles the edgelint analyzers and runs them over
+// loaded packages, applying //edgelint:allow directives. Both the
+// cmd/edgelint driver (standalone and vettool modes) and the in-repo
+// tests go through this package so suppression semantics cannot
+// diverge between entry points.
+package suite
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/closecheck"
+	"repro/internal/lint/lintutil"
+	"repro/internal/lint/load"
+	"repro/internal/lint/nondeterminism"
+	"repro/internal/lint/poisonpath"
+	"repro/internal/lint/rngsplit"
+	"repro/internal/lint/unitsafety"
+)
+
+// Analyzers is the full edgelint suite.
+var Analyzers = []*analysis.Analyzer{
+	closecheck.Analyzer,
+	nondeterminism.Analyzer,
+	poisonpath.Analyzer,
+	rngsplit.Analyzer,
+	unitsafety.Analyzer,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Finding is one reported, post-suppression diagnostic.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name ("edgelint" for
+	// driver-level problems such as malformed or unused directives).
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message describes it.
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunPackage applies the analyzers to one type-checked package and
+// returns raw (pre-suppression) findings. Packages with type errors
+// refuse analysis: unsound types produce unsound findings.
+func RunPackage(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	if len(pkg.Errors) > 0 {
+		return nil, fmt.Errorf("%s has type errors (first: %v)", pkg.Path, pkg.Errors[0])
+	}
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			out = append(out, Finding{Analyzer: name, Pos: pass.Fset.Position(d.Pos), Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package, filters findings through
+// //edgelint:allow directives, and reports malformed or unused
+// directives as findings of their own. Results are position-sorted.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var all []Finding
+	var directives []*lintutil.Directive
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+		for _, f := range pkg.Files {
+			directives = append(directives, lintutil.ParseDirectives(pkg.Fset, f)...)
+		}
+	}
+	kept := Suppress(all, directives)
+	for _, d := range directives {
+		switch {
+		case d.Malformed != "":
+			kept = append(kept, Finding{Analyzer: "edgelint", Pos: d.Pos, Message: "malformed directive: " + d.Malformed})
+		case !d.Used:
+			kept = append(kept, Finding{Analyzer: "edgelint", Pos: d.Pos,
+				Message: "unused //edgelint:allow directive: nothing on this or the next line triggers " + fmt.Sprint(d.Analyzers)})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, nil
+}
+
+// Suppress drops findings covered by a well-formed directive on the
+// same line or the line above, marking the directives used.
+func Suppress(findings []Finding, directives []*lintutil.Directive) []Finding {
+	var kept []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range directives {
+			if d.Malformed != "" || d.Pos.Filename != f.Pos.Filename {
+				continue
+			}
+			if (d.Pos.Line == f.Pos.Line || d.Pos.Line == f.Pos.Line-1) && d.Allows(f.Analyzer) {
+				d.Used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}

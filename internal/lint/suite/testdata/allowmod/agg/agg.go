@@ -1,0 +1,24 @@
+// Package agg exercises the suite's directive handling: its name puts
+// it under the determinism contract, and each function covers one
+// suppression outcome.
+package agg
+
+import "time"
+
+// Allowed carries a well-formed directive: the finding is suppressed.
+//
+//edgelint:allow nondeterminism: fixture exercises a valid suppression
+func Allowed() time.Time { return time.Now() }
+
+// Bare has no directive: the finding must survive.
+func Bare() time.Time { return time.Now() }
+
+// Quiet triggers nothing, so its directive is unused.
+//
+//edgelint:allow nondeterminism: nothing here needs it
+func Quiet() int { return 1 }
+
+// Missing omits the mandatory reason.
+//
+//edgelint:allow nondeterminism
+func Missing() int { return 2 }

@@ -1,0 +1,12 @@
+package unitsafety_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/unitsafety"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, unitsafety.Analyzer, "usfix")
+}

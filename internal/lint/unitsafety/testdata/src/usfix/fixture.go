@@ -1,0 +1,54 @@
+// Fixture for the unitsafety analyzer, exercising the real
+// repro/internal/units types.
+package usfix
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+func castBytesToRate(b units.ByteSize) units.Rate {
+	return units.Rate(b) // want "direct conversion from bytes \\(units.ByteSize\\) to bits/s \\(units.Rate\\)"
+}
+
+func castRateToDuration(r units.Rate) time.Duration {
+	return time.Duration(r) // want "direct conversion from bits/s \\(units.Rate\\) to nanoseconds \\(time.Duration\\)"
+}
+
+func castDurationToBytes(d time.Duration) units.ByteSize {
+	return units.ByteSize(d) // want "direct conversion from nanoseconds \\(time.Duration\\) to bytes \\(units.ByteSize\\)"
+}
+
+func square(r units.Rate) units.Rate {
+	return r * r // want "multiplying two bits/s \\(units.Rate\\) quantities"
+}
+
+func bareThreshold(r units.Rate) bool {
+	return r > 2500000 // want "bare numeric constant mixed with a bits/s \\(units.Rate\\) quantity"
+}
+
+func bareOffset(b units.ByteSize) units.ByteSize {
+	return b + 1500 // want "bare numeric constant mixed with a bytes \\(units.ByteSize\\) quantity"
+}
+
+// --- unit-correct arithmetic that must NOT be flagged ---
+
+func ok(r units.Rate, b units.ByteSize, d time.Duration) bool {
+	if r > 2.5*units.Mbps {
+		return true
+	}
+	if b >= 10*units.KB {
+		return true
+	}
+	scaled := 2 * r // scaling by a scalar keeps the unit
+	_ = scaled
+	_ = units.RateOf(int64(b), d)  // the arithmetic helper path
+	_ = r.BytesIn(d)               // rate × time → bytes, via helper
+	_ = float64(r) / float64(Mbps) // dimensionless after explicit floats
+	return r <= 0                  // comparisons with zero are sign checks
+}
+
+// Mbps aliases the unit constant so the float64 line above has a local
+// name to reference.
+const Mbps = units.Mbps

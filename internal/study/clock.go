@@ -1,0 +1,19 @@
+package study
+
+import "time"
+
+// This file is the package's only wall-clock source. Results.Elapsed
+// is operator-facing run timing — it is printed to logs and progress
+// output, never rendered into the report body — so these two helpers
+// are exempt from the determinism contract. Everything else in the
+// package must derive time from sample offsets.
+
+// startTimer begins timing a run for Results.Elapsed.
+//
+//edgelint:allow nondeterminism: Elapsed is operator-facing wall time and never feeds report output
+func startTimer() time.Time { return time.Now() }
+
+// elapsedSince finishes a startTimer measurement.
+//
+//edgelint:allow nondeterminism: Elapsed is operator-facing wall time and never feeds report output
+func elapsedSince(start time.Time) time.Duration { return time.Since(start) }

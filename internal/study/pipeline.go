@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/agg"
 	"repro/internal/analysis"
@@ -48,7 +47,7 @@ func (o Options) workers() int {
 // partition the group-key space so their merge is exact, and the
 // global Overview folds over the stream in sequential order.
 func RunCtx(ctx context.Context, cfg world.Config, opt Options) (*Results, error) {
-	start := time.Now()
+	start := startTimer()
 	reg := opt.Reg
 	workers := opt.workers()
 
@@ -74,7 +73,7 @@ func RunCtx(ctx context.Context, cfg world.Config, opt Options) (*Results, error
 		}
 		res := &Results{Cfg: w.Cfg, Collector: col.Stats(), Overview: overview, Store: store}
 		res.analyse(reg)
-		res.Elapsed = time.Since(start)
+		res.Elapsed = elapsedSince(start)
 		return res, nil
 	}
 
@@ -92,8 +91,8 @@ func RunCtx(ctx context.Context, cfg world.Config, opt Options) (*Results, error
 	}
 	store, stats := ing.merge()
 	res := &Results{Cfg: w.Cfg, Collector: stats, Overview: ing.overview, Store: store}
-	res.analyseConcurrent(reg, workers)
-	res.Elapsed = time.Since(start)
+	res.analyseConcurrent(ctx, reg, workers)
+	res.Elapsed = elapsedSince(start)
 	return res, nil
 }
 
@@ -103,7 +102,7 @@ func RunCtx(ctx context.Context, cfg world.Config, opt Options) (*Results, error
 // on-disk order before the same sharded ingestion RunCtx uses — so the
 // report is byte-identical to FromSamples over the same bytes.
 func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error) {
-	start := time.Now()
+	start := startTimer()
 	reg := opt.Reg
 	workers := opt.workers()
 	if workers <= 1 {
@@ -204,8 +203,8 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 	}
 	// The inferred config must report the true window count.
 	res.Cfg.SessionsPerGroupWindow = float64(store.TotalSamples) / float64(max(1, store.Len()*store.TotalWindows))
-	res.analyseConcurrent(reg, workers)
-	res.Elapsed = time.Since(start)
+	res.analyseConcurrent(ctx, reg, workers)
+	res.Elapsed = elapsedSince(start)
 	return res, nil
 }
 
@@ -332,7 +331,7 @@ func (in *ingest) merge() (*agg.Store, collector.Stats) {
 // fanned out over the merged store. The store is sealed first: digest
 // reads fold lazily buffered points, so sealing is what makes the
 // shared store safe for concurrent readers.
-func (r *Results) analyseConcurrent(reg *obs.Registry, workers int) {
+func (r *Results) analyseConcurrent(ctx context.Context, reg *obs.Registry, workers int) {
 	if workers <= 1 {
 		r.analyse(reg)
 		return
@@ -350,7 +349,7 @@ func (r *Results) analyseConcurrent(reg *obs.Registry, workers int) {
 		}
 	}
 
-	g := pipeline.NewGroup(context.Background())
+	g := pipeline.NewGroup(ctx)
 	g.Go(timed("degradation_minrtt", func() { r.DegMinRTT = analysis.Degradation(r.Store, analysis.MetricMinRTT) }))
 	g.Go(timed("degradation_hdratio", func() { r.DegHD = analysis.Degradation(r.Store, analysis.MetricHDratio) }))
 	g.Go(timed("opportunity_minrtt", func() { r.OppMinRTT = analysis.Opportunity(r.Store, analysis.MetricMinRTT) }))
@@ -359,7 +358,7 @@ func (r *Results) analyseConcurrent(reg *obs.Registry, workers int) {
 
 	// Classification needs all four results; Table 2 only the
 	// opportunity pair — a second, smaller fan-out.
-	g = pipeline.NewGroup(context.Background())
+	g = pipeline.NewGroup(ctx)
 	g.Go(timed("classify", func() {
 		r.Table1DegMinRTT = r.DegMinRTT.Classify(windows, params, Table1DegMinRTTMs)
 		r.Table1DegHD = r.DegHD.Classify(windows, params, Table1DegHD)

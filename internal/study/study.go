@@ -64,7 +64,7 @@ func FromSamples(r *sample.Reader) (*Results, error) { return FromSamplesObs(r, 
 // FromSamplesObs is FromSamples with pipeline metrics registered on reg
 // (which may be nil).
 func FromSamplesObs(r *sample.Reader, reg *obs.Registry) (*Results, error) {
-	start := time.Now()
+	start := startTimer()
 	store := agg.NewStore()
 	store.Instrument(reg)
 	overview := analysis.NewOverview()
@@ -103,7 +103,7 @@ func FromSamplesObs(r *sample.Reader, reg *obs.Registry) (*Results, error) {
 	// The inferred config must report the true window count.
 	res.Cfg.SessionsPerGroupWindow = float64(store.TotalSamples) / float64(max(1, store.Len()*store.TotalWindows))
 	res.analyse(reg)
-	res.Elapsed = time.Since(start)
+	res.Elapsed = elapsedSince(start)
 	return res, nil
 }
 
@@ -111,7 +111,7 @@ func FromSamplesObs(r *sample.Reader, reg *obs.Registry) (*Results, error) {
 // paper's granularity (BGP prefix) and subnet granularity, returning
 // the §3.3 tradeoff measurement alongside the standard results.
 func RunDeaggregation(cfg world.Config) (*Results, analysis.DeaggregationResult) {
-	start := time.Now()
+	start := startTimer()
 	w := world.New(cfg)
 	store := agg.NewStore()
 	fine := agg.NewStore()
@@ -129,7 +129,7 @@ func RunDeaggregation(cfg world.Config) (*Results, analysis.DeaggregationResult)
 		Store:     store,
 	}
 	res.analyse(nil)
-	res.Elapsed = time.Since(start)
+	res.Elapsed = elapsedSince(start)
 	return res, analysis.CompareDeaggregation(store, fine)
 }
 
@@ -140,7 +140,7 @@ func Run(cfg world.Config) *Results { return RunObs(cfg, nil) }
 // be nil): world generation, collection, aggregation, and per-analysis
 // durations all report through it.
 func RunObs(cfg world.Config, reg *obs.Registry) *Results {
-	start := time.Now()
+	start := startTimer()
 	w := world.New(cfg)
 	w.Instrument(reg)
 
@@ -162,7 +162,7 @@ func RunObs(cfg world.Config, reg *obs.Registry) *Results {
 		Store:     store,
 	}
 	res.analyse(reg)
-	res.Elapsed = time.Since(start)
+	res.Elapsed = elapsedSince(start)
 	return res
 }
 
