@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build race test fuzz-smoke bench-obs bench-pipeline bench
+.PHONY: check vet lint build race test chaos fuzz-smoke bench-obs bench-pipeline bench-retry bench
 
-check: vet lint build race test
+check: vet lint build race test chaos
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,16 @@ race:
 test:
 	$(GO) test ./...
 
+# A degraded multi-worker study under the race detector: every fault
+# surface fires (sink retry, quarantine, batch truncation/drop, a PoP
+# outage) and the run must still complete with an accounted report.
+# The byte-identity of degraded reports across worker counts is proved
+# by the chaos tests in internal/study and cmd/edgesim (run by `race`).
+chaos:
+	$(GO) run -race ./cmd/edgereport -groups 8 -days 1 -spw 12 -workers 4 \
+		-fault-plan "seed=7;sink-transient=0.01;sink-permanent=0.001;truncate=0.1;corrupt=0.03;fail-group=2;outage=fra:10-30;retries=4;retry-base=50us" \
+		> /dev/null
+
 # A short burst on each fuzz target; the invariants live next to the
 # targets (tdigest merge structure, hdratio classification ranges).
 fuzz-smoke:
@@ -44,6 +54,11 @@ bench-obs:
 # samples/s per worker count; flat on single-core machines).
 bench-pipeline:
 	$(GO) test -run '^$$' -bench BenchmarkPipelineThroughput -benchtime 3x .
+
+# The recovery layer's no-fault cost per guarded write (EXPERIMENTS.md
+# records the measured overhead of a retry-wrapped call vs a bare one).
+bench-retry:
+	$(GO) test -run '^$$' -bench BenchmarkRetryOverhead -benchmem -count 5 ./internal/faults/
 
 bench:
 	$(GO) test -bench . -benchmem

@@ -21,11 +21,22 @@
 // -metrics-addr serves /metrics, /debug/vars and /debug/pprof — the
 // pipeline_queue_depth{stage=...} gauges expose live shard-queue
 // occupancy — for introspection of long runs.
+//
+// -fault-plan injects deterministic failures (see internal/faults) into
+// the study pipeline: collector-sink faults retried with backoff,
+// poisoned group batches quarantined instead of failing the run, PoP
+// outages suppressed at the source. The degraded report carries a
+// coverage section accounting every lost sample, and is byte-identical
+// across -workers counts for the same seed and plan. -fail-fast aborts
+// on the first unrecoverable fault instead. SIGINT/SIGTERM cancel the
+// study cleanly (no report is written); a second signal forces an
+// immediate exit.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/report"
@@ -41,6 +53,31 @@ import (
 	"repro/internal/study"
 	"repro/internal/world"
 )
+
+// exitIfInterrupted maps a cancelled study to the conventional SIGINT
+// exit: no partial report is ever written (the analyses need the whole
+// dataset), so the operator gets a notice instead of half a table.
+func exitIfInterrupted(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "edgereport: interrupted — study abandoned, no report written")
+		os.Exit(130)
+	}
+}
+
+// hardExitOnSecondSignal lets the first SIGINT/SIGTERM cancel the study
+// through the NotifyContext and turns the second into an immediate
+// exit for operators who do not want to wait for the drain.
+func hardExitOnSecondSignal(notice string) {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	//edgelint:allow poisonpath: the watcher must outlive pipeline cancellation — the second signal arrives after the context is already poisoned
+	go func() {
+		<-sig
+		<-sig
+		fmt.Fprintln(os.Stderr, notice)
+		os.Exit(130)
+	}()
+}
 
 func main() {
 	var (
@@ -54,11 +91,22 @@ func main() {
 		workers     = flag.Int("workers", pipeline.DefaultWorkers(), "pipeline workers and aggregation shards (1 = sequential)")
 		progress    = flag.Bool("progress", false, "report study progress to stderr every 2s")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		faultPlan   = flag.String("fault-plan", "", "deterministic fault-injection plan (key=value;... — see internal/faults; '' or 'none' disables)")
+		failFast    = flag.Bool("fail-fast", false, "abort on the first unrecoverable injected fault instead of degrading")
 	)
 	flag.Parse()
 
+	plan, err := faults.ParsePlan(*faultPlan)
+	if err != nil {
+		log.Fatalf("edgereport: -fault-plan: %v", err)
+	}
+	if plan != nil && *deagg {
+		log.Fatal("edgereport: -fault-plan is not supported with -deagg (the deaggregation experiment is a clean-world comparison)")
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	hardExitOnSecondSignal("edgereport: second interrupt — forcing exit; no report written")
 
 	reg := obs.NewRegistry()
 	if *metricsAddr != "" {
@@ -73,7 +121,7 @@ func main() {
 		stopProgress = obs.StartProgress(reg, os.Stderr, 2*time.Second)
 	}
 
-	opt := study.Options{Workers: *workers, Reg: reg}
+	opt := study.Options{Workers: *workers, Reg: reg, Plan: plan, FailFast: *failFast}
 	var res *study.Results
 	var deagResult *struct {
 		covLoss, varRed float64
@@ -91,22 +139,25 @@ func main() {
 			baseG, fineG    int
 		}{d.CoverageLoss(), d.VariabilityReduction(), d.BaseGroups, d.FineGroups}
 	} else if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatalf("edgereport: %v", err)
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			log.Fatalf("edgereport: %v", ferr)
 		}
 		defer f.Close()
 		br := bufio.NewReaderSize(f, 1<<20)
-		if *workers > 1 {
+		// A fault plan forces the streaming path even at -workers 1: its
+		// guard surfaces (sink retry, quarantine) live there, and one
+		// code path per plan keeps the report worker-count independent.
+		if *workers > 1 || plan != nil {
 			res, err = study.FromStream(ctx, br, opt)
 		} else {
 			res, err = study.FromSamplesObs(sample.NewReader(br), reg)
 		}
 		if err != nil {
+			exitIfInterrupted(err)
 			log.Fatalf("edgereport: reading %s: %v", *in, err)
 		}
 	} else {
-		var err error
 		res, err = study.RunCtx(ctx, world.Config{
 			Seed:                   *seed,
 			Groups:                 *groups,
@@ -114,6 +165,7 @@ func main() {
 			SessionsPerGroupWindow: *spw,
 		}, opt)
 		if err != nil {
+			exitIfInterrupted(err)
 			log.Fatalf("edgereport: %v", err)
 		}
 	}

@@ -22,7 +22,17 @@
 // SIGINT/SIGTERM cancel the pipeline cleanly: in-flight groups are
 // abandoned, the contiguous prefix already ordered is flushed, and the
 // process exits with a valid (truncated) JSONL dataset rather than a
-// torn file.
+// torn file. A second SIGINT/SIGTERM skips the orderly drain and exits
+// immediately, leaving whatever bytes already reached the file.
+//
+// -fault-plan injects deterministic failures (see internal/faults) at
+// the generator, batch, and writer surfaces: PoP outages suppress
+// windows at the source, batch faults truncate or drop whole group
+// batches, and write faults fail the ordered write stage — transient
+// streaks are absorbed by retry with backoff, permanent ones quarantine
+// the group's batch (or abort the run under -fail-fast). The same seed
+// and plan yield a byte-identical degraded dataset at any -workers
+// count; the losses are accounted on stderr when the run ends.
 package main
 
 import (
@@ -40,11 +50,28 @@ import (
 	"time"
 
 	"repro/internal/collector"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
 	"repro/internal/world"
 )
+
+// hardExitOnSecondSignal arms a watcher that lets the first
+// SIGINT/SIGTERM flow to the NotifyContext for a graceful drain, and
+// turns the second into an immediate exit: when an operator hits ^C
+// twice they want out now, not after the pipeline unwinds.
+func hardExitOnSecondSignal(notice string) {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	//edgelint:allow poisonpath: the watcher must outlive pipeline cancellation — the second signal arrives after the context is already poisoned
+	go func() {
+		<-sig
+		<-sig
+		fmt.Fprintln(os.Stderr, notice)
+		os.Exit(130)
+	}()
+}
 
 func main() {
 	var (
@@ -56,11 +83,19 @@ func main() {
 		workers     = flag.Int("workers", pipeline.DefaultWorkers(), "concurrent generate/encode workers (1 = sequential)")
 		progress    = flag.Bool("progress", false, "report generation progress to stderr every 2s")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		faultPlan   = flag.String("fault-plan", "", "deterministic fault-injection plan (key=value;... — see internal/faults; '' or 'none' disables)")
+		failFast    = flag.Bool("fail-fast", false, "abort on the first unrecoverable injected fault instead of degrading")
 	)
 	flag.Parse()
 
+	plan, err := faults.ParsePlan(*faultPlan)
+	if err != nil {
+		log.Fatalf("edgesim: -fault-plan: %v", err)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	hardExitOnSecondSignal("edgesim: second interrupt — forcing exit; the dataset is partial and may end mid-line")
 
 	var f *os.File
 	if *out == "-" {
@@ -95,7 +130,13 @@ func main() {
 	})
 	w.Instrument(reg)
 
-	st, written, runErr := run(ctx, w, bw, reg, *workers)
+	inj := faults.NewInjector(plan, *seed)
+	inj.Instrument(reg)
+	if inj != nil {
+		w.PoPDown = inj.Outage
+	}
+
+	st, written, cov, runErr := run(ctx, w, bw, reg, *workers, inj, *failFast)
 	stopProgress()
 
 	// Flush and close unconditionally: on cancellation the contiguous
@@ -125,15 +166,30 @@ func main() {
 		os.Exit(130)
 	}
 	fmt.Fprintf(os.Stderr, "edgesim: wrote %d samples (%d filtered as hosting/VPN) across %d groups × %d windows\n",
-		st.Accepted, st.FilteredHosting, *groups, w.Cfg.Windows())
+		written, st.FilteredHosting, *groups, w.Cfg.Windows())
+	if cov != nil {
+		if cov.Degraded() {
+			fmt.Fprintf(os.Stderr, "edgesim: DEGRADED under fault plan %q — lost %d samples (outage %d, truncated %d, dropped %d); %d group batches quarantined; %d retries spent, %d transient faults recovered\n",
+				cov.Spec, cov.SamplesLost(), cov.SamplesLostOutage, cov.SamplesLostTruncated, cov.SamplesLostDropped,
+				len(cov.Quarantined), cov.RetriesSpent, cov.TransientRecovered)
+		} else {
+			fmt.Fprintf(os.Stderr, "edgesim: fault plan %q injected no data loss (%d retries spent, %d transient faults recovered)\n",
+				cov.Spec, cov.RetriesSpent, cov.TransientRecovered)
+		}
+	}
 }
 
 // run generates the dataset into bw and returns the collector totals,
-// the number of samples actually written, and the first pipeline error
-// (context.Canceled after SIGINT). Whatever it returns, bytes already
-// handed to bw form whole JSON lines in group order.
-func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registry, workers int) (collector.Stats, int, error) {
-	if workers <= 1 {
+// the number of samples actually written, the degradation ledger (nil
+// without a fault plan), and the first pipeline error (context.Canceled
+// after SIGINT). Whatever it returns, bytes already handed to bw form
+// whole JSON lines in group order.
+func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registry, workers int, inj *faults.Injector, failFast bool) (collector.Stats, int, *faults.Coverage, error) {
+	// Chaos runs always take the batch path, even at -workers 1: the
+	// fault surfaces (batch fate, write retry) live there, and keeping
+	// one code path per plan is what makes the worker count irrelevant
+	// to the output bytes.
+	if workers <= 1 && inj == nil {
 		col := collector.New(collector.WriterSink(sample.NewWriter(bw)))
 		col.Instrument(reg)
 		err := w.GenerateCtx(ctx, 1, col.Offer)
@@ -141,7 +197,7 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 			err = serr // the write failure is the root cause
 		}
 		st := col.Stats()
-		return st, st.Accepted, err
+		return st, st.Accepted, nil, err
 	}
 
 	// Parallel mode: workers generate and encode whole groups
@@ -157,8 +213,13 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 	var (
 		mu      sync.Mutex
 		total   collector.Stats
+		cov     faults.Coverage
 		written int
 	)
+	if inj != nil {
+		cov.Spec = inj.Plan().Spec()
+		cov.FailFast = failFast
+	}
 	encSpan := reg.Span(obs.L("edgesim_stage_seconds", "stage", "encode"), "edgesim")
 	writeSpan := reg.Span(obs.L("edgesim_stage_seconds", "stage", "write"), "edgesim")
 
@@ -168,11 +229,41 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 	g.Go(func(ctx context.Context) error {
 		defer enc.Close()
 		return w.GenerateBatchesUnordered(ctx, workers, func(b world.Batch) error {
+			samples := b.Samples
+			if b.Lost > 0 { // PoP outage suppressed windows at the source
+				mu.Lock()
+				cov.SamplesLostOutage += b.Lost
+				mu.Unlock()
+			}
+			switch f := inj.BatchFault(b.Group); f.Kind {
+			case faults.BatchOK:
+			case faults.BatchTruncate:
+				keep := len(samples) - int(float64(len(samples))*f.Frac)
+				mu.Lock()
+				cov.BatchesTruncated++
+				cov.SamplesLostTruncated += len(samples) - keep
+				mu.Unlock()
+				samples = samples[:keep]
+			default: // corrupt or plan-listed failure: the whole batch is gone
+				if failFast {
+					return fmt.Errorf("group %d batch: %w", b.Group,
+						&faults.FaultError{Surface: faults.SurfaceBatch, Key: fmt.Sprintf("world-group-%d", b.Group)})
+				}
+				mu.Lock()
+				cov.GroupsDropped++
+				cov.SamplesLostDropped += len(samples)
+				cov.Quarantined = append(cov.Quarantined, faults.QuarantinedGroup{
+					Key: fmt.Sprintf("world-group-%04d", b.Group), Reason: f.Kind.String(), SamplesLost: len(samples),
+				})
+				mu.Unlock()
+				// Reorder needs a gapless group sequence: send a tombstone.
+				return enc.Send(ctx, encBatch{group: b.Group})
+			}
 			sp := encSpan.Start()
 			var buf bytes.Buffer
 			c := collector.New(collector.WriterSink(sample.NewWriter(&buf)))
 			c.Instrument(reg)
-			for _, s := range b.Samples {
+			for _, s := range samples {
 				c.Offer(s)
 			}
 			sp.End()
@@ -188,6 +279,65 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 	})
 	g.Go(func(ctx context.Context) error {
 		return pipeline.Reorder(ctx, enc, func(b encBatch) int { return b.group }, 0, func(b encBatch) error {
+			if len(b.data) == 0 { // tombstone for a dropped batch
+				return nil
+			}
+			if f := inj.WriteFault(b.group); !f.None() {
+				if f.Permanent {
+					if failFast {
+						return fmt.Errorf("writing group %d batch: %w", b.group,
+							&faults.FaultError{Surface: faults.SurfaceWrite, Key: fmt.Sprintf("world-group-%d", b.group)})
+					}
+					mu.Lock()
+					cov.GroupsDropped++
+					cov.SamplesLostDropped += b.samples
+					cov.Quarantined = append(cov.Quarantined, faults.QuarantinedGroup{
+						Key: fmt.Sprintf("world-group-%04d", b.group), Reason: "permanent write failure", SamplesLost: b.samples,
+					})
+					mu.Unlock()
+					return nil
+				}
+				// Transient streak: retry with backoff until the writer
+				// heals, wrapping the real write so its own errors (full
+				// disk) still surface as permanent.
+				rem := f.Transient
+				p := inj.Policy(b.group)
+				p.OnRetry = func(int, error) {
+					mu.Lock()
+					cov.RetriesSpent++
+					mu.Unlock()
+				}
+				err := faults.Retry(ctx, p, func() error {
+					if rem > 0 {
+						rem--
+						return &faults.FaultError{Surface: faults.SurfaceWrite,
+							Key: fmt.Sprintf("world-group-%d", b.group), Transient: true}
+					}
+					sp := writeSpan.Start()
+					defer sp.End()
+					_, werr := bw.Write(b.data)
+					return werr
+				})
+				if err != nil {
+					if failFast || !faults.IsTransient(err) {
+						return err
+					}
+					mu.Lock()
+					cov.GroupsDropped++
+					cov.SamplesLostDropped += b.samples
+					cov.Quarantined = append(cov.Quarantined, faults.QuarantinedGroup{
+						Key: fmt.Sprintf("world-group-%04d", b.group), Reason: "write retry budget exhausted", SamplesLost: b.samples,
+					})
+					mu.Unlock()
+					return nil
+				}
+				mu.Lock()
+				cov.TransientRecovered++
+				mu.Unlock()
+				inj.Recovered()
+				written += b.samples
+				return nil
+			}
 			sp := writeSpan.Start()
 			defer sp.End()
 			if _, err := bw.Write(b.data); err != nil {
@@ -201,5 +351,12 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 	mu.Lock()
 	st := total
 	mu.Unlock()
-	return st, written, err
+	if inj == nil {
+		return st, written, nil, err
+	}
+	cov.Finalize()
+	if cov.Degraded() {
+		inj.MarkDegraded()
+	}
+	return st, written, &cov, err
 }

@@ -124,6 +124,19 @@ type GroupSeries struct {
 	PreferredBytes int64
 }
 
+// TotalSessions counts the sessions aggregated across every window and
+// route of the series — the store's sample count attributable to this
+// group (integer sums over map ranges are order-independent).
+func (g *GroupSeries) TotalSessions() int {
+	n := 0
+	for _, wa := range g.Windows {
+		for _, a := range wa.Routes {
+			n += a.Sessions
+		}
+	}
+	return n
+}
+
 // WindowIndexes returns the group's populated windows, ascending.
 func (g *GroupSeries) WindowIndexes() []int {
 	out := make([]int, 0, len(g.Windows))
@@ -206,6 +219,23 @@ func (st *Store) Add(s sample.Sample) {
 		st.TotalWindows = win + 1
 	}
 	st.TotalSamples++
+}
+
+// Remove withdraws one group series from the store and returns it (nil
+// if absent) — the quarantine primitive: a poisoned group is isolated
+// from aggregation instead of failing the run, and the returned series
+// lets the caller account for every sample withdrawn. TotalWindows is
+// deliberately left untouched: the run's window axis is a property of
+// the observation period, not of which groups survived it.
+func (st *Store) Remove(key sample.GroupKey) *GroupSeries {
+	g, ok := st.groups[key]
+	if !ok {
+		return nil
+	}
+	delete(st.groups, key)
+	st.TotalSamples -= g.TotalSessions()
+	st.gGroups.Set(float64(len(st.groups)))
+	return g
 }
 
 // Merge folds other into st — the §3.4.1 mergeable-aggregation

@@ -1,0 +1,186 @@
+package agg
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sample"
+)
+
+// buildQuarantineStore fills a store with a known per-group layout.
+func buildQuarantineStore(seed uint64, groups, wins, perCell int) *Store {
+	r := rng.New(seed)
+	st := NewStore()
+	for win := 0; win < wins; win++ {
+		for g := 0; g < groups; g++ {
+			for i := 0; i < perCell; i++ {
+				st.Add(mergeSample(r, g, win))
+			}
+		}
+	}
+	return st
+}
+
+func TestTotalSessionsSumsEveryCell(t *testing.T) {
+	st := buildQuarantineStore(3, 5, 4, 7)
+	total := 0
+	for _, g := range st.Groups() {
+		total += g.TotalSessions()
+	}
+	if total != st.TotalSamples {
+		t.Fatalf("Σ TotalSessions = %d, want TotalSamples %d", total, st.TotalSamples)
+	}
+}
+
+// Remove must withdraw exactly one series: sample accounting follows,
+// the window axis does not, and absent keys are a nil no-op.
+func TestRemoveWithdrawsSeries(t *testing.T) {
+	st := buildQuarantineStore(4, 6, 5, 6)
+	before := st.TotalSamples
+	wins := st.TotalWindows
+	victim := st.Groups()[2]
+
+	g := st.Remove(victim.Key)
+	if g == nil || g.Key != victim.Key {
+		t.Fatalf("Remove returned %+v, want the %s series", g, victim.Key)
+	}
+	if st.Group(victim.Key) != nil {
+		t.Error("removed series still reachable")
+	}
+	if st.TotalSamples != before-g.TotalSessions() {
+		t.Errorf("TotalSamples = %d, want %d − %d", st.TotalSamples, before, g.TotalSessions())
+	}
+	if st.TotalWindows != wins {
+		t.Errorf("TotalWindows changed on Remove: %d → %d (the window axis is a property of the run)", wins, st.TotalWindows)
+	}
+	if again := st.Remove(victim.Key); again != nil {
+		t.Errorf("second Remove returned %+v, want nil", again)
+	}
+}
+
+// Merging empty and partially-poisoned shards: a quarantined (emptied)
+// shard contributes nothing, an untouched empty store is a no-op, and
+// the merge equals sequential ingestion of the surviving stream. This
+// is the shape a degraded pipeline run leaves behind.
+func TestMergeWithEmptyAndQuarantinedShards(t *testing.T) {
+	const shards = 5
+	r := rng.New(9)
+	var stream []sample.Sample
+	for win := 0; win < 6; win++ {
+		for g := 0; g < 10; g++ {
+			for i := 0; i < 12; i++ {
+				stream = append(stream, mergeSample(r, g, win))
+			}
+		}
+	}
+
+	// Shard the stream; then quarantine every group on shard 2 (the
+	// "poisoned shard" scenario: its groups were withdrawn one by one).
+	parts := make([]*Store, shards)
+	for i := range parts {
+		parts[i] = NewStore()
+	}
+	for _, s := range stream {
+		parts[s.Key().Hash()%shards].Add(s)
+	}
+	poisoned := map[sample.GroupKey]bool{}
+	for _, g := range parts[2].Groups() {
+		poisoned[g.Key] = true
+		if parts[2].Remove(g.Key) == nil {
+			t.Fatalf("quarantining %s failed", g.Key)
+		}
+	}
+	if parts[2].Len() != 0 || parts[2].TotalSamples != 0 {
+		t.Fatalf("shard 2 not fully quarantined: %d groups, %d samples", parts[2].Len(), parts[2].TotalSamples)
+	}
+
+	// Sequential oracle over the surviving stream.
+	want := NewStore()
+	for _, s := range stream {
+		if !poisoned[s.Key()] {
+			want.Add(s)
+		}
+	}
+
+	merged := parts[0]
+	merged.Merge(NewStore()) // merging a never-used store is a no-op
+	merged.Merge(nil)        // as is nil
+	for _, p := range parts[1:] {
+		merged.Merge(p)
+	}
+	if merged.TotalSamples != want.TotalSamples || merged.Len() != want.Len() {
+		t.Fatalf("merged %d samples / %d groups, want %d / %d",
+			merged.TotalSamples, merged.Len(), want.TotalSamples, want.Len())
+	}
+	gm, gw := merged.Groups(), want.Groups()
+	for i := range gw {
+		if gm[i].Key != gw[i].Key {
+			t.Fatalf("group %d key %s, want %s", i, gm[i].Key, gw[i].Key)
+		}
+		if gm[i].TotalSessions() != gw[i].TotalSessions() || gm[i].PreferredBytes != gw[i].PreferredBytes {
+			t.Errorf("group %s sessions/bytes differ from sequential oracle", gm[i].Key)
+		}
+		for _, win := range gw[i].WindowIndexes() {
+			wa, wb := gm[i].Windows[win], gw[i].Windows[win]
+			for alt, ab := range wb.Routes {
+				aa := wa.Route(alt)
+				if aa == nil || aa.Sessions != ab.Sessions || aa.MinRTTP50() != ab.MinRTTP50() {
+					t.Fatalf("group %s win %d route %d differs from oracle", gw[i].Key, win, alt)
+				}
+			}
+		}
+	}
+}
+
+// Seal on degraded stores: sealing an empty store, a store with a
+// removed series, and sealing at more workers than groups must all be
+// safe and preserve every read.
+func TestSealAfterQuarantine(t *testing.T) {
+	NewStore().Seal(4) // empty store: no work, no panic
+
+	st := buildQuarantineStore(7, 6, 4, 9)
+	st.Remove(st.Groups()[0].Key)
+	st.Remove(st.Groups()[0].Key)
+
+	type cell struct {
+		sessions int
+		p50      float64
+	}
+	want := map[sample.GroupKey]cell{}
+	for _, g := range st.Groups() {
+		a := g.Windows[g.WindowIndexes()[0]].Route(0)
+		want[g.Key] = cell{a.Sessions, a.MinRTTP50()}
+	}
+	st.Seal(64) // more workers than surviving groups
+	for _, g := range st.Groups() {
+		a := g.Windows[g.WindowIndexes()[0]].Route(0)
+		w := want[g.Key]
+		if a.Sessions != w.sessions || a.MinRTTP50() != w.p50 {
+			t.Fatalf("seal changed group %s: sessions %d→%d p50 %v→%v",
+				g.Key, w.sessions, a.Sessions, w.p50, a.MinRTTP50())
+		}
+	}
+}
+
+// Property: for any removal order, TotalSamples stays the sum of the
+// surviving groups' sessions — removal accounting never drifts.
+func TestRemovePropertyAccountingInvariant(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		st := buildQuarantineStore(seed, 8, 5, 5)
+		r := rng.New(seed * 101)
+		for st.Len() > 0 {
+			groups := st.Groups()
+			st.Remove(groups[r.IntN(len(groups))].Key)
+			sum := 0
+			for _, g := range st.Groups() {
+				sum += g.TotalSessions()
+			}
+			if sum != st.TotalSamples {
+				t.Fatalf("seed %d: Σ sessions %d != TotalSamples %d after removal", seed, sum, st.TotalSamples)
+			}
+		}
+		if st.TotalSamples != 0 {
+			t.Fatalf("seed %d: emptied store reports %d samples", seed, st.TotalSamples)
+		}
+	}
+}

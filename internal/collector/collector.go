@@ -30,6 +30,7 @@
 package collector
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/agg"
@@ -136,11 +137,16 @@ func (c *Collector) Offer(s sample.Sample) {
 	}
 	c.accepted.Add(1)
 	c.cAccepted.Inc()
-	for _, sink := range c.sinks {
+	for i, sink := range c.sinks {
 		if err := sink(s); err != nil {
 			c.sinkErrs.Add(1)
 			c.cSinkErrs.Inc()
-			c.err.CompareAndSwap(nil, &err)
+			// Attribute the failure before poisoning: operators debugging a
+			// SinkErrors count need to know which sink broke on which
+			// sample, and errors.Is/As still see the original cause.
+			werr := fmt.Errorf("sink %d: sample %d (group %s, window %d): %w",
+				i, s.SessionID, s.Key(), agg.WindowOf(s.Start), err)
+			c.err.CompareAndSwap(nil, &werr)
 			return
 		}
 	}

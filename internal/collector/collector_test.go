@@ -3,6 +3,7 @@ package collector
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/agg"
@@ -139,4 +140,33 @@ func (f *failAfter) Write(p []byte) (int, error) {
 		return 0, errors.New("write failed")
 	}
 	return len(p), nil
+}
+
+// TestSinkErrorAttribution checks the error-context satellite: a sink
+// failure must carry which sink, sample, group, and window broke, while
+// errors.Is still reaches the original cause.
+func TestSinkErrorAttribution(t *testing.T) {
+	boom := errors.New("disk full")
+	c := New(
+		FuncSink(func(sample.Sample) {}),
+		func(sample.Sample) error { return boom },
+	)
+	s := sample.Sample{
+		SessionID: 9001,
+		PoP:       "fra",
+		Prefix:    "10.1.0.0/24",
+		Country:   "DE",
+		Start:     3 * agg.WindowDuration,
+	}
+	c.Offer(s)
+	err := c.Err()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, does not wrap %v", err, boom)
+	}
+	msg := err.Error()
+	for _, want := range []string{"sink 1", "sample 9001", "fra/10.1.0.0/24/DE", "window 3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Err() = %q, missing %q", msg, want)
+		}
+	}
 }

@@ -1,0 +1,88 @@
+package faults
+
+import "sort"
+
+// QuarantinedGroup records one isolated user group: the unit the
+// pipeline withdrew from aggregation instead of poisoning the run.
+type QuarantinedGroup struct {
+	// Key identifies the group (sample.GroupKey.String() in the study
+	// pipeline; "group-N" for edgesim's world-group batches).
+	Key string
+	// Reason is the fault class that forced the quarantine.
+	Reason string
+	// SamplesLost counts the group's samples withdrawn or skipped.
+	SamplesLost int
+}
+
+// Coverage is the graceful-degradation ledger for one run: what was
+// lost, where, and what it cost to keep the rest. Feamster &
+// Livingood's rule for speed-measurement pipelines — report coverage
+// alongside results — is enforced by rendering this next to every
+// degraded report, so a reduced sample set is labeled, never silent.
+// Counters partition by cause; Merge folds per-shard ledgers with a
+// deterministic result (sums commute, the quarantine list is sorted).
+type Coverage struct {
+	// Spec is the canonical fault-plan spec that produced this run.
+	Spec string
+	// FailFast records the run's recovery stance.
+	FailFast bool
+
+	// SamplesLostOutage counts sessions never generated because their
+	// serving PoP was down.
+	SamplesLostOutage int
+	// SamplesLostTruncated counts samples cut from truncated batches.
+	SamplesLostTruncated int
+	// SamplesLostDropped counts samples in batches dropped whole
+	// (corruption or plan-listed permanent group failure).
+	SamplesLostDropped int
+	// SamplesLostQuarantined counts samples withdrawn from or refused by
+	// quarantined user groups.
+	SamplesLostQuarantined int
+
+	// GroupsDropped counts world-group batches dropped before
+	// aggregation; BatchesTruncated counts batches that lost a tail.
+	GroupsDropped    int
+	BatchesTruncated int
+
+	// RetriesSpent counts backoff retries across every surface;
+	// TransientRecovered counts faults that retry fully absorbed.
+	RetriesSpent       int
+	TransientRecovered int
+
+	// Quarantined lists isolated groups, sorted by key.
+	Quarantined []QuarantinedGroup
+}
+
+// SamplesLost totals losses across causes.
+func (c *Coverage) SamplesLost() int {
+	return c.SamplesLostOutage + c.SamplesLostTruncated + c.SamplesLostDropped + c.SamplesLostQuarantined
+}
+
+// Degraded reports whether the run lost data. Recovered transients
+// alone do not degrade a run: retries cost time, not samples.
+func (c *Coverage) Degraded() bool {
+	return c.SamplesLost() > 0 || c.GroupsDropped > 0 || len(c.Quarantined) > 0
+}
+
+// Merge folds o into c — the per-shard ledger reduction. Shards own
+// disjoint group-key spaces, so quarantine entries never collide.
+func (c *Coverage) Merge(o *Coverage) {
+	if o == nil {
+		return
+	}
+	c.SamplesLostOutage += o.SamplesLostOutage
+	c.SamplesLostTruncated += o.SamplesLostTruncated
+	c.SamplesLostDropped += o.SamplesLostDropped
+	c.SamplesLostQuarantined += o.SamplesLostQuarantined
+	c.GroupsDropped += o.GroupsDropped
+	c.BatchesTruncated += o.BatchesTruncated
+	c.RetriesSpent += o.RetriesSpent
+	c.TransientRecovered += o.TransientRecovered
+	c.Quarantined = append(c.Quarantined, o.Quarantined...)
+}
+
+// Finalize sorts the quarantine list so merged ledgers render
+// identically regardless of shard count or merge order.
+func (c *Coverage) Finalize() {
+	sort.Slice(c.Quarantined, func(i, j int) bool { return c.Quarantined[i].Key < c.Quarantined[j].Key })
+}

@@ -1,0 +1,183 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sample"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "seed=9;sink-transient=0.01;sink-streak=3;sink-permanent=0.001;truncate=0.2;truncate-frac=0.25;" +
+		"corrupt=0.05;fail-group=2|7;delay=0.1;delay-max=3ms;stage-budget=2s;outage=gru:10-20;retries=5;retry-base=2ms"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 || p.SinkTransientP != 0.01 || p.SinkStreak != 3 || p.SinkPermanentP != 0.001 {
+		t.Errorf("sink fields wrong: %+v", p)
+	}
+	if p.TruncateP != 0.2 || p.TruncateFrac != 0.25 || p.CorruptP != 0.05 {
+		t.Errorf("batch fields wrong: %+v", p)
+	}
+	if len(p.FailGroups) != 2 || p.FailGroups[0] != 2 || p.FailGroups[1] != 7 {
+		t.Errorf("FailGroups = %v", p.FailGroups)
+	}
+	if p.DelayP != 0.1 || p.DelayMax != 3*time.Millisecond || p.StageBudget != 2*time.Second {
+		t.Errorf("timing fields wrong: %+v", p)
+	}
+	if len(p.Outages) != 1 || !p.Outages[0].Covers("gru", 15) || p.Outages[0].Covers("gru", 20) || p.Outages[0].Covers("ams", 15) {
+		t.Errorf("outage wrong: %+v", p.Outages)
+	}
+	if p.RetryAttempts != 5 || p.RetryBase != 2*time.Millisecond {
+		t.Errorf("retry fields wrong: %+v", p)
+	}
+	// Spec → ParsePlan → Spec must be a fixed point: the coverage
+	// section prints Spec, and determinism depends on it being canonical.
+	again, err := ParsePlan(p.Spec())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", p.Spec(), err)
+	}
+	if got, want := again.Spec(), p.Spec(); got != want {
+		t.Errorf("spec not a fixed point:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestParsePlanEmptyAndErrors(t *testing.T) {
+	for _, s := range []string{"", "  ", "none"} {
+		if p, err := ParsePlan(s); p != nil || err != nil {
+			t.Errorf("ParsePlan(%q) = %v, %v; want nil, nil", s, p, err)
+		}
+	}
+	bad := []string{
+		"sink-transient=1.5",          // probability out of range
+		"bogus-key=1",                 // unknown key
+		"outage=gru",                  // malformed outage
+		"outage=gru:9-3",              // inverted range
+		"delay-max=fast",              // bad duration
+		"sink-transient",              // missing value
+		"stall-shard=0",               // stall without a budget would hang
+		"stall-shard=1;stall-for=1ms", // same, explicit duration
+	}
+	for _, s := range bad {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", s)
+		}
+	}
+}
+
+// Fault decisions must be pure functions of identity: independent of
+// call order, repeatable, and differently placed under different seeds.
+func TestInjectorDecisionsArePure(t *testing.T) {
+	plan := &Plan{Seed: 3, SinkTransientP: 0.2, SinkPermanentP: 0.05, TruncateP: 0.2, CorruptP: 0.1}
+	a := NewInjector(plan, 42)
+	b := NewInjector(plan, 42)
+	samples := make([]sample.Sample, 500)
+	for i := range samples {
+		samples[i] = sample.Sample{SessionID: uint64(i*977 + 13)}
+	}
+	// b sees the same identities in reverse order.
+	for i := range samples {
+		fa := a.SinkFault(samples[i])
+		fb := b.SinkFault(samples[len(samples)-1-i])
+		fa2 := a.SinkFault(samples[i]) // repeatable on the same injector
+		if fa != fa2 {
+			t.Fatalf("SinkFault not repeatable for sample %d: %+v vs %+v", i, fa, fa2)
+		}
+		_ = fb
+	}
+	for i := range samples {
+		if fa, fb := a.SinkFault(samples[i]), b.SinkFault(samples[i]); fa != fb {
+			t.Fatalf("SinkFault differs across call orders for sample %d: %+v vs %+v", i, fa, fb)
+		}
+	}
+	for g := 0; g < 200; g++ {
+		if fa, fb := a.BatchFault(g), b.BatchFault(g); fa != fb {
+			t.Fatalf("BatchFault differs for group %d: %+v vs %+v", g, fa, fb)
+		}
+	}
+	// A different study seed must move the faults.
+	c := NewInjector(plan, 43)
+	same := 0
+	faults := 0
+	for i := range samples {
+		fa, fc := a.SinkFault(samples[i]), c.SinkFault(samples[i])
+		if !fa.None() {
+			faults++
+			if fa == fc {
+				same++
+			}
+		}
+	}
+	if faults == 0 {
+		t.Fatal("plan injected no sink faults at p=0.25 over 500 samples")
+	}
+	if same == faults {
+		t.Error("changing the study seed did not move any fault position")
+	}
+}
+
+func TestInjectorNilSafety(t *testing.T) {
+	var in *Injector
+	if f := in.SinkFault(sample.Sample{}); !f.None() {
+		t.Error("nil injector injected a sink fault")
+	}
+	if f := in.BatchFault(0); f.Kind != BatchOK {
+		t.Error("nil injector injected a batch fault")
+	}
+	if in.Outage("gru", 0) || in.ShardDelay(0, 0) != 0 || in.StageBudget() != 0 {
+		t.Error("nil injector injected timing faults")
+	}
+	in.Instrument(nil)
+	in.Recovered()
+	in.MarkDegraded()
+	if NewInjector(nil, 1) != nil {
+		t.Error("NewInjector(nil) != nil")
+	}
+}
+
+func TestFailGroupsAlwaysFail(t *testing.T) {
+	in := NewInjector(&Plan{FailGroups: []int{4}}, 1)
+	if f := in.BatchFault(4); f.Kind != BatchFail {
+		t.Errorf("fail-group batch fate = %v", f.Kind)
+	}
+	if f := in.BatchFault(5); f.Kind != BatchOK {
+		t.Errorf("clean group fate = %v", f.Kind)
+	}
+}
+
+func TestCoverageMergeAndFinalize(t *testing.T) {
+	a := Coverage{SamplesLostOutage: 1, RetriesSpent: 2, Quarantined: []QuarantinedGroup{{Key: "z", SamplesLost: 3}}}
+	b := Coverage{SamplesLostQuarantined: 4, GroupsDropped: 1, TransientRecovered: 5,
+		Quarantined: []QuarantinedGroup{{Key: "a", SamplesLost: 1}}}
+	a.Merge(&b)
+	a.Merge(nil)
+	a.Finalize()
+	if a.SamplesLost() != 5 || a.RetriesSpent != 2 || a.TransientRecovered != 5 {
+		t.Errorf("merged ledger wrong: %+v", a)
+	}
+	if len(a.Quarantined) != 2 || a.Quarantined[0].Key != "a" || a.Quarantined[1].Key != "z" {
+		t.Errorf("finalize did not sort: %+v", a.Quarantined)
+	}
+	if !a.Degraded() {
+		t.Error("lossy ledger reports not degraded")
+	}
+	clean := Coverage{RetriesSpent: 9, TransientRecovered: 9}
+	if clean.Degraded() {
+		t.Error("recovered-only ledger reports degraded: retries cost time, not samples")
+	}
+}
+
+func TestFaultErrorClassification(t *testing.T) {
+	tr := &FaultError{Surface: SurfaceSink, Key: "k", Transient: true}
+	if !IsTransient(tr) {
+		t.Error("transient fault not classified transient")
+	}
+	if IsTransient(&FaultError{Surface: SurfaceBatch}) || IsTransient(nil) {
+		t.Error("permanent/nil classified transient")
+	}
+	if !strings.Contains(tr.Error(), "transient") || !strings.Contains(tr.Error(), SurfaceSink) {
+		t.Errorf("Error() = %q", tr.Error())
+	}
+}

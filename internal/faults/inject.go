@@ -1,0 +1,278 @@
+package faults
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sample"
+)
+
+// Injector turns a Plan into per-identity fault decisions. Every
+// decision derives a fresh child stream via rng.ChildAt from (mixed
+// seed, surface label, identity), consuming no shared generator state —
+// so decisions are pure functions, independent of call order, worker
+// count, and scheduling. A nil *Injector is valid everywhere and
+// injects nothing.
+type Injector struct {
+	plan Plan
+	mix  uint64
+	fail map[int]bool
+
+	// Pre-resolved obs handles; nil (no-op) until Instrument is called.
+	cInjected  map[string]*obs.Counter
+	gDegraded  *obs.Gauge
+	cRecovered *obs.Counter
+}
+
+// Surface labels used for decisions and metrics.
+const (
+	SurfaceSink  = "sink"
+	SurfaceBatch = "batch"
+	SurfaceWrite = "write"
+	SurfaceDelay = "delay"
+	SurfacePoP   = "pop"
+)
+
+// NewInjector binds plan to a study seed. A nil plan yields a nil
+// injector (no injection anywhere).
+func NewInjector(plan *Plan, studySeed uint64) *Injector {
+	if plan == nil {
+		return nil
+	}
+	p := plan.withDefaults()
+	fail := make(map[int]bool, len(p.FailGroups))
+	for _, g := range p.FailGroups {
+		fail[g] = true
+	}
+	// Mix the plan seed with the study seed (splitmix-style odd
+	// constant) so the same plan yields distinct fault positions on
+	// distinct worlds while staying reproducible.
+	return &Injector{
+		plan: p,
+		mix:  p.Seed ^ (studySeed * 0x9e3779b97f4a7c15),
+		fail: fail,
+	}
+}
+
+// Plan returns the injector's effective (defaulted) plan; nil-safe.
+func (in *Injector) Plan() *Plan {
+	if in == nil {
+		return nil
+	}
+	p := in.plan
+	return &p
+}
+
+// Instrument registers fault metrics on reg: injections per surface,
+// recoveries, and the degradation gauge the run's guard raises when
+// data is lost. Nil-safe on both receiver and registry.
+func (in *Injector) Instrument(reg *obs.Registry) {
+	if in == nil {
+		return
+	}
+	in.cInjected = map[string]*obs.Counter{
+		SurfaceSink:  reg.Counter(obs.L("faults_injected_total", "surface", SurfaceSink)),
+		SurfaceBatch: reg.Counter(obs.L("faults_injected_total", "surface", SurfaceBatch)),
+		SurfaceWrite: reg.Counter(obs.L("faults_injected_total", "surface", SurfaceWrite)),
+		SurfaceDelay: reg.Counter(obs.L("faults_injected_total", "surface", SurfaceDelay)),
+		SurfacePoP:   reg.Counter(obs.L("faults_injected_total", "surface", SurfacePoP)),
+	}
+	in.cRecovered = reg.Counter("faults_transient_recovered_total")
+	in.gDegraded = reg.Gauge("faults_degraded")
+}
+
+func (in *Injector) inject(surface string) {
+	if c := in.cInjected[surface]; c != nil {
+		c.Inc()
+	}
+}
+
+// Recovered records one transient fault fully absorbed by retry.
+func (in *Injector) Recovered() {
+	if in != nil {
+		in.cRecovered.Inc()
+	}
+}
+
+// MarkDegraded raises the degradation gauge: the run has lost data.
+func (in *Injector) MarkDegraded() {
+	if in != nil {
+		in.gDegraded.Set(1)
+	}
+}
+
+// SinkFault is one sample's sink-failure decision: Transient
+// consecutive failures before success, or Permanent.
+type SinkFault struct {
+	Transient int
+	Permanent bool
+}
+
+// None reports a clean decision.
+func (f SinkFault) None() bool { return f.Transient == 0 && !f.Permanent }
+
+// SinkFault decides the collector-sink outcome for one sample, keyed by
+// its SessionID (stable across sharding and replay).
+func (in *Injector) SinkFault(s sample.Sample) SinkFault {
+	if in == nil || (in.plan.SinkTransientP == 0 && in.plan.SinkPermanentP == 0) {
+		return SinkFault{}
+	}
+	r := rng.ChildAt(in.mix, SurfaceSink, int(s.SessionID))
+	u := r.Float64()
+	switch {
+	case u < in.plan.SinkPermanentP:
+		in.inject(SurfaceSink)
+		return SinkFault{Permanent: true}
+	case u < in.plan.SinkPermanentP+in.plan.SinkTransientP:
+		in.inject(SurfaceSink)
+		return SinkFault{Transient: 1 + r.IntN(in.plan.SinkStreak)}
+	}
+	return SinkFault{}
+}
+
+// WriteFault decides the dataset-writer outcome for one group's encoded
+// batch (cmd/edgesim's write stage), reusing the sink probabilities at
+// batch granularity.
+func (in *Injector) WriteFault(group int) SinkFault {
+	if in == nil || (in.plan.SinkTransientP == 0 && in.plan.SinkPermanentP == 0) {
+		return SinkFault{}
+	}
+	r := rng.ChildAt(in.mix, SurfaceWrite, group)
+	u := r.Float64()
+	switch {
+	case u < in.plan.SinkPermanentP:
+		in.inject(SurfaceWrite)
+		return SinkFault{Permanent: true}
+	case u < in.plan.SinkPermanentP+in.plan.SinkTransientP:
+		in.inject(SurfaceWrite)
+		return SinkFault{Transient: 1 + r.IntN(in.plan.SinkStreak)}
+	}
+	return SinkFault{}
+}
+
+// BatchFaultKind classifies a group batch's fate.
+type BatchFaultKind int
+
+// Batch fault kinds.
+const (
+	BatchOK       BatchFaultKind = iota
+	BatchTruncate                // lose the batch tail
+	BatchCorrupt                 // drop the whole batch
+	BatchFail                    // plan-listed permanent group failure
+)
+
+// String names the kind for coverage reasons.
+func (k BatchFaultKind) String() string {
+	switch k {
+	case BatchTruncate:
+		return "truncated-batch"
+	case BatchCorrupt:
+		return "corrupt-batch"
+	case BatchFail:
+		return "permanent-failure"
+	}
+	return "ok"
+}
+
+// BatchFault describes one group batch's injected fate.
+type BatchFault struct {
+	Kind BatchFaultKind
+	// Frac is the tail fraction lost when Kind is BatchTruncate.
+	Frac float64
+}
+
+// BatchFault decides a group batch's fate, keyed by group index. A
+// group draws the same fate every run of the same (plan, study) pair.
+func (in *Injector) BatchFault(group int) BatchFault {
+	if in == nil {
+		return BatchFault{}
+	}
+	if in.fail[group] {
+		in.inject(SurfaceBatch)
+		return BatchFault{Kind: BatchFail}
+	}
+	if in.plan.CorruptP == 0 && in.plan.TruncateP == 0 {
+		return BatchFault{}
+	}
+	r := rng.ChildAt(in.mix, SurfaceBatch, group)
+	u := r.Float64()
+	switch {
+	case u < in.plan.CorruptP:
+		in.inject(SurfaceBatch)
+		return BatchFault{Kind: BatchCorrupt}
+	case u < in.plan.CorruptP+in.plan.TruncateP:
+		in.inject(SurfaceBatch)
+		return BatchFault{Kind: BatchTruncate, Frac: in.plan.TruncateFrac}
+	}
+	return BatchFault{}
+}
+
+// Outage reports whether pop is down for window win — the world
+// generator consults this through World.PoPDown and suppresses the
+// window's sessions.
+func (in *Injector) Outage(pop string, win int) bool {
+	if in == nil || len(in.plan.Outages) == 0 {
+		return false
+	}
+	for _, o := range in.plan.Outages {
+		if o.Covers(pop, win) {
+			in.inject(SurfacePoP)
+			return true
+		}
+	}
+	return false
+}
+
+// ShardDelay returns the injected delay for a shard's nth dispatch —
+// scheduling chaos that perturbs timing but must not change a single
+// output byte. Includes the plan's one-shot shard stall (dispatch 0 of
+// StallShard).
+func (in *Injector) ShardDelay(shard, n int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	var d time.Duration
+	if shard == in.plan.StallShard && n == 0 && in.plan.StallFor > 0 {
+		in.inject(SurfaceDelay)
+		d = in.plan.StallFor
+	}
+	if in.plan.DelayP > 0 {
+		r := rng.ChildAt(in.mix, SurfaceDelay, shard<<20|n)
+		if r.Bool(in.plan.DelayP) {
+			in.inject(SurfaceDelay)
+			d += time.Duration(float64(in.plan.DelayMax) * r.Float64())
+		}
+	}
+	return d
+}
+
+// StageBudget returns the plan's per-shard-stage deadline (0 = none).
+func (in *Injector) StageBudget() time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.plan.StageBudget
+}
+
+// Policy returns the recovery policy the plan prescribes, with jitter
+// drawn from a split RNG stream per call site (the id keeps concurrent
+// sites from sharing a generator). Timing-only: jitter never affects
+// outcomes.
+func (in *Injector) Policy(id int) Policy {
+	if in == nil {
+		return Policy{}
+	}
+	return Policy{
+		MaxAttempts: in.plan.RetryAttempts,
+		BaseDelay:   in.plan.RetryBase,
+		Jitter:      0.5,
+		RNG:         rng.ChildAt(in.mix, "retry-jitter", id),
+	}
+}
+
+// SinkFaultKey renders a sample's identity for FaultError.Key.
+func SinkFaultKey(s sample.Sample) string {
+	return "sample " + strconv.FormatUint(s.SessionID, 10) + " group " + s.Key().String()
+}

@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Policy shapes Retry: capped exponential backoff with jitter. The
+// zero value retries transient faults up to 4 attempts with a 1ms base
+// delay capped at 50ms and ±25% jitter.
+type Policy struct {
+	// MaxAttempts is the total number of op invocations (first try
+	// included). Default 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it. Default 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 50ms.
+	MaxDelay time.Duration
+	// Jitter spreads each delay uniformly over ±Jitter/2 of its value,
+	// drawn from RNG. Default 0.5 (±25%); jitter is skipped when RNG is
+	// nil. Jitter affects timing only, never outcomes.
+	Jitter float64
+	// RNG is the jitter stream. Each concurrent call site must hold its
+	// own split (rng.Child/ChildAt); Retry never shares it.
+	RNG *rng.RNG
+	// Sleep replaces the real clock (tests, virtual time). Nil means a
+	// context-aware real sleep.
+	Sleep func(time.Duration)
+	// Retryable classifies errors; nil means IsTransient.
+	Retryable func(error) bool
+	// OnRetry observes each retry before its backoff: attempt is the
+	// 1-based retry number, err the failure being retried. Used for
+	// retry accounting.
+	OnRetry func(attempt int, err error)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	if p.Jitter < 0 || p.Jitter >= 2 {
+		p.Jitter = 0.5
+	}
+	if p.Retryable == nil {
+		p.Retryable = IsTransient
+	}
+	return p
+}
+
+// delay computes the backoff before the attempt-th retry (1-based).
+func (p Policy) delay(attempt int) time.Duration {
+	d := float64(p.BaseDelay) * math.Pow(2, float64(attempt-1))
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.RNG != nil && p.Jitter > 0 {
+		d *= 1 - p.Jitter/2 + p.Jitter*p.RNG.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Retry runs op, retrying failures the policy classifies as retryable
+// with capped exponential backoff until an attempt succeeds, a
+// non-retryable error surfaces (returned as-is), the attempt budget is
+// exhausted (the last error is returned wrapped with the budget), or
+// ctx is cancelled mid-backoff (the cancellation cause is returned,
+// wrapping the pending error).
+func Retry(ctx context.Context, p Policy, op func() error) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil {
+			return nil
+		}
+		if !p.Retryable(err) {
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			return fmt.Errorf("retry budget exhausted after %d attempts: %w", p.MaxAttempts, err)
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		if serr := p.sleep(ctx, p.delay(attempt)); serr != nil {
+			return fmt.Errorf("%w (retrying %v)", serr, err)
+		}
+	}
+}
+
+// sleep waits d or until ctx is cancelled.
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return nil
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+		return ctx.Err()
+	}
+}

@@ -192,6 +192,13 @@ func TestProgressLine(t *testing.T) {
 	if !strings.Contains(line, "world_stage_seconds:generate=") {
 		t.Errorf("line missing stage timing: %q", line)
 	}
+	if strings.Contains(line, "DEGRADED") {
+		t.Errorf("clean run flagged degraded: %q", line)
+	}
+	reg.Gauge("faults_degraded").Set(1)
+	if line := reg.progressLine(nil, time.Second, false); !strings.Contains(line, "DEGRADED") {
+		t.Errorf("degraded run not flagged: %q", line)
+	}
 }
 
 func TestStartProgressStop(t *testing.T) {

@@ -70,6 +70,14 @@ func (r *Registry) counterValues() map[string]int64 {
 func (r *Registry) progressLine(prev map[string]int64, dt time.Duration, final bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "progress t=%s", r.Uptime().Round(time.Second))
+	// A degraded run (data lost under fault injection) is the one state
+	// an operator must not miss while watching throughput scroll by.
+	r.mu.Lock()
+	degraded := r.gauges["faults_degraded"] != nil && r.gauges["faults_degraded"].Value() != 0
+	r.mu.Unlock()
+	if degraded {
+		b.WriteString(" DEGRADED")
+	}
 
 	cur := r.counterValues()
 	for _, name := range sortedKeys(cur) {

@@ -26,8 +26,11 @@ package pipeline
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -98,9 +101,62 @@ func (g *Group) GoPool(n int, worker func(ctx context.Context, i int) error, aft
 	}
 }
 
+// GoBudget launches one stage under a wall-time budget: the stage's
+// context is cancelled budget after launch with a *StageTimeoutError
+// as the cause, so a stalled stage fails loudly instead of hanging the
+// pipeline. The stage observes the deadline the same way it observes
+// poisoning — through blocked Sends/Ranges returning the cause. A
+// non-positive budget degrades to plain Go. Budgets are for bounded
+// chaos/recovery runs; long-lived streaming stages should stay
+// unbudgeted.
+func (g *Group) GoBudget(stage string, budget time.Duration, f func(ctx context.Context) error) {
+	if budget <= 0 {
+		g.Go(f)
+		return
+	}
+	g.Go(func(ctx context.Context) error {
+		sctx, cancel := context.WithTimeoutCause(ctx, budget, &StageTimeoutError{Stage: stage, Budget: budget})
+		defer cancel()
+		err := f(sctx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The stage surfaced the raw deadline instead of the cause
+			// (e.g. a third-party call); restore attribution.
+			err = &StageTimeoutError{Stage: stage, Budget: budget}
+		}
+		return err
+	})
+}
+
+// StageTimeoutError reports a stage that exhausted its GoBudget
+// deadline.
+type StageTimeoutError struct {
+	Stage  string
+	Budget time.Duration
+}
+
+// Error renders the timeout.
+func (e *StageTimeoutError) Error() string {
+	return fmt.Sprintf("pipeline stage %q exceeded its %v deadline budget", e.Stage, e.Budget)
+}
+
+// Cancel poisons the group from outside its stages — the hook for
+// callers that must abandon a pipeline (operator interrupt, fail-fast
+// fault handling) without waiting for a stage to fail. A nil err
+// records context.Canceled. Idempotent: the first poisoning (Cancel or
+// stage error) wins; later calls are no-ops.
+func (g *Group) Cancel(err error) {
+	if err == nil {
+		err = context.Canceled
+	}
+	g.once.Do(func() {
+		g.err = err
+		g.cancel(err)
+	})
+}
+
 // Wait blocks until every stage has returned and reports the first
 // error (nil on a clean run). The group's context is cancelled either
-// way, releasing any resources.
+// way, releasing any resources. Safe to call more than once.
 func (g *Group) Wait() error {
 	g.wg.Wait()
 	g.cancel(nil)
@@ -120,7 +176,8 @@ func cause(ctx context.Context) error {
 // while the buffer is full (backpressure) and fail once the pipeline's
 // context is poisoned.
 type Stream[T any] struct {
-	ch chan T
+	ch        chan T
+	closeOnce sync.Once
 }
 
 // NewStream returns a stream buffering up to buf items (minimum 1).
@@ -157,8 +214,11 @@ func (s *Stream[T]) Send(ctx context.Context, v T) error {
 
 // Close marks the producer side done; Range on the consumer side then
 // drains and returns. Only the producing stage may call Close (for
-// pools, via GoPool's after hook).
-func (s *Stream[T]) Close() { close(s.ch) }
+// pools, via GoPool's after hook). Idempotent: error-path teardown may
+// Close a stream its happy path already closed without panicking.
+func (s *Stream[T]) Close() {
+	s.closeOnce.Do(func() { close(s.ch) })
+}
 
 // Range consumes items until the stream is closed (returning nil) or
 // the pipeline is poisoned (returning the cause). f's error stops

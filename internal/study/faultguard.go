@@ -1,0 +1,188 @@
+package study
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/collector"
+	"repro/internal/faults"
+	"repro/internal/sample"
+	"repro/internal/world"
+)
+
+// runGuard is the pipeline's recovery layer for chaos runs: it applies
+// the fault plan's batch-level fates in the ordered delivery path and
+// owns the run-level degradation ledger. A nil *runGuard (no plan) is
+// valid everywhere and passes batches through untouched.
+//
+// Guard state is single-goroutine by construction — filterBatch runs
+// on the ordered deliver goroutine, each shardGuard on its shard's
+// worker — so the ledgers need no locks and merge deterministically in
+// shard order.
+type runGuard struct {
+	inj      *faults.Injector
+	failFast bool
+	cov      faults.Coverage
+}
+
+// newRunGuard binds an injector (nil yields a nil guard).
+func newRunGuard(inj *faults.Injector, failFast bool) *runGuard {
+	if inj == nil {
+		return nil
+	}
+	return &runGuard{
+		inj:      inj,
+		failFast: failFast,
+		cov:      faults.Coverage{Spec: inj.Plan().Spec(), FailFast: failFast},
+	}
+}
+
+// filterBatch applies the batch surface's fate to one generated group
+// batch before it enters ingestion: outage losses are booked, corrupt
+// and plan-failed batches are dropped whole (or abort the run under
+// fail-fast), truncated batches lose their tail. The returned slice is
+// what ingestion may aggregate.
+func (rg *runGuard) filterBatch(b world.Batch) ([]sample.Sample, error) {
+	if rg == nil {
+		return b.Samples, nil
+	}
+	if b.Lost > 0 {
+		rg.cov.SamplesLostOutage += b.Lost
+		rg.inj.MarkDegraded()
+	}
+	f := rg.inj.BatchFault(b.Group)
+	switch f.Kind {
+	case faults.BatchOK:
+		return b.Samples, nil
+	case faults.BatchTruncate:
+		keep := len(b.Samples) - int(float64(len(b.Samples))*f.Frac)
+		if keep < 0 {
+			keep = 0
+		}
+		if lost := len(b.Samples) - keep; lost > 0 {
+			rg.cov.BatchesTruncated++
+			rg.cov.SamplesLostTruncated += lost
+			rg.inj.MarkDegraded()
+		}
+		return b.Samples[:keep], nil
+	default: // BatchCorrupt, BatchFail: the whole batch is unusable.
+		if rg.failFast {
+			return nil, fmt.Errorf("fail-fast: %s for world group %d: %w", f.Kind, b.Group,
+				&faults.FaultError{Surface: faults.SurfaceBatch, Key: fmt.Sprintf("world-group-%d", b.Group)})
+		}
+		rg.cov.GroupsDropped++
+		rg.cov.SamplesLostDropped += len(b.Samples)
+		rg.cov.Quarantined = append(rg.cov.Quarantined, faults.QuarantinedGroup{
+			Key:         fmt.Sprintf("world-group-%04d", b.Group),
+			Reason:      f.Kind.String(),
+			SamplesLost: len(b.Samples),
+		})
+		rg.inj.MarkDegraded()
+		return nil, nil
+	}
+}
+
+// shardGuard wraps one ingestion shard's collector with the sink fault
+// surface: injected sink failures are retried under the plan's policy;
+// permanent (or retry-exhausted) failures quarantine the sample's user
+// group — the group's series is withdrawn from the shard store and its
+// later samples are refused — instead of poisoning the run. Fault
+// decisions are keyed by SessionID and group key, so the merged
+// outcome is identical at any worker count even though shard
+// membership is not.
+type shardGuard struct {
+	inj      *faults.Injector
+	failFast bool
+	col      *collector.Collector
+	store    *agg.Store
+	policy   faults.Policy
+	qidx     map[sample.GroupKey]int
+	cov      faults.Coverage
+}
+
+// newShardGuard builds the guard for shard i (nil runGuard yields nil).
+func (rg *runGuard) newShardGuard(i int, col *collector.Collector, store *agg.Store) *shardGuard {
+	if rg == nil {
+		return nil
+	}
+	return &shardGuard{
+		inj:      rg.inj,
+		failFast: rg.failFast,
+		col:      col,
+		store:    store,
+		policy:   rg.inj.Policy(i),
+		qidx:     make(map[sample.GroupKey]int),
+	}
+}
+
+// offer runs one sample through the guarded sink path.
+func (sg *shardGuard) offer(ctx context.Context, s sample.Sample) error {
+	if s.HostingProvider {
+		// The filter would reject it before any sink ran; no fault
+		// surface applies, and the collector keeps its count exact.
+		sg.col.Offer(s)
+		return sg.col.Err()
+	}
+	key := s.Key()
+	if idx, ok := sg.qidx[key]; ok {
+		sg.cov.Quarantined[idx].SamplesLost++
+		sg.cov.SamplesLostQuarantined++
+		return nil
+	}
+	f := sg.inj.SinkFault(s)
+	if f.None() {
+		sg.col.Offer(s)
+		return sg.col.Err()
+	}
+	ferr := &faults.FaultError{Surface: faults.SurfaceSink, Key: faults.SinkFaultKey(s), Transient: !f.Permanent}
+	if f.Permanent {
+		if sg.failFast {
+			return fmt.Errorf("fail-fast: %w", ferr)
+		}
+		sg.quarantine(key, "permanent sink failure")
+		return nil
+	}
+	rem := f.Transient
+	p := sg.policy
+	p.OnRetry = func(int, error) { sg.cov.RetriesSpent++ }
+	err := faults.Retry(ctx, p, func() error {
+		if rem > 0 {
+			rem--
+			return ferr
+		}
+		sg.col.Offer(s)
+		return sg.col.Err()
+	})
+	switch {
+	case err == nil:
+		sg.cov.TransientRecovered++
+		sg.inj.Recovered()
+		return nil
+	case sg.failFast || !faults.IsTransient(err):
+		// Fail-fast, a real sink error, or a cancellation mid-backoff:
+		// poison the pipeline with the cause.
+		return err
+	default:
+		sg.quarantine(key, "sink retry budget exhausted")
+		return nil
+	}
+}
+
+// quarantine isolates one user group: its series leaves the store, its
+// samples count as lost, and later samples of the group are refused at
+// the guard. The run keeps going — degradation is accounted, not fatal.
+func (sg *shardGuard) quarantine(key sample.GroupKey, reason string) {
+	lost := 1 // the triggering sample never reached the store
+	if removed := sg.store.Remove(key); removed != nil {
+		lost += removed.TotalSessions()
+	}
+	sg.cov.SamplesLostQuarantined += lost
+	sg.qidx[key] = len(sg.cov.Quarantined)
+	sg.cov.Quarantined = append(sg.cov.Quarantined, faults.QuarantinedGroup{
+		Key:         key.String(),
+		Reason:      reason,
+		SamplesLost: lost,
+	})
+	sg.inj.MarkDegraded()
+}

@@ -9,12 +9,14 @@ import (
 	"repro/internal/agg"
 	"repro/internal/analysis"
 	"repro/internal/collector"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
 	"repro/internal/world"
 
 	"context"
+	"time"
 )
 
 // Options configures a concurrent study run.
@@ -27,6 +29,14 @@ type Options struct {
 	Workers int
 	// Reg receives pipeline metrics (may be nil).
 	Reg *obs.Registry
+	// Plan, when non-nil, injects deterministic faults across the
+	// pipeline (sink failures, batch corruption, PoP outages, shard
+	// stalls) and makes Results carry a degradation ledger. The report
+	// stays byte-identical at any worker count for a fixed (seed, plan).
+	Plan *faults.Plan
+	// FailFast makes the first non-recoverable fault poison the run
+	// instead of quarantining the affected group and continuing.
+	FailFast bool
 }
 
 func (o Options) workers() int {
@@ -54,7 +64,17 @@ func RunCtx(ctx context.Context, cfg world.Config, opt Options) (*Results, error
 	w := world.New(cfg)
 	w.Instrument(reg)
 
-	if workers <= 1 {
+	inj := faults.NewInjector(opt.Plan, w.Cfg.Seed)
+	inj.Instrument(reg)
+	rg := newRunGuard(inj, opt.FailFast)
+	if inj != nil {
+		w.PoPDown = inj.Outage
+	}
+
+	// Chaos runs always take the sharded path (even at workers=1): the
+	// guard and quarantine machinery live there, and the determinism
+	// oracle for a faulted run is the same plan at another worker count.
+	if workers <= 1 && rg == nil {
 		// Sequential oracle: one goroutine end to end.
 		store := agg.NewStore()
 		store.Instrument(reg)
@@ -77,20 +97,24 @@ func RunCtx(ctx context.Context, cfg world.Config, opt Options) (*Results, error
 		return res, nil
 	}
 
-	ing := newIngest(workers, reg)
+	ing := newIngest(workers, reg, rg)
 	g := pipeline.NewGroup(ctx)
 	ing.start(g)
 	g.Go(func(ctx context.Context) error {
 		defer ing.close()
 		return w.GenerateBatches(ctx, workers, func(b world.Batch) error {
-			return ing.feed(ctx, b.Samples)
+			samples, err := rg.filterBatch(b)
+			if err != nil {
+				return err
+			}
+			return ing.feed(ctx, samples)
 		})
 	})
 	if err := g.Wait(); err != nil {
 		return nil, err
 	}
 	store, stats := ing.merge()
-	res := &Results{Cfg: w.Cfg, Collector: stats, Overview: ing.overview, Store: store}
+	res := &Results{Cfg: w.Cfg, Collector: stats, Overview: ing.overview, Store: store, Coverage: ing.coverage(rg)}
 	res.analyseConcurrent(ctx, reg, workers)
 	res.Elapsed = elapsedSince(start)
 	return res, nil
@@ -105,7 +129,10 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 	start := startTimer()
 	reg := opt.Reg
 	workers := opt.workers()
-	if workers <= 1 {
+	inj := faults.NewInjector(opt.Plan, 0)
+	inj.Instrument(reg)
+	rg := newRunGuard(inj, opt.FailFast)
+	if workers <= 1 && rg == nil {
 		return FromSamplesObs(sample.NewReader(r), reg)
 	}
 
@@ -121,7 +148,10 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 
 	const linesPerBatch = 1024
 
-	ing := newIngest(workers, reg)
+	// Replayed datasets have no generator, so only the sink surface (and
+	// shard timing chaos) applies: line batches are not group batches,
+	// and batch-level fates would not be comparable across worker counts.
+	ing := newIngest(workers, reg, rg)
 	g := pipeline.NewGroup(ctx)
 	lines := pipeline.NewStream[lineBatch](workers * 2)
 	lines.Instrument(reg, "decode")
@@ -200,6 +230,7 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 		Collector: stats,
 		Overview:  ing.overview,
 		Store:     store,
+		Coverage:  ing.coverage(rg),
 	}
 	// The inferred config must report the true window count.
 	res.Cfg.SessionsPerGroupWindow = float64(store.TotalSamples) / float64(max(1, store.Len()*store.TotalWindows))
@@ -219,6 +250,7 @@ type ingest struct {
 	shards   []*ingestShard
 	overview *analysis.Overview
 	foldSpan *obs.SpanTimer
+	inj      *faults.Injector
 }
 
 type ingestShard struct {
@@ -226,14 +258,18 @@ type ingestShard struct {
 	col    *collector.Collector
 	store  *agg.Store
 	span   *obs.SpanTimer
+	guard  *shardGuard
 }
 
-func newIngest(shards int, reg *obs.Registry) *ingest {
+func newIngest(shards int, reg *obs.Registry, rg *runGuard) *ingest {
 	ov := analysis.NewOverview()
 	ov.Instrument(reg)
 	in := &ingest{
 		overview: ov,
 		foldSpan: reg.Span(obs.L("study_stage_seconds", "stage", "overview_fold"), "study"),
+	}
+	if rg != nil {
+		in.inj = rg.inj
 	}
 	for i := 0; i < shards; i++ {
 		st := agg.NewStore()
@@ -245,6 +281,7 @@ func newIngest(shards int, reg *obs.Registry) *ingest {
 			col:    col,
 			store:  st,
 			span:   reg.Span(obs.L("study_stage_seconds", "stage", "agg_shard"), "study"),
+			guard:  rg.newShardGuard(i, col, st),
 		}
 		sh.stream.Instrument(reg, fmt.Sprintf("agg_shard_%d", i))
 		in.shards = append(in.shards, sh)
@@ -252,20 +289,37 @@ func newIngest(shards int, reg *obs.Registry) *ingest {
 	return in
 }
 
-// start launches one worker per shard in g.
+// start launches one worker per shard in g. Under a fault plan the
+// workers run with the plan's stage budget (a stalled shard trips a
+// StageTimeoutError instead of hanging the run) and injected dispatch
+// delays — timing chaos that must not change one output byte.
 func (in *ingest) start(g *pipeline.Group) {
-	for _, sh := range in.shards {
-		sh := sh
-		g.Go(func(ctx context.Context) error {
+	for i, sh := range in.shards {
+		i, sh := i, sh
+		run := func(ctx context.Context) error {
+			n := 0
 			return sh.stream.Range(ctx, func(run []sample.Sample) error {
+				if d := in.inj.ShardDelay(i, n); d > 0 {
+					time.Sleep(d)
+				}
+				n++
 				sp := sh.span.Start()
+				defer sp.End()
+				if sh.guard != nil {
+					for _, s := range run {
+						if err := sh.guard.offer(ctx, s); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
 				for _, s := range run {
 					sh.col.Offer(s)
 				}
-				sp.End()
 				return sh.col.Err()
 			})
-		})
+		}
+		g.GoBudget(fmt.Sprintf("agg_shard_%d", i), in.inj.StageBudget(), run)
 	}
 }
 
@@ -325,6 +379,26 @@ func (in *ingest) merge() (*agg.Store, collector.Stats) {
 		stats = stats.Merge(sh.col.Stats())
 	}
 	return store, stats
+}
+
+// coverage reduces the degradation ledgers — the batch-level ledger
+// plus every shard's — into one finalized Coverage (nil when the run
+// had no fault plan). Shards own disjoint group-key spaces and the
+// final sort removes merge-order sensitivity, so the result is
+// identical at any worker count.
+func (in *ingest) coverage(rg *runGuard) *faults.Coverage {
+	if rg == nil {
+		return nil
+	}
+	cov := rg.cov
+	cov.Quarantined = append([]faults.QuarantinedGroup(nil), rg.cov.Quarantined...)
+	for _, sh := range in.shards {
+		if sh.guard != nil {
+			cov.Merge(&sh.guard.cov)
+		}
+	}
+	cov.Finalize()
+	return &cov
 }
 
 // analyseConcurrent is analyse with the independent §5/§6 analyses

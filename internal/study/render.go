@@ -18,6 +18,7 @@ func (r *Results) WriteReport(w io.Writer) {
 		r.Cfg.Groups, r.Cfg.Days, r.Cfg.Windows(), r.Collector.Accepted, r.Collector.FilteredHosting)
 	fmt.Fprintf(w, "Generated and analysed in %v\n\n", r.Elapsed.Round(1e7))
 
+	r.writeCoverage(w)
 	r.writeTrafficCharacterisation(w)
 	r.writePoPs(w)
 	r.writeFig6(w)
@@ -28,6 +29,41 @@ func (r *Results) WriteReport(w io.Writer) {
 	r.writeFig9(w)
 	r.writeTable2(w)
 	r.writeFig10(w)
+}
+
+// writeCoverage renders the degradation ledger of a chaos run. Plans
+// are opt-in, so reports without one are byte-identical to pre-fault
+// builds: the section only exists when Coverage does.
+func (r *Results) writeCoverage(w io.Writer) {
+	c := r.Coverage
+	if c == nil {
+		return
+	}
+	fmt.Fprintln(w, "== Coverage under faults (degradation ledger) ==")
+	fmt.Fprintf(w, "fault plan: %s (fail-fast=%v)\n", c.Spec, c.FailFast)
+	if !c.Degraded() {
+		fmt.Fprintf(w, "run NOT degraded: all injected faults absorbed (%d retries spent, %d transient faults recovered)\n\n",
+			c.RetriesSpent, c.TransientRecovered)
+		return
+	}
+	denom := r.Collector.Accepted + c.SamplesLost()
+	fmt.Fprintf(w, "run DEGRADED: %d samples lost (%s of the %d the run would have aggregated)\n",
+		c.SamplesLost(), report.Pct(float64(c.SamplesLost())/float64(max(1, denom))), denom)
+	report.Table(w, []string{"cause", "samples lost", "units"}, [][]string{
+		{"pop outage", fmt.Sprintf("%d", c.SamplesLostOutage), "sessions never collected"},
+		{"batch truncated", fmt.Sprintf("%d", c.SamplesLostTruncated), fmt.Sprintf("%d batches", c.BatchesTruncated)},
+		{"batch dropped", fmt.Sprintf("%d", c.SamplesLostDropped), fmt.Sprintf("%d groups", c.GroupsDropped)},
+		{"quarantined", fmt.Sprintf("%d", c.SamplesLostQuarantined), fmt.Sprintf("%d groups", len(c.Quarantined))},
+	})
+	fmt.Fprintf(w, "recovery: %d retries spent, %d transient faults recovered\n", c.RetriesSpent, c.TransientRecovered)
+	if len(c.Quarantined) > 0 {
+		var rows [][]string
+		for _, q := range c.Quarantined {
+			rows = append(rows, []string{q.Key, q.Reason, fmt.Sprintf("%d", q.SamplesLost)})
+		}
+		report.Table(w, []string{"quarantined group", "reason", "samples lost"}, rows)
+	}
+	fmt.Fprintln(w)
 }
 
 func (r *Results) writeTrafficCharacterisation(w io.Writer) {

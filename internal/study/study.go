@@ -14,6 +14,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/analysis"
 	"repro/internal/collector"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/world"
@@ -50,6 +51,12 @@ type Results struct {
 
 	Table2MinRTT analysis.RelationshipTable
 	Table2HD     analysis.RelationshipTable
+
+	// Coverage is the graceful-degradation ledger of a chaos run (nil
+	// when no fault plan was active): what was lost, quarantined, and
+	// retried. Rendered as its own report section so degraded results
+	// are labeled, never silent.
+	Coverage *faults.Coverage
 
 	// Elapsed is wall-clock generation+analysis time.
 	Elapsed time.Duration

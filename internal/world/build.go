@@ -21,6 +21,16 @@ type World struct {
 	Geo    *geo.World
 	Groups []*Group
 
+	// PoPDown, when non-nil, reports a collection outage for (pop,
+	// window): that window's sessions at the serving PoP (after
+	// cartographer remaps) still occur but are never collected, and are
+	// accounted as lost. The RNG lineage is consumed unchanged, so the
+	// surviving dataset is byte-identical to the no-outage dataset minus
+	// the suppressed windows. Set before generation starts; decisions
+	// must be pure functions of (pop, win) so the dataset stays
+	// deterministic at any worker count.
+	PoPDown func(pop string, win int) bool
+
 	mapper *cartographer.Mapper
 	pinner edgefabric.Pinner
 	obs    worldObs

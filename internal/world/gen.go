@@ -28,6 +28,10 @@ const maxSimulatedTxns = 48
 type Batch struct {
 	Group   int
 	Samples []sample.Sample
+	// Lost counts sessions this group's windows would have produced but
+	// for a PoP outage (World.PoPDown) — the degradation ledger's
+	// per-batch contribution.
+	Lost int
 }
 
 // DefaultWorkers is the generation worker count used by the legacy
@@ -161,9 +165,9 @@ func (w *World) GenerateBatchesUnordered(ctx context.Context, workers int, handl
 func (w *World) generateBatch(i int) Batch {
 	sp := w.obs.genStage.Start()
 	var buf []sample.Sample
-	w.GenerateGroup(i, func(s sample.Sample) { buf = append(buf, s) })
+	lost := w.GenerateGroup(i, func(s sample.Sample) { buf = append(buf, s) })
 	sp.End()
-	return Batch{Group: i, Samples: buf}
+	return Batch{Group: i, Samples: buf, Lost: lost}
 }
 
 // GenerateAll buffers the whole dataset; intended for tests and small
@@ -174,22 +178,27 @@ func (w *World) GenerateAll() []sample.Sample {
 	return out
 }
 
-// GenerateGroup produces every sample for one group across all windows.
-func (w *World) GenerateGroup(groupIdx int, emit func(sample.Sample)) {
+// GenerateGroup produces every sample for one group across all windows
+// and returns the number of sessions suppressed by PoP outages
+// (World.PoPDown), 0 when no outage machinery is installed.
+func (w *World) GenerateGroup(groupIdx int, emit func(sample.Sample)) int {
 	g := w.Groups[groupIdx]
 	r := rng.ChildAt(w.Cfg.Seed, "traffic", groupIdx)
 	gen := workload.NewGenerator(r.Child("workload"), workload.Config{})
 	seq := uint64(0)
+	lost := 0
 	for win := 0; win < w.Cfg.Windows(); win++ {
-		w.generateWindow(g, uint64(groupIdx), win, r, gen, &seq, emit)
+		lost += w.generateWindow(g, uint64(groupIdx), win, r, gen, &seq, emit)
 		w.obs.windows.Inc()
 	}
 	w.obs.groups.Inc()
+	return lost
 }
 
-// generateWindow produces the samples for one group × window.
+// generateWindow produces the samples for one group × window and
+// returns the sessions lost to a PoP outage (0 normally).
 func (w *World) generateWindow(g *Group, groupIdx uint64, win int, r *rng.RNG,
-	gen *workload.Generator, seq *uint64, emit func(sample.Sample)) {
+	gen *workload.Generator, seq *uint64, emit func(sample.Sample)) int {
 
 	hour := (win / 4) % 24
 	mean := w.Cfg.SessionsPerGroupWindow * g.Weight * activity(hour, g.ActivityPeakUTC)
@@ -206,14 +215,32 @@ func (w *World) generateWindow(g *Group, groupIdx uint64, win int, r *rng.RNG,
 		}
 	}
 
+	// A PoP-wide outage takes the collection fabric down at the serving
+	// PoP (checked after the remap so an outage at the remap target is
+	// honoured): sessions still occur — the simulation consumes its RNG
+	// lineage unchanged, so every other window stays byte-identical to
+	// the no-outage dataset — but their measurements are never
+	// collected, and the window's samples are accounted as lost.
+	down := w.PoPDown != nil && w.PoPDown(pop, win)
+	if down {
+		w.obs.outageLost.Add(int64(n))
+	}
+
 	for i := 0; i < n; i++ {
 		*seq++
 		s := w.generateSession(g, groupIdx, win, hour, r, gen, remapped)
 		s.PoP = pop
 		s.SessionID = groupIdx<<40 | *seq
 		s.Start = winStart + time.Duration(r.Int64N(int64(WindowDuration)))
+		if down {
+			continue
+		}
 		emit(s)
 	}
+	if down {
+		return n
+	}
+	return 0
 }
 
 // generateSession runs one sampled session through the transfer model

@@ -8,11 +8,12 @@ import (
 // hot path. The zero value (nil handles) is a no-op, so an
 // uninstrumented world pays one nil check per event.
 type worldObs struct {
-	sessions *obs.Counter
-	windows  *obs.Counter
-	groups   *obs.Counter
-	genStage *obs.SpanTimer
-	emit     *obs.SpanTimer
+	sessions   *obs.Counter
+	windows    *obs.Counter
+	groups     *obs.Counter
+	outageLost *obs.Counter
+	genStage   *obs.SpanTimer
+	emit       *obs.SpanTimer
 }
 
 // Instrument registers generation metrics on reg: sessions, windows and
@@ -21,11 +22,12 @@ type worldObs struct {
 // registry leaves the world uninstrumented.
 func (w *World) Instrument(reg *obs.Registry) {
 	w.obs = worldObs{
-		sessions: reg.Counter("world_sessions_total"),
-		windows:  reg.Counter("world_windows_total"),
-		groups:   reg.Counter("world_groups_total"),
-		genStage: reg.Span(obs.L("world_stage_seconds", "stage", "generate"), "world"),
-		emit:     reg.Span(obs.L("world_stage_seconds", "stage", "emit"), "world"),
+		sessions:   reg.Counter("world_sessions_total"),
+		windows:    reg.Counter("world_windows_total"),
+		groups:     reg.Counter("world_groups_total"),
+		outageLost: reg.Counter("world_outage_sessions_total"),
+		genStage:   reg.Span(obs.L("world_stage_seconds", "stage", "generate"), "world"),
+		emit:       reg.Span(obs.L("world_stage_seconds", "stage", "emit"), "world"),
 	}
 	// The pinner's route-assignment counters ride along (§2.2.3's
 	// preferred/alternate measurement split).
