@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build race test chaos fuzz-smoke bench-obs bench-pipeline bench-retry bench
+.PHONY: check vet lint build race test chaos seg-race fuzz-smoke bench-obs bench-pipeline bench-retry bench bench-segstore
 
-check: vet lint build race test chaos
+check: vet lint build race test chaos seg-race
 
 vet:
 	$(GO) vet ./...
@@ -39,11 +39,22 @@ chaos:
 		-fault-plan "seed=7;sink-transient=0.01;sink-permanent=0.001;truncate=0.1;corrupt=0.03;fail-group=2;outage=fra:10-30;retries=4;retry-base=50us" \
 		> /dev/null
 
+# The seg-format study under the race detector: write a columnar
+# dataset with the parallel segment writer, then analyse it through the
+# parallel scanner with a time filter pushed down to the manifest.
+seg-race:
+	rm -rf .seg-race-ds
+	$(GO) run -race ./cmd/edgesim -seed 3 -groups 8 -days 2 -spw 12 -workers 4 -format seg -o .seg-race-ds
+	$(GO) run -race ./cmd/edgereport -in .seg-race-ds -workers 4 -from 24h > /dev/null
+	rm -rf .seg-race-ds
+
 # A short burst on each fuzz target; the invariants live next to the
-# targets (tdigest merge structure, hdratio classification ranges).
+# targets (tdigest merge structure, hdratio classification ranges,
+# segment decode never panics on hostile bytes).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzTDigestMerge -fuzztime 10s ./internal/tdigest/
 	$(GO) test -run '^$$' -fuzz FuzzHDRatioClassify -fuzztime 10s ./internal/hdratio/
+	$(GO) test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 10s ./internal/segstore/
 
 # Documents the obs fast-path cost on collector ingest (EXPERIMENTS.md
 # records the measured overhead; the bar is <5%).
@@ -59,6 +70,12 @@ bench-pipeline:
 # records the measured overhead of a retry-wrapped call vs a bare one).
 bench-retry:
 	$(GO) test -run '^$$' -bench BenchmarkRetryOverhead -benchmem -count 5 ./internal/faults/
+
+# Columnar scan vs JSONL scan over the same rows (EXPERIMENTS.md and
+# BENCH_segstore.json record the compression ratio and decode
+# throughput).
+bench-segstore:
+	$(GO) test -run '^$$' -bench 'BenchmarkSegstoreScan|BenchmarkJSONLScan' -benchmem -count 3 ./internal/segstore/
 
 bench:
 	$(GO) test -bench . -benchmem

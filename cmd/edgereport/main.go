@@ -7,8 +7,19 @@
 //
 // Usage:
 //
-//	edgereport [-seed N] [-groups N] [-days N] [-spw N] [-in dataset.jsonl] [-deagg] [-cdf]
+//	edgereport [-seed N] [-groups N] [-days N] [-spw N] [-in dataset] [-deagg] [-cdf]
+//	           [-from D] [-to D] [-country CC,CC] [-pop POP,POP]
 //	           [-workers N] [-progress] [-metrics-addr host:port]
+//
+// -in accepts either a JSON-lines file from `edgesim` or a columnar
+// segment-store directory from `edgesim -format seg` / `segcat`; the
+// format is auto-detected. -from/-to/-country/-pop restrict the
+// analysis to a slice of the dataset — on a segment store the filter is
+// pushed down to the manifest, so whole segments outside the range are
+// never read (the segstore_bytes_pruned gauge on -metrics-addr shows
+// how much I/O the filter saved); on JSONL every line is still decoded
+// and the same row predicate applied, so both formats render the same
+// report byte for byte.
 //
 // The defaults (120 groups × 5 days) run in a minute or two on a laptop.
 // -workers (default GOMAXPROCS) runs the sharded concurrent pipeline —
@@ -50,6 +61,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/sample"
+	"repro/internal/segstore"
 	"repro/internal/study"
 	"repro/internal/world"
 )
@@ -85,7 +97,11 @@ func main() {
 		groups      = flag.Int("groups", 120, "number of user groups")
 		days        = flag.Int("days", 5, "dataset length in days (paper: 10)")
 		spw         = flag.Float64("spw", 110, "mean sampled sessions per group per 15-minute window")
-		in          = flag.String("in", "", "analyse an existing dataset (JSON lines from edgesim) instead of generating one")
+		in          = flag.String("in", "", "analyse an existing dataset (a JSONL file or a seg directory from edgesim; auto-detected) instead of generating one")
+		from        = flag.Duration("from", 0, "with -in: only analyse sessions starting at or after this dataset offset (e.g. 24h)")
+		to          = flag.Duration("to", 0, "with -in: only analyse sessions starting before this dataset offset (0 = end)")
+		country     = flag.String("country", "", "with -in: only analyse these countries (comma-separated ISO codes)")
+		pop         = flag.String("pop", "", "with -in: only analyse these PoPs (comma-separated)")
 		cdf         = flag.Bool("cdf", false, "also dump raw CDF series for Figures 8 and 9")
 		deagg       = flag.Bool("deagg", false, "also run the §3.3 prefix-deaggregation experiment")
 		workers     = flag.Int("workers", pipeline.DefaultWorkers(), "pipeline workers and aggregation shards (1 = sequential)")
@@ -102,6 +118,13 @@ func main() {
 	}
 	if plan != nil && *deagg {
 		log.Fatal("edgereport: -fault-plan is not supported with -deagg (the deaggregation experiment is a clean-world comparison)")
+	}
+	filter, err := segstore.ParseFilter(*from, *to, *country, *pop)
+	if err != nil {
+		log.Fatalf("edgereport: %v", err)
+	}
+	if filter != nil && *in == "" {
+		log.Fatal("edgereport: -from/-to/-country/-pop filter an existing dataset; pass one with -in")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -121,7 +144,7 @@ func main() {
 		stopProgress = obs.StartProgress(reg, os.Stderr, 2*time.Second)
 	}
 
-	opt := study.Options{Workers: *workers, Reg: reg, Plan: plan, FailFast: *failFast}
+	opt := study.Options{Workers: *workers, Reg: reg, Plan: plan, FailFast: *failFast, Filter: filter}
 	var res *study.Results
 	var deagResult *struct {
 		covLoss, varRed float64
@@ -138,20 +161,28 @@ func main() {
 			covLoss, varRed float64
 			baseG, fineG    int
 		}{d.CoverageLoss(), d.VariabilityReduction(), d.BaseGroups, d.FineGroups}
+	} else if *in != "" && segstore.IsDataset(*in) {
+		res, err = study.FromSegments(ctx, *in, opt)
+		if err != nil {
+			exitIfInterrupted(err)
+			log.Fatalf("edgereport: reading %s: %v", *in, err)
+		}
 	} else if *in != "" {
 		f, ferr := os.Open(*in)
 		if ferr != nil {
 			log.Fatalf("edgereport: %v", ferr)
 		}
 		defer f.Close()
-		br := bufio.NewReaderSize(f, 1<<20)
+		// ReadCounter puts bytes/s on the progress line next to the
+		// decode stage's samples/s.
+		br := study.ReadCounter(bufio.NewReaderSize(f, 1<<20), reg)
 		// A fault plan forces the streaming path even at -workers 1: its
 		// guard surfaces (sink retry, quarantine) live there, and one
 		// code path per plan keeps the report worker-count independent.
 		if *workers > 1 || plan != nil {
 			res, err = study.FromStream(ctx, br, opt)
 		} else {
-			res, err = study.FromSamplesObs(sample.NewReader(br), reg)
+			res, err = study.FromSamplesOpt(sample.NewReader(br), opt)
 		}
 		if err != nil {
 			exitIfInterrupted(err)

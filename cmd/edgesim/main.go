@@ -79,7 +79,8 @@ func main() {
 		groups      = flag.Int("groups", 300, "number of user groups")
 		days        = flag.Int("days", 10, "dataset length in days")
 		spw         = flag.Float64("spw", 8, "mean sampled sessions per group per window")
-		out         = flag.String("o", "-", "output path ('-' for stdout)")
+		out         = flag.String("o", "-", "output path ('-' for stdout; a directory with -format seg)")
+		format      = flag.String("format", "jsonl", "dataset format: jsonl (a stream of JSON lines) or seg (a columnar segment-store directory)")
 		workers     = flag.Int("workers", pipeline.DefaultWorkers(), "concurrent generate/encode workers (1 = sequential)")
 		progress    = flag.Bool("progress", false, "report generation progress to stderr every 2s")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
@@ -93,12 +94,25 @@ func main() {
 		log.Fatalf("edgesim: -fault-plan: %v", err)
 	}
 
+	if *format != "jsonl" && *format != "seg" {
+		log.Fatalf("edgesim: -format %q (want jsonl or seg)", *format)
+	}
+	if *format == "seg" && *out == "-" {
+		log.Fatal("edgesim: -format seg writes a dataset directory; pass one with -o")
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	hardExitOnSecondSignal("edgesim: second interrupt — forcing exit; the dataset is partial and may end mid-line")
+	if *format == "seg" {
+		hardExitOnSecondSignal("edgesim: second interrupt — forcing exit; the manifest holds the last committed state")
+	} else {
+		hardExitOnSecondSignal("edgesim: second interrupt — forcing exit; the dataset is partial and may end mid-line")
+	}
 
 	var f *os.File
-	if *out == "-" {
+	if *format == "seg" {
+		f = nil // the segment store manages its own files
+	} else if *out == "-" {
 		f = os.Stdout
 	} else {
 		var err error
@@ -107,7 +121,6 @@ func main() {
 			log.Fatalf("edgesim: %v", err)
 		}
 	}
-	bw := bufio.NewWriterSize(f, 1<<20)
 
 	reg := obs.NewRegistry()
 	if *metricsAddr != "" {
@@ -136,6 +149,34 @@ func main() {
 		w.PoPDown = inj.Outage
 	}
 
+	if *format == "seg" {
+		spec := ""
+		if inj != nil {
+			spec = inj.Plan().Spec()
+		}
+		// The origin pins everything that shapes the dataset bytes; resume
+		// with different flags is refused rather than silently interleaved.
+		origin := fmt.Sprintf("edgesim seed=%d groups=%d days=%d spw=%g plan=%q", *seed, *groups, *days, *spw, spec)
+		st, written, resumed, cov, runErr := runSeg(ctx, w, *out, origin, reg, *workers, inj, *failFast)
+		stopProgress()
+		if runErr != nil && !errors.Is(runErr, context.Canceled) {
+			log.Fatalf("edgesim: %v", runErr)
+		}
+		if runErr != nil { // interrupted; everything committed is durable
+			fmt.Fprintf(os.Stderr, "edgesim: interrupted — %d samples committed this run; the manifest is intact, rerun with the same flags to resume\n", written)
+			os.Exit(130)
+		}
+		msg := fmt.Sprintf("edgesim: committed %d samples (%d filtered as hosting/VPN) across %d groups × %d windows",
+			written, st.FilteredHosting, *groups, w.Cfg.Windows())
+		if resumed > 0 {
+			msg += fmt.Sprintf("; %d groups already committed by a previous run", resumed)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		reportCoverage(cov)
+		return
+	}
+
+	bw := bufio.NewWriterSize(f, 1<<20)
 	st, written, cov, runErr := run(ctx, w, bw, reg, *workers, inj, *failFast)
 	stopProgress()
 
@@ -167,15 +208,22 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "edgesim: wrote %d samples (%d filtered as hosting/VPN) across %d groups × %d windows\n",
 		written, st.FilteredHosting, *groups, w.Cfg.Windows())
-	if cov != nil {
-		if cov.Degraded() {
-			fmt.Fprintf(os.Stderr, "edgesim: DEGRADED under fault plan %q — lost %d samples (outage %d, truncated %d, dropped %d); %d group batches quarantined; %d retries spent, %d transient faults recovered\n",
-				cov.Spec, cov.SamplesLost(), cov.SamplesLostOutage, cov.SamplesLostTruncated, cov.SamplesLostDropped,
-				len(cov.Quarantined), cov.RetriesSpent, cov.TransientRecovered)
-		} else {
-			fmt.Fprintf(os.Stderr, "edgesim: fault plan %q injected no data loss (%d retries spent, %d transient faults recovered)\n",
-				cov.Spec, cov.RetriesSpent, cov.TransientRecovered)
-		}
+	reportCoverage(cov)
+}
+
+// reportCoverage prints the degradation ledger of a chaos run (no-op
+// without a fault plan): degraded results must be labeled, never silent.
+func reportCoverage(cov *faults.Coverage) {
+	if cov == nil {
+		return
+	}
+	if cov.Degraded() {
+		fmt.Fprintf(os.Stderr, "edgesim: DEGRADED under fault plan %q — lost %d samples (outage %d, truncated %d, dropped %d); %d group batches quarantined; %d retries spent, %d transient faults recovered\n",
+			cov.Spec, cov.SamplesLost(), cov.SamplesLostOutage, cov.SamplesLostTruncated, cov.SamplesLostDropped,
+			len(cov.Quarantined), cov.RetriesSpent, cov.TransientRecovered)
+	} else {
+		fmt.Fprintf(os.Stderr, "edgesim: fault plan %q injected no data loss (%d retries spent, %d transient faults recovered)\n",
+			cov.Spec, cov.RetriesSpent, cov.TransientRecovered)
 	}
 }
 

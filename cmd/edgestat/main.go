@@ -1,16 +1,25 @@
-// Command edgestat inspects a measurement dataset (JSON lines from
-// cmd/edgesim): it prints a per-user-group roll-up — traffic, coverage,
-// medians, baseline and worst degradation — sorted by traffic, the view
-// an operator would use to find the groups worth investigating.
+// Command edgestat inspects a measurement dataset (a JSON-lines file or
+// a columnar segment-store directory from cmd/edgesim — the format is
+// auto-detected): it prints a per-user-group roll-up — traffic,
+// coverage, medians, baseline and worst degradation — sorted by
+// traffic, the view an operator would use to find the groups worth
+// investigating.
 //
 // Usage:
 //
 //	edgesim -groups 60 -days 2 -o ds.jsonl
 //	edgestat -in ds.jsonl [-top 20]
+//	edgesim -groups 60 -days 2 -format seg -o ds.seg
+//	edgestat -in ds.seg -from 24h -country US,BR
+//
+// -from/-to/-country/-pop restrict the roll-up to a slice of the
+// dataset; on a segment store the filter prunes whole segments via the
+// manifest before any data is read.
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,36 +32,67 @@ import (
 	"repro/internal/collector"
 	"repro/internal/report"
 	"repro/internal/sample"
+	"repro/internal/segstore"
 )
 
 func main() {
 	var (
-		in  = flag.String("in", "", "dataset path (JSON lines; required)")
-		top = flag.Int("top", 20, "number of groups to print (0 = all)")
+		in      = flag.String("in", "", "dataset path (a JSONL file or a seg directory; required)")
+		top     = flag.Int("top", 20, "number of groups to print (0 = all)")
+		from    = flag.Duration("from", 0, "only count sessions starting at or after this dataset offset (e.g. 24h)")
+		to      = flag.Duration("to", 0, "only count sessions starting before this dataset offset (0 = end)")
+		country = flag.String("country", "", "only count these countries (comma-separated ISO codes)")
+		pop     = flag.String("pop", "", "only count these PoPs (comma-separated)")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
+	filter, err := segstore.ParseFilter(*from, *to, *country, *pop)
 	if err != nil {
 		log.Fatalf("edgestat: %v", err)
 	}
-	defer f.Close()
 
 	store := agg.NewStore()
 	col := collector.New(collector.StoreSink(store))
-	r := sample.NewReader(bufio.NewReaderSize(f, 1<<20))
-	for {
-		s, err := r.Read()
-		if errors.Is(err, io.EOF) {
-			break
+	if segstore.IsDataset(*in) {
+		r, err := segstore.Open(*in)
+		if err != nil {
+			log.Fatalf("edgestat: %v", err)
+		}
+		err = r.Scan(context.Background(), 1, filter, func(rows []sample.Sample) error {
+			for i := range rows {
+				col.Offer(rows[i])
+			}
+			return col.Err()
+		})
+		if cerr := r.Close(); err == nil {
+			err = cerr
 		}
 		if err != nil {
 			log.Fatalf("edgestat: reading %s: %v", *in, err)
 		}
-		col.Offer(s)
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("edgestat: %v", err)
+		}
+		defer f.Close()
+		r := sample.NewReader(bufio.NewReaderSize(f, 1<<20))
+		for {
+			s, err := r.Read()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				log.Fatalf("edgestat: reading %s: %v", *in, err)
+			}
+			if !filter.Match(&s) {
+				continue
+			}
+			col.Offer(s)
+		}
 	}
 
 	summaries := analysis.SummariseGroups(store)

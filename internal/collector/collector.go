@@ -193,3 +193,12 @@ func FuncSink(f func(sample.Sample)) Sink {
 		return nil
 	}
 }
+
+// SliceSink appends accepted samples to *dst — the buffer-then-encode
+// shape columnar writers need (they see whole segments, not a stream).
+func SliceSink(dst *[]sample.Sample) Sink {
+	return func(s sample.Sample) error {
+		*dst = append(*dst, s)
+		return nil
+	}
+}

@@ -1,16 +1,20 @@
 // Package closecheck defines an analyzer for the bug class PR 1 fixed
-// by hand in cmd/edgesim: a Flush, Close, or Seal whose error is
-// silently discarded. A full disk or failed sink surfaces exactly
-// once, at flush/close time; dropping that error truncates datasets
-// without anyone noticing.
+// by hand in cmd/edgesim: a Flush, Close, Seal, or Commit whose error
+// is silently discarded. A full disk or failed sink surfaces exactly
+// once, at flush/close/commit time; dropping that error truncates
+// datasets without anyone noticing. For segstore.Writer.Commit the
+// stakes are higher still: a dropped Commit error means segments the
+// caller believes durable are absent from the manifest, so a resumed
+// run silently regenerates (or worse, skips) them.
 //
 // Flagged, repo-wide (_test.go files exempt): calls to methods named
-// Flush, Close, or Seal whose last result is an error, when the call
-// appears as a bare expression statement, a `go` statement, or a
-// `defer`. Assigning the error — even to _ — is accepted: an explicit
-// discard is a visible, reviewable decision. One idiom is exempt:
-// `defer f.Close()` on an *os.File, the conventional read-side close
-// (write paths must close explicitly and check, as cmd/edgesim does).
+// Flush, Close, Seal, or Commit whose last result is an error, when
+// the call appears as a bare expression statement, a `go` statement,
+// or a `defer`. Assigning the error — even to _ — is accepted: an
+// explicit discard is a visible, reviewable decision. One idiom is
+// exempt: `defer f.Close()` on an *os.File, the conventional
+// read-side close (write paths must close explicitly and check, as
+// cmd/edgesim does).
 package closecheck
 
 import (
@@ -21,14 +25,14 @@ import (
 	"repro/internal/lint/lintutil"
 )
 
-// Analyzer flags discarded Flush/Close/Seal errors.
+// Analyzer flags discarded Flush/Close/Seal/Commit errors.
 var Analyzer = &analysis.Analyzer{
 	Name: "closecheck",
-	Doc:  "forbid unchecked errors from Flush/Close/Seal",
+	Doc:  "forbid unchecked errors from Flush/Close/Seal/Commit",
 	Run:  run,
 }
 
-var checked = map[string]bool{"Flush": true, "Close": true, "Seal": true}
+var checked = map[string]bool{"Flush": true, "Close": true, "Seal": true, "Commit": true}
 
 func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {

@@ -9,19 +9,23 @@ import (
 
 type enc struct{}
 
-func (enc) Close() error { return nil }
-func (enc) Flush() error { return nil }
-func (enc) Seal() error  { return nil }
+func (enc) Close() error  { return nil }
+func (enc) Flush() error  { return nil }
+func (enc) Seal() error   { return nil }
+func (enc) Commit() error { return nil }
 
 type noerr struct{}
 
-func (noerr) Close() {}
+func (noerr) Close()  {}
+func (noerr) Commit() {}
 
 func bad(e enc, bw *bufio.Writer) {
-	e.Close()      // want "unchecked error from \\(enc\\).Close"
-	bw.Flush()     // want "unchecked error from \\(\\*bufio.Writer\\).Flush"
-	defer e.Seal() // want "unchecked error from \\(enc\\).Seal"
-	go e.Flush()   // want "unchecked error from \\(enc\\).Flush"
+	e.Close()        // want "unchecked error from \\(enc\\).Close"
+	bw.Flush()       // want "unchecked error from \\(\\*bufio.Writer\\).Flush"
+	defer e.Seal()   // want "unchecked error from \\(enc\\).Seal"
+	go e.Flush()     // want "unchecked error from \\(enc\\).Flush"
+	e.Commit()       // want "unchecked error from \\(enc\\).Commit"
+	defer e.Commit() // want "unchecked error from \\(enc\\).Commit"
 }
 
 // --- accepted forms ---
@@ -39,7 +43,13 @@ func okExplicit(e enc) error {
 }
 
 func okNoError(n noerr) {
-	n.Close() // returns nothing: nothing to drop
+	n.Close()  // returns nothing: nothing to drop
+	n.Commit() // likewise
+}
+
+func okCommit(e enc) error {
+	_ = e.Commit() // visible, reviewable discard
+	return e.Commit()
 }
 
 func okCloser(c io.Closer) error {

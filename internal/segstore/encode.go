@@ -1,0 +1,420 @@
+package segstore
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/geo"
+	"repro/internal/sample"
+)
+
+// Segment binary layout (all integers varint unless noted):
+//
+//	magic "EDGESEG1"                    8 bytes
+//	version                             uvarint (1)
+//	rows                                uvarint
+//	columns                             uvarint
+//	per column:
+//	  len(name), name                   uvarint + bytes
+//	  kind                              1 byte
+//	  len(payload)                      uvarint
+//	  payload                           bytes
+//	  crc32(payload)                    4 bytes LE
+//
+// Column payloads by kind:
+//
+//	encZigzag  rows × zigzag varint
+//	encDelta   first value zigzag varint, then zigzag varint deltas
+//	encDict    dict size d, d × (uvarint len + bytes) in first-appearance
+//	           order, then rows × uvarint index
+//	encFloat   rows × 8-byte LE float64 bits (exact round trip)
+//	encBool    ⌈rows/8⌉ bytes, LSB first
+//	encList    rows × uvarint length, then Σlength × zigzag varint
+var segMagic = [8]byte{'E', 'D', 'G', 'E', 'S', 'E', 'G', '1'}
+
+const segVersion = 1
+
+// Column encoding kinds.
+const (
+	encZigzag byte = 1
+	encDelta  byte = 2
+	encDict   byte = 3
+	encFloat  byte = 4
+	encBool   byte = 5
+	encList   byte = 6
+)
+
+// colSpec ties one Sample field to its column name and encoding. The
+// schema is fixed at compile time; the on-disk order is the schema
+// order, but readers locate columns by name, so the format stays
+// self-describing.
+type colSpec struct {
+	name string
+	kind byte
+	enc  func(buf []byte, rows []sample.Sample) []byte
+	dec  func(p *payload, rows []sample.Sample) error
+}
+
+// schema lists every column, in the field order of sample.Sample.
+// Delta encoding is reserved for the two monotone-ish sequences
+// (session IDs and start offsets ascend within a segment); plain
+// zigzag covers the small counters, dictionaries the low-cardinality
+// strings.
+var schema = []colSpec{
+	intCol("id", encDelta,
+		func(s *sample.Sample) int64 { return int64(s.SessionID) },
+		func(s *sample.Sample, v int64) { s.SessionID = uint64(v) }),
+	dictCol("pop",
+		func(s *sample.Sample) string { return s.PoP },
+		func(s *sample.Sample, v string) { s.PoP = v }),
+	dictCol("prefix",
+		func(s *sample.Sample) string { return s.Prefix },
+		func(s *sample.Sample, v string) { s.Prefix = v }),
+	intCol("as", encZigzag,
+		func(s *sample.Sample) int64 { return int64(s.ClientAS) },
+		func(s *sample.Sample, v int64) { s.ClientAS = int(v) }),
+	dictCol("country",
+		func(s *sample.Sample) string { return s.Country },
+		func(s *sample.Sample, v string) { s.Country = v }),
+	dictCol("continent",
+		func(s *sample.Sample) string { return string(s.Continent) },
+		func(s *sample.Sample, v string) { s.Continent = geo.Continent(v) }),
+	intCol("sub", encZigzag,
+		func(s *sample.Sample) int64 { return int64(s.ClientSubnet) },
+		func(s *sample.Sample, v int64) { s.ClientSubnet = uint8(v) }),
+	dictCol("proto",
+		func(s *sample.Sample) string { return string(s.Proto) },
+		func(s *sample.Sample, v string) { s.Proto = sample.Protocol(v) }),
+	floatCol("km",
+		func(s *sample.Sample) float64 { return s.DistanceKm },
+		func(s *sample.Sample, v float64) { s.DistanceKm = v }),
+	boolCol("xcont",
+		func(s *sample.Sample) bool { return s.CrossContinent },
+		func(s *sample.Sample, v bool) { s.CrossContinent = v }),
+	dictCol("route",
+		func(s *sample.Sample) string { return s.RouteID },
+		func(s *sample.Sample, v string) { s.RouteID = v }),
+	intCol("rel", encZigzag,
+		func(s *sample.Sample) int64 { return int64(s.RouteRel) },
+		func(s *sample.Sample, v int64) { s.RouteRel = bgp.RelType(v) }),
+	intCol("aspath", encZigzag,
+		func(s *sample.Sample) int64 { return int64(s.ASPathLen) },
+		func(s *sample.Sample, v int64) { s.ASPathLen = int(v) }),
+	boolCol("prepended",
+		func(s *sample.Sample) bool { return s.Prepended },
+		func(s *sample.Sample, v bool) { s.Prepended = v }),
+	intCol("alt", encZigzag,
+		func(s *sample.Sample) int64 { return int64(s.AltIndex) },
+		func(s *sample.Sample, v int64) { s.AltIndex = int(v) }),
+	intCol("start", encDelta,
+		func(s *sample.Sample) int64 { return int64(s.Start) },
+		func(s *sample.Sample, v int64) { s.Start = time.Duration(v) }),
+	intCol("dur", encZigzag,
+		func(s *sample.Sample) int64 { return int64(s.Duration) },
+		func(s *sample.Sample, v int64) { s.Duration = time.Duration(v) }),
+	floatCol("busy",
+		func(s *sample.Sample) float64 { return s.BusyFraction },
+		func(s *sample.Sample, v float64) { s.BusyFraction = v }),
+	intCol("bytes", encZigzag,
+		func(s *sample.Sample) int64 { return s.Bytes },
+		func(s *sample.Sample, v int64) { s.Bytes = v }),
+	intCol("txns", encZigzag,
+		func(s *sample.Sample) int64 { return int64(s.Transactions) },
+		func(s *sample.Sample, v int64) { s.Transactions = int(v) }),
+	respCol(),
+	boolCol("media",
+		func(s *sample.Sample) bool { return s.MediaEndpoint },
+		func(s *sample.Sample, v bool) { s.MediaEndpoint = v }),
+	intCol("minrtt", encZigzag,
+		func(s *sample.Sample) int64 { return int64(s.MinRTT) },
+		func(s *sample.Sample, v int64) { s.MinRTT = time.Duration(v) }),
+	intCol("hdt", encZigzag,
+		func(s *sample.Sample) int64 { return int64(s.HDTested) },
+		func(s *sample.Sample, v int64) { s.HDTested = int(v) }),
+	intCol("hda", encZigzag,
+		func(s *sample.Sample) int64 { return int64(s.HDAchieved) },
+		func(s *sample.Sample, v int64) { s.HDAchieved = int(v) }),
+	intCol("sja", encZigzag,
+		func(s *sample.Sample) int64 { return int64(s.SimpleAchieved) },
+		func(s *sample.Sample, v int64) { s.SimpleAchieved = int(v) }),
+	boolCol("hosting",
+		func(s *sample.Sample) bool { return s.HostingProvider },
+		func(s *sample.Sample, v bool) { s.HostingProvider = v }),
+}
+
+// EncodeSegment encodes rows into one segment block and returns the
+// bytes plus the manifest metadata (ID and File left for the writer to
+// assign). Encoding is a pure function of rows: same samples, same
+// bytes, regardless of worker count or call order.
+func EncodeSegment(rows []sample.Sample) ([]byte, SegmentMeta) {
+	buf := make([]byte, 0, 64+32*len(rows))
+	buf = append(buf, segMagic[:]...)
+	buf = binary.AppendUvarint(buf, segVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	buf = binary.AppendUvarint(buf, uint64(len(schema)))
+	var scratch []byte
+	for _, c := range schema {
+		scratch = c.enc(scratch[:0], rows)
+		buf = binary.AppendUvarint(buf, uint64(len(c.name)))
+		buf = append(buf, c.name...)
+		buf = append(buf, c.kind)
+		buf = binary.AppendUvarint(buf, uint64(len(scratch)))
+		buf = append(buf, scratch...)
+		buf = binary.LittleEndian.AppendUint32(buf, fileCRC(scratch))
+	}
+
+	meta := SegmentMeta{Samples: len(rows), Bytes: int64(len(buf)), CRC: fileCRC(buf)}
+	countries, pops := map[string]bool{}, map[string]bool{}
+	for i := range rows {
+		start := int64(rows[i].Start)
+		if i == 0 || start < meta.StartMin {
+			meta.StartMin = start
+		}
+		if i == 0 || start > meta.StartMax {
+			meta.StartMax = start
+		}
+		countries[rows[i].Country] = true
+		pops[rows[i].PoP] = true
+	}
+	meta.Countries = sortedSet(countries)
+	meta.PoPs = sortedSet(pops)
+	return buf, meta
+}
+
+// sortedSet renders a string set deterministically.
+func sortedSet(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// zigzag maps signed to unsigned so small magnitudes stay short.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// intCol encodes a signed integer field as zigzag varints, delta-coded
+// when kind is encDelta.
+func intCol(name string, kind byte, get func(*sample.Sample) int64, set func(*sample.Sample, int64)) colSpec {
+	return colSpec{
+		name: name,
+		kind: kind,
+		enc: func(buf []byte, rows []sample.Sample) []byte {
+			prev := int64(0)
+			for i := range rows {
+				v := get(&rows[i])
+				if kind == encDelta {
+					buf = binary.AppendUvarint(buf, zigzag(v-prev))
+					prev = v
+				} else {
+					buf = binary.AppendUvarint(buf, zigzag(v))
+				}
+			}
+			return buf
+		},
+		dec: func(p *payload, rows []sample.Sample) error {
+			prev := int64(0)
+			for i := range rows {
+				u, err := p.uvarint()
+				if err != nil {
+					return err
+				}
+				v := unzigzag(u)
+				if kind == encDelta {
+					v += prev
+					prev = v
+				}
+				set(&rows[i], v)
+			}
+			return p.done()
+		},
+	}
+}
+
+// dictCol encodes a low-cardinality string field: the distinct values
+// in first-appearance order (deterministic), then one index per row.
+func dictCol(name string, get func(*sample.Sample) string, set func(*sample.Sample, string)) colSpec {
+	return colSpec{
+		name: name,
+		kind: encDict,
+		enc: func(buf []byte, rows []sample.Sample) []byte {
+			idx := map[string]uint64{}
+			var dict []string
+			for i := range rows {
+				v := get(&rows[i])
+				if _, ok := idx[v]; !ok {
+					idx[v] = uint64(len(dict))
+					dict = append(dict, v)
+				}
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(dict)))
+			for _, v := range dict {
+				buf = binary.AppendUvarint(buf, uint64(len(v)))
+				buf = append(buf, v...)
+			}
+			for i := range rows {
+				buf = binary.AppendUvarint(buf, idx[get(&rows[i])])
+			}
+			return buf
+		},
+		dec: func(p *payload, rows []sample.Sample) error {
+			n, err := p.uvarint()
+			if err != nil {
+				return err
+			}
+			if n > uint64(p.remaining()) {
+				return p.corrupt("dictionary larger than payload")
+			}
+			dict := make([]string, n)
+			for i := range dict {
+				l, err := p.uvarint()
+				if err != nil {
+					return err
+				}
+				b, err := p.bytes(l)
+				if err != nil {
+					return err
+				}
+				dict[i] = string(b)
+			}
+			for i := range rows {
+				j, err := p.uvarint()
+				if err != nil {
+					return err
+				}
+				if j >= n {
+					return p.corrupt("dictionary index out of range")
+				}
+				set(&rows[i], dict[j])
+			}
+			return p.done()
+		},
+	}
+}
+
+// floatCol stores raw IEEE-754 bits — byte-exact round trips, no
+// precision games.
+func floatCol(name string, get func(*sample.Sample) float64, set func(*sample.Sample, float64)) colSpec {
+	return colSpec{
+		name: name,
+		kind: encFloat,
+		enc: func(buf []byte, rows []sample.Sample) []byte {
+			for i := range rows {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(get(&rows[i])))
+			}
+			return buf
+		},
+		dec: func(p *payload, rows []sample.Sample) error {
+			if p.remaining() != 8*len(rows) {
+				return p.corrupt("float column length mismatch")
+			}
+			for i := range rows {
+				b, err := p.bytes(8)
+				if err != nil {
+					return err
+				}
+				set(&rows[i], math.Float64frombits(binary.LittleEndian.Uint64(b)))
+			}
+			return p.done()
+		},
+	}
+}
+
+// boolCol bitpacks a boolean field, LSB first.
+func boolCol(name string, get func(*sample.Sample) bool, set func(*sample.Sample, bool)) colSpec {
+	return colSpec{
+		name: name,
+		kind: encBool,
+		enc: func(buf []byte, rows []sample.Sample) []byte {
+			var cur byte
+			for i := range rows {
+				if get(&rows[i]) {
+					cur |= 1 << (i % 8)
+				}
+				if i%8 == 7 {
+					buf = append(buf, cur)
+					cur = 0
+				}
+			}
+			if len(rows)%8 != 0 {
+				buf = append(buf, cur)
+			}
+			return buf
+		},
+		dec: func(p *payload, rows []sample.Sample) error {
+			if p.remaining() != (len(rows)+7)/8 {
+				return p.corrupt("bool column length mismatch")
+			}
+			for i := range rows {
+				if i%8 == 0 {
+					if _, err := p.bytes(1); err != nil {
+						return err
+					}
+				}
+				set(&rows[i], p.data[p.off-1]&(1<<(i%8)) != 0)
+			}
+			return p.done()
+		},
+	}
+}
+
+// respCol encodes the per-row ResponseBytes lists: one length per row,
+// then the concatenated values. Empty and nil lists both decode to
+// nil, matching the field's omitempty JSON behaviour.
+func respCol() colSpec {
+	return colSpec{
+		name: "resp",
+		kind: encList,
+		enc: func(buf []byte, rows []sample.Sample) []byte {
+			for i := range rows {
+				buf = binary.AppendUvarint(buf, uint64(len(rows[i].ResponseBytes)))
+			}
+			for i := range rows {
+				for _, v := range rows[i].ResponseBytes {
+					buf = binary.AppendUvarint(buf, zigzag(v))
+				}
+			}
+			return buf
+		},
+		dec: func(p *payload, rows []sample.Sample) error {
+			lens := make([]uint64, len(rows))
+			var total uint64
+			for i := range rows {
+				l, err := p.uvarint()
+				if err != nil {
+					return err
+				}
+				lens[i] = l
+				total += l
+			}
+			// Every value costs at least one payload byte, so this bound
+			// rejects absurd list lengths before any allocation.
+			if total > uint64(p.remaining()) {
+				return p.corrupt("response lists larger than payload")
+			}
+			for i := range rows {
+				if lens[i] == 0 {
+					continue
+				}
+				vals := make([]int64, lens[i])
+				for j := range vals {
+					u, err := p.uvarint()
+					if err != nil {
+						return err
+					}
+					vals[j] = unzigzag(u)
+				}
+				rows[i].ResponseBytes = vals
+			}
+			return p.done()
+		},
+	}
+}

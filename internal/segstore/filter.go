@@ -1,0 +1,164 @@
+package segstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sample"
+)
+
+// Filter is a scan predicate with two levels of enforcement: whole
+// segments are pruned against the manifest's per-segment index
+// (MatchSegment — no bytes read), and surviving segments are filtered
+// row by row (Match), so the two levels always agree. The zero value
+// (and nil) matches everything.
+//
+// The same row predicate applies to JSONL scans, which is what keeps a
+// filtered seg-format report byte-identical to the filtered JSONL
+// report over the same dataset.
+type Filter struct {
+	// From/To bound the session start offset, half-open [From, To).
+	// To <= 0 means unbounded above.
+	From, To time.Duration
+	// Countries and PoPs, when non-empty, whitelist those values.
+	Countries []string
+	PoPs      []string
+}
+
+// ParseFilter assembles a filter from flag values: from/to as start
+// offsets, countries and pops as comma-separated lists (case
+// preserved). Returns nil when every field is empty.
+func ParseFilter(from, to time.Duration, countries, pops string) (*Filter, error) {
+	f := &Filter{From: from, To: to, Countries: splitList(countries), PoPs: splitList(pops)}
+	if f.To > 0 && f.To <= f.From {
+		return nil, fmt.Errorf("segstore: empty time range [%v, %v)", from, to)
+	}
+	if f.Empty() {
+		return nil, nil
+	}
+	sort.Strings(f.Countries)
+	sort.Strings(f.PoPs)
+	return f, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Empty reports whether the filter matches everything.
+func (f *Filter) Empty() bool {
+	return f == nil || (f.From <= 0 && f.To <= 0 && len(f.Countries) == 0 && len(f.PoPs) == 0)
+}
+
+// String renders the filter for Origin strings and logs.
+func (f *Filter) String() string {
+	if f.Empty() {
+		return "all"
+	}
+	var parts []string
+	if f.From > 0 || f.To > 0 {
+		to := "∞"
+		if f.To > 0 {
+			to = f.To.String()
+		}
+		parts = append(parts, fmt.Sprintf("start=[%v,%s)", f.From, to))
+	}
+	if len(f.Countries) > 0 {
+		parts = append(parts, "country="+strings.Join(f.Countries, ","))
+	}
+	if len(f.PoPs) > 0 {
+		parts = append(parts, "pop="+strings.Join(f.PoPs, ","))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Match is the row predicate.
+func (f *Filter) Match(s *sample.Sample) bool {
+	if f == nil {
+		return true
+	}
+	if s.Start < f.From || (f.To > 0 && s.Start >= f.To) {
+		return false
+	}
+	if len(f.Countries) > 0 && !contains(f.Countries, s.Country) {
+		return false
+	}
+	if len(f.PoPs) > 0 && !contains(f.PoPs, s.PoP) {
+		return false
+	}
+	return true
+}
+
+// MatchSegment is the pruning predicate: false only when the
+// manifest's index proves no row in the segment can match.
+func (f *Filter) MatchSegment(m *SegmentMeta) bool {
+	if f == nil {
+		return true
+	}
+	if m.Samples == 0 {
+		return false // nothing to scan either way
+	}
+	if f.To > 0 && m.StartMin >= int64(f.To) {
+		return false
+	}
+	if m.StartMax < int64(f.From) {
+		return false
+	}
+	if len(f.Countries) > 0 && !intersects(f.Countries, m.Countries) {
+		return false
+	}
+	if len(f.PoPs) > 0 && !intersects(f.PoPs, m.PoPs) {
+		return false
+	}
+	return true
+}
+
+// Apply filters rows, returning the input slice untouched when every
+// row matches (the common case once segment pruning has run).
+func (f *Filter) Apply(rows []sample.Sample) []sample.Sample {
+	if f.Empty() {
+		return rows
+	}
+	for i := range rows {
+		if !f.Match(&rows[i]) {
+			// First miss: copy the matching prefix, then sieve the rest.
+			out := append([]sample.Sample(nil), rows[:i]...)
+			for j := i + 1; j < len(rows); j++ {
+				if f.Match(&rows[j]) {
+					out = append(out, rows[j])
+				}
+			}
+			return out
+		}
+	}
+	return rows
+}
+
+func contains(set []string, v string) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func intersects(a, b []string) bool {
+	for _, v := range a {
+		if contains(b, v) {
+			return true
+		}
+	}
+	return false
+}

@@ -13,9 +13,11 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/segstore"
 	"repro/internal/world"
 
 	"context"
+	"sync"
 	"time"
 )
 
@@ -37,6 +39,12 @@ type Options struct {
 	// FailFast makes the first non-recoverable fault poison the run
 	// instead of quarantining the affected group and continuing.
 	FailFast bool
+	// Filter, when non-nil, restricts dataset replay (FromStream,
+	// FromSamplesOpt, FromSegments) to matching rows. The segment path
+	// additionally prunes whole segments against the manifest; the row
+	// predicate is identical on every path, so filtered reports agree
+	// byte for byte across formats. Ignored by generation runs.
+	Filter *segstore.Filter
 }
 
 func (o Options) workers() int {
@@ -133,7 +141,7 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 	inj.Instrument(reg)
 	rg := newRunGuard(inj, opt.FailFast)
 	if workers <= 1 && rg == nil {
-		return FromSamplesObs(sample.NewReader(r), reg)
+		return FromSamplesOpt(sample.NewReader(r), opt)
 	}
 
 	type lineBatch struct {
@@ -148,16 +156,22 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 
 	const linesPerBatch = 1024
 
+	// Line buffers cycle through a pool: the scanner fills a batch, a
+	// decode worker drains it and hands the backing arrays back. Steady
+	// state allocates no new line buffers, whatever the dataset size.
+	batchPool := sync.Pool{New: func() any { return new(lineBatch) }}
+
 	// Replayed datasets have no generator, so only the sink surface (and
 	// shard timing chaos) applies: line batches are not group batches,
 	// and batch-level fates would not be comparable across worker counts.
 	ing := newIngest(workers, reg, rg)
 	g := pipeline.NewGroup(ctx)
-	lines := pipeline.NewStream[lineBatch](workers * 2)
+	lines := pipeline.NewStream[*lineBatch](workers * 2)
 	lines.Instrument(reg, "decode")
 	decoded := pipeline.NewStream[decBatch](workers * 2)
 	decoded.Instrument(reg, "reorder")
 	readSpan := reg.Span(obs.L("study_stage_seconds", "stage", "read"), "study")
+	cSamples := reg.Counter("study_samples_read_total")
 
 	// Stage 1: split the stream into line batches (sequential, cheap).
 	g.Go(func(ctx context.Context) error {
@@ -165,7 +179,8 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 		sc := bufio.NewScanner(r)
 		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 		seq := 0
-		cur := lineBatch{seq: seq}
+		cur := batchPool.Get().(*lineBatch)
+		cur.seq = seq
 		sp := readSpan.Start()
 		defer sp.End()
 		for sc.Scan() {
@@ -180,7 +195,8 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 					return err
 				}
 				seq++
-				cur = lineBatch{seq: seq}
+				cur = batchPool.Get().(*lineBatch)
+				cur.seq = seq
 			}
 		}
 		if err := sc.Err(); err != nil {
@@ -194,17 +210,26 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 		return nil
 	})
 
-	// Stage 2: decode workers.
+	// Stage 2: decode workers. Rows failing opt.Filter are dropped here
+	// — before reorder and sharding — mirroring where the segment
+	// scanner applies the same predicate.
 	g.GoPool(workers, func(ctx context.Context, _ int) error {
-		return lines.Range(ctx, func(lb lineBatch) error {
-			db := decBatch{seq: lb.seq, samples: make([]sample.Sample, len(lb.ends))}
+		return lines.Range(ctx, func(lb *lineBatch) error {
+			db := decBatch{seq: lb.seq, samples: make([]sample.Sample, 0, len(lb.ends))}
 			startOff := 0
 			for i, end := range lb.ends {
-				if err := json.Unmarshal(lb.data[startOff:end], &db.samples[i]); err != nil {
+				var s sample.Sample
+				if err := json.Unmarshal(lb.data[startOff:end], &s); err != nil {
 					return fmt.Errorf("decoding dataset line %d: %w", lb.seq*linesPerBatch+i+1, err)
 				}
 				startOff = end
+				if opt.Filter.Match(&s) {
+					db.samples = append(db.samples, s)
+				}
 			}
+			cSamples.Add(int64(len(lb.ends)))
+			lb.data, lb.ends = lb.data[:0], lb.ends[:0]
+			batchPool.Put(lb)
 			return decoded.Send(ctx, db)
 		})
 	}, decoded.Close)

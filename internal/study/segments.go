@@ -1,0 +1,103 @@
+package study
+
+import (
+	"context"
+
+	"repro/internal/agg"
+	"repro/internal/analysis"
+	"repro/internal/collector"
+	"repro/internal/faults"
+	"repro/internal/pipeline"
+	"repro/internal/sample"
+	"repro/internal/segstore"
+	"repro/internal/world"
+)
+
+// FromSegments runs every analysis over a segment dataset directory (as
+// written by `edgesim -format seg` or segcat). The manifest is pruned
+// against opt.Filter before any segment byte is read; surviving
+// segments decode on opt.Workers goroutines and feed the same sharded
+// ingestion the JSONL paths use, in manifest order — so the rendered
+// report is byte-identical to the JSONL path over the same samples, at
+// every worker count.
+func FromSegments(ctx context.Context, dir string, opt Options) (res *Results, err error) {
+	start := startTimer()
+	reg := opt.Reg
+	workers := opt.workers()
+	inj := faults.NewInjector(opt.Plan, 0)
+	inj.Instrument(reg)
+	rg := newRunGuard(inj, opt.FailFast)
+
+	r, err := segstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := r.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	r.Instrument(reg)
+
+	var store *agg.Store
+	var stats collector.Stats
+	var overview *analysis.Overview
+	var coverage *faults.Coverage
+
+	if workers <= 1 && rg == nil {
+		// Sequential oracle: one goroutine end to end.
+		store = agg.NewStore()
+		store.Instrument(reg)
+		overview = analysis.NewOverview()
+		overview.Instrument(reg)
+		col := collector.New(
+			collector.StoreSink(store),
+			collector.FuncSink(overview.Add),
+		)
+		col.Instrument(reg)
+		err = r.Scan(ctx, 1, opt.Filter, func(rows []sample.Sample) error {
+			for i := range rows {
+				col.Offer(rows[i])
+			}
+			return col.Err()
+		})
+		if err != nil {
+			return nil, err
+		}
+		stats = col.Stats()
+	} else {
+		// Sharded path: the scanner's ordered emit is the feed stage.
+		ing := newIngest(workers, reg, rg)
+		g := pipeline.NewGroup(ctx)
+		ing.start(g)
+		g.Go(func(ctx context.Context) error {
+			defer ing.close()
+			return r.Scan(ctx, workers, opt.Filter, func(rows []sample.Sample) error {
+				return ing.feed(ctx, rows)
+			})
+		})
+		if err = g.Wait(); err != nil {
+			return nil, err
+		}
+		store, stats = ing.merge()
+		overview = ing.overview
+		coverage = ing.coverage(rg)
+	}
+
+	days := (store.TotalWindows + world.WindowsPerDay - 1) / world.WindowsPerDay
+	if days < 1 {
+		days = 1
+	}
+	res = &Results{
+		Cfg:       world.Config{Groups: store.Len(), Days: days},
+		Collector: stats,
+		Overview:  overview,
+		Store:     store,
+		Coverage:  coverage,
+	}
+	// The inferred config must report the true window count.
+	res.Cfg.SessionsPerGroupWindow = float64(store.TotalSamples) / float64(max(1, store.Len()*store.TotalWindows))
+	res.analyseConcurrent(ctx, reg, workers)
+	res.Elapsed = elapsedSince(start)
+	return res, nil
+}

@@ -20,6 +20,25 @@ import (
 	"repro/internal/world"
 )
 
+// ReadCounter wraps r so every byte read bumps the
+// study_read_bytes_total counter on reg — with the samples counter this
+// puts dataset read throughput (samples/s, MB/s) on the obs progress
+// line. reg may be nil (no-op wrap).
+func ReadCounter(r io.Reader, reg *obs.Registry) io.Reader {
+	return &countingReader{r: r, c: reg.Counter("study_read_bytes_total")}
+}
+
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}
+
 // Thresholds used throughout the paper's tables.
 var (
 	// Table1DegMinRTTMs are the degradation thresholds (ms).
@@ -71,7 +90,17 @@ func FromSamples(r *sample.Reader) (*Results, error) { return FromSamplesObs(r, 
 // FromSamplesObs is FromSamples with pipeline metrics registered on reg
 // (which may be nil).
 func FromSamplesObs(r *sample.Reader, reg *obs.Registry) (*Results, error) {
+	return FromSamplesOpt(r, Options{Workers: 1, Reg: reg})
+}
+
+// FromSamplesOpt is the sequential dataset-replay oracle with the full
+// option set: opt.Filter drops rows before they reach the collector —
+// the same row predicate the segment scanner pushes down, which is what
+// keeps a filtered JSONL report byte-identical to the filtered segment
+// report over the same dataset.
+func FromSamplesOpt(r *sample.Reader, opt Options) (*Results, error) {
 	start := startTimer()
+	reg := opt.Reg
 	store := agg.NewStore()
 	store.Instrument(reg)
 	overview := analysis.NewOverview()
@@ -82,6 +111,7 @@ func FromSamplesObs(r *sample.Reader, reg *obs.Registry) (*Results, error) {
 	)
 	col.Instrument(reg)
 	read := reg.Span(obs.L("study_stage_seconds", "stage", "read"), "study")
+	cSamples := reg.Counter("study_samples_read_total")
 	sp := read.Start()
 	for {
 		s, err := r.Read()
@@ -90,6 +120,10 @@ func FromSamplesObs(r *sample.Reader, reg *obs.Registry) (*Results, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		cSamples.Inc()
+		if !opt.Filter.Match(&s) {
+			continue
 		}
 		col.Offer(s)
 	}

@@ -161,6 +161,48 @@ func (w *World) GenerateBatchesUnordered(ctx context.Context, workers int, handl
 	return g.Wait()
 }
 
+// GenerateSelected is GenerateBatchesUnordered restricted to the given
+// group indices — the resume path: a checkpointed run regenerates only
+// the groups its manifest does not yet account for. handle receives
+// order, the group's position in groups, so callers can restore the
+// requested order densely (pipeline.Reorder needs a gapless sequence)
+// even when the selection has gaps.
+func (w *World) GenerateSelected(ctx context.Context, workers int, groups []int, handle func(order int, b Batch) error) error {
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for o, i := range groups {
+			if err := ctx.Err(); err != nil {
+				return context.Cause(ctx)
+			}
+			if err := handle(o, w.generateBatch(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	type job struct{ order, group int }
+	idx := make(chan job, len(groups))
+	for o, i := range groups {
+		idx <- job{order: o, group: i}
+	}
+	close(idx)
+	g := pipeline.NewGroup(ctx)
+	g.GoPool(workers, func(ctx context.Context, _ int) error {
+		for j := range idx {
+			if err := ctx.Err(); err != nil {
+				return context.Cause(ctx)
+			}
+			if err := handle(j.order, w.generateBatch(j.group)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil)
+	return g.Wait()
+}
+
 // generateBatch simulates one group under the generation span.
 func (w *World) generateBatch(i int) Batch {
 	sp := w.obs.genStage.Start()
