@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build race test chaos seg-race fuzz-smoke bench-obs bench-pipeline bench-retry bench bench-segstore
+.PHONY: check vet lint build race test chaos seg-race trace-race fuzz-smoke bench-obs bench-pipeline bench-retry bench bench-segstore bench-trace
 
-check: vet lint build race test chaos seg-race
+check: vet lint build race test chaos seg-race trace-race
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,23 @@ seg-race:
 	$(GO) run -race ./cmd/edgereport -in .seg-race-ds -workers 4 -from 24h > /dev/null
 	rm -rf .seg-race-ds
 
+# The flight recorder's determinism golden, live: two traced chaos
+# studies under the race detector at different worker counts must
+# produce byte-identical trace files (DESIGN.md §11). The .timing
+# sidecars are physical and excluded from the comparison.
+trace-race:
+	rm -rf .trace-race
+	mkdir -p .trace-race
+	$(GO) run -race ./cmd/edgereport -groups 8 -days 1 -spw 12 -workers 4 -trace .trace-race/w4.trace \
+		-fault-plan "seed=7;sink-transient=0.01;truncate=0.1;fail-group=2;outage=fra:10-30;retries=4;retry-base=50us" \
+		> /dev/null
+	$(GO) run -race ./cmd/edgereport -groups 8 -days 1 -spw 12 -workers 1 -trace .trace-race/w1.trace \
+		-fault-plan "seed=7;sink-transient=0.01;truncate=0.1;fail-group=2;outage=fra:10-30;retries=4;retry-base=50us" \
+		> /dev/null
+	cmp .trace-race/w1.trace .trace-race/w4.trace
+	$(GO) run ./cmd/edgetrace causes .trace-race/w4.trace > /dev/null
+	rm -rf .trace-race
+
 # A short burst on each fuzz target; the invariants live next to the
 # targets (tdigest merge structure, hdratio classification ranges,
 # segment decode never panics on hostile bytes).
@@ -76,6 +93,12 @@ bench-retry:
 # throughput).
 bench-segstore:
 	$(GO) test -run '^$$' -bench 'BenchmarkSegstoreScan|BenchmarkJSONLScan' -benchmem -count 3 ./internal/segstore/
+
+# The flight recorder's hot-path cost: traced vs untraced ingest
+# (EXPERIMENTS.md and BENCH_trace.json record the measured overhead;
+# the bar is <5% and zero allocations per event).
+bench-trace:
+	$(GO) test -run '^$$' -bench BenchmarkTraceOverhead -benchmem -count 5 ./internal/trace/
 
 bench:
 	$(GO) test -bench . -benchmem

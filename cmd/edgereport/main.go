@@ -63,8 +63,14 @@ import (
 	"repro/internal/sample"
 	"repro/internal/segstore"
 	"repro/internal/study"
+	"repro/internal/trace"
 	"repro/internal/world"
 )
+
+// traceBufCap bounds the flight-recorder rings for CLI runs; rings grow
+// lazily, so the bound costs nothing until a run actually emits that
+// many events on one goroutine.
+const traceBufCap = 1 << 20
 
 // exitIfInterrupted maps a cancelled study to the conventional SIGINT
 // exit: no partial report is ever written (the analyses need the whole
@@ -109,6 +115,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		faultPlan   = flag.String("fault-plan", "", "deterministic fault-injection plan (key=value;... — see internal/faults; '' or 'none' disables)")
 		failFast    = flag.Bool("fail-fast", false, "abort on the first unrecoverable injected fault instead of degrading")
+		tracePath   = flag.String("trace", "", "record a deterministic flight trace of the study to this file (timing sidecar lands next to it); inspect with edgetrace")
 	)
 	flag.Parse()
 
@@ -118,6 +125,9 @@ func main() {
 	}
 	if plan != nil && *deagg {
 		log.Fatal("edgereport: -fault-plan is not supported with -deagg (the deaggregation experiment is a clean-world comparison)")
+	}
+	if *tracePath != "" && *deagg {
+		log.Fatal("edgereport: -trace is not supported with -deagg (the deaggregation experiment bypasses the traced pipeline)")
 	}
 	filter, err := segstore.ParseFilter(*from, *to, *country, *pop)
 	if err != nil {
@@ -144,7 +154,27 @@ func main() {
 		stopProgress = obs.StartProgress(reg, os.Stderr, 2*time.Second)
 	}
 
-	opt := study.Options{Workers: *workers, Reg: reg, Plan: plan, FailFast: *failFast, Filter: filter}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.New(*seed)
+		rec.SetBufCap(traceBufCap)
+	}
+	flushTrace := func() {
+		if rec == nil {
+			return
+		}
+		if err := rec.WriteFile(*tracePath); err != nil {
+			log.Printf("edgereport: writing trace: %v", err)
+			return
+		}
+		note := ""
+		if n := rec.Dropped(); n > 0 {
+			note = fmt.Sprintf(" (ring overwrote %d events; the trace is a suffix)", n)
+		}
+		fmt.Fprintf(os.Stderr, "edgereport: trace written to %s%s\n", *tracePath, note)
+	}
+
+	opt := study.Options{Workers: *workers, Reg: reg, Plan: plan, FailFast: *failFast, Filter: filter, Trace: rec}
 	var res *study.Results
 	var deagResult *struct {
 		covLoss, varRed float64
@@ -174,12 +204,17 @@ func main() {
 		}
 		defer f.Close()
 		// ReadCounter puts bytes/s on the progress line next to the
-		// decode stage's samples/s.
+		// decode stage's samples/s; the goal gauge lets the progress line
+		// project an ETA from the read rate.
+		if fi, serr := f.Stat(); serr == nil {
+			reg.Gauge("study_read_goal_bytes").Set(float64(fi.Size()))
+		}
 		br := study.ReadCounter(bufio.NewReaderSize(f, 1<<20), reg)
-		// A fault plan forces the streaming path even at -workers 1: its
-		// guard surfaces (sink retry, quarantine) live there, and one
-		// code path per plan keeps the report worker-count independent.
-		if *workers > 1 || plan != nil {
+		// A fault plan or trace forces the streaming path even at
+		// -workers 1: its guard surfaces (sink retry, quarantine) live
+		// there, and one code path per plan keeps the report — and the
+		// trace — worker-count independent.
+		if *workers > 1 || plan != nil || rec != nil {
 			res, err = study.FromStream(ctx, br, opt)
 		} else {
 			res, err = study.FromSamplesOpt(sample.NewReader(br), opt)
@@ -201,6 +236,7 @@ func main() {
 		}
 	}
 	stopProgress()
+	flushTrace()
 	res.WriteReport(os.Stdout)
 	if deagResult != nil {
 		fmt.Printf("== §3.3 deaggregation experiment ==\ngroups %d→%d, coverage loss %.0f%%, variability reduction %.0f%% (paper: large loss, minimal reduction)\n\n",

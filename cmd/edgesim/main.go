@@ -54,8 +54,16 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/trace"
 	"repro/internal/world"
 )
+
+// traceBufCap is the flight-recorder ring bound for CLI runs: large
+// enough that a full chaos dataset keeps every event (drops void the
+// byte-identity guarantee and edgetrace warns about them), small enough
+// to bound memory on a runaway run. Rings grow lazily, so quiet runs
+// never pay it.
+const traceBufCap = 1 << 20
 
 // hardExitOnSecondSignal arms a watcher that lets the first
 // SIGINT/SIGTERM flow to the NotifyContext for a graceful drain, and
@@ -86,6 +94,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		faultPlan   = flag.String("fault-plan", "", "deterministic fault-injection plan (key=value;... — see internal/faults; '' or 'none' disables)")
 		failFast    = flag.Bool("fail-fast", false, "abort on the first unrecoverable injected fault instead of degrading")
+		tracePath   = flag.String("trace", "", "record a deterministic flight trace of the run to this file (timing sidecar lands next to it); inspect with edgetrace")
 	)
 	flag.Parse()
 
@@ -149,6 +158,27 @@ func main() {
 		w.PoPDown = inj.Outage
 	}
 
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.New(*seed)
+		rec.SetBufCap(traceBufCap)
+		w.Rec = rec
+	}
+	flushTrace := func() {
+		if rec == nil {
+			return
+		}
+		if err := rec.WriteFile(*tracePath); err != nil {
+			log.Printf("edgesim: writing trace: %v", err)
+			return
+		}
+		note := ""
+		if n := rec.Dropped(); n > 0 {
+			note = fmt.Sprintf(" (ring overwrote %d events; the trace is a suffix)", n)
+		}
+		fmt.Fprintf(os.Stderr, "edgesim: trace written to %s%s\n", *tracePath, note)
+	}
+
 	if *format == "seg" {
 		spec := ""
 		if inj != nil {
@@ -157,8 +187,9 @@ func main() {
 		// The origin pins everything that shapes the dataset bytes; resume
 		// with different flags is refused rather than silently interleaved.
 		origin := fmt.Sprintf("edgesim seed=%d groups=%d days=%d spw=%g plan=%q", *seed, *groups, *days, *spw, spec)
-		st, written, resumed, cov, runErr := runSeg(ctx, w, *out, origin, reg, *workers, inj, *failFast)
+		st, written, resumed, cov, runErr := runSeg(ctx, w, *out, origin, reg, *workers, inj, *failFast, rec)
 		stopProgress()
+		flushTrace()
 		if runErr != nil && !errors.Is(runErr, context.Canceled) {
 			log.Fatalf("edgesim: %v", runErr)
 		}
@@ -177,8 +208,9 @@ func main() {
 	}
 
 	bw := bufio.NewWriterSize(f, 1<<20)
-	st, written, cov, runErr := run(ctx, w, bw, reg, *workers, inj, *failFast)
+	st, written, cov, runErr := run(ctx, w, bw, reg, *workers, inj, *failFast, rec)
 	stopProgress()
+	flushTrace()
 
 	// Flush and close unconditionally: on cancellation the contiguous
 	// prefix already written is still a valid dataset, and a full disk
@@ -232,12 +264,12 @@ func reportCoverage(cov *faults.Coverage) {
 // without a fault plan), and the first pipeline error (context.Canceled
 // after SIGINT). Whatever it returns, bytes already handed to bw form
 // whole JSON lines in group order.
-func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registry, workers int, inj *faults.Injector, failFast bool) (collector.Stats, int, *faults.Coverage, error) {
-	// Chaos runs always take the batch path, even at -workers 1: the
-	// fault surfaces (batch fate, write retry) live there, and keeping
-	// one code path per plan is what makes the worker count irrelevant
-	// to the output bytes.
-	if workers <= 1 && inj == nil {
+func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registry, workers int, inj *faults.Injector, failFast bool, rec *trace.Recorder) (collector.Stats, int, *faults.Coverage, error) {
+	// Chaos and traced runs always take the batch path, even at
+	// -workers 1: the fault surfaces (batch fate, write retry) live
+	// there, and keeping one code path per plan is what makes the worker
+	// count irrelevant to the output bytes — and to the trace bytes.
+	if workers <= 1 && inj == nil && rec == nil {
 		col := collector.New(collector.WriterSink(sample.NewWriter(bw)))
 		col.Instrument(reg)
 		err := w.GenerateCtx(ctx, 1, col.Offer)
@@ -257,6 +289,12 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 		group   int
 		data    []byte
 		samples int
+		// fate carries the batch surface's verdict to the single-owner
+		// writer goroutine, which emits the trace events for it — the
+		// generation callback runs on many workers and may not share a
+		// trace ring.
+		fate     string
+		fateLost int
 	}
 	var (
 		mu      sync.Mutex
@@ -272,8 +310,31 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 	writeSpan := reg.Span(obs.L("edgesim_stage_seconds", "stage", "write"), "edgesim")
 
 	g := pipeline.NewGroup(ctx)
+	g.Trace(rec)
 	enc := pipeline.NewStream[encBatch](workers)
 	enc.Instrument(reg, "write")
+	enc.Observe(rec, "write")
+	tb := rec.Buf() // owned by the ordered writer goroutine below
+	// encode filters and encodes one surviving batch and hands it (plus
+	// its batch-surface fate, if any) to the ordered writer.
+	encode := func(ctx context.Context, group int, samples []sample.Sample, fate string, fateLost int) error {
+		sp := encSpan.Start()
+		var buf bytes.Buffer
+		c := collector.New(collector.WriterSink(sample.NewWriter(&buf)))
+		c.Instrument(reg)
+		for _, s := range samples {
+			c.Offer(s)
+		}
+		sp.End()
+		if err := c.Err(); err != nil {
+			return err
+		}
+		st := c.Stats()
+		mu.Lock()
+		total = total.Merge(st)
+		mu.Unlock()
+		return enc.Send(ctx, encBatch{group: group, data: buf.Bytes(), samples: st.Accepted, fate: fate, fateLost: fateLost})
+	}
 	g.Go(func(ctx context.Context) error {
 		defer enc.Close()
 		return w.GenerateBatchesUnordered(ctx, workers, func(b world.Batch) error {
@@ -291,7 +352,9 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 				cov.BatchesTruncated++
 				cov.SamplesLostTruncated += len(samples) - keep
 				mu.Unlock()
+				lost := len(samples) - keep
 				samples = samples[:keep]
+				return encode(ctx, b.Group, samples, f.Kind.String(), lost)
 			default: // corrupt or plan-listed failure: the whole batch is gone
 				if failFast {
 					return fmt.Errorf("group %d batch: %w", b.Group,
@@ -305,28 +368,29 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 				})
 				mu.Unlock()
 				// Reorder needs a gapless group sequence: send a tombstone.
-				return enc.Send(ctx, encBatch{group: b.Group})
+				return enc.Send(ctx, encBatch{group: b.Group, fate: f.Kind.String(), fateLost: len(samples)})
 			}
-			sp := encSpan.Start()
-			var buf bytes.Buffer
-			c := collector.New(collector.WriterSink(sample.NewWriter(&buf)))
-			c.Instrument(reg)
-			for _, s := range samples {
-				c.Offer(s)
-			}
-			sp.End()
-			if err := c.Err(); err != nil {
-				return err
-			}
-			st := c.Stats()
-			mu.Lock()
-			total = total.Merge(st)
-			mu.Unlock()
-			return enc.Send(ctx, encBatch{group: b.Group, data: buf.Bytes(), samples: st.Accepted})
+			return encode(ctx, b.Group, samples, "", 0)
 		})
 	})
 	g.Go(func(ctx context.Context) error {
 		return pipeline.Reorder(ctx, enc, func(b encBatch) int { return b.group }, 0, func(b encBatch) error {
+			track := trace.GroupTrack(b.group)
+			if b.fate != "" && b.fateLost > 0 {
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 0,
+					Kind: trace.KFault, Stage: "batch", Value: int64(b.fateLost), Detail: b.fate,
+				})
+				if b.fate == faults.BatchTruncate.String() {
+					tb.Loss(track, trace.PhaseBatch, -1, 0, "batch", trace.LossTruncated, b.fateLost)
+				} else {
+					tb.Emit(trace.Event{
+						Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 1,
+						Kind: trace.KQuarantine, Stage: "batch", Value: int64(b.fateLost), Detail: b.fate,
+					})
+					tb.Loss(track, trace.PhaseBatch, -1, 0, "batch", trace.LossDropped, b.fateLost)
+				}
+			}
 			if len(b.data) == 0 { // tombstone for a dropped batch
 				return nil
 			}
@@ -343,18 +407,32 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 						Key: fmt.Sprintf("world-group-%04d", b.group), Reason: "permanent write failure", SamplesLost: b.samples,
 					})
 					mu.Unlock()
+					tb.Emit(trace.Event{
+						Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 0,
+						Kind: trace.KFault, Stage: "write", Value: int64(b.samples), Detail: "write-permanent",
+					})
+					tb.Emit(trace.Event{
+						Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 1,
+						Kind: trace.KQuarantine, Stage: "write", Value: int64(b.samples), Detail: "permanent write failure",
+					})
+					tb.Loss(track, trace.PhaseCommit, -1, 0, "write", trace.LossDropped, b.samples)
 					return nil
 				}
 				// Transient streak: retry with backoff until the writer
 				// heals, wrapping the real write so its own errors (full
 				// disk) still surface as permanent.
 				rem := f.Transient
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 0,
+					Kind: trace.KFault, Stage: "write", Value: int64(rem), Detail: "write-transient",
+				})
 				p := inj.Policy(b.group)
 				p.OnRetry = func(int, error) {
 					mu.Lock()
 					cov.RetriesSpent++
 					mu.Unlock()
 				}
+				p = faults.TracedPolicy(p, tb, track, trace.PhaseCommit, -1, 0, "write")
 				err := faults.Retry(ctx, p, func() error {
 					if rem > 0 {
 						rem--
@@ -377,6 +455,11 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 						Key: fmt.Sprintf("world-group-%04d", b.group), Reason: "write retry budget exhausted", SamplesLost: b.samples,
 					})
 					mu.Unlock()
+					tb.Emit(trace.Event{
+						Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 1,
+						Kind: trace.KQuarantine, Stage: "write", Value: int64(b.samples), Detail: "write retry budget exhausted",
+					})
+					tb.Loss(track, trace.PhaseCommit, -1, 0, "write", trace.LossDropped, b.samples)
 					return nil
 				}
 				mu.Lock()
@@ -384,6 +467,10 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 				mu.Unlock()
 				inj.Recovered()
 				written += b.samples
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 2,
+					Kind: trace.KCommit, Stage: "write", Value: int64(b.samples),
+				})
 				return nil
 			}
 			sp := writeSpan.Start()
@@ -392,6 +479,10 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 				return err
 			}
 			written += b.samples
+			tb.Emit(trace.Event{
+				Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 2,
+				Kind: trace.KCommit, Stage: "write", Value: int64(b.samples),
+			})
 			return nil
 		})
 	})
@@ -406,5 +497,6 @@ func run(ctx context.Context, w *world.World, bw *bufio.Writer, reg *obs.Registr
 	if cov.Degraded() {
 		inj.MarkDegraded()
 	}
+	cov.EmitTrace(tb) // writer goroutine has returned; main owns the ring now
 	return st, written, &cov, err
 }

@@ -28,7 +28,7 @@ func chaosDataset(t *testing.T, workers int, spec string) ([]byte, collector.Sta
 	}
 	var buf bytes.Buffer
 	bw := bufio.NewWriter(&buf)
-	st, written, cov, err := run(context.Background(), w, bw, obs.NewRegistry(), workers, inj, false)
+	st, written, cov, err := run(context.Background(), w, bw, obs.NewRegistry(), workers, inj, false, nil)
 	if err != nil {
 		t.Fatalf("run(workers=%d, plan=%q): %v", workers, spec, err)
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/sample"
 	"repro/internal/segstore"
+	"repro/internal/trace"
 	"repro/internal/world"
 )
 
@@ -40,7 +41,7 @@ func chunksPerGroup(cfg world.Config) int {
 // Returns the collector totals, samples committed this run, groups
 // resumed from a previous run, the degradation ledger, and the first
 // pipeline error.
-func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Registry, workers int, inj *faults.Injector, failFast bool) (collector.Stats, int, int, *faults.Coverage, error) {
+func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Registry, workers int, inj *faults.Injector, failFast bool, rec *trace.Recorder) (collector.Stats, int, int, *faults.Coverage, error) {
 	cpg := chunksPerGroup(w.Cfg)
 	span := segstore.DefaultSegmentSpan
 	sw, err := segstore.Create(dir, origin)
@@ -90,6 +91,9 @@ func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Re
 		// samples each) instead of writing.
 		quarantine string
 		rawLost    []int
+		// truncLost carries a truncation's sample loss to the ordered
+		// tail, which owns the trace ring the fate events land in.
+		truncLost int
 	}
 
 	// chunkOf maps a sample to its span chunk, clamped so boundary
@@ -106,12 +110,16 @@ func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Re
 	}
 
 	g := pipeline.NewGroup(ctx)
+	g.Trace(rec)
 	enc := pipeline.NewStream[segBatch](workers)
 	enc.Instrument(reg, "write")
+	enc.Observe(rec, "write")
+	tb := rec.Buf() // owned by the ordered tail goroutine below
 	g.Go(func(ctx context.Context) error {
 		defer enc.Close()
 		return w.GenerateSelected(ctx, workers, todo, func(order int, b world.Batch) error {
 			samples := b.Samples
+			truncLost := 0
 			if b.Lost > 0 { // PoP outage suppressed windows at the source
 				mu.Lock()
 				cov.SamplesLostOutage += b.Lost
@@ -125,6 +133,7 @@ func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Re
 				cov.BatchesTruncated++
 				cov.SamplesLostTruncated += len(samples) - keep
 				mu.Unlock()
+				truncLost = len(samples) - keep
 				samples = samples[:keep]
 			default: // corrupt or plan-listed failure: the whole batch is gone
 				if failFast {
@@ -167,6 +176,7 @@ func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Re
 				lo = hi
 			}
 			sp.End()
+			sb.truncLost = truncLost
 			mu.Lock()
 			total = total.Merge(st)
 			mu.Unlock()
@@ -175,11 +185,32 @@ func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Re
 	})
 	g.Go(func(ctx context.Context) error {
 		return pipeline.Reorder(ctx, enc, func(b segBatch) int { return b.order }, 0, func(b segBatch) error {
+			track := trace.GroupTrack(b.group)
 			if b.quarantine != "" {
+				lost := 0
+				for _, n := range b.rawLost {
+					lost += n
+				}
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 0,
+					Kind: trace.KFault, Stage: "batch", Value: int64(lost), Detail: b.quarantine,
+				})
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 1,
+					Kind: trace.KQuarantine, Stage: "batch", Value: int64(lost), Detail: b.quarantine,
+				})
+				tb.Loss(track, trace.PhaseBatch, -1, 0, "batch", trace.LossDropped, lost)
 				for c, n := range b.rawLost {
 					sw.Tombstone(b.group*cpg+c, b.quarantine, n)
 				}
 				return sw.Commit()
+			}
+			if b.truncLost > 0 {
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 0,
+					Kind: trace.KFault, Stage: "batch", Value: int64(b.truncLost), Detail: faults.BatchTruncate.String(),
+				})
+				tb.Loss(track, trace.PhaseBatch, -1, 0, "batch", trace.LossTruncated, b.truncLost)
 			}
 			commit := func() error {
 				for _, c := range b.chunks {
@@ -209,6 +240,15 @@ func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Re
 						Key: fmt.Sprintf("world-group-%04d", b.group), Reason: "permanent write failure", SamplesLost: accepted,
 					})
 					mu.Unlock()
+					tb.Emit(trace.Event{
+						Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 0,
+						Kind: trace.KFault, Stage: "write", Value: int64(accepted), Detail: "write-permanent",
+					})
+					tb.Emit(trace.Event{
+						Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 1,
+						Kind: trace.KQuarantine, Stage: "write", Value: int64(accepted), Detail: "permanent write failure",
+					})
+					tb.Loss(track, trace.PhaseCommit, -1, 0, "write", trace.LossDropped, accepted)
 					for _, c := range b.chunks {
 						sw.Tombstone(c.id, "permanent write failure", c.samples)
 					}
@@ -218,12 +258,17 @@ func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Re
 				// heals, wrapping the real commit so its own errors (full
 				// disk) still surface as permanent.
 				rem := f.Transient
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 0,
+					Kind: trace.KFault, Stage: "write", Value: int64(rem), Detail: "write-transient",
+				})
 				p := inj.Policy(b.group)
 				p.OnRetry = func(int, error) {
 					mu.Lock()
 					cov.RetriesSpent++
 					mu.Unlock()
 				}
+				p = faults.TracedPolicy(p, tb, track, trace.PhaseCommit, -1, 0, "write")
 				err := faults.Retry(ctx, p, func() error {
 					if rem > 0 {
 						rem--
@@ -245,6 +290,11 @@ func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Re
 						Key: fmt.Sprintf("world-group-%04d", b.group), Reason: "write retry budget exhausted", SamplesLost: accepted,
 					})
 					mu.Unlock()
+					tb.Emit(trace.Event{
+						Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 1,
+						Kind: trace.KQuarantine, Stage: "write", Value: int64(accepted), Detail: "write retry budget exhausted",
+					})
+					tb.Loss(track, trace.PhaseCommit, -1, 0, "write", trace.LossDropped, accepted)
 					for _, c := range b.chunks {
 						sw.Tombstone(c.id, "write retry budget exhausted", c.samples)
 					}
@@ -255,6 +305,10 @@ func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Re
 				mu.Unlock()
 				inj.Recovered()
 				written += accepted
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 2,
+					Kind: trace.KCommit, Stage: "write", Value: int64(accepted),
+				})
 				return nil
 			}
 			sp := writeSpan.Start()
@@ -263,6 +317,10 @@ func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Re
 				return err
 			}
 			written += accepted
+			tb.Emit(trace.Event{
+				Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 2,
+				Kind: trace.KCommit, Stage: "write", Value: int64(accepted),
+			})
 			return nil
 		})
 	})
@@ -277,5 +335,6 @@ func runSeg(ctx context.Context, w *world.World, dir, origin string, reg *obs.Re
 	if cov.Degraded() {
 		inj.MarkDegraded()
 	}
+	cov.EmitTrace(tb) // tail goroutine has returned; main owns the ring now
 	return st, written, resumed, &cov, err
 }

@@ -35,7 +35,7 @@ func segDataset(t *testing.T, ctx context.Context, dir string, workers int, spec
 	if inj != nil {
 		w.PoPDown = inj.Outage
 	}
-	return runSeg(ctx, w, dir, "test "+spec, obs.NewRegistry(), workers, inj, false)
+	return runSeg(ctx, w, dir, "test "+spec, obs.NewRegistry(), workers, inj, false, nil)
 }
 
 // dirBytes snapshots every file in a dataset directory.
@@ -105,7 +105,7 @@ func TestSegDatasetRoundTripsToJSONLDataset(t *testing.T) {
 	cfg := segCfg()
 	var jsonl bytes.Buffer
 	bw := bufio.NewWriter(&jsonl)
-	if _, _, _, err := run(context.Background(), world.New(cfg), bw, obs.NewRegistry(), 4, nil, false); err != nil {
+	if _, _, _, err := run(context.Background(), world.New(cfg), bw, obs.NewRegistry(), 4, nil, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := bw.Flush(); err != nil {
@@ -200,7 +200,7 @@ func TestSegResumeRefusesDifferentOrigin(t *testing.T) {
 	}
 	cfg := segCfg()
 	w := world.New(cfg)
-	_, _, _, _, err := runSeg(context.Background(), w, dir, "test seed=999", obs.NewRegistry(), 1, nil, false)
+	_, _, _, _, err := runSeg(context.Background(), w, dir, "test seed=999", obs.NewRegistry(), 1, nil, false, nil)
 	if err == nil {
 		t.Fatal("runSeg extended a dataset written under a different origin")
 	}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// tracedDataset runs the batch pipeline traced and returns the dataset
+// bytes plus the deterministic trace bytes.
+func tracedDataset(t *testing.T, workers int, spec string) ([]byte, []byte) {
+	t.Helper()
+	var plan *faults.Plan
+	if spec != "" {
+		p, err := faults.ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		plan = p
+	}
+	cfg := world.Config{Seed: 5, Groups: 24, Days: 1, SessionsPerGroupWindow: 6}
+	w := world.New(cfg)
+	inj := faults.NewInjector(plan, cfg.Seed)
+	if inj != nil {
+		w.PoPDown = inj.Outage
+	}
+	rec := trace.New(cfg.Seed)
+	w.Rec = rec
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if _, _, _, err := run(context.Background(), w, bw, obs.NewRegistry(), workers, inj, false, rec); err != nil {
+		t.Fatalf("run(workers=%d): %v", workers, err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var tr bytes.Buffer
+	if err := rec.Flush(&tr); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("workers=%d: trace ring overwrote %d events", workers, rec.Dropped())
+	}
+	return buf.Bytes(), tr.Bytes()
+}
+
+// The edgesim trace — spans, batch fates, write retries, commits — is
+// byte-identical at any -workers count, chaos or not, and tracing does
+// not change one dataset byte.
+func TestEdgesimTraceWorkerInvariant(t *testing.T) {
+	const spec = "seed=13;sink-transient=0.15;sink-permanent=0.04;truncate=0.2;corrupt=0.08;" +
+		"fail-group=3;outage=fra:10-30;retries=4;retry-base=20us"
+	for _, plan := range []string{"", spec} {
+		name := "plain"
+		if plan != "" {
+			name = "chaos"
+		}
+		t.Run(name, func(t *testing.T) {
+			wantData, wantTrace := tracedDataset(t, 1, plan)
+			if len(wantTrace) == 0 {
+				t.Fatal("empty trace")
+			}
+			for _, workers := range []int{2, 4} {
+				data, tr := tracedDataset(t, workers, plan)
+				if !bytes.Equal(tr, wantTrace) {
+					t.Errorf("workers=%d trace differs from workers=1", workers)
+				}
+				if !bytes.Equal(data, wantData) {
+					t.Errorf("workers=%d dataset differs from workers=1 under tracing", workers)
+				}
+			}
+			untraced, _, _, _ := chaosDataset(t, 4, plan)
+			if !bytes.Equal(untraced, wantData) {
+				t.Error("tracing changed the dataset bytes")
+			}
+		})
+	}
+}
+
+// A chaos edgesim trace must tell the coverage ledger's story exactly:
+// per-track loss events partition into the same cause totals.
+func TestEdgesimTraceReconciles(t *testing.T) {
+	const spec = "seed=13;sink-transient=0.15;sink-permanent=0.04;truncate=0.2;corrupt=0.08;" +
+		"fail-group=3;outage=fra:10-30;retries=4;retry-base=20us"
+	_, raw := tracedDataset(t, 4, spec)
+	f, err := trace.Parse(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rep := trace.Causes(f)
+	if !rep.Reconciled() {
+		for _, c := range rep.Checks {
+			if !c.OK() {
+				t.Errorf("cause %q: traced %d, ledger %d", c.Loss, c.Traced, c.Ledger)
+			}
+		}
+		t.Fatal("edgesim trace does not reconcile with its coverage ledger")
+	}
+	if rep.Sender == 0 {
+		t.Error("outage losses missing from the trace")
+	}
+	if rep.Network == 0 {
+		t.Error("batch/write losses missing from the trace")
+	}
+}

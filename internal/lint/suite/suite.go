@@ -17,6 +17,7 @@ import (
 	"repro/internal/lint/nondeterminism"
 	"repro/internal/lint/poisonpath"
 	"repro/internal/lint/rngsplit"
+	"repro/internal/lint/tracekey"
 	"repro/internal/lint/unitsafety"
 )
 
@@ -26,6 +27,7 @@ var Analyzers = []*analysis.Analyzer{
 	nondeterminism.Analyzer,
 	poisonpath.Analyzer,
 	rngsplit.Analyzer,
+	tracekey.Analyzer,
 	unitsafety.Analyzer,
 }
 

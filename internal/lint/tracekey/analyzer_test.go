@@ -1,0 +1,12 @@
+package tracekey_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/tracekey"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, tracekey.Analyzer, "tkfix")
+}

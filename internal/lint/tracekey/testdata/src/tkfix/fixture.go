@@ -1,0 +1,68 @@
+// Fixture for the tracekey analyzer.
+package tkfix
+
+import "repro/internal/trace"
+
+const noStage = ""
+
+func emits(b *trace.Buf) {
+	b.Emit(trace.Event{Track: "run", Phase: trace.PhaseRun, Win: -1, Kind: trace.KMark, Stage: "feed"})
+	b.Emit(trace.Event{Track: "run", Kind: trace.KMark})            // want "trace event without a stage key"
+	b.Emit(trace.Event{Track: "run", Kind: trace.KMark, Stage: ""}) // want "trace event with an empty stage key"
+	b.Emit(trace.Event{Kind: trace.KMark, Stage: noStage})          // want "trace event with an empty stage key"
+	b.Begin("run", trace.PhaseRun, -1, 0, "")                       // want "trace Begin with an empty stage key"
+	b.Loss("run", trace.PhaseRun, -1, 0, "", trace.LossDropped, 1)  // want "trace Loss with an empty stage key"
+	b.Loss("run", trace.PhaseRun, -1, 0, "sink", trace.LossDropped, 1)
+	sp := b.Begin("run", trace.PhaseRun, -1, 0, "seal")
+	sp.End(0)
+}
+
+// A stage that arrives through a variable is the caller's contract,
+// not this analyzer's: only compile-time empties are flagged.
+func dynamic(b *trace.Buf, stage string) {
+	b.Begin("run", trace.PhaseRun, -1, 0, stage).End(0)
+	e := trace.Event{Track: "run", Kind: trace.KMark} // built away from Emit: not checked
+	b.Emit(e)
+}
+
+func loops(b *trace.Buf, wins []int) {
+	for i := range wins {
+		sp := b.Begin("g", trace.PhaseGen, int32(i), uint64(i), "gen")
+		defer sp.End(0) // want "Span.End deferred inside a loop"
+	}
+	for i := range wins {
+		sp := b.Begin("g", trace.PhaseGen, int32(i), uint64(i), "gen")
+		defer func() { sp.End(0) }() // want "Span.End deferred inside a loop"
+	}
+	for i := range wins {
+		if i%2 == 0 {
+			sp := b.Begin("g", trace.PhaseGen, int32(i), uint64(i), "gen")
+			defer sp.End(0) // want "Span.End deferred inside a loop"
+		}
+	}
+}
+
+func loopsOK(bufs []*trace.Buf, wins []int) {
+	for i := range wins {
+		sp := bufs[0].Begin("g", trace.PhaseGen, int32(i), uint64(i), "gen")
+		sp.End(0) // ends inside the iteration
+	}
+	for i := range bufs {
+		go func(tb *trace.Buf, win int) {
+			sp := tb.Begin("g", trace.PhaseGen, int32(win), uint64(win), "gen")
+			defer sp.End(0) // scoped to this literal, ends per goroutine
+		}(bufs[i], i)
+	}
+	for range wins {
+		defer release() // deferring non-span cleanup in a loop is closecheck's concern, not ours
+	}
+}
+
+func endsOutside(b *trace.Buf) {
+	sp := b.Begin("run", trace.PhaseRun, -1, 0, "run")
+	defer sp.End(0) // function-scoped span: the idiomatic use
+	for range make([]int, 3) {
+	}
+}
+
+func release() {}

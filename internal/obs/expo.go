@@ -94,8 +94,15 @@ func (r *Registry) families() []family {
 				joinLabels(labels, `le="`+formatFloat(ub)+`"`),
 				strconv.FormatInt(counts[i], 10))
 		}
+		inf := strconv.FormatInt(counts[len(counts)-1], 10)
+		if ex, ok := h.Exemplar(); ok {
+			// OpenMetrics-style exemplar on the +Inf bucket: the trace
+			// event ID of the largest observation, linking the histogram's
+			// tail back to a concrete line in the flight trace (edgetrace).
+			inf += fmt.Sprintf(" # {trace_id=\"%016x\"} %s", ex.TraceID, formatFloat(ex.Value))
+		}
 		add(base, "histogram", base+"_bucket",
-			joinLabels(labels, `le="+Inf"`), strconv.FormatInt(counts[len(counts)-1], 10))
+			joinLabels(labels, `le="+Inf"`), inf)
 		add(base, "histogram", base+"_sum", labels, formatFloat(h.Sum()))
 		add(base, "histogram", base+"_count", labels, strconv.FormatInt(h.Count(), 10))
 	}

@@ -94,6 +94,9 @@ func (r *Registry) Uptime() time.Duration {
 
 // L builds a metric name with labels: L("x_total", "stage", "emit")
 // → `x_total{stage="emit"}`. Pairs are emitted in the order given.
+// Label values are escaped per the Prometheus text format (backslash,
+// double quote, newline), so a value like a group key or file path can
+// never break the exposition line syntax.
 func L(base string, kv ...string) string {
 	if len(kv) == 0 {
 		return base
@@ -107,11 +110,25 @@ func L(base string, kv ...string) string {
 		}
 		b.WriteString(kv[i])
 		b.WriteString(`="`)
-		b.WriteString(kv[i+1])
+		b.WriteString(escapeLabelValue(kv[i+1]))
 		b.WriteString(`"`)
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// labelEscaper implements the Prometheus text-format escaping rules for
+// label values: backslash first, then the two characters that would end
+// the value or the line.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabelValue escapes v for use inside a quoted label value. The
+// fast path (no escapable characters) returns v unchanged.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	return labelEscaper.Replace(v)
 }
 
 // splitName separates `base{labels}` into base and the label body
@@ -236,6 +253,17 @@ type Histogram struct {
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomicFloat
+
+	exMu sync.Mutex
+	ex   Exemplar
+}
+
+// Exemplar links a histogram's most extreme observation to a trace
+// event, the histogram↔trace join OpenMetrics exemplars provide: the
+// exposition shows which concrete traced event produced the tail value.
+type Exemplar struct {
+	Value   float64
+	TraceID uint64
 }
 
 // Histogram returns (creating if needed) the named histogram. A nil or
@@ -273,6 +301,36 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration folds one duration in, in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar folds one value in and, when it is the largest seen
+// so far and carries a non-zero trace event ID, records it as the
+// histogram's exemplar. Call it with the ID returned by a trace
+// Buf.Emit; a zero ID (tracing disabled) degrades to plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	h.exMu.Lock()
+	if h.ex.TraceID == 0 || v > h.ex.Value {
+		h.ex = Exemplar{Value: v, TraceID: traceID}
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the recorded exemplar; ok is false when none was
+// recorded (or on a nil histogram).
+func (h *Histogram) Exemplar() (ex Exemplar, ok bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.ex, h.ex.TraceID != 0
+}
 
 // Count returns the number of observations (0 on a nil histogram).
 func (h *Histogram) Count() int64 {

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // DefaultWorkers is the worker count used when a caller passes 0:
@@ -49,7 +50,14 @@ type Group struct {
 	wg     sync.WaitGroup
 	once   sync.Once
 	err    error
+	rec    *trace.Recorder
 }
+
+// Trace attaches a flight recorder: every GoBudget stage reports its
+// wall-clock duration to the timing sidecar, and budget expiries are
+// recorded as stall events. Call before launching stages; a nil
+// recorder leaves the group untraced.
+func (g *Group) Trace(rec *trace.Recorder) { g.rec = rec }
 
 // NewGroup returns a stage group under parent (nil means Background).
 func NewGroup(parent context.Context) *Group {
@@ -110,21 +118,34 @@ func (g *Group) GoPool(n int, worker func(ctx context.Context, i int) error, aft
 // chaos/recovery runs; long-lived streaming stages should stay
 // unbudgeted.
 func (g *Group) GoBudget(stage string, budget time.Duration, f func(ctx context.Context) error) {
-	if budget <= 0 {
-		g.Go(f)
-		return
-	}
-	g.Go(func(ctx context.Context) error {
-		sctx, cancel := context.WithTimeoutCause(ctx, budget, &StageTimeoutError{Stage: stage, Budget: budget})
-		defer cancel()
-		err := f(sctx)
-		if errors.Is(err, context.DeadlineExceeded) {
-			// The stage surfaced the raw deadline instead of the cause
-			// (e.g. a third-party call); restore attribution.
-			err = &StageTimeoutError{Stage: stage, Budget: budget}
+	run := f
+	if budget > 0 {
+		run = func(ctx context.Context) error {
+			sctx, cancel := context.WithTimeoutCause(ctx, budget, &StageTimeoutError{Stage: stage, Budget: budget})
+			defer cancel()
+			err := f(sctx)
+			if errors.Is(err, context.DeadlineExceeded) {
+				// The stage surfaced the raw deadline instead of the cause
+				// (e.g. a third-party call); restore attribution.
+				err = &StageTimeoutError{Stage: stage, Budget: budget}
+			}
+			return err
 		}
-		return err
-	})
+	}
+	if rec := g.rec; rec != nil {
+		inner := run
+		run = func(ctx context.Context) error {
+			start := time.Now()
+			err := inner(ctx)
+			rec.StageTime(stage, time.Since(start))
+			var ste *StageTimeoutError
+			if errors.As(err, &ste) {
+				rec.Stall(ste.Stage, ste.Budget)
+			}
+			return err
+		}
+	}
+	g.Go(run)
 }
 
 // StageTimeoutError reports a stage that exhausted its GoBudget
@@ -199,6 +220,14 @@ func (s *Stream[T]) Instrument(reg *obs.Registry, stage string) {
 	reg.GaugeFunc(obs.L("pipeline_queue_capacity", "stage", stage), func() float64 {
 		return float64(cap(ch))
 	})
+}
+
+// Observe registers the stream's live queue depth as a timing-sidecar
+// probe on rec (sampled by Recorder.SampleQueues) — the physical
+// counterpart of Instrument's exposition-time gauges. Nil-safe.
+func (s *Stream[T]) Observe(rec *trace.Recorder, stage string) {
+	ch := s.ch
+	rec.Probe(stage, func() int { return len(ch) })
 }
 
 // Send delivers v, blocking under backpressure; it returns the

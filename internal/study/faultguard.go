@@ -8,6 +8,7 @@ import (
 	"repro/internal/collector"
 	"repro/internal/faults"
 	"repro/internal/sample"
+	"repro/internal/trace"
 	"repro/internal/world"
 )
 
@@ -24,6 +25,15 @@ type runGuard struct {
 	inj      *faults.Injector
 	failFast bool
 	cov      faults.Coverage
+	buf      *trace.Buf
+}
+
+// trace attaches the deliver-goroutine trace buffer; filterBatch then
+// records every batch fate as events. Nil-safe on both sides.
+func (rg *runGuard) trace(b *trace.Buf) {
+	if rg != nil {
+		rg.buf = b
+	}
 }
 
 // newRunGuard binds an injector (nil yields a nil guard).
@@ -64,6 +74,12 @@ func (rg *runGuard) filterBatch(b world.Batch) ([]sample.Sample, error) {
 			rg.cov.BatchesTruncated++
 			rg.cov.SamplesLostTruncated += lost
 			rg.inj.MarkDegraded()
+			track := trace.GroupTrack(b.Group)
+			rg.buf.Emit(trace.Event{
+				Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 0,
+				Kind: trace.KFault, Stage: "batch", Value: int64(lost), Detail: f.Kind.String(),
+			})
+			rg.buf.Loss(track, trace.PhaseBatch, -1, 0, "batch", trace.LossTruncated, lost)
 		}
 		return b.Samples[:keep], nil
 	default: // BatchCorrupt, BatchFail: the whole batch is unusable.
@@ -79,6 +95,16 @@ func (rg *runGuard) filterBatch(b world.Batch) ([]sample.Sample, error) {
 			SamplesLost: len(b.Samples),
 		})
 		rg.inj.MarkDegraded()
+		track := trace.GroupTrack(b.Group)
+		rg.buf.Emit(trace.Event{
+			Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 0,
+			Kind: trace.KFault, Stage: "batch", Value: int64(len(b.Samples)), Detail: f.Kind.String(),
+		})
+		rg.buf.Emit(trace.Event{
+			Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 1,
+			Kind: trace.KQuarantine, Stage: "batch", Value: int64(len(b.Samples)), Detail: f.Kind.String(),
+		})
+		rg.buf.Loss(track, trace.PhaseBatch, -1, 0, "batch", trace.LossDropped, len(b.Samples))
 		return nil, nil
 	}
 }
@@ -99,6 +125,7 @@ type shardGuard struct {
 	policy   faults.Policy
 	qidx     map[sample.GroupKey]int
 	cov      faults.Coverage
+	buf      *trace.Buf
 }
 
 // newShardGuard builds the guard for shard i (nil runGuard yields nil).
@@ -128,6 +155,7 @@ func (sg *shardGuard) offer(ctx context.Context, s sample.Sample) error {
 	if idx, ok := sg.qidx[key]; ok {
 		sg.cov.Quarantined[idx].SamplesLost++
 		sg.cov.SamplesLostQuarantined++
+		sg.buf.Loss(key.String(), trace.PhaseIngest, -1, s.SessionID, "sink", trace.LossQuarantined, 1)
 		return nil
 	}
 	f := sg.inj.SinkFault(s)
@@ -140,12 +168,21 @@ func (sg *shardGuard) offer(ctx context.Context, s sample.Sample) error {
 		if sg.failFast {
 			return fmt.Errorf("fail-fast: %w", ferr)
 		}
-		sg.quarantine(key, "permanent sink failure")
+		sg.buf.Emit(trace.Event{
+			Track: key.String(), Phase: trace.PhaseIngest, Win: -1, Seq: s.SessionID,
+			Kind: trace.KFault, Stage: "sink", Value: 1, Detail: "sink-permanent",
+		})
+		sg.quarantine(key, "permanent sink failure", s.SessionID)
 		return nil
 	}
 	rem := f.Transient
+	sg.buf.Emit(trace.Event{
+		Track: key.String(), Phase: trace.PhaseIngest, Win: -1, Seq: s.SessionID,
+		Kind: trace.KFault, Stage: "sink", Value: int64(rem), Detail: "sink-transient",
+	})
 	p := sg.policy
 	p.OnRetry = func(int, error) { sg.cov.RetriesSpent++ }
+	p = faults.TracedPolicy(p, sg.buf, key.String(), trace.PhaseIngest, -1, s.SessionID, "sink")
 	err := faults.Retry(ctx, p, func() error {
 		if rem > 0 {
 			rem--
@@ -164,7 +201,7 @@ func (sg *shardGuard) offer(ctx context.Context, s sample.Sample) error {
 		// poison the pipeline with the cause.
 		return err
 	default:
-		sg.quarantine(key, "sink retry budget exhausted")
+		sg.quarantine(key, "sink retry budget exhausted", s.SessionID)
 		return nil
 	}
 }
@@ -172,7 +209,9 @@ func (sg *shardGuard) offer(ctx context.Context, s sample.Sample) error {
 // quarantine isolates one user group: its series leaves the store, its
 // samples count as lost, and later samples of the group are refused at
 // the guard. The run keeps going — degradation is accounted, not fatal.
-func (sg *shardGuard) quarantine(key sample.GroupKey, reason string) {
+// seq is the triggering sample's SessionID — the deterministic stream
+// coordinate the quarantine and loss events are filed under.
+func (sg *shardGuard) quarantine(key sample.GroupKey, reason string, seq uint64) {
 	lost := 1 // the triggering sample never reached the store
 	if removed := sg.store.Remove(key); removed != nil {
 		lost += removed.TotalSessions()
@@ -185,4 +224,9 @@ func (sg *shardGuard) quarantine(key sample.GroupKey, reason string) {
 		SamplesLost: lost,
 	})
 	sg.inj.MarkDegraded()
+	sg.buf.Emit(trace.Event{
+		Track: key.String(), Phase: trace.PhaseIngest, Win: -1, Seq: seq,
+		Kind: trace.KQuarantine, Stage: "sink", Value: int64(lost), Detail: reason,
+	})
+	sg.buf.Loss(key.String(), trace.PhaseIngest, -1, seq, "sink", trace.LossQuarantined, lost)
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/sample"
 	"repro/internal/segstore"
+	"repro/internal/trace"
 	"repro/internal/world"
 
 	"context"
@@ -45,6 +46,13 @@ type Options struct {
 	// predicate is identical on every path, so filtered reports agree
 	// byte for byte across formats. Ignored by generation runs.
 	Filter *segstore.Filter
+	// Trace, when non-nil, records the run's deterministic flight
+	// trace: generation spans, batch fates, sink faults and retries,
+	// quarantines, seals, and the coverage ledger summary. Tracing
+	// forces the sharded pipeline even at Workers=1 (like a fault plan
+	// does) so the trace is the same file the multi-worker run writes;
+	// the caller flushes it with Trace.WriteFile after the run.
+	Trace *trace.Recorder
 }
 
 func (o Options) workers() int {
@@ -78,11 +86,13 @@ func RunCtx(ctx context.Context, cfg world.Config, opt Options) (*Results, error
 	if inj != nil {
 		w.PoPDown = inj.Outage
 	}
+	w.Rec = opt.Trace
 
-	// Chaos runs always take the sharded path (even at workers=1): the
-	// guard and quarantine machinery live there, and the determinism
-	// oracle for a faulted run is the same plan at another worker count.
-	if workers <= 1 && rg == nil {
+	// Chaos and traced runs always take the sharded path (even at
+	// workers=1): the guard and quarantine machinery live there, and the
+	// determinism oracle for such a run is the same flags at another
+	// worker count — including the trace bytes.
+	if workers <= 1 && rg == nil && opt.Trace == nil {
 		// Sequential oracle: one goroutine end to end.
 		store := agg.NewStore()
 		store.Instrument(reg)
@@ -105,8 +115,10 @@ func RunCtx(ctx context.Context, cfg world.Config, opt Options) (*Results, error
 		return res, nil
 	}
 
-	ing := newIngest(workers, reg, rg)
+	ing := newIngest(workers, reg, rg, opt.Trace)
+	rg.trace(ing.buf)
 	g := pipeline.NewGroup(ctx)
+	g.Trace(opt.Trace)
 	ing.start(g)
 	g.Go(func(ctx context.Context) error {
 		defer ing.close()
@@ -122,7 +134,9 @@ func RunCtx(ctx context.Context, cfg world.Config, opt Options) (*Results, error
 		return nil, err
 	}
 	store, stats := ing.merge()
-	res := &Results{Cfg: w.Cfg, Collector: stats, Overview: ing.overview, Store: store, Coverage: ing.coverage(rg)}
+	cov := ing.coverage(rg)
+	ing.traceFinish(store, cov)
+	res := &Results{Cfg: w.Cfg, Collector: stats, Overview: ing.overview, Store: store, Coverage: cov}
 	res.analyseConcurrent(ctx, reg, workers)
 	res.Elapsed = elapsedSince(start)
 	return res, nil
@@ -140,7 +154,7 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 	inj := faults.NewInjector(opt.Plan, 0)
 	inj.Instrument(reg)
 	rg := newRunGuard(inj, opt.FailFast)
-	if workers <= 1 && rg == nil {
+	if workers <= 1 && rg == nil && opt.Trace == nil {
 		return FromSamplesOpt(sample.NewReader(r), opt)
 	}
 
@@ -164,12 +178,16 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 	// Replayed datasets have no generator, so only the sink surface (and
 	// shard timing chaos) applies: line batches are not group batches,
 	// and batch-level fates would not be comparable across worker counts.
-	ing := newIngest(workers, reg, rg)
+	ing := newIngest(workers, reg, rg, opt.Trace)
+	rg.trace(ing.buf)
 	g := pipeline.NewGroup(ctx)
+	g.Trace(opt.Trace)
 	lines := pipeline.NewStream[*lineBatch](workers * 2)
 	lines.Instrument(reg, "decode")
+	lines.Observe(opt.Trace, "decode")
 	decoded := pipeline.NewStream[decBatch](workers * 2)
 	decoded.Instrument(reg, "reorder")
+	decoded.Observe(opt.Trace, "reorder")
 	readSpan := reg.Span(obs.L("study_stage_seconds", "stage", "read"), "study")
 	cSamples := reg.Counter("study_samples_read_total")
 
@@ -246,6 +264,8 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 		return nil, err
 	}
 	store, stats := ing.merge()
+	cov := ing.coverage(rg)
+	ing.traceFinish(store, cov)
 	days := (store.TotalWindows + world.WindowsPerDay - 1) / world.WindowsPerDay
 	if days < 1 {
 		days = 1
@@ -255,7 +275,7 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 		Collector: stats,
 		Overview:  ing.overview,
 		Store:     store,
-		Coverage:  ing.coverage(rg),
+		Coverage:  cov,
 	}
 	// The inferred config must report the true window count.
 	res.Cfg.SessionsPerGroupWindow = float64(store.TotalSamples) / float64(max(1, store.Len()*store.TotalWindows))
@@ -276,6 +296,10 @@ type ingest struct {
 	overview *analysis.Overview
 	foldSpan *obs.SpanTimer
 	inj      *faults.Injector
+	rec      *trace.Recorder
+	buf      *trace.Buf // owned by the ordered deliver goroutine
+	feedHist *obs.Histogram
+	feedN    uint64
 }
 
 type ingestShard struct {
@@ -286,12 +310,15 @@ type ingestShard struct {
 	guard  *shardGuard
 }
 
-func newIngest(shards int, reg *obs.Registry, rg *runGuard) *ingest {
+func newIngest(shards int, reg *obs.Registry, rg *runGuard, rec *trace.Recorder) *ingest {
 	ov := analysis.NewOverview()
 	ov.Instrument(reg)
 	in := &ingest{
 		overview: ov,
 		foldSpan: reg.Span(obs.L("study_stage_seconds", "stage", "overview_fold"), "study"),
+		rec:      rec,
+		buf:      rec.Buf(),
+		feedHist: reg.Histogram("study_feed_batch_samples", []float64{1, 8, 64, 256, 1024, 4096, 16384}),
 	}
 	if rg != nil {
 		in.inj = rg.inj
@@ -308,7 +335,13 @@ func newIngest(shards int, reg *obs.Registry, rg *runGuard) *ingest {
 			span:   reg.Span(obs.L("study_stage_seconds", "stage", "agg_shard"), "study"),
 			guard:  rg.newShardGuard(i, col, st),
 		}
+		if sh.guard != nil {
+			// Each shard worker owns its guard, so each guard gets its own
+			// single-owner ring; flush sorts all rings canonically.
+			sh.guard.buf = rec.Buf()
+		}
 		sh.stream.Instrument(reg, fmt.Sprintf("agg_shard_%d", i))
+		sh.stream.Observe(rec, fmt.Sprintf("agg_shard_%d", i))
 		in.shards = append(in.shards, sh)
 	}
 	return in
@@ -363,6 +396,21 @@ func (in *ingest) feed(ctx context.Context, samples []sample.Sample) error {
 	if len(samples) == 0 {
 		return nil
 	}
+	if in.buf != nil {
+		// One mark per delivered batch on the run track. feed runs on the
+		// ordered deliver goroutine, so feedN is a deterministic stream
+		// position; the event ID doubles as the histogram exemplar,
+		// linking the exposition's tail bucket back to a trace line.
+		id := in.buf.Emit(trace.Event{
+			Track: trace.TrackRun, Phase: trace.PhaseIngest, Win: -1, Seq: in.feedN,
+			Kind: trace.KMark, Stage: "feed", Value: int64(len(samples)),
+		})
+		in.feedHist.ObserveExemplar(float64(len(samples)), id)
+		if in.feedN%64 == 0 {
+			in.rec.SampleQueues()
+		}
+		in.feedN++
+	}
 	sp := in.foldSpan.Start()
 	for i := range samples {
 		if samples[i].HostingProvider {
@@ -404,6 +452,25 @@ func (in *ingest) merge() (*agg.Store, collector.Stats) {
 		stats = stats.Merge(sh.col.Stats())
 	}
 	return store, stats
+}
+
+// traceFinish emits the run's closing events after Wait: one seal per
+// surviving group series (value = its session count, the weight the
+// critical-path extraction sums) and the finalized coverage ledger on
+// the run track. Runs on the caller's goroutine, after every stage has
+// returned, so buffer ownership is unambiguous. No-op when untraced.
+func (in *ingest) traceFinish(store *agg.Store, cov *faults.Coverage) {
+	if in.buf == nil {
+		return
+	}
+	for _, gs := range store.Groups() {
+		in.buf.Emit(trace.Event{
+			Track: gs.Key.String(), Phase: trace.PhaseSeal, Win: -1, Seq: 0,
+			Kind: trace.KSeal, Stage: "seal", Value: int64(gs.TotalSessions()),
+		})
+	}
+	cov.EmitTrace(in.buf)
+	in.rec.SampleQueues()
 }
 
 // coverage reduces the degradation ledgers — the batch-level ledger

@@ -44,7 +44,7 @@ func FromSegments(ctx context.Context, dir string, opt Options) (res *Results, e
 	var overview *analysis.Overview
 	var coverage *faults.Coverage
 
-	if workers <= 1 && rg == nil {
+	if workers <= 1 && rg == nil && opt.Trace == nil {
 		// Sequential oracle: one goroutine end to end.
 		store = agg.NewStore()
 		store.Instrument(reg)
@@ -67,8 +67,10 @@ func FromSegments(ctx context.Context, dir string, opt Options) (res *Results, e
 		stats = col.Stats()
 	} else {
 		// Sharded path: the scanner's ordered emit is the feed stage.
-		ing := newIngest(workers, reg, rg)
+		ing := newIngest(workers, reg, rg, opt.Trace)
+		rg.trace(ing.buf)
 		g := pipeline.NewGroup(ctx)
+		g.Trace(opt.Trace)
 		ing.start(g)
 		g.Go(func(ctx context.Context) error {
 			defer ing.close()
@@ -82,6 +84,7 @@ func FromSegments(ctx context.Context, dir string, opt Options) (res *Results, e
 		store, stats = ing.merge()
 		overview = ing.overview
 		coverage = ing.coverage(rg)
+		ing.traceFinish(store, coverage)
 	}
 
 	days := (store.TotalWindows + world.WindowsPerDay - 1) / world.WindowsPerDay

@@ -1,0 +1,120 @@
+package study
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+// traceSpec is chaos across every fault surface — the hardest setting
+// for trace determinism, because events come from batch fates, sink
+// retries, quarantines, and outage windows at once.
+const traceSpec = "seed=7;sink-transient=0.004;sink-permanent=0.0004;truncate=0.15;corrupt=0.05;" +
+	"fail-group=3;outage=gru:20-40;delay=0.2;delay-max=300us;retries=4;retry-base=50us"
+
+// traceRun runs the generation study traced and returns the
+// deterministic trace bytes plus the results.
+func traceRun(t *testing.T, workers int, plan *faults.Plan) ([]byte, *Results) {
+	t.Helper()
+	cfg := detCfg()
+	rec := trace.New(cfg.Seed)
+	// Quarantine follow-ups emit one loss event per refused sample, so a
+	// chaos run outgrows the default flight-recorder ring; goldens need
+	// zero drops, so give the ring headroom.
+	rec.SetBufCap(1 << 17)
+	res, err := RunCtx(context.Background(), cfg, Options{Workers: workers, Plan: plan, Trace: rec})
+	if err != nil {
+		t.Fatalf("RunCtx(workers=%d): %v", workers, err)
+	}
+	var b bytes.Buffer
+	if err := rec.Flush(&b); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("workers=%d: ring overwrote %d events; raise the buffer for this workload", workers, rec.Dropped())
+	}
+	return b.Bytes(), res
+}
+
+// The PR's tentpole guarantee: the trace file is byte-identical at any
+// worker count, with and without a fault plan — same events, same
+// order, same IDs — because every coordinate in it is logical, never
+// physical.
+func TestTraceBytesWorkerInvariant(t *testing.T) {
+	for _, plan := range []*faults.Plan{nil, mustPlan(t, traceSpec)} {
+		name := "plain"
+		if plan != nil {
+			name = "chaos"
+		}
+		t.Run(name, func(t *testing.T) {
+			want, wantRes := traceRun(t, 1, plan)
+			if len(want) == 0 {
+				t.Fatal("empty trace")
+			}
+			for _, workers := range []int{2, 4} {
+				got, res := traceRun(t, workers, plan)
+				if !bytes.Equal(got, want) {
+					t.Errorf("trace bytes differ between workers=1 and workers=%d", workers)
+				}
+				if a, b := renderNormalized(t, wantRes), renderNormalized(t, res); !bytes.Equal(a, b) {
+					t.Errorf("traced report differs between workers=1 and workers=%d", workers)
+				}
+			}
+		})
+	}
+}
+
+// The trace must tell the same degradation story as the coverage
+// ledger: per-group loss events, partitioned by cause, sum exactly to
+// the ledger's counters — the reconciliation edgetrace causes enforces.
+func TestTraceCausesReconcileWithLedger(t *testing.T) {
+	raw, res := traceRun(t, 4, mustPlan(t, traceSpec))
+	f, err := trace.Parse(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rep := trace.Causes(f)
+	if !rep.Reconciled() {
+		for _, c := range rep.Checks {
+			if !c.OK() {
+				t.Errorf("cause %q: traced %d, ledger %d", c.Loss, c.Traced, c.Ledger)
+			}
+		}
+		t.Fatal("trace cause totals do not reconcile with the coverage ledger")
+	}
+	cov := res.Coverage
+	if cov == nil {
+		t.Fatal("chaos run returned no coverage ledger")
+	}
+	wantSender := int64(cov.SamplesLostOutage)
+	wantNetwork := int64(cov.SamplesLostTruncated + cov.SamplesLostDropped)
+	wantReceiver := int64(cov.SamplesLostQuarantined)
+	if rep.Sender != wantSender || rep.Network != wantNetwork || rep.Receiver != wantReceiver {
+		t.Fatalf("cause buckets = sender %d / network %d / receiver %d, ledger wants %d / %d / %d",
+			rep.Sender, rep.Network, rep.Receiver, wantSender, wantNetwork, wantReceiver)
+	}
+	if rep.Retries != int64(cov.RetriesSpent) || rep.Recovered != int64(cov.TransientRecovered) {
+		t.Fatalf("retries/recovered = %d/%d, ledger wants %d/%d",
+			rep.Retries, rep.Recovered, cov.RetriesSpent, cov.TransientRecovered)
+	}
+	if cov.SamplesLost() > 0 && rep.Sender+rep.Network+rep.Receiver == 0 {
+		t.Fatal("ledger shows loss but the trace attributes none")
+	}
+}
+
+// A traced run must not change one byte of the report relative to the
+// untraced run — tracing observes the pipeline, never steers it.
+func TestTracingDoesNotChangeReport(t *testing.T) {
+	cfg := detCfg()
+	plain, err := RunCtx(context.Background(), cfg, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("untraced run: %v", err)
+	}
+	_, traced := traceRun(t, 4, nil)
+	if a, b := renderNormalized(t, plain), renderNormalized(t, traced); !bytes.Equal(a, b) {
+		t.Fatal("tracing changed the rendered report")
+	}
+}

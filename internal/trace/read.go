@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// File is a parsed trace file.
+type File struct {
+	// Base is the run's event-ID base from the header.
+	Base uint64
+	// Dropped is the header's ring-overwrite count; non-zero voids the
+	// byte-identity guarantee and edgetrace warns.
+	Dropped int64
+	// Events in file (canonical) order.
+	Events []Event
+}
+
+// rawEvent mirrors the JSONL record layout.
+type rawEvent struct {
+	Track  string `json:"t"`
+	Phase  uint8  `json:"p"`
+	Win    int32  `json:"w"`
+	Seq    uint64 `json:"q"`
+	Kind   string `json:"k"`
+	Stage  string `json:"s"`
+	Value  int64  `json:"v"`
+	Detail string `json:"d"`
+	ID     string `json:"id"`
+}
+
+type rawHeader struct {
+	Trace   string `json:"trace"`
+	Base    string `json:"base"`
+	Dropped int64  `json:"dropped"`
+}
+
+// Parse reads a trace file from r.
+func Parse(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty file")
+	}
+	var hdr rawHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("trace: bad header: %w", err)
+	}
+	if hdr.Trace != Header {
+		return nil, fmt.Errorf("trace: not a %s file (header %q)", Header, hdr.Trace)
+	}
+	f := &File{Dropped: hdr.Dropped}
+	if hdr.Base != "" {
+		b, err := strconv.ParseUint(hdr.Base, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad base %q: %w", hdr.Base, err)
+		}
+		f.Base = b
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		var re rawEvent
+		if err := json.Unmarshal(sc.Bytes(), &re); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		k, ok := kindByName[re.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, re.Kind)
+		}
+		f.Events = append(f.Events, Event{
+			Track: re.Track, Phase: re.Phase, Win: re.Win, Seq: re.Seq,
+			Kind: k, Stage: re.Stage, Value: re.Value, Detail: re.Detail,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ParseFile parses the trace file at path.
+func ParseFile(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	f, err := Parse(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/edgefabric"
 	"repro/internal/geo"
 	"repro/internal/rng"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -30,6 +31,12 @@ type World struct {
 	// must be pure functions of (pop, win) so the dataset stays
 	// deterministic at any worker count.
 	PoPDown func(pop string, win int) bool
+
+	// Rec, when non-nil, receives deterministic trace events from
+	// generation: a span per group, a mark per window, and loss/fault
+	// events for outage-suppressed windows. Set before generation
+	// starts; each generation goroutine draws its own buffer.
+	Rec *trace.Recorder
 
 	mapper *cartographer.Mapper
 	pinner edgefabric.Pinner

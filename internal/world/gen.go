@@ -12,6 +12,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/sample"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -80,17 +81,20 @@ func (w *World) GenerateCtx(ctx context.Context, workers int, emit func(sample.S
 // pipeline). Group simulation runs on up to workers goroutines; each
 // group's RNG lineage is independent (rng.ChildAt per group), so the
 // batch contents are identical at any worker count — ordered delivery
-// then makes the whole stream identical.
+// then makes the whole stream identical. When W.Rec is set, each
+// worker goroutine owns one trace buffer; the events a group emits are
+// identical whichever worker simulates it.
 func (w *World) GenerateBatches(ctx context.Context, workers int, deliver func(Batch) error) error {
 	if workers > len(w.Groups) {
 		workers = len(w.Groups)
 	}
 	if workers <= 1 {
+		buf := w.Rec.Buf()
 		for i := range w.Groups {
 			if err := ctx.Err(); err != nil {
 				return context.Cause(ctx)
 			}
-			if err := deliver(w.generateBatch(i)); err != nil {
+			if err := deliver(w.generateBatch(i, buf)); err != nil {
 				return err
 			}
 		}
@@ -106,11 +110,12 @@ func (w *World) GenerateBatches(ctx context.Context, workers int, deliver func(B
 	g := pipeline.NewGroup(ctx)
 	out := pipeline.NewStream[Batch](workers)
 	g.GoPool(workers, func(ctx context.Context, _ int) error {
+		buf := w.Rec.Buf()
 		for i := range idx {
 			if err := ctx.Err(); err != nil {
 				return context.Cause(ctx)
 			}
-			if err := out.Send(ctx, w.generateBatch(i)); err != nil {
+			if err := out.Send(ctx, w.generateBatch(i, buf)); err != nil {
 				return err
 			}
 		}
@@ -131,11 +136,12 @@ func (w *World) GenerateBatchesUnordered(ctx context.Context, workers int, handl
 		workers = len(w.Groups)
 	}
 	if workers <= 1 {
+		buf := w.Rec.Buf()
 		for i := range w.Groups {
 			if err := ctx.Err(); err != nil {
 				return context.Cause(ctx)
 			}
-			if err := handle(w.generateBatch(i)); err != nil {
+			if err := handle(w.generateBatch(i, buf)); err != nil {
 				return err
 			}
 		}
@@ -148,11 +154,12 @@ func (w *World) GenerateBatchesUnordered(ctx context.Context, workers int, handl
 	close(idx)
 	g := pipeline.NewGroup(ctx)
 	g.GoPool(workers, func(ctx context.Context, _ int) error {
+		buf := w.Rec.Buf()
 		for i := range idx {
 			if err := ctx.Err(); err != nil {
 				return context.Cause(ctx)
 			}
-			if err := handle(w.generateBatch(i)); err != nil {
+			if err := handle(w.generateBatch(i, buf)); err != nil {
 				return err
 			}
 		}
@@ -172,11 +179,12 @@ func (w *World) GenerateSelected(ctx context.Context, workers int, groups []int,
 		workers = len(groups)
 	}
 	if workers <= 1 {
+		buf := w.Rec.Buf()
 		for o, i := range groups {
 			if err := ctx.Err(); err != nil {
 				return context.Cause(ctx)
 			}
-			if err := handle(o, w.generateBatch(i)); err != nil {
+			if err := handle(o, w.generateBatch(i, buf)); err != nil {
 				return err
 			}
 		}
@@ -190,11 +198,12 @@ func (w *World) GenerateSelected(ctx context.Context, workers int, groups []int,
 	close(idx)
 	g := pipeline.NewGroup(ctx)
 	g.GoPool(workers, func(ctx context.Context, _ int) error {
+		buf := w.Rec.Buf()
 		for j := range idx {
 			if err := ctx.Err(); err != nil {
 				return context.Cause(ctx)
 			}
-			if err := handle(j.order, w.generateBatch(j.group)); err != nil {
+			if err := handle(j.order, w.generateBatch(j.group, buf)); err != nil {
 				return err
 			}
 		}
@@ -204,10 +213,10 @@ func (w *World) GenerateSelected(ctx context.Context, workers int, groups []int,
 }
 
 // generateBatch simulates one group under the generation span.
-func (w *World) generateBatch(i int) Batch {
+func (w *World) generateBatch(i int, tb *trace.Buf) Batch {
 	sp := w.obs.genStage.Start()
 	var buf []sample.Sample
-	lost := w.GenerateGroup(i, func(s sample.Sample) { buf = append(buf, s) })
+	lost := w.generateGroup(i, tb, func(s sample.Sample) { buf = append(buf, s) })
 	sp.End()
 	return Batch{Group: i, Samples: buf, Lost: lost}
 }
@@ -224,23 +233,44 @@ func (w *World) GenerateAll() []sample.Sample {
 // and returns the number of sessions suppressed by PoP outages
 // (World.PoPDown), 0 when no outage machinery is installed.
 func (w *World) GenerateGroup(groupIdx int, emit func(sample.Sample)) int {
+	return w.generateGroup(groupIdx, nil, emit)
+}
+
+// generateGroup is GenerateGroup with trace emission: one generation
+// span per group, one window mark per window, and loss/fault events
+// for outage-suppressed windows. Every coordinate is logical (group
+// index, window index), so the events are identical at any worker
+// count.
+func (w *World) generateGroup(groupIdx int, tb *trace.Buf, emit func(sample.Sample)) int {
 	g := w.Groups[groupIdx]
 	r := rng.ChildAt(w.Cfg.Seed, "traffic", groupIdx)
 	gen := workload.NewGenerator(r.Child("workload"), workload.Config{})
+	track := trace.GroupTrack(groupIdx)
+	tsp := tb.Begin(track, trace.PhaseGen, -1, 0, "generate")
 	seq := uint64(0)
-	lost := 0
+	lost, emitted := 0, 0
 	for win := 0; win < w.Cfg.Windows(); win++ {
-		lost += w.generateWindow(g, uint64(groupIdx), win, r, gen, &seq, emit)
+		wl, wn := w.generateWindow(g, uint64(groupIdx), win, r, gen, &seq, emit)
+		lost += wl
+		emitted += wn
+		tb.Emit(trace.Event{Track: track, Phase: trace.PhaseGen, Win: int32(win), Seq: uint64(win),
+			Kind: trace.KMark, Stage: "window", Value: int64(wn)})
+		if wl > 0 {
+			tb.Emit(trace.Event{Track: track, Phase: trace.PhaseGen, Win: int32(win), Seq: uint64(win),
+				Kind: trace.KFault, Stage: "generate", Value: int64(wl), Detail: "pop-outage"})
+			tb.Loss(track, trace.PhaseGen, int32(win), uint64(win), "generate", trace.LossOutage, wl)
+		}
 		w.obs.windows.Inc()
 	}
+	tsp.End(int64(emitted))
 	w.obs.groups.Inc()
 	return lost
 }
 
 // generateWindow produces the samples for one group × window and
-// returns the sessions lost to a PoP outage (0 normally).
+// returns (sessions lost to a PoP outage, sessions emitted).
 func (w *World) generateWindow(g *Group, groupIdx uint64, win int, r *rng.RNG,
-	gen *workload.Generator, seq *uint64, emit func(sample.Sample)) int {
+	gen *workload.Generator, seq *uint64, emit func(sample.Sample)) (int, int) {
 
 	hour := (win / 4) % 24
 	mean := w.Cfg.SessionsPerGroupWindow * g.Weight * activity(hour, g.ActivityPeakUTC)
@@ -280,9 +310,9 @@ func (w *World) generateWindow(g *Group, groupIdx uint64, win int, r *rng.RNG,
 		emit(s)
 	}
 	if down {
-		return n
+		return n, 0
 	}
-	return 0
+	return 0, n
 }
 
 // generateSession runs one sampled session through the transfer model
