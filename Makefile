@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build race test chaos seg-race trace-race fuzz-smoke bench-obs bench-pipeline bench-retry bench bench-segstore bench-trace
+.PHONY: check vet lint build race test chaos seg-race trace-race colagg-race fuzz-smoke bench-obs bench-pipeline bench-retry bench bench-segstore bench-trace bench-colagg
 
-check: vet lint build race test chaos seg-race trace-race
+check: vet lint build race test chaos seg-race trace-race colagg-race
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +65,20 @@ trace-race:
 	$(GO) run ./cmd/edgetrace causes .trace-race/w4.trace > /dev/null
 	rm -rf .trace-race
 
+# The columnar-aggregation identity, live under the race detector: the
+# same seg dataset analysed through the batch hot path (ScanColumns ->
+# AddBatch, 4 shard workers) and through the row oracle (-row-oracle,
+# sequential) must render byte-identical reports. Only the wall-clock
+# line differs between runs, so it is stripped before cmp.
+colagg-race:
+	rm -rf .colagg-race
+	mkdir -p .colagg-race
+	$(GO) run -race ./cmd/edgesim -seed 3 -groups 8 -days 2 -spw 12 -workers 4 -format seg -o .colagg-race/ds
+	$(GO) run -race ./cmd/edgereport -in .colagg-race/ds -workers 4 | grep -v '^Generated and analysed' > .colagg-race/batch.txt
+	$(GO) run -race ./cmd/edgereport -in .colagg-race/ds -row-oracle -workers 1 | grep -v '^Generated and analysed' > .colagg-race/rows.txt
+	cmp .colagg-race/batch.txt .colagg-race/rows.txt
+	rm -rf .colagg-race
+
 # A short burst on each fuzz target; the invariants live next to the
 # targets (tdigest merge structure, hdratio classification ranges,
 # segment decode never panics on hostile bytes).
@@ -99,6 +113,12 @@ bench-segstore:
 # the bar is <5% and zero allocations per event).
 bench-trace:
 	$(GO) test -run '^$$' -bench BenchmarkTraceOverhead -benchmem -count 5 ./internal/trace/
+
+# Batch-path aggregation vs the row oracle over the same seg corpus
+# (EXPERIMENTS.md and BENCH_colagg.json record samples/s and the
+# allocation delta).
+bench-colagg:
+	$(GO) test -run '^$$' -bench 'BenchmarkColagg(Rows|Batches)$$' -benchmem -benchtime 10x -count 2 ./internal/study/
 
 bench:
 	$(GO) test -bench . -benchmem

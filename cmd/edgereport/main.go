@@ -116,6 +116,7 @@ func main() {
 		faultPlan   = flag.String("fault-plan", "", "deterministic fault-injection plan (key=value;... — see internal/faults; '' or 'none' disables)")
 		failFast    = flag.Bool("fail-fast", false, "abort on the first unrecoverable injected fault instead of degrading")
 		tracePath   = flag.String("trace", "", "record a deterministic flight trace of the study to this file (timing sidecar lands next to it); inspect with edgetrace")
+		rowOracle   = flag.Bool("row-oracle", false, "with a seg -in: aggregate row-at-a-time instead of the columnar batch path (verification oracle; the report must be byte-identical)")
 	)
 	flag.Parse()
 
@@ -174,7 +175,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edgereport: trace written to %s%s\n", *tracePath, note)
 	}
 
-	opt := study.Options{Workers: *workers, Reg: reg, Plan: plan, FailFast: *failFast, Filter: filter, Trace: rec}
+	opt := study.Options{Workers: *workers, Reg: reg, Plan: plan, FailFast: *failFast, Filter: filter, Trace: rec, RowOracle: *rowOracle}
 	var res *study.Results
 	var deagResult *struct {
 		covLoss, varRed float64

@@ -61,10 +61,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("edgestat: %v", err)
 		}
-		err = r.Scan(context.Background(), 1, filter, func(rows []sample.Sample) error {
-			for i := range rows {
-				col.Offer(rows[i])
-			}
+		// Segment batches feed the store's columnar fold directly — the
+		// roll-up never materializes row structs (the JSONL branch below
+		// stays row-at-a-time; both aggregate identically).
+		col.AddColumnSink(collector.StoreColumnSink(store))
+		err = r.ScanColumns(context.Background(), 1, filter, func(b *segstore.ColumnBatch) error {
+			col.OfferColumns(b)
+			b.Release()
 			return col.Err()
 		})
 		if cerr := r.Close(); err == nil {

@@ -154,6 +154,14 @@ type Store struct {
 	TotalWindows int
 	// TotalSamples counts samples aggregated.
 	TotalSamples int
+	// firstWindow is the lowest window index seen, -1 while empty. Like
+	// TotalWindows it describes the observation period, so Remove leaves
+	// it untouched.
+	firstWindow int
+
+	// bs is the AddBatch gather scratch (see columns.go) — reused across
+	// batches; a store is single-goroutine during ingest.
+	bs batchScratch
 
 	// Pre-resolved obs handles; nil (no-op) until Instrument is called.
 	cWindows    *obs.Counter
@@ -163,7 +171,19 @@ type Store struct {
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{groups: make(map[sample.GroupKey]*GroupSeries)}
+	return &Store{groups: make(map[sample.GroupKey]*GroupSeries), firstWindow: -1}
+}
+
+// FirstWindow returns the lowest window index seen, 0 when empty. With
+// TotalWindows it bounds the actually-covered window range — the
+// difference is what a time-filtered run's day count must be inferred
+// from, since a -from filter prunes the leading windows and rounding
+// TotalWindows alone would overcount days.
+func (st *Store) FirstWindow() int {
+	if st.firstWindow < 0 {
+		return 0
+	}
+	return st.firstWindow
 }
 
 // Instrument registers aggregation metrics on reg: (group, window)
@@ -218,6 +238,9 @@ func (st *Store) Add(s sample.Sample) {
 	if win+1 > st.TotalWindows {
 		st.TotalWindows = win + 1
 	}
+	if st.firstWindow < 0 || win < st.firstWindow {
+		st.firstWindow = win
+	}
 	st.TotalSamples++
 }
 
@@ -262,6 +285,9 @@ func (st *Store) Merge(other *Store) {
 	}
 	if other.TotalWindows > st.TotalWindows {
 		st.TotalWindows = other.TotalWindows
+	}
+	if other.firstWindow >= 0 && (st.firstWindow < 0 || other.firstWindow < st.firstWindow) {
+		st.firstWindow = other.firstWindow
 	}
 	st.TotalSamples += other.TotalSamples
 	st.gGroups.Set(float64(len(st.groups)))

@@ -1,0 +1,193 @@
+package agg
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sample"
+	"repro/internal/segstore"
+	"repro/internal/tdigest"
+	"repro/internal/world"
+)
+
+func digestsEqual(t *testing.T, what string, a, b *tdigest.TDigest) {
+	t.Helper()
+	if a.Count() != b.Count() {
+		t.Fatalf("%s: Count %v != %v", what, a.Count(), b.Count())
+	}
+	if a.Count() > 0 && (a.Min() != b.Min() || a.Max() != b.Max()) {
+		t.Fatalf("%s: bounds (%v,%v) != (%v,%v)", what, a.Min(), a.Max(), b.Min(), b.Max())
+	}
+	am, aw := a.Centroids()
+	bm, bw := b.Centroids()
+	if len(am) != len(bm) {
+		t.Fatalf("%s: %d centroids != %d — insertion order or flush points diverged", what, len(am), len(bm))
+	}
+	for i := range am {
+		if am[i] != bm[i] || aw[i] != bw[i] {
+			t.Fatalf("%s: centroid %d (%v,%v) != (%v,%v)", what, i, am[i], aw[i], bm[i], bw[i])
+		}
+	}
+}
+
+// storesEqual walks every cell of both stores demanding bit-identical
+// state — the contract that makes columnar reports byte-identical to
+// the row oracle's.
+func storesEqual(t *testing.T, batch, row *Store) {
+	t.Helper()
+	if batch.TotalSamples != row.TotalSamples || batch.TotalWindows != row.TotalWindows {
+		t.Fatalf("totals (%d, %d) != (%d, %d)", batch.TotalSamples, batch.TotalWindows, row.TotalSamples, row.TotalWindows)
+	}
+	if batch.FirstWindow() != row.FirstWindow() {
+		t.Fatalf("FirstWindow %d != %d", batch.FirstWindow(), row.FirstWindow())
+	}
+	if batch.Len() != row.Len() {
+		t.Fatalf("groups %d != %d", batch.Len(), row.Len())
+	}
+	bg, rg := batch.Groups(), row.Groups()
+	for i := range rg {
+		b, r := bg[i], rg[i]
+		if b.Key != r.Key || b.Continent != r.Continent || b.ClientAS != r.ClientAS {
+			t.Fatalf("group %d identity (%v, %v, %d) != (%v, %v, %d)", i, b.Key, b.Continent, b.ClientAS, r.Key, r.Continent, r.ClientAS)
+		}
+		if b.PreferredBytes != r.PreferredBytes {
+			t.Fatalf("group %v PreferredBytes %d != %d", r.Key, b.PreferredBytes, r.PreferredBytes)
+		}
+		if len(b.RouteMeta) != len(r.RouteMeta) {
+			t.Fatalf("group %v has %d routes, want %d", r.Key, len(b.RouteMeta), len(r.RouteMeta))
+		}
+		for alt, rm := range r.RouteMeta {
+			if b.RouteMeta[alt] != rm {
+				t.Fatalf("group %v route %d meta %+v != %+v — first-seen order diverged", r.Key, alt, b.RouteMeta[alt], rm)
+			}
+		}
+		if len(b.Windows) != len(r.Windows) {
+			t.Fatalf("group %v has %d windows, want %d", r.Key, len(b.Windows), len(r.Windows))
+		}
+		for win, rwa := range r.Windows {
+			bwa := b.Windows[win]
+			if bwa == nil || len(bwa.Routes) != len(rwa.Routes) {
+				t.Fatalf("group %v window %d routes differ", r.Key, win)
+			}
+			for alt, ra := range rwa.Routes {
+				ba := bwa.Routes[alt]
+				if ba == nil || ba.Sessions != ra.Sessions || ba.Bytes != ra.Bytes {
+					t.Fatalf("group %v win %d route %d sessions/bytes differ", r.Key, win, alt)
+				}
+				cell := r.Key.String()
+				digestsEqual(t, cell+" MinRTT", ba.MinRTT, ra.MinRTT)
+				digestsEqual(t, cell+" HD", ba.HD, ra.HD)
+				digestsEqual(t, cell+" SimpleHD", ba.SimpleHD, ra.SimpleHD)
+			}
+		}
+	}
+}
+
+// AddBatch over encode/decode round-tripped chunks must leave the store
+// bit-identical to Add over the same rows — across random chunk sizes,
+// which exercises both the single-cell fast path (chunks inside one
+// group×window) and the general run-dispatch path.
+func TestAddBatchMatchesAddLoop(t *testing.T) {
+	w := world.New(world.Config{Seed: 19, Groups: 8, Days: 1, SessionsPerGroupWindow: 5})
+	rows := w.GenerateAll()
+	if len(rows) == 0 {
+		t.Fatal("no samples generated")
+	}
+
+	rowStore := NewStore()
+	for _, s := range rows {
+		rowStore.Add(s)
+	}
+
+	for trial, chunk := range []int{len(rows), 1, 7, 250} {
+		batchStore := NewStore()
+		r := rng.ChildAt(5, "chunks", trial)
+		for lo := 0; lo < len(rows); {
+			hi := lo + 1 + r.IntN(chunk)
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			blob, _ := segstore.EncodeSegment(rows[lo:hi])
+			b, err := segstore.DecodeSegmentColumns(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchStore.AddBatch(b)
+			lo = hi
+		}
+		storesEqual(t, batchStore, rowStore)
+	}
+}
+
+// The obs counters (digest adds, window cells, group gauge) must count
+// identically on both currencies — the metrics surface is part of the
+// determinism contract the chaos tests compare.
+func TestAddBatchCountersMatch(t *testing.T) {
+	w := world.New(world.Config{Seed: 23, Groups: 3, Days: 1, SessionsPerGroupWindow: 4})
+	rows := w.GenerateAll()
+	rowReg, batchReg := obs.NewRegistry(), obs.NewRegistry()
+	rowStore, batchStore := NewStore(), NewStore()
+	rowStore.Instrument(rowReg)
+	batchStore.Instrument(batchReg)
+	for _, s := range rows {
+		rowStore.Add(s)
+	}
+	blob, _ := segstore.EncodeSegment(rows)
+	b, err := segstore.DecodeSegmentColumns(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchStore.AddBatch(b)
+	storesEqual(t, batchStore, rowStore)
+	for _, name := range []string{"agg_digest_adds_total", "agg_window_cells_total"} {
+		if got, want := batchReg.Counter(name).Value(), rowReg.Counter(name).Value(); got != want {
+			t.Fatalf("%s: %d != %d", name, got, want)
+		}
+	}
+}
+
+// FirstWindow tracks the lowest window ever added, on both currencies,
+// and survives Merge.
+func TestFirstWindowTracking(t *testing.T) {
+	st := NewStore()
+	if st.FirstWindow() != 0 {
+		t.Fatalf("empty store FirstWindow = %d, want 0", st.FirstWindow())
+	}
+	s := sample.Sample{PoP: "a", Prefix: "10.0.0.0/24", Country: "XX", MinRTT: time.Millisecond, Start: 7 * WindowDuration}
+	st.Add(s)
+	if st.FirstWindow() != 7 || st.TotalWindows != 8 {
+		t.Fatalf("FirstWindow/TotalWindows = %d/%d, want 7/8", st.FirstWindow(), st.TotalWindows)
+	}
+	s.Start = 3 * WindowDuration
+	st.Add(s)
+	if st.FirstWindow() != 3 {
+		t.Fatalf("FirstWindow = %d after earlier add, want 3", st.FirstWindow())
+	}
+
+	other := NewStore()
+	s.Start = 1 * WindowDuration
+	other.Add(s)
+	st.Merge(other)
+	if st.FirstWindow() != 1 {
+		t.Fatalf("FirstWindow = %d after merge, want 1", st.FirstWindow())
+	}
+	empty := NewStore()
+	st.Merge(empty)
+	if st.FirstWindow() != 1 {
+		t.Fatalf("FirstWindow = %d after empty merge, want 1", st.FirstWindow())
+	}
+
+	// Batch currency agrees.
+	blob, _ := segstore.EncodeSegment([]sample.Sample{{PoP: "a", Prefix: "10.0.0.0/24", Country: "XX", MinRTT: time.Millisecond, Start: 5 * WindowDuration}})
+	b, err := segstore.DecodeSegmentColumns(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bst := NewStore()
+	bst.AddBatch(b)
+	if bst.FirstWindow() != 5 {
+		t.Fatalf("batch FirstWindow = %d, want 5", bst.FirstWindow())
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/sample"
+	"repro/internal/segstore"
+	"repro/internal/tdigest"
+)
+
+// AddColumns folds a decoded column batch in — the row-free
+// counterpart of Add over the same rows in the same stream order, so
+// every digest evolves identically (same values, same insertion order,
+// same compaction trigger points) and the rendered overview is
+// byte-identical whichever currency fed it.
+//
+// Hosting-provider rows are skipped inline: pre-filtered batches (the
+// collector compacts them out) and raw batches (the sharded feed folds
+// the overview before the per-shard collectors run) fold the same.
+//
+// Dictionary columns are resolved once per batch — protocol and
+// continent digest lookups hoist out of the row loop; per-PoP state is
+// cached per dictionary entry but created lazily, so a PoP appearing
+// only on skipped rows opens no PerPoP entry (matching the row path).
+func (o *Overview) AddColumns(b *segstore.ColumnBatch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+
+	type protoDigests struct{ sd, bf, txn *tdigest.TDigest }
+	protos := make([]protoDigests, len(b.Proto.Dict))
+	for i, v := range b.Proto.Dict {
+		p := sample.Protocol(v)
+		protos[i] = protoDigests{o.SessionDuration[p], o.BusyFraction[p], o.TxnsPerSession[p]}
+	}
+	allSD, allBF, allTxn := o.SessionDuration["all"], o.BusyFraction["all"], o.TxnsPerSession["all"]
+	conts := make([]*ContinentOverview, len(b.Continent.Dict))
+	for i, v := range b.Continent.Dict {
+		conts[i] = o.PerContinent[geo.Continent(v)]
+	}
+	pops := make([]*PoPOverview, len(b.PoP.Dict))
+
+	added := 0
+	for i := 0; i < n; i++ {
+		if b.HostingProvider[i] {
+			continue
+		}
+		added++
+
+		// Traffic characterisation uses every session.
+		pd := protos[b.Proto.Idx[i]]
+		dur := time.Duration(b.Duration[i]).Seconds()
+		allSD.Add(dur)
+		if pd.sd != nil {
+			pd.sd.Add(dur)
+		}
+		allBF.Add(b.BusyFraction[i])
+		if pd.bf != nil {
+			pd.bf.Add(b.BusyFraction[i])
+		}
+		txns := float64(b.Transactions[i])
+		allTxn.Add(txns)
+		if pd.txn != nil {
+			pd.txn.Add(txns)
+		}
+		bytes := b.Bytes[i]
+		o.SessionBytes.Add(float64(bytes))
+		lo, hi := b.RespSpan(i)
+		for _, rb := range b.RespVals[lo:hi] {
+			o.ResponseBytes.Add(float64(rb))
+			if b.MediaEndpoint[i] {
+				o.MediaRespBytes.Add(float64(rb))
+			}
+		}
+		o.TotalBytes += bytes
+		if b.Transactions[i] >= 50 {
+			o.BytesOver50Txns += bytes
+		}
+		if b.DistanceKm[i] > 0 {
+			o.ServingDistance.Add(b.DistanceKm[i])
+		}
+		if b.CrossContinent[i] {
+			o.CrossContinentBytes += bytes
+		}
+		pi := b.PoP.Idx[i]
+		pp := pops[pi]
+		if pp == nil {
+			pp = o.PerPoP[b.PoP.Dict[pi]]
+			if pp == nil {
+				pp = &PoPOverview{MinRTT: tdigest.New(tdigest.DefaultCompression)}
+				o.PerPoP[b.PoP.Dict[pi]] = pp
+			}
+			pops[pi] = pp
+		}
+		pp.Sessions++
+		pp.Bytes += bytes
+		pp.MinRTT.Add(float64(b.MinRTT[i]) / 1e6)
+
+		// Performance metrics use the preferred route only (§2.2.3).
+		if b.AltIndex[i] != 0 {
+			continue
+		}
+		rttMs := float64(b.MinRTT[i]) / float64(time.Millisecond)
+		o.MinRTT.Add(rttMs)
+		co := conts[b.Continent.Idx[i]]
+		if co != nil {
+			co.MinRTT.Add(rttMs)
+		}
+		if t := b.HDTested[i]; t != 0 {
+			hd := float64(b.HDAchieved[i]) / float64(t)
+			o.HD.Add(hd)
+			o.HDDefined++
+			if hd == 0 {
+				o.HDZero++
+			}
+			if hd == 1 {
+				o.HDOne++
+			}
+			if co != nil {
+				co.HD.Add(hd)
+				co.HDDefined++
+				if hd == 0 {
+					co.HDZero++
+				}
+				if hd == 1 {
+					co.HDOne++
+				}
+			}
+			for j, rb := range RTTBuckets {
+				if rttMs >= rb.Lo && rttMs < rb.Hi {
+					o.HDByRTTBucket[j].Add(hd)
+					break
+				}
+			}
+			o.SimpleHD.Add(float64(b.SimpleAchieved[i]) / float64(t))
+		}
+	}
+	o.Sessions += added
+	o.cSamples.Add(int64(added))
+}

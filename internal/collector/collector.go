@@ -36,12 +36,19 @@ import (
 	"repro/internal/agg"
 	"repro/internal/obs"
 	"repro/internal/sample"
+	"repro/internal/segstore"
 )
 
 // Sink consumes accepted samples. A non-nil error poisons the
 // pipeline: the collector stops offering samples to every sink (a
 // half-written dataset must not keep growing behind a failed writer).
 type Sink func(sample.Sample) error
+
+// ColumnSink consumes accepted column batches — the row-free
+// counterpart of Sink for the segment read path. The batch is only
+// valid for the duration of the call (the offerer releases it);
+// consumers that retain data must fold it immediately or copy.
+type ColumnSink func(*segstore.ColumnBatch) error
 
 // Stats counts the pipeline's activity.
 type Stats struct {
@@ -79,6 +86,7 @@ type Collector struct {
 	// by default, matching the paper). Set before ingestion starts.
 	KeepHosting bool
 	sinks       []Sink
+	colSinks    []ColumnSink
 
 	received atomic.Int64
 	filtered atomic.Int64
@@ -101,6 +109,13 @@ func New(sinks ...Sink) *Collector {
 
 // AddSink attaches another sink; must not race with Offer.
 func (c *Collector) AddSink(s Sink) { c.sinks = append(c.sinks, s) }
+
+// AddColumnSink attaches a column-batch sink; must not race with
+// OfferColumns. A run feeds a collector through exactly one currency —
+// rows via Offer or batches via OfferColumns — so a collector carries
+// whichever sink set matches its path (the stats are shared either
+// way).
+func (c *Collector) AddColumnSink(s ColumnSink) { c.colSinks = append(c.colSinks, s) }
 
 // Instrument registers the pipeline counters on reg (nil-safe: a nil
 // registry leaves the collector uninstrumented). Shard collectors in a
@@ -152,6 +167,46 @@ func (c *Collector) Offer(s sample.Sample) {
 	}
 }
 
+// OfferColumns runs one column batch through the pipeline — the
+// row-free counterpart of Offer, with the same counter and poisoning
+// semantics applied per row: every row counts as received; after a
+// sink error whole batches count as dropped; the hosting filter
+// compacts the batch in place (mutating it) before any sink sees it,
+// so sinks never see hosting rows, exactly as with Offer. The caller
+// retains ownership of the batch and releases it afterwards.
+func (c *Collector) OfferColumns(b *segstore.ColumnBatch) {
+	n := b.Len()
+	c.received.Add(int64(n))
+	if c.err.Load() != nil {
+		c.dropped.Add(int64(n))
+		c.cDropped.Add(int64(n))
+		return
+	}
+	if !c.KeepHosting {
+		kept := b.Compact(func(i int) bool { return !b.HostingProvider[i] })
+		if f := n - kept; f > 0 {
+			c.filtered.Add(int64(f))
+			c.cFiltered.Add(int64(f))
+		}
+		n = kept
+	}
+	if n == 0 {
+		return
+	}
+	c.accepted.Add(int64(n))
+	c.cAccepted.Add(int64(n))
+	for i, sink := range c.colSinks {
+		if err := sink(b); err != nil {
+			c.sinkErrs.Add(1)
+			c.cSinkErrs.Inc()
+			werr := fmt.Errorf("column sink %d: batch of %d (first sample %d, group %s): %w",
+				i, n, b.SessionID[0], b.KeyAt(0), err)
+			c.err.CompareAndSwap(nil, &werr)
+			return
+		}
+	}
+}
+
 // Err returns the first sink error, or nil.
 func (c *Collector) Err() error {
 	if p := c.err.Load(); p != nil {
@@ -190,6 +245,25 @@ func WriterSink(w *sample.Writer) Sink {
 func FuncSink(f func(sample.Sample)) Sink {
 	return func(s sample.Sample) error {
 		f(s)
+		return nil
+	}
+}
+
+// StoreColumnSink adapts an aggregation store's batch path into a
+// column sink. Like StoreSink, the store is single-threaded: one per
+// shard collector in concurrent pipelines.
+func StoreColumnSink(st *agg.Store) ColumnSink {
+	return func(b *segstore.ColumnBatch) error {
+		st.AddBatch(b)
+		return nil
+	}
+}
+
+// ColumnFuncSink adapts an infallible batch consumer into a column
+// sink.
+func ColumnFuncSink(f func(*segstore.ColumnBatch)) ColumnSink {
+	return func(b *segstore.ColumnBatch) error {
+		f(b)
 		return nil
 	}
 }

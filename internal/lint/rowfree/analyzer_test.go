@@ -1,0 +1,12 @@
+package rowfree_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/rowfree"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, rowfree.Analyzer, "study")
+}

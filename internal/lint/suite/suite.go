@@ -17,6 +17,7 @@ import (
 	"repro/internal/lint/nondeterminism"
 	"repro/internal/lint/poisonpath"
 	"repro/internal/lint/rngsplit"
+	"repro/internal/lint/rowfree"
 	"repro/internal/lint/tracekey"
 	"repro/internal/lint/unitsafety"
 )
@@ -27,6 +28,7 @@ var Analyzers = []*analysis.Analyzer{
 	nondeterminism.Analyzer,
 	poisonpath.Analyzer,
 	rngsplit.Analyzer,
+	rowfree.Analyzer,
 	tracekey.Analyzer,
 	unitsafety.Analyzer,
 }

@@ -71,15 +71,38 @@ type rawColumn struct {
 	data []byte
 }
 
-// DecodeSegment decodes one segment block produced by EncodeSegment.
-// Corrupt or truncated input returns an error wrapping ErrCorrupt —
-// never a panic, never a silently short dataset. Unknown columns
-// (written by a newer schema) are skipped; missing or re-typed known
-// columns are errors.
+// DecodeSegment decodes one segment block produced by EncodeSegment
+// into row structs. It is the row-oracle view of DecodeSegmentColumns:
+// the columnar decode runs first and the rows are materialized from
+// the batch, so the two paths cannot drift.
 func DecodeSegment(data []byte) ([]sample.Sample, error) {
+	var b ColumnBatch
+	if err := decodeInto(data, &b); err != nil {
+		return nil, err
+	}
+	return b.AppendRows(make([]sample.Sample, 0, b.Len())), nil
+}
+
+// DecodeSegmentColumns decodes one segment block into a fresh column
+// batch — the primary decode path. Corrupt or truncated input returns
+// an error wrapping ErrCorrupt — never a panic, never a silently short
+// dataset.
+func DecodeSegmentColumns(data []byte) (*ColumnBatch, error) {
+	b := new(ColumnBatch)
+	if err := decodeInto(data, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// decodeInto decodes a segment block into b, reusing b's column
+// buffers when their capacity allows. Unknown columns (written by a
+// newer schema) are skipped; missing or re-typed known columns are
+// errors.
+func decodeInto(data []byte, b *ColumnBatch) error {
 	rows, cols, rest, err := decodeHeader(data)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	// Slice out every column first (cheap — no row-proportional work),
@@ -88,16 +111,16 @@ func DecodeSegment(data []byte) ([]sample.Sample, error) {
 	for i := 0; i < cols; i++ {
 		rc, tail, err := sliceColumn(rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rest = tail
 		if _, dup := byName[rc.name]; dup {
-			return nil, corruptf("column %q appears twice", rc.name)
+			return corruptf("column %q appears twice", rc.name)
 		}
 		byName[rc.name] = rc
 	}
 	if len(rest) != 0 {
-		return nil, corruptf("%d trailing bytes after last column", len(rest))
+		return corruptf("%d trailing bytes after last column", len(rest))
 	}
 
 	// Preflight sizes against the row count so a hostile header cannot
@@ -106,35 +129,36 @@ func DecodeSegment(data []byte) ([]sample.Sample, error) {
 	for _, c := range schema {
 		rc, ok := byName[c.name]
 		if !ok {
-			return nil, corruptf("missing column %q", c.name)
+			return corruptf("missing column %q", c.name)
 		}
 		if rc.kind != c.kind {
-			return nil, corruptf("column %q has kind %d, want %d", c.name, rc.kind, c.kind)
+			return corruptf("column %q has kind %d, want %d", c.name, rc.kind, c.kind)
 		}
 		switch c.kind {
 		case encZigzag, encDelta, encList:
 			if len(rc.data) < rows {
-				return nil, corruptf("column %q: %d bytes for %d rows", c.name, len(rc.data), rows)
+				return corruptf("column %q: %d bytes for %d rows", c.name, len(rc.data), rows)
 			}
 		case encFloat:
 			if len(rc.data) != 8*rows {
-				return nil, corruptf("column %q: %d bytes for %d rows", c.name, len(rc.data), rows)
+				return corruptf("column %q: %d bytes for %d rows", c.name, len(rc.data), rows)
 			}
 		case encBool:
 			if len(rc.data) != (rows+7)/8 {
-				return nil, corruptf("column %q: %d bytes for %d rows", c.name, len(rc.data), rows)
+				return corruptf("column %q: %d bytes for %d rows", c.name, len(rc.data), rows)
 			}
 		}
 	}
 
-	out := make([]sample.Sample, rows)
+	b.reset(rows)
 	for _, c := range schema {
 		p := &payload{col: c.name, data: byName[c.name].data}
-		if err := c.dec(p, out); err != nil {
-			return nil, err
+		if err := c.dec(p, rows, b); err != nil {
+			return err
 		}
 	}
-	return out, nil
+	b.finalize()
+	return nil
 }
 
 // decodeHeader validates the magic, version, and counts; it returns

@@ -4,10 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"sort"
-	"time"
 
-	"repro/internal/bgp"
-	"repro/internal/geo"
 	"repro/internal/sample"
 )
 
@@ -50,12 +47,14 @@ const (
 // colSpec ties one Sample field to its column name and encoding. The
 // schema is fixed at compile time; the on-disk order is the schema
 // order, but readers locate columns by name, so the format stays
-// self-describing.
+// self-describing. Encoding reads row structs (the writer's input);
+// decoding lands in ColumnBatch slices — the row form is derived from
+// the batch afterwards when a caller wants it.
 type colSpec struct {
 	name string
 	kind byte
 	enc  func(buf []byte, rows []sample.Sample) []byte
-	dec  func(p *payload, rows []sample.Sample) error
+	dec  func(p *payload, n int, b *ColumnBatch) error
 }
 
 // schema lists every column, in the field order of sample.Sample.
@@ -64,85 +63,83 @@ type colSpec struct {
 // zigzag covers the small counters, dictionaries the low-cardinality
 // strings.
 var schema = []colSpec{
-	intCol("id", encDelta,
-		func(s *sample.Sample) int64 { return int64(s.SessionID) },
-		func(s *sample.Sample, v int64) { s.SessionID = uint64(v) }),
+	idCol(),
 	dictCol("pop",
 		func(s *sample.Sample) string { return s.PoP },
-		func(s *sample.Sample, v string) { s.PoP = v }),
+		func(b *ColumnBatch) *DictColumn { return &b.PoP }),
 	dictCol("prefix",
 		func(s *sample.Sample) string { return s.Prefix },
-		func(s *sample.Sample, v string) { s.Prefix = v }),
+		func(b *ColumnBatch) *DictColumn { return &b.Prefix }),
 	intCol("as", encZigzag,
 		func(s *sample.Sample) int64 { return int64(s.ClientAS) },
-		func(s *sample.Sample, v int64) { s.ClientAS = int(v) }),
+		func(b *ColumnBatch) []int64 { return b.ClientAS }),
 	dictCol("country",
 		func(s *sample.Sample) string { return s.Country },
-		func(s *sample.Sample, v string) { s.Country = v }),
+		func(b *ColumnBatch) *DictColumn { return &b.Country }),
 	dictCol("continent",
 		func(s *sample.Sample) string { return string(s.Continent) },
-		func(s *sample.Sample, v string) { s.Continent = geo.Continent(v) }),
+		func(b *ColumnBatch) *DictColumn { return &b.Continent }),
 	intCol("sub", encZigzag,
 		func(s *sample.Sample) int64 { return int64(s.ClientSubnet) },
-		func(s *sample.Sample, v int64) { s.ClientSubnet = uint8(v) }),
+		func(b *ColumnBatch) []int64 { return b.ClientSubnet }),
 	dictCol("proto",
 		func(s *sample.Sample) string { return string(s.Proto) },
-		func(s *sample.Sample, v string) { s.Proto = sample.Protocol(v) }),
+		func(b *ColumnBatch) *DictColumn { return &b.Proto }),
 	floatCol("km",
 		func(s *sample.Sample) float64 { return s.DistanceKm },
-		func(s *sample.Sample, v float64) { s.DistanceKm = v }),
+		func(b *ColumnBatch) []float64 { return b.DistanceKm }),
 	boolCol("xcont",
 		func(s *sample.Sample) bool { return s.CrossContinent },
-		func(s *sample.Sample, v bool) { s.CrossContinent = v }),
+		func(b *ColumnBatch) []bool { return b.CrossContinent }),
 	dictCol("route",
 		func(s *sample.Sample) string { return s.RouteID },
-		func(s *sample.Sample, v string) { s.RouteID = v }),
+		func(b *ColumnBatch) *DictColumn { return &b.Route }),
 	intCol("rel", encZigzag,
 		func(s *sample.Sample) int64 { return int64(s.RouteRel) },
-		func(s *sample.Sample, v int64) { s.RouteRel = bgp.RelType(v) }),
+		func(b *ColumnBatch) []int64 { return b.RouteRel }),
 	intCol("aspath", encZigzag,
 		func(s *sample.Sample) int64 { return int64(s.ASPathLen) },
-		func(s *sample.Sample, v int64) { s.ASPathLen = int(v) }),
+		func(b *ColumnBatch) []int64 { return b.ASPathLen }),
 	boolCol("prepended",
 		func(s *sample.Sample) bool { return s.Prepended },
-		func(s *sample.Sample, v bool) { s.Prepended = v }),
+		func(b *ColumnBatch) []bool { return b.Prepended }),
 	intCol("alt", encZigzag,
 		func(s *sample.Sample) int64 { return int64(s.AltIndex) },
-		func(s *sample.Sample, v int64) { s.AltIndex = int(v) }),
+		func(b *ColumnBatch) []int64 { return b.AltIndex }),
 	intCol("start", encDelta,
 		func(s *sample.Sample) int64 { return int64(s.Start) },
-		func(s *sample.Sample, v int64) { s.Start = time.Duration(v) }),
+		func(b *ColumnBatch) []int64 { return b.Start }),
 	intCol("dur", encZigzag,
 		func(s *sample.Sample) int64 { return int64(s.Duration) },
-		func(s *sample.Sample, v int64) { s.Duration = time.Duration(v) }),
+		func(b *ColumnBatch) []int64 { return b.Duration }),
 	floatCol("busy",
 		func(s *sample.Sample) float64 { return s.BusyFraction },
-		func(s *sample.Sample, v float64) { s.BusyFraction = v }),
+		func(b *ColumnBatch) []float64 { return b.BusyFraction }),
 	intCol("bytes", encZigzag,
 		func(s *sample.Sample) int64 { return s.Bytes },
-		func(s *sample.Sample, v int64) { s.Bytes = v }),
+		func(b *ColumnBatch) []int64 { return b.Bytes }),
 	intCol("txns", encZigzag,
 		func(s *sample.Sample) int64 { return int64(s.Transactions) },
-		func(s *sample.Sample, v int64) { s.Transactions = int(v) }),
+		func(b *ColumnBatch) []int64 { return b.Transactions }),
 	respCol(),
 	boolCol("media",
 		func(s *sample.Sample) bool { return s.MediaEndpoint },
-		func(s *sample.Sample, v bool) { s.MediaEndpoint = v }),
+		func(b *ColumnBatch) []bool { return b.MediaEndpoint }),
 	intCol("minrtt", encZigzag,
 		func(s *sample.Sample) int64 { return int64(s.MinRTT) },
-		func(s *sample.Sample, v int64) { s.MinRTT = time.Duration(v) }),
+		func(b *ColumnBatch) []int64 { return b.MinRTT }),
 	intCol("hdt", encZigzag,
 		func(s *sample.Sample) int64 { return int64(s.HDTested) },
-		func(s *sample.Sample, v int64) { s.HDTested = int(v) }),
+		func(b *ColumnBatch) []int64 { return b.HDTested }),
 	intCol("hda", encZigzag,
 		func(s *sample.Sample) int64 { return int64(s.HDAchieved) },
-		func(s *sample.Sample, v int64) { s.HDAchieved = int(v) }),
+		func(b *ColumnBatch) []int64 { return b.HDAchieved }),
 	intCol("sja", encZigzag,
 		func(s *sample.Sample) int64 { return int64(s.SimpleAchieved) },
-		func(s *sample.Sample, v int64) { s.SimpleAchieved = int(v) }),
+		func(b *ColumnBatch) []int64 { return b.SimpleAchieved }),
 	boolCol("hosting",
 		func(s *sample.Sample) bool { return s.HostingProvider },
-		func(s *sample.Sample, v bool) { s.HostingProvider = v }),
+		func(b *ColumnBatch) []bool { return b.HostingProvider }),
 }
 
 // EncodeSegment encodes rows into one segment block and returns the
@@ -167,7 +164,7 @@ func EncodeSegment(rows []sample.Sample) ([]byte, SegmentMeta) {
 	}
 
 	meta := SegmentMeta{Samples: len(rows), Bytes: int64(len(buf)), CRC: fileCRC(buf)}
-	countries, pops := map[string]bool{}, map[string]bool{}
+	countries, pops, prefixes := map[string]bool{}, map[string]bool{}, map[string]bool{}
 	for i := range rows {
 		start := int64(rows[i].Start)
 		if i == 0 || start < meta.StartMin {
@@ -178,9 +175,11 @@ func EncodeSegment(rows []sample.Sample) ([]byte, SegmentMeta) {
 		}
 		countries[rows[i].Country] = true
 		pops[rows[i].PoP] = true
+		prefixes[rows[i].Prefix] = true
 	}
 	meta.Countries = sortedSet(countries)
 	meta.PoPs = sortedSet(pops)
+	meta.Prefixes = sortedSet(prefixes)
 	return buf, meta
 }
 
@@ -201,9 +200,39 @@ func sortedSet(m map[string]bool) []string {
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
+// idCol is the session-ID column: delta-coded like "start", but landing
+// in the batch's uint64 slice.
+func idCol() colSpec {
+	return colSpec{
+		name: "id",
+		kind: encDelta,
+		enc: func(buf []byte, rows []sample.Sample) []byte {
+			prev := int64(0)
+			for i := range rows {
+				v := int64(rows[i].SessionID)
+				buf = binary.AppendUvarint(buf, zigzag(v-prev))
+				prev = v
+			}
+			return buf
+		},
+		dec: func(p *payload, n int, b *ColumnBatch) error {
+			prev := int64(0)
+			for i := 0; i < n; i++ {
+				u, err := p.uvarint()
+				if err != nil {
+					return err
+				}
+				prev += unzigzag(u)
+				b.SessionID[i] = uint64(prev)
+			}
+			return p.done()
+		},
+	}
+}
+
 // intCol encodes a signed integer field as zigzag varints, delta-coded
 // when kind is encDelta.
-func intCol(name string, kind byte, get func(*sample.Sample) int64, set func(*sample.Sample, int64)) colSpec {
+func intCol(name string, kind byte, get func(*sample.Sample) int64, col func(*ColumnBatch) []int64) colSpec {
 	return colSpec{
 		name: name,
 		kind: kind,
@@ -220,9 +249,10 @@ func intCol(name string, kind byte, get func(*sample.Sample) int64, set func(*sa
 			}
 			return buf
 		},
-		dec: func(p *payload, rows []sample.Sample) error {
+		dec: func(p *payload, n int, b *ColumnBatch) error {
+			out := col(b)
 			prev := int64(0)
-			for i := range rows {
+			for i := 0; i < n; i++ {
 				u, err := p.uvarint()
 				if err != nil {
 					return err
@@ -232,7 +262,7 @@ func intCol(name string, kind byte, get func(*sample.Sample) int64, set func(*sa
 					v += prev
 					prev = v
 				}
-				set(&rows[i], v)
+				out[i] = v
 			}
 			return p.done()
 		},
@@ -241,7 +271,7 @@ func intCol(name string, kind byte, get func(*sample.Sample) int64, set func(*sa
 
 // dictCol encodes a low-cardinality string field: the distinct values
 // in first-appearance order (deterministic), then one index per row.
-func dictCol(name string, get func(*sample.Sample) string, set func(*sample.Sample, string)) colSpec {
+func dictCol(name string, get func(*sample.Sample) string, col func(*ColumnBatch) *DictColumn) colSpec {
 	return colSpec{
 		name: name,
 		kind: encDict,
@@ -265,35 +295,42 @@ func dictCol(name string, get func(*sample.Sample) string, set func(*sample.Samp
 			}
 			return buf
 		},
-		dec: func(p *payload, rows []sample.Sample) error {
-			n, err := p.uvarint()
+		dec: func(p *payload, n int, b *ColumnBatch) error {
+			d, err := p.uvarint()
 			if err != nil {
 				return err
 			}
-			if n > uint64(p.remaining()) {
+			if d > uint64(p.remaining()) {
 				return p.corrupt("dictionary larger than payload")
 			}
-			dict := make([]string, n)
-			for i := range dict {
+			// Indexes are stored as uint32 in the batch; the remaining-bytes
+			// bound already keeps any real dictionary far below that, so this
+			// only rejects multi-GiB hostile payloads.
+			if d > math.MaxUint32 {
+				return p.corrupt("dictionary too large")
+			}
+			out := col(b)
+			out.Dict = out.Dict[:0]
+			for i := uint64(0); i < d; i++ {
 				l, err := p.uvarint()
 				if err != nil {
 					return err
 				}
-				b, err := p.bytes(l)
+				v, err := p.bytes(l)
 				if err != nil {
 					return err
 				}
-				dict[i] = string(b)
+				out.Dict = append(out.Dict, string(v))
 			}
-			for i := range rows {
+			for i := 0; i < n; i++ {
 				j, err := p.uvarint()
 				if err != nil {
 					return err
 				}
-				if j >= n {
+				if j >= d {
 					return p.corrupt("dictionary index out of range")
 				}
-				set(&rows[i], dict[j])
+				out.Idx[i] = uint32(j)
 			}
 			return p.done()
 		},
@@ -302,7 +339,7 @@ func dictCol(name string, get func(*sample.Sample) string, set func(*sample.Samp
 
 // floatCol stores raw IEEE-754 bits — byte-exact round trips, no
 // precision games.
-func floatCol(name string, get func(*sample.Sample) float64, set func(*sample.Sample, float64)) colSpec {
+func floatCol(name string, get func(*sample.Sample) float64, col func(*ColumnBatch) []float64) colSpec {
 	return colSpec{
 		name: name,
 		kind: encFloat,
@@ -312,16 +349,17 @@ func floatCol(name string, get func(*sample.Sample) float64, set func(*sample.Sa
 			}
 			return buf
 		},
-		dec: func(p *payload, rows []sample.Sample) error {
-			if p.remaining() != 8*len(rows) {
+		dec: func(p *payload, n int, b *ColumnBatch) error {
+			if p.remaining() != 8*n {
 				return p.corrupt("float column length mismatch")
 			}
-			for i := range rows {
-				b, err := p.bytes(8)
+			out := col(b)
+			for i := 0; i < n; i++ {
+				v, err := p.bytes(8)
 				if err != nil {
 					return err
 				}
-				set(&rows[i], math.Float64frombits(binary.LittleEndian.Uint64(b)))
+				out[i] = math.Float64frombits(binary.LittleEndian.Uint64(v))
 			}
 			return p.done()
 		},
@@ -329,7 +367,7 @@ func floatCol(name string, get func(*sample.Sample) float64, set func(*sample.Sa
 }
 
 // boolCol bitpacks a boolean field, LSB first.
-func boolCol(name string, get func(*sample.Sample) bool, set func(*sample.Sample, bool)) colSpec {
+func boolCol(name string, get func(*sample.Sample) bool, col func(*ColumnBatch) []bool) colSpec {
 	return colSpec{
 		name: name,
 		kind: encBool,
@@ -349,17 +387,18 @@ func boolCol(name string, get func(*sample.Sample) bool, set func(*sample.Sample
 			}
 			return buf
 		},
-		dec: func(p *payload, rows []sample.Sample) error {
-			if p.remaining() != (len(rows)+7)/8 {
+		dec: func(p *payload, n int, b *ColumnBatch) error {
+			if p.remaining() != (n+7)/8 {
 				return p.corrupt("bool column length mismatch")
 			}
-			for i := range rows {
+			out := col(b)
+			for i := 0; i < n; i++ {
 				if i%8 == 0 {
 					if _, err := p.bytes(1); err != nil {
 						return err
 					}
 				}
-				set(&rows[i], p.data[p.off-1]&(1<<(i%8)) != 0)
+				out[i] = p.data[p.off-1]&(1<<(i%8)) != 0
 			}
 			return p.done()
 		},
@@ -367,8 +406,10 @@ func boolCol(name string, get func(*sample.Sample) bool, set func(*sample.Sample
 }
 
 // respCol encodes the per-row ResponseBytes lists: one length per row,
-// then the concatenated values. Empty and nil lists both decode to
-// nil, matching the field's omitempty JSON behaviour.
+// then the concatenated values. The batch holds them flattened
+// (RespVals + per-row end offsets); empty and nil lists are
+// indistinguishable on disk and both materialize back to nil, matching
+// the field's omitempty JSON behaviour.
 func respCol() colSpec {
 	return colSpec{
 		name: "resp",
@@ -384,35 +425,31 @@ func respCol() colSpec {
 			}
 			return buf
 		},
-		dec: func(p *payload, rows []sample.Sample) error {
-			lens := make([]uint64, len(rows))
+		dec: func(p *payload, n int, b *ColumnBatch) error {
 			var total uint64
-			for i := range rows {
+			for i := 0; i < n; i++ {
 				l, err := p.uvarint()
 				if err != nil {
 					return err
 				}
-				lens[i] = l
+				// Every value costs at least one payload byte, so this bound
+				// rejects absurd list lengths before any allocation.
+				if l > uint64(p.remaining()) {
+					return p.corrupt("response lists larger than payload")
+				}
 				total += l
+				b.RespEnds[i] = int(total)
 			}
-			// Every value costs at least one payload byte, so this bound
-			// rejects absurd list lengths before any allocation.
 			if total > uint64(p.remaining()) {
 				return p.corrupt("response lists larger than payload")
 			}
-			for i := range rows {
-				if lens[i] == 0 {
-					continue
+			b.RespVals = grow(b.RespVals, int(total))
+			for j := range b.RespVals {
+				u, err := p.uvarint()
+				if err != nil {
+					return err
 				}
-				vals := make([]int64, lens[i])
-				for j := range vals {
-					u, err := p.uvarint()
-					if err != nil {
-						return err
-					}
-					vals[j] = unzigzag(u)
-				}
-				rows[i].ResponseBytes = vals
+				b.RespVals[j] = unzigzag(u)
 			}
 			return p.done()
 		},

@@ -124,25 +124,78 @@ func (f *Filter) MatchSegment(m *SegmentMeta) bool {
 	return true
 }
 
-// Apply filters rows, returning the input slice untouched when every
-// row matches (the common case once segment pruning has run).
+// Apply filters rows in place, preserving order, and returns the
+// shortened slice (the input untouched when every row matches — the
+// common case once segment pruning has run). The caller owns rows; no
+// per-segment copy is made.
 func (f *Filter) Apply(rows []sample.Sample) []sample.Sample {
 	if f.Empty() {
 		return rows
 	}
 	for i := range rows {
 		if !f.Match(&rows[i]) {
-			// First miss: copy the matching prefix, then sieve the rest.
-			out := append([]sample.Sample(nil), rows[:i]...)
+			// First miss: compact the survivors down over it.
+			k := i
 			for j := i + 1; j < len(rows); j++ {
 				if f.Match(&rows[j]) {
-					out = append(out, rows[j])
+					rows[k] = rows[j]
+					k++
 				}
 			}
-			return out
+			return rows[:k]
 		}
 	}
 	return rows
+}
+
+// ApplyColumns filters a batch in place at the column level. The time
+// bounds are checked against the batch's start hints first, so a batch
+// wholly inside the range (the common case once segment pruning has
+// run) skips the row scan for that term; dictionary columns are
+// pre-resolved to allow-tables so the per-row test compares indexes,
+// not strings.
+func (f *Filter) ApplyColumns(b *ColumnBatch) {
+	if f.Empty() || b.Len() == 0 {
+		return
+	}
+	needTime := b.StartMin < int64(f.From) || (f.To > 0 && b.StartMax >= int64(f.To))
+	countryOK := allowTable(f.Countries, &b.Country)
+	popOK := allowTable(f.PoPs, &b.PoP)
+	if !needTime && countryOK == nil && popOK == nil {
+		return
+	}
+	from, to := int64(f.From), int64(f.To)
+	b.Compact(func(i int) bool {
+		if needTime && (b.Start[i] < from || (to > 0 && b.Start[i] >= to)) {
+			return false
+		}
+		if countryOK != nil && !countryOK[b.Country.Idx[i]] {
+			return false
+		}
+		if popOK != nil && !popOK[b.PoP.Idx[i]] {
+			return false
+		}
+		return true
+	})
+}
+
+// allowTable resolves a whitelist against a dictionary: one bool per
+// dictionary entry. nil means the term is unconstrained (empty
+// whitelist, or every entry allowed — no row can fail).
+func allowTable(set []string, c *DictColumn) []bool {
+	if len(set) == 0 {
+		return nil
+	}
+	all := true
+	ok := make([]bool, len(c.Dict))
+	for i, v := range c.Dict {
+		ok[i] = contains(set, v)
+		all = all && ok[i]
+	}
+	if all {
+		return nil
+	}
+	return ok
 }
 
 func contains(set []string, v string) bool {

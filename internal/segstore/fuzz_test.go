@@ -25,8 +25,18 @@ func FuzzSegmentDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rows, err := DecodeSegment(data)
+		// The columnar decode is the same parser behind a different
+		// materialization: it must agree byte for byte — same error or the
+		// same rows.
+		b, cerr := DecodeSegmentColumns(data)
+		if (err == nil) != (cerr == nil) {
+			t.Fatalf("row/columnar decode disagree: row err=%v, columnar err=%v", err, cerr)
+		}
 		if err != nil {
 			return
+		}
+		if got := b.AppendRows(nil); len(got) != len(rows) {
+			t.Fatalf("columnar decode has %d rows, row decode %d", len(got), len(rows))
 		}
 		// A successful decode must be internally consistent.
 		for i := range rows {

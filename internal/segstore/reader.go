@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -22,6 +23,11 @@ type Reader struct {
 	// f pins the manifest that was opened (a concurrent recommit swaps
 	// the directory entry, not our snapshot); Close releases it.
 	f *os.File
+
+	// pool recycles decoded column batches across Scan/ScanColumns emits
+	// so a long scan reuses a handful of buffer sets instead of
+	// allocating per segment. Batches return here via Release.
+	pool sync.Pool
 
 	// Pre-resolved obs handles; nil (no-op) until Instrument.
 	scanSpan    *obs.SpanTimer
@@ -121,24 +127,64 @@ func (r *Reader) ReadSegment(m SegmentMeta) ([]sample.Sample, error) {
 	return rows, nil
 }
 
-// Scan prunes against f, decodes the surviving segments on up to
-// workers goroutines, row-filters them, and emits each segment's rows
-// in manifest order on the calling pipeline's single ordered stage.
-// emit's error — like a decode error — poisons the whole scan.
-// workers <= 1 scans sequentially on the calling goroutine (the
-// determinism oracle; there is nothing to reorder).
-func (r *Reader) Scan(ctx context.Context, workers int, f *Filter, emit func([]sample.Sample) error) error {
+// readColumns loads and decodes one segment into a pooled batch,
+// verifying the manifest's whole-file checksum before the per-column
+// ones. The returned batch is owned by the caller (Release it).
+func (r *Reader) readColumns(m SegmentMeta) (*ColumnBatch, error) {
+	sp := r.scanSpan.Start()
+	defer sp.End()
+	data, err := os.ReadFile(filepath.Join(r.dir, m.File))
+	if err != nil {
+		return nil, fmt.Errorf("segstore: segment %d: %w", m.ID, err)
+	}
+	if int64(len(data)) != m.Bytes || fileCRC(data) != m.CRC {
+		return nil, fmt.Errorf("segstore: segment %d (%s): %w: file does not match manifest checksum", m.ID, m.File, ErrCorrupt)
+	}
+	b, _ := r.pool.Get().(*ColumnBatch)
+	if b == nil {
+		b = new(ColumnBatch)
+	}
+	b.pool = &r.pool
+	b.refs.Store(1)
+	if err := decodeInto(data, b); err != nil {
+		b.Release()
+		return nil, fmt.Errorf("segstore: segment %d (%s): %w", m.ID, m.File, err)
+	}
+	if b.Len() != m.Samples {
+		n := b.Len()
+		b.Release()
+		return nil, fmt.Errorf("segstore: segment %d (%s): %w: %d rows, manifest says %d", m.ID, m.File, ErrCorrupt, n, m.Samples)
+	}
+	if m.SingleGroup() {
+		b.singleGroup = true
+	}
+	r.cBytesRead.Add(int64(len(data)))
+	r.cSamples.Add(int64(b.Len()))
+	r.cSegsRead.Inc()
+	return b, nil
+}
+
+// ScanColumns prunes against f, decodes the surviving segments into
+// column batches on up to workers goroutines, filters them at the
+// column level, and emits each batch in manifest order — the primary
+// read path; no row structs are built. emit takes ownership of the
+// batch and must Release it (directly or by handing it on); emit's
+// error — like a decode error — poisons the whole scan. workers <= 1
+// scans sequentially on the calling goroutine (the determinism oracle;
+// there is nothing to reorder).
+func (r *Reader) ScanColumns(ctx context.Context, workers int, f *Filter, emit func(*ColumnBatch) error) error {
 	plan := r.Prune(f)
 	if workers <= 1 {
 		for _, m := range plan {
 			if err := ctx.Err(); err != nil {
 				return context.Cause(ctx)
 			}
-			rows, err := r.ReadSegment(m)
+			b, err := r.readColumns(m)
 			if err != nil {
 				return err
 			}
-			if err := emit(f.Apply(rows)); err != nil {
+			f.ApplyColumns(b)
+			if err := emit(b); err != nil {
 				return err
 			}
 		}
@@ -146,8 +192,8 @@ func (r *Reader) Scan(ctx context.Context, workers int, f *Filter, emit func([]s
 	}
 
 	type decoded struct {
-		seq  int
-		rows []sample.Sample
+		seq int
+		b   *ColumnBatch
 	}
 	if workers > len(plan) && len(plan) > 0 {
 		workers = len(plan)
@@ -165,11 +211,12 @@ func (r *Reader) Scan(ctx context.Context, workers int, f *Filter, emit func([]s
 			if err := ctx.Err(); err != nil {
 				return context.Cause(ctx)
 			}
-			rows, err := r.ReadSegment(plan[i])
+			b, err := r.readColumns(plan[i])
 			if err != nil {
 				return err
 			}
-			if err := out.Send(ctx, decoded{seq: i, rows: f.Apply(rows)}); err != nil {
+			f.ApplyColumns(b)
+			if err := out.Send(ctx, decoded{seq: i, b: b}); err != nil {
 				return err
 			}
 		}
@@ -177,7 +224,22 @@ func (r *Reader) Scan(ctx context.Context, workers int, f *Filter, emit func([]s
 	}, out.Close)
 	g.Go(func(ctx context.Context) error {
 		return pipeline.Reorder(ctx, out, func(d decoded) int { return d.seq }, 0,
-			func(d decoded) error { return emit(d.rows) })
+			func(d decoded) error { return emit(d.b) })
 	})
 	return g.Wait()
+}
+
+// Scan is the row view of ScanColumns: same pruning, decode
+// parallelism, filtering, and manifest-order emission, with each batch
+// materialized to sample.Sample rows on the ordered emit goroutine.
+// The rows slice is reused between emits — it is valid only until emit
+// returns; consumers that retain samples must copy them.
+func (r *Reader) Scan(ctx context.Context, workers int, f *Filter, emit func([]sample.Sample) error) error {
+	var rows []sample.Sample
+	return r.ScanColumns(ctx, workers, f, func(b *ColumnBatch) error {
+		rows = b.AppendRows(rows[:0])
+		err := emit(rows)
+		b.Release()
+		return err
+	})
 }

@@ -76,6 +76,19 @@ type SegmentMeta struct {
 	// predicate-pushdown index for geographic filters.
 	Countries []string `json:"countries,omitempty"`
 	PoPs      []string `json:"pops,omitempty"`
+	// Prefixes is the sorted distinct client prefixes present. Together
+	// with Countries and PoPs it is the single-group index: one value in
+	// each set proves every row shares one user group, which lets the
+	// aggregator skip per-row group dispatch for the whole segment.
+	// Absent from manifests written before the field existed — readers
+	// fall back to the decoded dictionaries.
+	Prefixes []string `json:"prefixes,omitempty"`
+}
+
+// SingleGroup reports whether the manifest index proves the segment's
+// rows all share one user group (PoP × prefix × country).
+func (m *SegmentMeta) SingleGroup() bool {
+	return len(m.PoPs) == 1 && len(m.Prefixes) == 1 && len(m.Countries) == 1
 }
 
 // Tombstone records a segment that was lost to an injected or real

@@ -53,6 +53,12 @@ type Options struct {
 	// does) so the trace is the same file the multi-worker run writes;
 	// the caller flushes it with Trace.WriteFile after the run.
 	Trace *trace.Recorder
+	// RowOracle forces the segment path (FromSegments) to materialize
+	// sample.Sample rows and aggregate row-at-a-time instead of feeding
+	// column batches — the oracle the columnar hot path is verified
+	// against: reports must be byte-identical either way. Slower;
+	// exists for verification, not production use.
+	RowOracle bool
 }
 
 func (o Options) workers() int {
@@ -266,19 +272,13 @@ func FromStream(ctx context.Context, r io.Reader, opt Options) (*Results, error)
 	store, stats := ing.merge()
 	cov := ing.coverage(rg)
 	ing.traceFinish(store, cov)
-	days := (store.TotalWindows + world.WindowsPerDay - 1) / world.WindowsPerDay
-	if days < 1 {
-		days = 1
-	}
 	res := &Results{
-		Cfg:       world.Config{Groups: store.Len(), Days: days},
+		Cfg:       inferredCfg(store),
 		Collector: stats,
 		Overview:  ing.overview,
 		Store:     store,
 		Coverage:  cov,
 	}
-	// The inferred config must report the true window count.
-	res.Cfg.SessionsPerGroupWindow = float64(store.TotalSamples) / float64(max(1, store.Len()*store.TotalWindows))
 	res.analyseConcurrent(ctx, reg, workers)
 	res.Elapsed = elapsedSince(start)
 	return res, nil
@@ -302,12 +302,24 @@ type ingest struct {
 	feedN    uint64
 }
 
+// shardItem is one run of consecutive same-shard samples in either
+// pipeline currency: decoded rows (generation, JSONL replay) or a
+// column-batch view (segment scans). Exactly one field is set.
+type shardItem struct {
+	rows []sample.Sample
+	cols *segstore.ColumnBatch
+}
+
 type ingestShard struct {
-	stream *pipeline.Stream[[]sample.Sample]
+	stream *pipeline.Stream[shardItem]
 	col    *collector.Collector
 	store  *agg.Store
 	span   *obs.SpanTimer
 	guard  *shardGuard
+	// rows is the guard path's materialization scratch: per-sample fault
+	// decisions need row structs, so chaos runs convert batch views back
+	// to rows here (reused across items; the shard worker owns it).
+	rows []sample.Sample
 }
 
 func newIngest(shards int, reg *obs.Registry, rg *runGuard, rec *trace.Recorder) *ingest {
@@ -327,9 +339,10 @@ func newIngest(shards int, reg *obs.Registry, rg *runGuard, rec *trace.Recorder)
 		st := agg.NewStore()
 		st.Instrument(reg)
 		col := collector.New(collector.StoreSink(st))
+		col.AddColumnSink(collector.StoreColumnSink(st))
 		col.Instrument(reg)
 		sh := &ingestShard{
-			stream: pipeline.NewStream[[]sample.Sample](4),
+			stream: pipeline.NewStream[shardItem](4),
 			col:    col,
 			store:  st,
 			span:   reg.Span(obs.L("study_stage_seconds", "stage", "agg_shard"), "study"),
@@ -356,22 +369,40 @@ func (in *ingest) start(g *pipeline.Group) {
 		i, sh := i, sh
 		run := func(ctx context.Context) error {
 			n := 0
-			return sh.stream.Range(ctx, func(run []sample.Sample) error {
+			return sh.stream.Range(ctx, func(it shardItem) error {
 				if d := in.inj.ShardDelay(i, n); d > 0 {
 					time.Sleep(d)
 				}
 				n++
 				sp := sh.span.Start()
 				defer sp.End()
+				if it.cols != nil {
+					defer it.cols.Release()
+					if sh.guard != nil {
+						// Sink-fault decisions are per sample (keyed by SessionID and
+						// group key), so chaos runs materialize the view back to rows
+						// — the price of keeping degraded reports byte-identical to
+						// the row oracle.
+						sh.rows = it.cols.AppendRows(sh.rows[:0]) //edgelint:allow rowfree: per-sample fault decisions need row structs
+						for _, s := range sh.rows {
+							if err := sh.guard.offer(ctx, s); err != nil {
+								return err
+							}
+						}
+						return nil
+					}
+					sh.col.OfferColumns(it.cols)
+					return sh.col.Err()
+				}
 				if sh.guard != nil {
-					for _, s := range run {
+					for _, s := range it.rows {
 						if err := sh.guard.offer(ctx, s); err != nil {
 							return err
 						}
 					}
 					return nil
 				}
-				for _, s := range run {
+				for _, s := range it.rows {
 					sh.col.Offer(s)
 				}
 				return sh.col.Err()
@@ -434,12 +465,62 @@ func (in *ingest) feed(ctx context.Context, samples []sample.Sample) error {
 		if next == shard {
 			continue
 		}
-		if err := in.shards[shard].stream.Send(ctx, samples[runStart:i]); err != nil {
+		if err := in.shards[shard].stream.Send(ctx, shardItem{rows: samples[runStart:i]}); err != nil {
 			return err
 		}
 		runStart, shard = i, next
 	}
-	return in.shards[shard].stream.Send(ctx, samples[runStart:])
+	return in.shards[shard].stream.Send(ctx, shardItem{rows: samples[runStart:]})
+}
+
+// feedColumns is feed in the columnar currency: one ordered batch is
+// folded into the Overview and routed to the shards as batch views cut
+// at shard boundaries (group-key runs compare dictionary indexes, so
+// routing never touches row structs). Trace marks, the feed histogram,
+// and queue sampling fire exactly as on the row path — same events,
+// same coordinates — so traced columnar runs stay byte-identical to
+// the row oracle's trace. Takes ownership of b; views handed to shard
+// workers keep the batch alive until each releases its reference.
+func (in *ingest) feedColumns(ctx context.Context, b *segstore.ColumnBatch) error {
+	n := b.Len()
+	if n == 0 {
+		b.Release()
+		return nil
+	}
+	if in.buf != nil {
+		id := in.buf.Emit(trace.Event{
+			Track: trace.TrackRun, Phase: trace.PhaseIngest, Win: -1, Seq: in.feedN,
+			Kind: trace.KMark, Stage: "feed", Value: int64(n),
+		})
+		in.feedHist.ObserveExemplar(float64(n), id)
+		if in.feedN%64 == 0 {
+			in.rec.SampleQueues()
+		}
+		in.feedN++
+	}
+	sp := in.foldSpan.Start()
+	in.overview.AddColumns(b)
+	sp.End()
+
+	nShards := uint32(len(in.shards))
+	runStart := 0
+	shard := b.KeyAt(0).Hash() % nShards
+	i := b.KeyRunEnd(0)
+	for i < n {
+		next := b.KeyAt(i).Hash() % nShards
+		end := b.KeyRunEnd(i)
+		if next != shard {
+			if err := in.shards[shard].stream.Send(ctx, shardItem{cols: b.Slice(runStart, i)}); err != nil {
+				b.Release()
+				return err
+			}
+			runStart, shard = i, next
+		}
+		i = end
+	}
+	err := in.shards[shard].stream.Send(ctx, shardItem{cols: b.Slice(runStart, n)})
+	b.Release()
+	return err
 }
 
 // merge reduces the shards: stats sum; stores merge through the agg

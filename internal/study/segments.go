@@ -10,7 +10,6 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/sample"
 	"repro/internal/segstore"
-	"repro/internal/world"
 )
 
 // FromSegments runs every analysis over a segment dataset directory (as
@@ -20,6 +19,14 @@ import (
 // ingestion the JSONL paths use, in manifest order — so the rendered
 // report is byte-identical to the JSONL path over the same samples, at
 // every worker count.
+//
+// By default the path is row-free end to end: decoded column batches
+// flow from the scanner through the collector into the store's batch
+// fold without ever materializing sample.Sample structs. opt.RowOracle
+// re-enables the row currency (and chaos runs materialize rows inside
+// the shard workers, where per-sample fault decisions are made); either
+// way the report bytes are identical — that equivalence is this path's
+// standing correctness check.
 func FromSegments(ctx context.Context, dir string, opt Options) (res *Results, err error) {
 	start := startTimer()
 	reg := opt.Reg
@@ -50,17 +57,27 @@ func FromSegments(ctx context.Context, dir string, opt Options) (res *Results, e
 		store.Instrument(reg)
 		overview = analysis.NewOverview()
 		overview.Instrument(reg)
-		col := collector.New(
-			collector.StoreSink(store),
-			collector.FuncSink(overview.Add),
-		)
+		col := collector.New()
 		col.Instrument(reg)
-		err = r.Scan(ctx, 1, opt.Filter, func(rows []sample.Sample) error {
-			for i := range rows {
-				col.Offer(rows[i])
-			}
-			return col.Err()
-		})
+		if opt.RowOracle {
+			col.AddSink(collector.StoreSink(store))
+			col.AddSink(collector.FuncSink(overview.Add))
+			//edgelint:allow rowfree: opt.RowOracle explicitly requests the row currency for verification
+			err = r.Scan(ctx, 1, opt.Filter, func(rows []sample.Sample) error {
+				for i := range rows {
+					col.Offer(rows[i])
+				}
+				return col.Err()
+			})
+		} else {
+			col.AddColumnSink(collector.StoreColumnSink(store))
+			col.AddColumnSink(collector.ColumnFuncSink(overview.AddColumns))
+			err = r.ScanColumns(ctx, 1, opt.Filter, func(b *segstore.ColumnBatch) error {
+				col.OfferColumns(b)
+				b.Release()
+				return col.Err()
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -74,8 +91,16 @@ func FromSegments(ctx context.Context, dir string, opt Options) (res *Results, e
 		ing.start(g)
 		g.Go(func(ctx context.Context) error {
 			defer ing.close()
-			return r.Scan(ctx, workers, opt.Filter, func(rows []sample.Sample) error {
-				return ing.feed(ctx, rows)
+			if opt.RowOracle {
+				//edgelint:allow rowfree: opt.RowOracle explicitly requests the row currency for verification
+				return r.Scan(ctx, workers, opt.Filter, func(rows []sample.Sample) error {
+					// Scan reuses its row buffer across emits, but feed retains
+					// run slices in the shard streams — so the oracle copies.
+					return ing.feed(ctx, append([]sample.Sample(nil), rows...))
+				})
+			}
+			return r.ScanColumns(ctx, workers, opt.Filter, func(b *segstore.ColumnBatch) error {
+				return ing.feedColumns(ctx, b)
 			})
 		})
 		if err = g.Wait(); err != nil {
@@ -87,19 +112,13 @@ func FromSegments(ctx context.Context, dir string, opt Options) (res *Results, e
 		ing.traceFinish(store, coverage)
 	}
 
-	days := (store.TotalWindows + world.WindowsPerDay - 1) / world.WindowsPerDay
-	if days < 1 {
-		days = 1
-	}
 	res = &Results{
-		Cfg:       world.Config{Groups: store.Len(), Days: days},
+		Cfg:       inferredCfg(store),
 		Collector: stats,
 		Overview:  overview,
 		Store:     store,
 		Coverage:  coverage,
 	}
-	// The inferred config must report the true window count.
-	res.Cfg.SessionsPerGroupWindow = float64(store.TotalSamples) / float64(max(1, store.Len()*store.TotalWindows))
 	res.analyseConcurrent(ctx, reg, workers)
 	res.Elapsed = elapsedSince(start)
 	return res, nil

@@ -128,24 +128,35 @@ func FromSamplesOpt(r *sample.Reader, opt Options) (*Results, error) {
 		col.Offer(s)
 	}
 	sp.End()
-	days := (store.TotalWindows + world.WindowsPerDay - 1) / world.WindowsPerDay
-	if days < 1 {
-		days = 1
-	}
 	res := &Results{
-		Cfg: world.Config{
-			Groups: store.Len(),
-			Days:   days,
-		},
+		Cfg:       inferredCfg(store),
 		Collector: col.Stats(),
 		Overview:  overview,
 		Store:     store,
 	}
-	// The inferred config must report the true window count.
-	res.Cfg.SessionsPerGroupWindow = float64(store.TotalSamples) / float64(max(1, store.Len()*store.TotalWindows))
 	res.analyse(reg)
 	res.Elapsed = elapsedSince(start)
 	return res, nil
+}
+
+// inferredCfg reconstructs a world.Config from an aggregated store —
+// the shape a replay run (JSONL or segments) reports when the dataset
+// arrives without one. Days counts from the first covered window, not
+// window zero: TotalWindows is an absolute high-water mark, so a -from
+// filter that prunes the leading day would otherwise inflate the day
+// count the temporal classifier keys on. Every replay path infers
+// through this one helper, which is part of what keeps filtered reports
+// byte-identical across dataset formats.
+func inferredCfg(store *agg.Store) world.Config {
+	covered := store.TotalWindows - store.FirstWindow()
+	days := (covered + world.WindowsPerDay - 1) / world.WindowsPerDay
+	if days < 1 {
+		days = 1
+	}
+	cfg := world.Config{Groups: store.Len(), Days: days}
+	// The inferred config must report the true window count.
+	cfg.SessionsPerGroupWindow = float64(store.TotalSamples) / float64(max(1, store.Len()*store.TotalWindows))
+	return cfg
 }
 
 // RunDeaggregation generates one dataset and aggregates it at both the

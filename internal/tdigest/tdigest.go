@@ -73,6 +73,36 @@ func (t *TDigest) AddWeighted(x, w float64) {
 	}
 }
 
+// AddAll inserts every value of xs with weight 1 and returns the
+// number inserted (NaN values are skipped, like Add). It is
+// state-identical to calling Add in a loop — values append to the same
+// buffer and the fold triggers at exactly the same points — just
+// without the per-call overhead, so digests fed by the columnar batch
+// path match digests fed row-at-a-time bit for bit.
+func (t *TDigest) AddAll(xs []float64) int {
+	limit := int(8 * t.compression)
+	added := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		t.bufMeans = append(t.bufMeans, x)
+		t.bufWeights = append(t.bufWeights, 1)
+		t.bufTotal++
+		added++
+		if x < t.min {
+			t.min = x
+		}
+		if x > t.max {
+			t.max = x
+		}
+		if len(t.bufMeans) >= limit {
+			t.process()
+		}
+	}
+	return added
+}
+
 // Count returns the total weight added.
 func (t *TDigest) Count() float64 { return t.total + t.bufTotal }
 
