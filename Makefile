@@ -13,11 +13,13 @@ check: vet lint build race test chaos seg-race trace-race colagg-race
 vet:
 	$(GO) vet ./...
 
-# edgelint enforces the repo's determinism, unit-safety, and poisoning
-# contracts (DESIGN.md §8). Also runnable through the vet toolchain:
+# edgelint enforces the repo's determinism, unit-safety, poisoning, and
+# batch-ownership contracts (DESIGN.md §8, §13). Packages are analyzed
+# in parallel and results cached under os.UserCacheDir()/edgelint
+# (-cache off disables). Also runnable through the vet toolchain:
 #   go build -o edgelint ./cmd/edgelint && go vet -vettool=./edgelint ./...
 lint:
-	$(GO) run ./cmd/edgelint .
+	$(GO) run ./cmd/edgelint -stats .
 
 build:
 	$(GO) build ./...

@@ -1,7 +1,7 @@
 // Command edgelint runs the repo's domain-specific static analyzers
 // (internal/lint/...): nondeterminism, rngsplit, unitsafety,
-// closecheck, and poisonpath — the contracts the compiler cannot see
-// (DESIGN.md §8).
+// closecheck, poisonpath, rowfree, tracekey, and batchlife — the
+// contracts the compiler cannot see (DESIGN.md §8, §13).
 //
 // Two modes share one diagnostic pipeline:
 //
@@ -9,8 +9,14 @@
 // cache needed):
 //
 //	edgelint            # the module containing the current directory
-//	edgelint ./agg      # only packages under a directory
+//	edgelint ./agg      # only report findings under a directory
 //	edgelint -list      # print the analyzers and their contracts
+//	edgelint -stats .   # add per-analyzer wall time and finding counts
+//	edgelint -json .    # machine-readable findings + stats
+//
+// Standalone runs analyze packages in dependency order (facts flow
+// from a package to its importers), in parallel, behind a file-hash
+// keyed result cache (-cache=off disables; -cache=DIR relocates).
 //
 // As a go vet tool, speaking vet's unitchecker protocol (-V=full,
 // -flags, and JSON vet.cfg units with gc export data):
@@ -22,12 +28,14 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/lint/load"
 	"repro/internal/lint/suite"
@@ -51,8 +59,11 @@ func main() {
 	}
 
 	list := flag.Bool("list", false, "list analyzers and their contracts")
+	stats := flag.Bool("stats", false, "print per-analyzer wall time and finding counts")
+	jsonOut := flag.Bool("json", false, "emit findings and stats as JSON")
+	cache := flag.String("cache", "auto", `result cache: "auto" (per-user cache dir), "off", or a directory`)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: edgelint [-list] [dir]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: edgelint [-list] [-stats] [-json] [-cache=auto|off|DIR] [dir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -69,7 +80,7 @@ func main() {
 			dir = "."
 		}
 	}
-	os.Exit(runStandalone(dir, os.Stdout))
+	os.Exit(runStandaloneCfg(dir, os.Stdout, runConfig{stats: *stats, json: *jsonOut, cache: *cache}))
 }
 
 // printVersion emits a line whose content changes whenever the binary
@@ -89,8 +100,20 @@ func printVersion() {
 	fmt.Printf("edgelint version devel buildID=%s\n", sum)
 }
 
-// runStandalone lints every module package under dir.
+// runConfig carries the standalone mode's flag settings.
+type runConfig struct {
+	stats bool
+	json  bool
+	cache string
+}
+
+// runStandalone lints the module containing dir with default settings,
+// reporting findings under dir (tests call this directly).
 func runStandalone(dir string, out io.Writer) int {
+	return runStandaloneCfg(dir, out, runConfig{cache: "auto"})
+}
+
+func runStandaloneCfg(dir string, out io.Writer, cfg runConfig) int {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
@@ -101,39 +124,58 @@ func runStandalone(dir string, out io.Writer) int {
 		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
 		return 2
 	}
-	loader, err := load.NewLoader(moduleDir)
+	var cacheDir string
+	switch cfg.cache {
+	case "auto":
+		cacheDir = suite.DefaultCacheDir()
+	case "off", "":
+		cacheDir = ""
+	default:
+		cacheDir = cfg.cache
+	}
+	res, err := suite.RunModule(moduleDir, suite.Analyzers, suite.Options{CacheDir: cacheDir})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
 		return 2
 	}
-	pkgs, err := loader.LoadAll()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
-		return 2
-	}
-	// Restrict to packages rooted under dir (so `edgelint ./agg` works)
-	// without losing cross-package type information.
-	var selected []*load.Package
-	for _, p := range pkgs {
-		if p.Dir == abs || strings.HasPrefix(p.Dir, abs+string(filepath.Separator)) {
-			selected = append(selected, p)
+	// Analysis covers the whole module (facts and caching need every
+	// package), but only findings rooted under dir are reported — this
+	// is what `edgelint ./agg` means.
+	findings := res.Findings[:0:0]
+	for _, f := range res.Findings {
+		rel, err := filepath.Rel(abs, f.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
 		}
+		f.Pos.Filename = rel
+		findings = append(findings, f)
 	}
-	findings, err := suite.Run(selected, suite.Analyzers)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
-		return 2
-	}
-	for _, f := range findings {
-		rel := f
-		if r, err := filepath.Rel(abs, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			rel.Pos.Filename = r
+	if cfg.json {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(suite.Result{Findings: findings, Stats: res.Stats}); err != nil {
+			fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+			return 2
 		}
-		fmt.Fprintln(out, rel)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+		if cfg.stats {
+			printStats(out, res.Stats)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "edgelint: %d finding(s) in %d package(s)\n", len(findings), len(selected))
+		fmt.Fprintf(os.Stderr, "edgelint: %d finding(s) in %d package(s)\n", len(findings), res.Stats.Packages)
 		return 1
 	}
 	return 0
+}
+
+// printStats renders the per-analyzer accounting table.
+func printStats(out io.Writer, s suite.Stats) {
+	fmt.Fprintf(out, "packages: %d analyzed, %d cache hit(s), %d miss(es)\n", s.Packages, s.CacheHits, s.CacheMisses)
+	for _, st := range s.SortedAnalyzerStats() {
+		fmt.Fprintf(out, "%15s  %10v  %d finding(s)\n", st.Name, st.Time.Round(10*time.Microsecond), st.Findings)
+	}
 }

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/lint/suite"
 )
 
 // buildDriver compiles the edgelint binary once per test binary run.
@@ -41,6 +44,8 @@ func TestStandaloneOnBadModule(t *testing.T) {
 		"direct conversion from bytes (units.ByteSize) to bits/s (units.Rate)",
 		"unchecked error from (*bufio.Writer).Flush",
 		"Orphan creates a pipeline group but has no context.Context parameter",
+		"column batch b may reach this exit without being released",
+		"column batch b is used after its ownership was handed off",
 	} {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("missing diagnostic %q in output:\n%s", want, &stdout)
@@ -63,6 +68,7 @@ func TestVettoolOnBadModule(t *testing.T) {
 		"multiplying two bits/s (units.Rate) quantities",
 		"unchecked error from (*bufio.Writer).Flush",
 		"Orphan creates a pipeline group but has no context.Context parameter",
+		"column batch b is used after its ownership was handed off",
 	} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("missing diagnostic %q in go vet output:\n%s", want, out)
@@ -80,5 +86,48 @@ func TestSelfClean(t *testing.T) {
 	var out bytes.Buffer
 	if code := runStandalone("../..", &out); code != 0 {
 		t.Fatalf("edgelint on the repo exited %d:\n%s", code, &out)
+	}
+}
+
+// A second run against an unchanged module must be served entirely from
+// the result cache — same findings, zero misses — and a cached hit must
+// replay imported facts too (the cross-package batchlife diagnostics
+// stay present).
+func TestResultCacheRoundTrip(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	run := func() (string, suite.Result) {
+		var out bytes.Buffer
+		code := runStandaloneCfg("testdata/badmod", &out, runConfig{json: true, cache: cacheDir})
+		if code != 1 {
+			t.Fatalf("want exit 1 on badmod, got %d:\n%s", code, &out)
+		}
+		var res suite.Result
+		if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+			t.Fatalf("decoding -json output: %v\n%s", err, &out)
+		}
+		return out.String(), res
+	}
+
+	first, cold := run()
+	if cold.Stats.CacheMisses == 0 {
+		t.Fatalf("cold run reported no cache misses: %+v", cold.Stats)
+	}
+	second, warm := run()
+	if warm.Stats.CacheHits != warm.Stats.Packages || warm.Stats.CacheMisses != 0 {
+		t.Errorf("warm run not fully cached: %d hit(s), %d miss(es), %d package(s)",
+			warm.Stats.CacheHits, warm.Stats.CacheMisses, warm.Stats.Packages)
+	}
+	if len(warm.Findings) != len(cold.Findings) {
+		t.Errorf("warm run replayed %d finding(s), cold had %d:\ncold:\n%s\nwarm:\n%s",
+			len(warm.Findings), len(cold.Findings), first, second)
+	}
+	var handoff bool
+	for _, f := range warm.Findings {
+		if strings.Contains(f.Message, "handed off") {
+			handoff = true
+		}
+	}
+	if !handoff {
+		t.Errorf("warm run lost the fact-dependent batchlife finding:\n%s", second)
 	}
 }

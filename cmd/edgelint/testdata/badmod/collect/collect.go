@@ -1,0 +1,29 @@
+// Package collect plants batchlife violations that depend on facts
+// imported from the sibling segstore package: a leak on an early exit
+// and a use after ownership was handed to a consuming callee.
+package collect
+
+import "badmod/segstore"
+
+// LeakOnBranch releases on the main path only; the early return leaks.
+func LeakOnBranch(r *segstore.Reader) int {
+	b, err := r.Read()
+	if err != nil {
+		return 0
+	}
+	if b.Len() > 3 {
+		return 1
+	}
+	b.Release()
+	return 2
+}
+
+// UseAfterHandoff keeps touching the batch after Drain consumed it.
+func UseAfterHandoff(r *segstore.Reader) int {
+	b, err := r.Read()
+	if err != nil {
+		return 0
+	}
+	segstore.Drain(b)
+	return b.Len()
+}

@@ -1,0 +1,38 @@
+// Package segstore is the fixture module's miniature batch kernel.
+// Its import path ends in /segstore, so batchlife treats ColumnBatch's
+// own methods as the trusted kernel and summarizes the rest (Read
+// returns an owned batch, Drain consumes its argument) as facts for
+// the consumer package to import.
+package segstore
+
+import "errors"
+
+// ColumnBatch stands in for the pooled columnar batch.
+type ColumnBatch struct {
+	n    int
+	refs int
+}
+
+// Len returns the row count.
+func (b *ColumnBatch) Len() int { return b.n }
+
+// Release returns the batch to its pool.
+func (b *ColumnBatch) Release() { b.refs-- }
+
+// Reader hands out owned batches.
+type Reader struct {
+	segs []int
+}
+
+// Read returns a batch the caller owns.
+func (r *Reader) Read() (*ColumnBatch, error) {
+	if len(r.segs) == 0 {
+		return nil, errors.New("empty")
+	}
+	return &ColumnBatch{n: r.segs[0]}, nil
+}
+
+// Drain consumes the batch it is given.
+func Drain(b *ColumnBatch) {
+	b.Release()
+}

@@ -3,8 +3,12 @@
 // data of its dependencies, and expects facts written to VetxOutput,
 // diagnostics on stderr, and exit 2 when any diagnostic fired. This
 // mirrors golang.org/x/tools/go/analysis/unitchecker on the subset the
-// edgelint suite needs (the suite defines no cross-package facts, so
-// the vetx files are empty placeholders).
+// edgelint suite needs. Facts ride the same files cmd/go already
+// shuttles between units: each dependency's PackageVetx bundle is
+// loaded into the fact store before analysis, and the unit's own
+// exported facts are serialized to VetxOutput afterwards — so
+// batchlife's ownership summaries cross package boundaries under
+// `go vet -vettool` exactly as they do standalone.
 package main
 
 import (
@@ -54,16 +58,14 @@ func runVetUnit(cfgPath string) int {
 		return 2
 	}
 
-	// The suite has no facts, but vet requires the output file to exist
-	// for caching. Write it before anything can fail partway.
+	// vet requires the output file to exist for caching even when the
+	// unit fails partway; write a placeholder first, the real fact
+	// bundle replaces it after analysis.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
 			return 2
 		}
-	}
-	if cfg.VetxOnly {
-		return 0
 	}
 
 	fset := token.NewFileSet()
@@ -112,10 +114,42 @@ func runVetUnit(cfgPath string) int {
 		return 0
 	}
 
-	findings, err := suite.Run([]*load.Package{pkg}, suite.Analyzers)
+	// Dependency facts arrive as the vetx files earlier edgelint
+	// invocations wrote for each imported package. Fact types must be
+	// registered before decoding, or AddBundle drops them as unknown.
+	suite.RegisterFacts(suite.Analyzers)
+	store := suite.NewFactStore()
+	for path, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // missing vetx ⇒ no facts for that dep
+		}
+		if err := store.AddBundle(path, data); err != nil {
+			fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+			return 2
+		}
+	}
+
+	findings, err := suite.RunUnit(pkg, suite.Analyzers, store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
 		return 2
+	}
+	if cfg.VetxOutput != "" {
+		bundle, err := store.Bundle(cfg.ImportPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(cfg.VetxOutput, bundle, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "edgelint: %v\n", err)
+			return 2
+		}
+	}
+	// A VetxOnly unit is a dependency of the requested packages, not
+	// itself requested: vet wants its facts, not its diagnostics.
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f)

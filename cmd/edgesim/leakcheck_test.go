@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/segstore"
+)
+
+// TestMain runs edgesim's end-to-end tests (segment write + reread
+// equivalence, traced chaos datasets) under segstore leak-check mode
+// and asserts zero outstanding pooled batches afterwards — the CLI
+// paths must uphold the same ownership protocol the study pipeline
+// does.
+func TestMain(m *testing.M) {
+	segstore.SetLeakCheck(true)
+	code := m.Run()
+	if out, dbl := segstore.LeakStats(); code == 0 && (out != 0 || dbl != 0) {
+		fmt.Fprintf(os.Stderr, "segstore leak check: %d outstanding batches, %d double releases after edgesim tests\n", out, dbl)
+		code = 1
+	}
+	os.Exit(code)
+}

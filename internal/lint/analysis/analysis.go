@@ -28,6 +28,17 @@ type Analyzer struct {
 	// rest describes exactly what is flagged and what is exempt.
 	Doc string
 
+	// Requires lists analyzers whose results this one consumes: the
+	// driver runs them first (on the same package) and exposes their
+	// return values through Pass.ResultOf.
+	Requires []*Analyzer
+
+	// FactTypes lists the fact types this analyzer exports or imports.
+	// An analyzer with FactTypes is rerun package-by-package in
+	// dependency order so facts flow from a package to its importers.
+	// Each entry must be registered with RegisterFact by the driver.
+	FactTypes []Fact
+
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (any, error)
 }
@@ -53,6 +64,25 @@ type Pass struct {
 
 	// Report delivers one diagnostic. The driver fills this in.
 	Report func(Diagnostic)
+
+	// ResultOf maps each analyzer in Analyzer.Requires to its Run return
+	// value for this package.
+	ResultOf map[*Analyzer]any
+
+	// ExportObjectFact associates fact with obj, making it visible to
+	// this analyzer when packages importing this one are analyzed. obj
+	// must belong to the package under analysis. The driver fills this
+	// in; it is nil for analyzers without FactTypes.
+	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ImportObjectFact copies into fact the fact of fact's concrete type
+	// previously exported for obj (by this package or one of its
+	// dependencies) and reports whether one existed.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+
+	// AllObjectFacts returns the facts exported while analyzing the
+	// current package, in no particular order.
+	AllObjectFacts func() []ObjectFact
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -1,0 +1,557 @@
+// Package batchlife enforces the pooled ColumnBatch ownership protocol
+// (DESIGN.md §12–§13) flow-sensitively: every path from a batch
+// acquisition — a call returning *ColumnBatch (ScanColumns hand-offs
+// arrive as callback parameters), a Slice view, a pool get — must reach
+// exactly one Release, directly, deferred, or by handing ownership on
+// (a consuming callee, a composite literal bound for another stage, a
+// return). No identifier may be used after the statement that released
+// it, and a batch must not be stored outside the scope responsible for
+// releasing it.
+//
+// The analysis runs on the cfg package's control-flow graphs and is
+// interprocedural through FuncFact summaries: each function with
+// *ColumnBatch parameters exports whether it borrows or consumes them,
+// whether it returns an owned batch, and which of its func-typed
+// parameters receive batch ownership when called. Facts flow from a
+// package to its importers, so a study-side function literal handed to
+// segstore's ScanColumns knows it owns its batch parameter.
+//
+// Known approximations (DESIGN.md §13): ownership threaded through
+// struct fields, maps, slices, or channels is invisible after the
+// hand-off (the leak-check runtime twin covers those paths); a batch
+// wrapped in a composite literal is treated as handed off even if the
+// wrapper never reaches a consumer; conditional-transfer sites (a
+// failed Stream.Send returns ownership to the sender) need an
+// //edgelint:allow batchlife directive with a reason — the only
+// exemption mechanism.
+package batchlife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+)
+
+// Analyzer is the batchlife check.
+var Analyzer = &analysis.Analyzer{
+	Name: "batchlife",
+	Doc: `enforce the pooled ColumnBatch ownership protocol on every control-flow path
+
+Flags batches that can leak (a path from acquisition to return without a
+Release or hand-off), double releases, uses after release or after
+ownership hand-off, owned batches overwritten while live, and batches
+escaping into fields or globals. Exports per-function borrow/consume
+summaries so the check crosses package boundaries.`,
+	Requires:  []*analysis.Analyzer{cfg.Analyzer},
+	FactTypes: []analysis.Fact{(*FuncFact)(nil)},
+	Run:       run,
+}
+
+const (
+	// bits of a tracked variable's may-state: the set of conditions the
+	// variable can be in on some path reaching the current point.
+	stOwned    uint8 = 1 << iota // holds a batch this scope must release
+	stParam                      // live borrowed parameter (callers own it)
+	stReleased                   // released on some path
+	stHanded                     // ownership handed off on some path
+)
+
+type varState struct {
+	bits uint8
+	// deferred is a must-bit: every path to here registered a deferred
+	// release (defer x.Release()), which discharges the obligation at
+	// exits.
+	deferred bool
+	// view marks Slice results: they must not escape the scope that
+	// releases their parent.
+	view bool
+	// acq is where the obligation was created, for diagnostics.
+	acq token.Pos
+}
+
+type state map[*types.Var]varState
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// merge unions v into s[k]; reports whether s changed.
+func (s state) merge(k *types.Var, v varState) bool {
+	old, ok := s[k]
+	if !ok {
+		s[k] = v
+		return true
+	}
+	nb := old.bits | v.bits
+	nd := old.deferred && v.deferred
+	nv := old.view || v.view
+	na := old.acq
+	if na == token.NoPos {
+		na = v.acq
+	}
+	if nb == old.bits && nd == old.deferred && nv == old.view && na == old.acq {
+		return false
+	}
+	s[k] = varState{bits: nb, deferred: nd, view: nv, acq: na}
+	return true
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !packageUsesBatches(pass) {
+		return nil, nil
+	}
+	graphs := pass.ResultOf[cfg.Analyzer].(*cfg.Graphs)
+	a := &checker{
+		pass:     pass,
+		graphs:   graphs,
+		facts:    map[*types.Func]*FuncFact{},
+		litOwned: map[*ast.FuncLit]map[int]bool{},
+		reported: map[string]bool{},
+	}
+	a.collectUnits()
+
+	// Package-local fixpoint: facts of mutually-calling functions (and
+	// the callback-ownership of literals at their call sites) stabilize
+	// in a few rounds; diagnostics are only emitted on the final pass.
+	const maxRounds = 10
+	for round := 0; round < maxRounds; round++ {
+		if !a.analyzeAll(false) {
+			break
+		}
+	}
+	a.analyzeAll(true)
+
+	for fn, fact := range a.facts {
+		if !fact.trivial() {
+			pass.ExportObjectFact(fn, fact)
+		}
+	}
+	return nil, nil
+}
+
+// packageUsesBatches gates the whole analysis: only packages that
+// define or import a segstore-shaped ColumnBatch pay for the dataflow.
+func packageUsesBatches(pass *analysis.Pass) bool {
+	if isSegstorePkg(pass.Pkg) {
+		return true
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if isSegstorePkg(imp) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSegstorePkg(p *types.Package) bool {
+	if p == nil {
+		return false
+	}
+	path := p.Path()
+	if path != "segstore" && !strings.HasSuffix(path, "/segstore") {
+		return false
+	}
+	return p.Scope().Lookup("ColumnBatch") != nil
+}
+
+// isBatchPtr reports whether t is *segstore.ColumnBatch (any package
+// whose path ends in segstore, so fixture modules participate).
+func isBatchPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "ColumnBatch" && isSegstorePkg(obj.Pkg())
+}
+
+// unit is one function body under analysis: a declaration (with its
+// types.Func, so facts attach) or a literal (whose owned parameters
+// come from callback facts at its call sites).
+type unit struct {
+	node ast.Node
+	body *ast.BlockStmt
+	fn   *types.Func // nil for literals
+	lit  *ast.FuncLit
+	sig  *types.Signature
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	graphs *cfg.Graphs
+	units  []*unit
+
+	// facts are this package's derived summaries (superset of what gets
+	// exported: trivial facts stay local).
+	facts map[*types.Func]*FuncFact
+
+	// litOwned[lit][i] means literal lit's i-th parameter receives batch
+	// ownership — discovered at call sites during analysis, consumed
+	// when the literal itself is analyzed (hence the fixpoint).
+	litOwned map[*ast.FuncLit]map[int]bool
+
+	// reported dedupes diagnostics across fixpoint rounds and loop
+	// revisits.
+	reported map[string]bool
+
+	reporting bool
+	changed   bool
+}
+
+func (c *checker) collectUnits() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				obj, _ := c.pass.TypesInfo.Defs[fn.Name].(*types.Func)
+				if obj == nil {
+					return true
+				}
+				sig := obj.Type().(*types.Signature)
+				// ColumnBatch's own methods are the trusted kernel: they
+				// manipulate reference counts the protocol abstracts over.
+				if recv := sig.Recv(); recv != nil && isBatchRecv(recv.Type()) {
+					return true
+				}
+				c.units = append(c.units, &unit{node: fn, body: fn.Body, fn: obj, sig: sig})
+			case *ast.FuncLit:
+				sig, _ := c.pass.TypesInfo.Types[fn].Type.(*types.Signature)
+				if sig == nil {
+					return true
+				}
+				c.units = append(c.units, &unit{node: fn, body: fn.Body, lit: fn, sig: sig})
+			}
+			return true
+		})
+	}
+}
+
+func isBatchRecv(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Name() == "ColumnBatch" && isSegstorePkg(named.Obj().Pkg())
+}
+
+// analyzeAll runs the dataflow over every unit; returns whether any
+// fact or literal-ownership changed (fixpoint continuation).
+func (c *checker) analyzeAll(report bool) bool {
+	c.reporting = report
+	c.changed = false
+	for _, u := range c.units {
+		c.analyzeUnit(u)
+	}
+	return c.changed
+}
+
+// funcUnit is the per-unit dataflow context.
+type funcUnit struct {
+	c *checker
+	u *unit
+	g *cfg.Graph
+	// tracked maps every *ColumnBatch variable defined in this function
+	// (params and locals) to true; captured variables of enclosing
+	// functions are not tracked here.
+	tracked map[*types.Var]bool
+	// params maps batch parameter vars to their index in the signature.
+	params map[*types.Var]int
+	// errLink maps an error variable to the batch variable acquired in
+	// the same tuple assignment (b, err := acquire()), so branching on
+	// err refines b's state.
+	errLink map[*types.Var]*types.Var
+
+	// per-exit observations for fact derivation.
+	paramReleasedSome map[*types.Var]bool
+	paramLiveSome     map[*types.Var]bool
+	returnsOwned      bool
+	callbacks         map[CallbackFact]bool
+}
+
+func (c *checker) analyzeUnit(u *unit) {
+	g := c.graphs.FuncOf(u.node)
+	if g == nil {
+		return
+	}
+	fu := &funcUnit{
+		c: c, u: u, g: g,
+		tracked:           map[*types.Var]bool{},
+		params:            map[*types.Var]int{},
+		errLink:           map[*types.Var]*types.Var{},
+		paramReleasedSome: map[*types.Var]bool{},
+		paramLiveSome:     map[*types.Var]bool{},
+		callbacks:         map[CallbackFact]bool{},
+	}
+
+	entry := state{}
+	// Parameters: batch params start as borrowed (callers own them)
+	// unless a callback fact at this literal's call site says ownership
+	// arrives with the call.
+	owned := map[int]bool{}
+	if u.lit != nil {
+		owned = c.litOwned[u.lit]
+	}
+	for i := 0; i < u.sig.Params().Len(); i++ {
+		p := u.sig.Params().At(i)
+		if !isBatchPtr(p.Type()) {
+			continue
+		}
+		fu.tracked[p] = true
+		fu.params[p] = i
+		if owned[i] {
+			entry[p] = varState{bits: stOwned, acq: p.Pos()}
+		} else {
+			entry[p] = varState{bits: stParam, acq: p.Pos()}
+		}
+	}
+	// Pre-register every locally defined batch variable so uses resolve.
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != u.lit {
+			return false // nested literals are their own units
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok && isBatchPtr(v.Type()) {
+				fu.tracked[v] = true
+			}
+		}
+		return true
+	})
+
+	// Worklist to fixpoint (no reporting), then one reporting sweep.
+	in := map[*cfg.Block]state{g.Entry: entry}
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := in[b].clone()
+		silent := &sink{}
+		for _, n := range b.Nodes {
+			fu.transfer(n, out, silent)
+		}
+		for i, succ := range b.Succs {
+			edge := out
+			if r := fu.refine(b, i, out); r != nil {
+				edge = r
+			}
+			dst, ok := in[succ]
+			if !ok {
+				dst = state{}
+				in[succ] = dst
+			}
+			changed := false
+			for k, v := range edge {
+				if dst.merge(k, v) {
+					changed = true
+				}
+			}
+			if changed || !ok {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Reporting sweep + exit checks, from the stabilized in-states.
+	rep := &sink{fu: fu}
+	for _, b := range c.graphs.FuncOf(u.node).Blocks {
+		st, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		out := st.clone()
+		for _, n := range b.Nodes {
+			fu.transfer(n, out, rep)
+			if ret, isRet := n.(*ast.ReturnStmt); isRet {
+				fu.checkExit(out, ret.Pos(), rep)
+			}
+		}
+		// Fall-off-the-end path: a block that edges to Exit without a
+		// return statement.
+		for _, succ := range b.Succs {
+			if succ == c.graphs.FuncOf(u.node).Exit && !endsWithReturn(b) {
+				fu.checkExit(out, u.body.Rbrace, rep)
+			}
+		}
+	}
+
+	fu.deriveFact(rep)
+}
+
+func endsWithReturn(b *cfg.Block) bool {
+	if len(b.Nodes) == 0 {
+		return false
+	}
+	_, ok := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// sink collects or discards diagnostics; during the silent fixpoint
+// rounds fu is nil and everything is dropped.
+type sink struct {
+	fu *funcUnit
+}
+
+func (s *sink) reportf(pos token.Pos, format string, args ...any) {
+	if s.fu == nil || !s.fu.c.reporting {
+		return
+	}
+	key := s.fu.c.pass.Fset.Position(pos).String() + ":" + format
+	if s.fu.c.reported[key] {
+		return
+	}
+	s.fu.c.reported[key] = true
+	s.fu.c.pass.Reportf(pos, format, args...)
+}
+
+// checkExit demands every tracked variable's obligation is discharged
+// on a path reaching a normal function exit.
+func (fu *funcUnit) checkExit(st state, pos token.Pos, rep *sink) {
+	for v, vs := range st {
+		if vs.bits&stOwned != 0 && !vs.deferred {
+			rep.reportf(pos, "column batch %s may reach this exit without being released (acquired at %s)",
+				v.Name(), fu.c.pass.Fset.Position(vs.acq))
+		}
+		if _, isParam := fu.params[v]; isParam {
+			if vs.bits&stParam != 0 && !vs.deferred {
+				fu.paramLiveSome[v] = true
+			}
+			// A parameter handed to a consuming callee was consumed
+			// transitively; deferred releases consume at exit.
+			if vs.bits&(stReleased|stHanded) != 0 || vs.deferred {
+				fu.paramReleasedSome[v] = true
+			}
+		}
+	}
+}
+
+// deriveFact computes this declaration's summary from the exit
+// observations and records whether it changed (fixpoint driver).
+func (fu *funcUnit) deriveFact(rep *sink) {
+	if fu.u.fn == nil {
+		return
+	}
+	sig := fu.u.sig
+	fact := &FuncFact{ReturnsOwned: fu.returnsOwned}
+	if n := sig.Params().Len(); n > 0 {
+		fact.Params = make([]ParamMode, n)
+	}
+	for v, i := range fu.params {
+		released := fu.paramReleasedSome[v]
+		live := fu.paramLiveSome[v]
+		switch {
+		case released && live:
+			rep.reportf(fu.u.node.Pos(), "%s releases its *ColumnBatch parameter %s on some paths but not others",
+				fu.u.fn.Name(), v.Name())
+			fact.Params[i] = ParamConsumes
+		case released:
+			fact.Params[i] = ParamConsumes
+		default:
+			fact.Params[i] = ParamBorrows
+		}
+	}
+	for cb := range fu.callbacks {
+		fact.Callbacks = append(fact.Callbacks, cb)
+	}
+	sortCallbacks(fact.Callbacks)
+	if prev := fu.c.facts[fu.u.fn]; !fact.equal(prev) {
+		fu.c.facts[fu.u.fn] = fact
+		fu.c.changed = true
+	}
+}
+
+func sortCallbacks(cbs []CallbackFact) {
+	for i := 1; i < len(cbs); i++ {
+		for j := i; j > 0 && (cbs[j].Param < cbs[j-1].Param || (cbs[j].Param == cbs[j-1].Param && cbs[j].Arg < cbs[j-1].Arg)); j-- {
+			cbs[j], cbs[j-1] = cbs[j-1], cbs[j]
+		}
+	}
+}
+
+// refine adjusts the state along a branch edge when the block's leaf
+// condition is a nil comparison of a tracked batch, or of an error
+// variable tuple-linked to one (b, err := acquire(); if err != nil
+// { ... } — the error branch carries no batch).
+func (fu *funcUnit) refine(b *cfg.Block, succIdx int, st state) state {
+	if len(b.Succs) != 2 || len(b.Nodes) == 0 {
+		return nil
+	}
+	cond, ok := b.Nodes[len(b.Nodes)-1].(ast.Expr)
+	if !ok {
+		return nil
+	}
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	var operand ast.Expr
+	if isNilIdent(fu.c.pass, y) {
+		operand = x
+	} else if isNilIdent(fu.c.pass, x) {
+		operand = y
+	} else {
+		return nil
+	}
+	id, ok := operand.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, _ := fu.c.pass.TypesInfo.Uses[id].(*types.Var)
+	if obj == nil {
+		if d, okd := fu.c.pass.TypesInfo.Defs[id].(*types.Var); okd {
+			obj = d
+		}
+	}
+	if obj == nil {
+		return nil
+	}
+	var batch *types.Var
+	if fu.tracked[obj] {
+		batch = obj
+	} else if linked, okl := fu.errLink[obj]; okl {
+		batch = linked
+	} else {
+		return nil
+	}
+	// Which edge is "the value is nil / the call failed"?
+	nilEdge := 0 // Succs[0] is the true edge
+	if bin.Op == token.NEQ {
+		nilEdge = 1
+	}
+	onNil := succIdx == nilEdge
+	// err != nil refining b: err's nil edge is where b IS owned.
+	if batch != obj {
+		onNil = !onNil
+	}
+	if !onNil {
+		return nil
+	}
+	r := st.clone()
+	vs := r[batch]
+	vs.bits &^= stOwned | stParam
+	r[batch] = vs
+	return r
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}

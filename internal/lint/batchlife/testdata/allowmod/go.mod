@@ -1,0 +1,3 @@
+module batchmod
+
+go 1.22

@@ -1,0 +1,20 @@
+// Package segstore is the miniature batch kernel for the allow-mode
+// fixture module.
+package segstore
+
+// ColumnBatch stands in for the pooled columnar batch.
+type ColumnBatch struct {
+	n    int
+	refs int
+}
+
+// Len returns the row count.
+func (b *ColumnBatch) Len() int { return b.n }
+
+// Release returns the batch to its pool.
+func (b *ColumnBatch) Release() { b.refs-- }
+
+// Read returns a batch the caller owns.
+func Read() (*ColumnBatch, error) {
+	return &ColumnBatch{n: 1}, nil
+}

@@ -1,0 +1,27 @@
+// Package use holds one suppressed and one bare batchlife violation,
+// proving the //edgelint:allow path end to end through the suite.
+package use
+
+import "batchmod/segstore"
+
+// Handed sends the batch somewhere the analyzer cannot see; the
+// directive records why the apparent leak is fine.
+func Handed() int {
+	b, err := segstore.Read()
+	if err != nil {
+		return 0
+	}
+	n := b.Len()
+	_ = b
+	//edgelint:allow batchlife: ownership transfers through a side channel this fixture elides
+	return n
+}
+
+// Bare leaks without an excuse and must stay a finding.
+func Bare() int {
+	b, err := segstore.Read()
+	if err != nil {
+		return 0
+	}
+	return b.Len()
+}

@@ -1,0 +1,183 @@
+// Package batchuser exercises every batchlife diagnostic against the
+// miniature segstore fixture, including the interprocedural cases that
+// ride on imported facts (Read returns owned, ScanColumns's emit owns
+// its argument, Drain consumes).
+package batchuser
+
+import "segstore"
+
+var global *segstore.ColumnBatch
+
+// missingReleaseOnError leaks b on the early-return path.
+func missingReleaseOnError(r *segstore.Reader) int {
+	b, err := r.Read()
+	if err != nil {
+		return 0
+	}
+	if b.Len() > 3 {
+		return 1 // want "column batch b may reach this exit without being released"
+	}
+	b.Release()
+	return 2
+}
+
+// errorPathOK releases on every live path; the err != nil branch
+// carries no batch (nil-refinement) and needs no release.
+func errorPathOK(r *segstore.Reader) (int, error) {
+	b, err := r.Read()
+	if err != nil {
+		return 0, err
+	}
+	n := b.Len()
+	b.Release()
+	return n, nil
+}
+
+func useAfterRelease(r *segstore.Reader) int {
+	b, err := r.Read()
+	if err != nil {
+		return 0
+	}
+	b.Release()
+	return b.Len() // want "column batch b is used after it may have been released"
+}
+
+func doubleRelease(r *segstore.Reader) {
+	b, err := r.Read()
+	if err != nil {
+		return
+	}
+	b.Release()
+	b.Release() // want "column batch b may be released twice"
+}
+
+func escapingView(b *segstore.ColumnBatch) { // want escapingView:"batchlife\\(param0=borrows\\)"
+	v := b.Slice(0, 1)
+	global = v // want "batch view v escapes into a field or global"
+}
+
+func viewOK(b *segstore.ColumnBatch) int { // want viewOK:"batchlife\\(param0=borrows\\)"
+	v := b.Slice(0, 1)
+	n := v.Len()
+	v.Release()
+	return n
+}
+
+func deferOK(r *segstore.Reader) int {
+	b, err := r.Read()
+	if err != nil {
+		return 0
+	}
+	defer b.Release()
+	return b.Len()
+}
+
+func doubleDefer(r *segstore.Reader) {
+	b, err := r.Read()
+	if err != nil {
+		return
+	}
+	defer b.Release()
+	defer b.Release() // want "column batch b already has a deferred Release"
+}
+
+func overwriteWhileOwned(r *segstore.Reader) {
+	b, err := r.Read()
+	if err != nil {
+		return
+	}
+	b, err = r.Read() // want "column batch b is overwritten while it may still own a batch"
+	if err != nil {
+		return
+	}
+	b.Release()
+}
+
+// handToConsumer discharges the obligation through Drain's imported
+// consumes fact.
+func handToConsumer(r *segstore.Reader) {
+	b, err := r.Read()
+	if err != nil {
+		return
+	}
+	segstore.Drain(b)
+}
+
+func useAfterHandoff(r *segstore.Reader) int {
+	b, err := r.Read()
+	if err != nil {
+		return 0
+	}
+	segstore.Drain(b)
+	return b.Len() // want "column batch b is used after its ownership was handed off"
+}
+
+// borrowKeepsOwnership: Peek borrows, so the caller still must (and
+// does) release.
+func borrowKeepsOwnership(r *segstore.Reader) int {
+	b, err := r.Read()
+	if err != nil {
+		return 0
+	}
+	n := segstore.Peek(b)
+	b.Release()
+	return n
+}
+
+// scanEmitOK: the emit literal owns its parameter (ScanColumns's
+// callback fact) and releases it on every path.
+func scanEmitOK(r *segstore.Reader) error {
+	return r.ScanColumns(func(b *segstore.ColumnBatch) error {
+		defer b.Release()
+		return nil
+	})
+}
+
+// scanEmitLeak leaks the handed-off batch on the early return.
+func scanEmitLeak(r *segstore.Reader) error {
+	return r.ScanColumns(func(b *segstore.ColumnBatch) error {
+		if b.Len() == 0 {
+			return nil // want "column batch b may reach this exit without being released"
+		}
+		b.Release()
+		return nil
+	})
+}
+
+// produce returns an owned batch to its caller.
+func produce(r *segstore.Reader) *segstore.ColumnBatch { // want produce:"batchlife\\(returns=owned\\)"
+	b, err := r.Read()
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// produceCallerLeak acquires through produce's return and never
+// releases; the fall-off exit is the closing brace.
+func produceCallerLeak(r *segstore.Reader) {
+	b := produce(r)
+	_ = b
+} // want "column batch b may reach this exit without being released"
+
+// mixedParamRelease releases its parameter on one path only — the
+// summary is forced to consumes and the imbalance is reported.
+func mixedParamRelease(b *segstore.ColumnBatch, n int) { // want "mixedParamRelease releases its \\*ColumnBatch parameter b on some paths but not others" mixedParamRelease:"batchlife\\(param0=consumes\\)"
+	if n > 0 {
+		b.Release()
+	}
+}
+
+// localConsumeChain: the local helper's consumes fact is derived in
+// the same package (fixpoint), so the hand-off discharges here too.
+func localConsume(b *segstore.ColumnBatch) { // want localConsume:"batchlife\\(param0=consumes\\)"
+	b.Release()
+}
+
+func localConsumeChain(r *segstore.Reader) {
+	b, err := r.Read()
+	if err != nil {
+		return
+	}
+	localConsume(b)
+}

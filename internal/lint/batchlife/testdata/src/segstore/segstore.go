@@ -1,0 +1,62 @@
+// Package segstore is a miniature of the real segment store: a
+// ColumnBatch kernel (whose methods are trusted, not analyzed) plus a
+// Reader whose acquisition and callback contracts batchlife must
+// summarize as facts for importing fixtures.
+package segstore
+
+import "errors"
+
+// ColumnBatch stands in for the pooled columnar batch.
+type ColumnBatch struct {
+	n    int
+	refs int
+}
+
+// Len returns the row count.
+func (b *ColumnBatch) Len() int { return b.n }
+
+// Release returns the batch to its pool.
+func (b *ColumnBatch) Release() { b.refs-- }
+
+// Slice cuts a view holding a reference on b.
+func (b *ColumnBatch) Slice(lo, hi int) *ColumnBatch {
+	b.refs++
+	return &ColumnBatch{n: hi - lo}
+}
+
+// Reader hands out owned batches.
+type Reader struct {
+	segs []int
+}
+
+// Read returns a batch the caller owns.
+func (r *Reader) Read() (*ColumnBatch, error) { // want Read:"batchlife\\(returns=owned\\)"
+	if len(r.segs) == 0 {
+		return nil, errors.New("empty")
+	}
+	return &ColumnBatch{n: r.segs[0]}, nil
+}
+
+// ScanColumns hands each decoded batch to emit, which takes ownership.
+func (r *Reader) ScanColumns(emit func(*ColumnBatch) error) error { // want ScanColumns:"batchlife\\(callback0\\.arg0=owned\\)"
+	for range r.segs {
+		b, err := r.Read()
+		if err != nil {
+			return err
+		}
+		if err := emit(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain consumes the batch it is given.
+func Drain(b *ColumnBatch) { // want Drain:"batchlife\\(param0=consumes\\)"
+	b.Release()
+}
+
+// Peek only borrows.
+func Peek(b *ColumnBatch) int { // want Peek:"batchlife\\(param0=borrows\\)"
+	return b.Len()
+}

@@ -1,0 +1,567 @@
+package batchlife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// transfer applies one CFG node's effect to st, reporting protocol
+// violations through rep (silenced during fixpoint rounds).
+func (fu *funcUnit) transfer(n ast.Node, st state, rep *sink) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		fu.assign(n, st, rep)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					fu.valueSpec(vs, st, rep)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		fu.ret(n, st, rep)
+	case *ast.DeferStmt:
+		fu.deferStmt(n, st, rep)
+	case *ast.ExprStmt:
+		fu.scan(n.X, st, rep)
+	case *ast.GoStmt:
+		fu.scan(n.Call, st, rep)
+	case *ast.SendStmt:
+		fu.scan(n.Chan, st, rep)
+		if id, v := fu.trackedIdent(n.Value); v != nil && st[v].bits&stOwned != 0 {
+			fu.handoff(id, v, st, rep)
+		} else {
+			fu.scan(n.Value, st, rep)
+		}
+	case *ast.IncDecStmt:
+		fu.scan(n.X, st, rep)
+	case *ast.RangeStmt:
+		// Only the range operand lives in the header block; the body is
+		// its own set of blocks.
+		fu.scan(n.X, st, rep)
+	case ast.Expr:
+		// Lowered branch conditions, switch tags, case expressions.
+		fu.scan(n, st, rep)
+	}
+}
+
+// assign handles acquisitions, moves, overwrites, and escapes.
+func (fu *funcUnit) assign(n *ast.AssignStmt, st state, rep *sink) {
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		fu.tupleAssign(n, st, rep)
+		return
+	}
+	for i := range n.Lhs {
+		fu.assignPair(n.Lhs[i], n.Rhs[i], st, rep)
+	}
+}
+
+// tupleAssign handles b, err := acquire() and the pool-get comma-ok
+// form b, _ := pool.Get().(*ColumnBatch).
+func (fu *funcUnit) tupleAssign(n *ast.AssignStmt, st state, rep *sink) {
+	rhs := ast.Unparen(n.Rhs[0])
+	fu.scan(rhs, st, rep)
+
+	// Which result positions produce a batch?
+	var resTypes []types.Type
+	switch r := rhs.(type) {
+	case *ast.CallExpr:
+		if tup, ok := fu.typeOf(r).(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				resTypes = append(resTypes, tup.At(i).Type())
+			}
+		}
+	case *ast.TypeAssertExpr:
+		// comma-ok: value, ok
+		resTypes = []types.Type{fu.typeOf(r.X), types.Typ[types.Bool]}
+		if t, ok := fu.c.pass.TypesInfo.Types[r.Type]; ok {
+			resTypes[0] = t.Type
+		}
+	default:
+		// Parallel assignment a, b = x, y never reaches here (len(Rhs)>1).
+		return
+	}
+
+	var batchVar *types.Var
+	view := false
+	for i, lhs := range n.Lhs {
+		if i >= len(resTypes) || !isBatchPtr(resTypes[i]) {
+			continue
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		v := fu.defOrUse(id)
+		if v == nil || !fu.tracked[v] {
+			continue
+		}
+		batchVar = v
+		view = isSliceCall(fu.c.pass, rhs)
+		fu.overwriteCheck(id, v, st, rep)
+		fu.acquire(v, view, id.Pos(), st, rep)
+	}
+	if batchVar == nil {
+		return
+	}
+	// Link the error result's variable so branching on it refines the
+	// batch: on the error edge the callee returned no batch.
+	for i, lhs := range n.Lhs {
+		if i >= len(resTypes) || !isErrorType(resTypes[i]) {
+			continue
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if ev := fu.defOrUse(id); ev != nil {
+				fu.errLink[ev] = batchVar
+			}
+		}
+	}
+}
+
+func (fu *funcUnit) assignPair(lhs, rhs ast.Expr, st state, rep *sink) {
+	lhs, rhs = ast.Unparen(lhs), ast.Unparen(rhs)
+
+	// Blank assignment evaluates the RHS and discards it — a plain use,
+	// not a hand-off (`_ = b` does not discharge b's obligation).
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		fu.scan(rhs, st, rep)
+		return
+	}
+
+	// LHS is a tracked batch variable: acquisition, move, or kill.
+	if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+		if v := fu.defOrUse(id); v != nil && fu.tracked[v] {
+			// Move: c := b transfers ownership between locals.
+			if rid, rv := fu.trackedIdent(rhs); rv != nil {
+				rvs := st[rv]
+				if rvs.bits&stReleased != 0 {
+					rep.reportf(rid.Pos(), "column batch %s is used after it may have been released", rid.Name)
+				}
+				fu.overwriteCheck(id, v, st, rep)
+				st[v] = varState{bits: rvs.bits, view: rvs.view, acq: rvs.acq, deferred: false}
+				rvs.bits = stHanded
+				st[rv] = rvs
+				return
+			}
+			fu.scan(rhs, st, rep)
+			switch {
+			case producesBatch(fu.c.pass, rhs):
+				fu.overwriteCheck(id, v, st, rep)
+				fu.acquire(v, isSliceCall(fu.c.pass, rhs), id.Pos(), st, rep)
+			default:
+				// b = nil, b = x.field, ...: the variable no longer holds
+				// an obligation this scope created.
+				fu.overwriteCheck(id, v, st, rep)
+				st[v] = varState{}
+			}
+			return
+		}
+	}
+
+	// LHS is a field, index, or global: a tracked RHS escapes.
+	if rid, rv := fu.trackedIdent(rhs); rv != nil {
+		vs := st[rv]
+		switch {
+		case vs.view:
+			rep.reportf(rid.Pos(), "batch view %s escapes into a field or global; views must not outlive the scope releasing their parent", rid.Name)
+			vs.bits = stHanded
+			st[rv] = vs
+		case vs.bits&stOwned != 0:
+			fu.handoff(rid, rv, st, rep)
+		default:
+			fu.scan(rhs, st, rep)
+		}
+		fu.scan(lhs, st, rep)
+		return
+	}
+	fu.scan(lhs, st, rep)
+	fu.scan(rhs, st, rep)
+}
+
+func (fu *funcUnit) valueSpec(spec *ast.ValueSpec, st state, rep *sink) {
+	if len(spec.Values) == 0 {
+		for _, name := range spec.Names {
+			if v := fu.defOrUse(name); v != nil && fu.tracked[v] {
+				st[v] = varState{}
+			}
+		}
+		return
+	}
+	if len(spec.Names) > 1 && len(spec.Values) == 1 {
+		// var b, err = acquire(): rare; treat like the tuple form.
+		fu.tupleAssign(&ast.AssignStmt{
+			Lhs: identsToExprs(spec.Names), Tok: token.DEFINE, Rhs: spec.Values,
+		}, st, rep)
+		return
+	}
+	for i, name := range spec.Names {
+		if i < len(spec.Values) {
+			fu.assignPair(name, spec.Values[i], st, rep)
+		}
+	}
+}
+
+func identsToExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+// overwriteCheck flags assigning over a variable that still owns a
+// batch — the old batch becomes unreleasable.
+func (fu *funcUnit) overwriteCheck(id *ast.Ident, v *types.Var, st state, rep *sink) {
+	vs := st[v]
+	if vs.bits&stOwned != 0 && !vs.deferred {
+		rep.reportf(id.Pos(), "column batch %s is overwritten while it may still own a batch (acquired at %s)",
+			id.Name, fu.c.pass.Fset.Position(vs.acq))
+	}
+}
+
+func (fu *funcUnit) acquire(v *types.Var, view bool, pos token.Pos, st state, rep *sink) {
+	st[v] = varState{bits: stOwned, view: view, acq: pos}
+}
+
+// handoff transfers ownership out of this scope.
+func (fu *funcUnit) handoff(id *ast.Ident, v *types.Var, st state, rep *sink) {
+	vs := st[v]
+	if vs.bits&stReleased != 0 {
+		rep.reportf(id.Pos(), "column batch %s is handed off after it may have been released", id.Name)
+	}
+	vs.bits = stHanded
+	vs.deferred = false
+	st[v] = vs
+}
+
+func (fu *funcUnit) release(id *ast.Ident, v *types.Var, pos token.Pos, st state, rep *sink) {
+	vs := st[v]
+	if vs.bits&stReleased != 0 {
+		rep.reportf(pos, "column batch %s may be released twice", id.Name)
+	} else if vs.bits&stHanded != 0 && vs.bits&(stOwned|stParam) == 0 {
+		rep.reportf(pos, "column batch %s is released after its ownership was handed off", id.Name)
+	}
+	vs.bits = vs.bits&^(stOwned|stParam) | stReleased
+	st[v] = vs
+}
+
+func (fu *funcUnit) ret(n *ast.ReturnStmt, st state, rep *sink) {
+	for _, res := range n.Results {
+		res := ast.Unparen(res)
+		if id, v := fu.trackedIdent(res); v != nil {
+			vs := st[v]
+			if vs.bits&stReleased != 0 {
+				rep.reportf(id.Pos(), "column batch %s is returned after it may have been released", id.Name)
+			}
+			if vs.bits&stOwned != 0 {
+				if vs.deferred {
+					rep.reportf(id.Pos(), "column batch %s is returned while a deferred Release still covers it", id.Name)
+				}
+				fu.returnsOwned = true
+				vs.bits = stHanded
+				st[v] = vs
+			}
+			continue
+		}
+		if producesBatch(fu.c.pass, res) {
+			fu.returnsOwned = true
+		}
+		fu.scan(res, st, rep)
+	}
+}
+
+func (fu *funcUnit) deferStmt(n *ast.DeferStmt, st state, rep *sink) {
+	call := n.Call
+	// defer x.Release(): discharges x's obligation at every exit.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" && isBatchRecv(fu.typeOf(sel.X)) {
+		if id, v := fu.trackedIdent(sel.X); v != nil {
+			vs := st[v]
+			if vs.deferred {
+				rep.reportf(n.Pos(), "column batch %s already has a deferred Release; this one releases it twice", id.Name)
+			}
+			vs.deferred = true
+			st[v] = vs
+			return
+		}
+	}
+	fu.scan(call, st, rep)
+}
+
+// scan walks an expression: it finds the ownership events (releases,
+// hand-offs to consuming callees / func-valued parameters / composite
+// literals / closures), claims the identifiers those events consume,
+// reports remaining occurrences of released or handed-off batches as
+// stale uses, then applies the events.
+func (fu *funcUnit) scan(e ast.Expr, st state, rep *sink) {
+	if e == nil {
+		return
+	}
+	type rel struct {
+		id  *ast.Ident
+		v   *types.Var
+		pos token.Pos
+	}
+	type hand struct {
+		id  *ast.Ident
+		v   *types.Var
+		pos token.Pos
+	}
+	var rels []rel
+	var hands []hand
+	claimed := map[*ast.Ident]bool{}
+
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure capturing an owned batch takes its ownership
+			// (goroutine hand-off, deferred cleanup). Borrowed params may
+			// be captured freely.
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v, ok := fu.c.pass.TypesInfo.Uses[id].(*types.Var); ok && fu.tracked[v] && st[v].bits&stOwned != 0 {
+						hands = append(hands, hand{id, v, id.Pos()})
+					}
+				}
+				return true
+			})
+			return false
+
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if id, v := fu.trackedIdent(val); v != nil && st[v].bits&(stOwned|stHanded|stReleased) != 0 && st[v].bits&stParam == 0 {
+					claimed[id] = true
+					hands = append(hands, hand{id, v, id.Pos()})
+				}
+			}
+
+		case *ast.CallExpr:
+			fu.callEvents(n, st, claimed, func(id *ast.Ident, v *types.Var, pos token.Pos, isRelease bool) {
+				if isRelease {
+					rels = append(rels, rel{id, v, pos})
+				} else {
+					hands = append(hands, hand{id, v, pos})
+				}
+			})
+		}
+		return true
+	})
+
+	// Remaining identifier occurrences are plain uses.
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || claimed[id] {
+			return true
+		}
+		v := fu.useOf(id)
+		if v == nil {
+			return true
+		}
+		vs := st[v]
+		if vs.bits&stReleased != 0 {
+			rep.reportf(id.Pos(), "column batch %s is used after it may have been released", id.Name)
+		} else if vs.bits&stHanded != 0 && vs.bits&(stOwned|stParam) == 0 {
+			rep.reportf(id.Pos(), "column batch %s is used after its ownership was handed off", id.Name)
+		}
+		return true
+	})
+
+	for _, h := range hands {
+		fu.handoff(h.id, h.v, st, rep)
+	}
+	for _, r := range rels {
+		fu.release(r.id, r.v, r.pos, st, rep)
+	}
+}
+
+// callEvents classifies one call's effect on tracked arguments:
+// Release intrinsics, consuming callees (by fact), hand-offs through
+// func-valued parameters (deriving callback facts), and callback-fact
+// call sites that grant ownership to literal arguments.
+func (fu *funcUnit) callEvents(call *ast.CallExpr, st state, claimed map[*ast.Ident]bool, emit func(*ast.Ident, *types.Var, token.Pos, bool)) {
+	// Intrinsic: methods of ColumnBatch itself. Release consumes its
+	// receiver; everything else borrows it.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isBatchRecv(fu.typeOf(sel.X)) {
+		if sel.Sel.Name == "Release" {
+			if id, v := fu.trackedIdent(sel.X); v != nil {
+				claimed[id] = true
+				emit(id, v, call.Pos(), true)
+			}
+		}
+		return
+	}
+
+	// Named callee with a fact: consuming parameters take ownership.
+	if fn := lintutil.CalleeFunc(fu.c.pass.TypesInfo, call); fn != nil {
+		fact := fu.factFor(fn)
+		if fact == nil {
+			return
+		}
+		for i, arg := range call.Args {
+			if i < len(fact.Params) && fact.Params[i] == ParamConsumes {
+				if id, v := fu.trackedIdent(arg); v != nil {
+					claimed[id] = true
+					emit(id, v, arg.Pos(), false)
+				}
+			}
+		}
+		for _, cb := range fact.Callbacks {
+			if cb.Param < len(call.Args) {
+				if lit, ok := ast.Unparen(call.Args[cb.Param]).(*ast.FuncLit); ok {
+					m := fu.c.litOwned[lit]
+					if m == nil {
+						m = map[int]bool{}
+						fu.c.litOwned[lit] = m
+					}
+					if !m[cb.Arg] {
+						m[cb.Arg] = true
+						fu.c.changed = true
+					}
+				}
+			}
+		}
+		return
+	}
+
+	// Dynamic call through a func-valued variable: an owned batch
+	// argument is a hand-off; if the variable is one of this function's
+	// parameters, that is the callback-ownership contract to export.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if fv, ok := fu.c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if _, isSig := fv.Type().Underlying().(*types.Signature); isSig {
+				for argIdx, arg := range call.Args {
+					aid, v := fu.trackedIdent(arg)
+					if v == nil || st[v].bits&stOwned == 0 {
+						continue // borrowed params pass through untouched
+					}
+					claimed[aid] = true
+					emit(aid, v, arg.Pos(), false)
+					if pi := paramIndexOf(fu.u.sig, fv); pi >= 0 {
+						fu.callbacks[CallbackFact{Param: pi, Arg: argIdx}] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// factFor resolves a callee's summary: locally derived for this
+// package's functions, imported for dependencies.
+func (fu *funcUnit) factFor(fn *types.Func) *FuncFact {
+	if f, ok := fu.c.facts[fn]; ok {
+		return f
+	}
+	if fn.Pkg() == fu.c.pass.Pkg {
+		return nil // not yet derived this round; the fixpoint converges
+	}
+	if fu.c.pass.ImportObjectFact == nil {
+		return nil
+	}
+	var f FuncFact
+	if fu.c.pass.ImportObjectFact(fn, &f) {
+		return &f
+	}
+	return nil
+}
+
+func paramIndexOf(sig *types.Signature, v *types.Var) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// trackedIdent resolves e to a tracked batch variable's identifier.
+func (fu *funcUnit) trackedIdent(e ast.Expr) (*ast.Ident, *types.Var) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	v := fu.useOf(id)
+	if v == nil {
+		return nil, nil
+	}
+	return id, v
+}
+
+// useOf returns the tracked variable id refers to, or nil.
+func (fu *funcUnit) useOf(id *ast.Ident) *types.Var {
+	if v, ok := fu.c.pass.TypesInfo.Uses[id].(*types.Var); ok && fu.tracked[v] {
+		return v
+	}
+	return nil
+}
+
+// defOrUse resolves an identifier in either defining or using position.
+func (fu *funcUnit) defOrUse(id *ast.Ident) *types.Var {
+	if v, ok := fu.c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := fu.c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func (fu *funcUnit) typeOf(e ast.Expr) types.Type {
+	if t, ok := fu.c.pass.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	return nil
+}
+
+// producesBatch reports whether evaluating e yields a fresh
+// *ColumnBatch the assignee owns: any call returning one (the protocol
+// says returned batches transfer ownership to the caller), a type
+// assertion to *ColumnBatch (the pool-get idiom), or taking the
+// address of a batch literal.
+func producesBatch(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.CallExpr, *ast.TypeAssertExpr:
+		if t, ok := pass.TypesInfo.Types[e]; ok {
+			return t.Type != nil && isBatchPtr(t.Type)
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if t, ok := pass.TypesInfo.Types[e]; ok {
+				return t.Type != nil && isBatchPtr(t.Type)
+			}
+		}
+	}
+	return false
+}
+
+// isSliceCall reports whether e is a ColumnBatch.Slice call — the one
+// acquisition form that creates a view rather than a root batch.
+func isSliceCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Slice" {
+		return false
+	}
+	if t, ok := pass.TypesInfo.Types[sel.X]; ok {
+		return isBatchRecv(t.Type)
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

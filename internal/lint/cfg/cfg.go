@@ -1,0 +1,510 @@
+// Package cfg builds intraprocedural control-flow graphs from typed
+// ASTs — the substrate flow-sensitive edgelint analyzers (batchlife)
+// run their dataflow on. It is an analyzer itself: checks that need a
+// CFG list cfg.Analyzer in Requires and read the package's Graphs out
+// of Pass.ResultOf, so every analyzer in a pass shares one build.
+//
+// The graph is statement-level: each basic block holds the statements
+// (and lowered branch-condition expressions) that execute together, in
+// order; edges follow Go's control statements — if/for/range/switch/
+// select, labeled break/continue, goto, fallthrough — with conditions
+// lowered through short-circuit && / || / ! so each leaf condition sits
+// in the block that actually evaluates it. Two-way branch blocks order
+// successors [true, false]. Return statements edge to the graph's Exit
+// block; panic(...) and the syntactically recognizable never-return
+// calls (os.Exit, log.Fatal*, runtime.Goexit) edge to Panic, so a
+// lifetime analysis can demand obligations on normal exits without
+// flagging crash paths.
+//
+// Known approximations (DESIGN.md §13): defer bodies are not spliced
+// into exit edges — DeferStmt appears as an ordinary node in the block
+// that registers it, and clients model LIFO execution themselves;
+// never-return detection is name-based, so an aliased os.Exit falls
+// through to Exit; FuncLit bodies get their own graphs and are opaque
+// expressions in the enclosing function's graph.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer builds a Graph for every function declaration and literal in
+// the package. Its result is a *Graphs.
+var Analyzer = &analysis.Analyzer{
+	Name: "cfg",
+	Doc: `build control-flow graphs for every function in the package
+
+Infrastructure pass: it reports nothing itself. Analyzers that list it
+in Requires receive a *cfg.Graphs via Pass.ResultOf and look up each
+function's graph with FuncOf.`,
+	Run: run,
+}
+
+// Graphs holds one control-flow graph per function in a package.
+type Graphs struct {
+	funcs map[ast.Node]*Graph
+}
+
+// FuncOf returns the graph for fn (an *ast.FuncDecl or *ast.FuncLit),
+// or nil for bodyless declarations.
+func (g *Graphs) FuncOf(fn ast.Node) *Graph { return g.funcs[fn] }
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Fn is the *ast.FuncDecl or *ast.FuncLit this graph was built from.
+	Fn ast.Node
+	// Blocks lists every block, Entry first. Unreachable statements
+	// still get blocks (with no predecessors), so positions stay
+	// addressable.
+	Blocks []*Block
+	// Entry is where execution starts.
+	Entry *Block
+	// Exit is the normal-return sink: every return statement's block and
+	// the fall-off-the-end path edge here.
+	Exit *Block
+	// Panic is the abnormal sink: panic calls and recognized
+	// never-return calls edge here instead of Exit.
+	Panic *Block
+}
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Nodes holds the block's statements — and, for branch blocks, the
+	// lowered leaf condition expression last — in execution order.
+	Nodes []ast.Node
+	// Succs are the successor blocks. A block ending in a two-way branch
+	// orders them [true, false]; a switch/select header has one edge per
+	// clause (plus fall-past when no default).
+	Succs []*Block
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d", b.Index) }
+
+func run(pass *analysis.Pass) (any, error) {
+	gs := &Graphs{funcs: map[ast.Node]*Graph{}}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					gs.funcs[fn] = build(fn, fn.Body)
+				}
+			case *ast.FuncLit:
+				gs.funcs[fn] = build(fn, fn.Body)
+			}
+			return true
+		})
+	}
+	return gs, nil
+}
+
+// builder carries the under-construction graph and the control context
+// (break/continue targets, label bindings) of the statement being
+// lowered.
+type builder struct {
+	g       *Graph
+	current *Block // nil after a terminator (return, panic, break, ...)
+
+	// breaks and continues are innermost-first stacks of enclosing
+	// targets; label is "" for unlabeled statements.
+	breaks    []ctltarget
+	continues []ctltarget
+
+	// labels maps label names to their goto/branch target blocks,
+	// created on first reference so forward gotos resolve.
+	labels map[string]*Block
+
+	// pendingLabel is the label naming the next loop/switch/select
+	// statement, consumed by that statement to serve labeled
+	// break/continue.
+	pendingLabel string
+}
+
+type ctltarget struct {
+	label string
+	block *Block
+}
+
+func build(fn ast.Node, body *ast.BlockStmt) *Graph {
+	g := &Graph{Fn: fn}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	g.Panic = b.newBlock()
+	b.current = g.Entry
+	b.stmtList(body.List)
+	if b.current != nil {
+		b.edge(b.current, g.Exit) // fall off the end
+	}
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) { from.Succs = append(from.Succs, to) }
+
+// use returns the block to keep appending to, starting a fresh
+// (unreachable) one if a terminator just ended the previous block.
+func (b *builder) use() *Block {
+	if b.current == nil {
+		b.current = b.newBlock()
+	}
+	return b.current
+}
+
+func (b *builder) add(n ast.Node) { b.use().Nodes = append(b.use().Nodes, n) }
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// branchTarget finds the innermost target on stack matching label.
+func branchTarget(stack []ctltarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.EmptyStmt:
+
+	case *ast.LabeledStmt:
+		// The label is simultaneously a goto target and — when it names
+		// a for/switch/select — the key labeled break/continue resolve
+		// through; the labeled statement consumes pendingLabel for that.
+		target, ok := b.labels[s.Label.Name]
+		if !ok {
+			target = b.newBlock()
+			b.labels[s.Label.Name] = target
+		}
+		if b.current != nil {
+			b.edge(b.current, target)
+		}
+		b.current = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.current, b.g.Exit)
+		b.current = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if t := branchTarget(b.breaks, label); t != nil {
+				b.add(s)
+				b.edge(b.current, t)
+				b.current = nil
+			}
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if t := branchTarget(b.continues, label); t != nil {
+				b.add(s)
+				b.edge(b.current, t)
+				b.current = nil
+			}
+		case token.GOTO:
+			target, ok := b.labels[s.Label.Name]
+			if !ok {
+				target = b.newBlock()
+				b.labels[s.Label.Name] = target
+			}
+			b.add(s)
+			b.edge(b.current, target)
+			b.current = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by the switch lowering (the clause's
+			// end block edges to the next clause); nothing to record.
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		then := b.newBlock()
+		after := b.newBlock()
+		els := after
+		if s.Else != nil {
+			els = b.newBlock()
+		}
+		b.cond(s.Cond, then, els)
+		b.current = then
+		b.stmt(s.Body)
+		if b.current != nil {
+			b.edge(b.current, after)
+		}
+		if s.Else != nil {
+			b.current = els
+			b.stmt(s.Else)
+			if b.current != nil {
+				b.edge(b.current, after)
+			}
+		}
+		b.current = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		header := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := header
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		if b.current != nil {
+			b.edge(b.current, header)
+		}
+		b.current = header
+		if s.Cond != nil {
+			b.cond(s.Cond, body, after)
+		} else {
+			b.edge(b.use(), body)
+			b.current = nil
+		}
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		b.breaks = append(b.breaks, ctltarget{label, after})
+		b.continues = append(b.continues, ctltarget{label, post})
+		b.current = body
+		b.stmt(s.Body)
+		if b.current != nil {
+			b.edge(b.current, post)
+		}
+		if s.Post != nil {
+			b.current = post
+			b.stmt(s.Post)
+			if b.current != nil {
+				b.edge(b.current, header)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.current = after
+
+	case *ast.RangeStmt:
+		header := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		if b.current != nil {
+			b.edge(b.current, header)
+		}
+		// The header holds the whole RangeStmt node: it evaluates X and,
+		// per iteration, assigns Key/Value — clients treat those as uses
+		// occurring at the header.
+		header.Nodes = append(header.Nodes, s)
+		b.edge(header, body)  // another iteration
+		b.edge(header, after) // range exhausted
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		b.breaks = append(b.breaks, ctltarget{label, after})
+		b.continues = append(b.continues, ctltarget{label, header})
+		b.current = body
+		b.stmt(s.Body)
+		if b.current != nil {
+			b.edge(b.current, header)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.current = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		header := b.use()
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		b.breaks = append(b.breaks, ctltarget{label, after})
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(header, blk)
+			b.current = blk
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			if b.current != nil {
+				b.edge(b.current, after)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		// A select with no clauses blocks forever; otherwise control
+		// always leaves through a clause, so the header itself never
+		// falls through to after.
+		b.current = after
+
+	case *ast.DeferStmt, *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.AssignStmt, *ast.DeclStmt:
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && neverReturns(call) {
+			b.edge(b.current, b.g.Panic)
+			b.current = nil
+		}
+
+	default:
+		// Anything unrecognized is recorded as a plain node so its
+		// positions stay addressable.
+		b.add(s)
+	}
+}
+
+// switchStmt lowers expression and type switches: the header (tag/init)
+// edges to every clause block; a clause without fallthrough edges to
+// after; fallthrough edges to the next clause's block; a switch without
+// a default also edges header → after (no clause may match).
+func (b *builder) switchStmt(s ast.Stmt) {
+	var init ast.Stmt
+	var body *ast.BlockStmt
+	var tag ast.Node
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init, body, tag = s.Init, s.Body, s.Tag
+	case *ast.TypeSwitchStmt:
+		init, body, tag = s.Init, s.Body, s.Assign
+	}
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	after := b.newBlock()
+	header := b.use()
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	b.breaks = append(b.breaks, ctltarget{label, after})
+
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(header, blocks[i])
+		if c.(*ast.CaseClause).List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(header, after)
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.current = blocks[i]
+		for _, e := range cc.List {
+			b.add(e) // case expressions are evaluated in the clause block
+		}
+		b.stmtList(cc.Body)
+		if b.current != nil {
+			if fallsThrough(cc.Body) && i+1 < len(blocks) {
+				b.edge(b.current, blocks[i+1])
+			} else {
+				b.edge(b.current, after)
+			}
+			b.current = nil
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.current = after
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// cond lowers a branch condition into the graph: short-circuit && / ||
+// become intermediate blocks, ! swaps the targets, and each leaf
+// condition expression is appended to the block that evaluates it,
+// whose successors become exactly [t, f].
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(x.X, t, f)
+		return
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND: // X && Y: Y evaluates only when X is true
+			mid := b.newBlock()
+			b.cond(x.X, mid, f)
+			b.current = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR: // X || Y: Y evaluates only when X is false
+			mid := b.newBlock()
+			b.cond(x.X, t, mid)
+			b.current = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	}
+	blk := b.use()
+	blk.Nodes = append(blk.Nodes, e)
+	blk.Succs = append(blk.Succs, t, f)
+	b.current = nil
+}
+
+// neverReturns recognizes calls that terminate the goroutine or
+// process, syntactically: panic, os.Exit, runtime.Goexit, log.Fatal*.
+// Name-based by design — an aliased os.Exit simply falls through to the
+// normal Exit block, a safe over-approximation for lifetime checks
+// (the path demands its obligations rather than being excused).
+func neverReturns(call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fn.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package load
+
+import (
+	"go/build"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// PkgMeta describes one module package without type-checking it: just
+// enough (files, module-internal imports) for a driver to key a result
+// cache and order packages by dependency before deciding which ones
+// actually need loading.
+type PkgMeta struct {
+	// Path is the package's import path.
+	Path string
+	// Dir holds its sources.
+	Dir string
+	// GoFiles are the absolute paths of the constraint-selected,
+	// non-test sources, sorted.
+	GoFiles []string
+	// Imports are the module-internal import paths (external and
+	// standard-library imports cannot carry edgelint facts, so drivers
+	// don't need them).
+	Imports []string
+}
+
+// Scan enumerates the module's packages the same way LoadAll does —
+// same walk, same skip rules, same build-constraint file selection —
+// but stops at the import graph instead of type-checking. Results are
+// sorted by import path.
+func Scan(moduleDir string) ([]*PkgMeta, error) {
+	modPath, err := modulePath(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var out []*PkgMeta
+	err = filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != moduleDir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if path != moduleDir {
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		bp, err := build.ImportDir(path, 0)
+		if err != nil || len(bp.GoFiles) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(moduleDir, path)
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		m := &PkgMeta{Path: ip, Dir: path}
+		files := append([]string(nil), bp.GoFiles...)
+		sort.Strings(files)
+		for _, f := range files {
+			m.GoFiles = append(m.GoFiles, filepath.Join(path, f))
+		}
+		for _, imp := range bp.Imports {
+			if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+				m.Imports = append(m.Imports, imp)
+			}
+		}
+		out = append(out, m)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}

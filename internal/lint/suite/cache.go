@@ -1,0 +1,154 @@
+package suite
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/lint/analysis"
+)
+
+// resultCache is the file-hash keyed result cache behind RunModule. A
+// package's entry replays its post-suppression findings and serialized
+// fact bundle; a hit skips type-checking and analysis entirely, so a
+// warm `make lint` run over an unchanged tree never loads a package.
+//
+// The key must change whenever anything that could change the result
+// does: the package's source bytes, the fact bundles of its
+// module-internal dependencies (facts feed interprocedural analyzers
+// like batchlife), the analyzer roster and registered fact shapes, and
+// the driver binary itself (analyzer logic changes without any
+// source-visible signature — hashing the executable is the only honest
+// salt under `go run`).
+type resultCache struct {
+	dir  string
+	salt []byte
+}
+
+// cacheEntry is the stored result for one package key.
+type cacheEntry struct {
+	Findings []Finding       `json:"findings"`
+	Facts    json.RawMessage `json:"facts"`
+}
+
+var (
+	exeSumOnce sync.Once
+	exeSum     []byte
+)
+
+// executableSum hashes the running binary once per process.
+func executableSum() []byte {
+	exeSumOnce.Do(func() {
+		exe, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		exeSum = h.Sum(nil)
+	})
+	return exeSum
+}
+
+// openCache prepares a cache rooted at dir, salted for the given
+// analyzer roster.
+func openCache(dir string, analyzers []*analysis.Analyzer) (*resultCache, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("edgelint cache: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintln(h, "edgelint-cache-v1")
+	h.Write(executableSum())
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintln(h, n)
+	}
+	for _, n := range analysis.RegisteredFactNames() {
+		fmt.Fprintln(h, "fact", n)
+	}
+	return &resultCache{dir: dir, salt: h.Sum(nil)}, nil
+}
+
+// key derives a unit's cache key from the salt, its import path, its
+// source file names and contents, and its dependencies' fact bundles.
+func (c *resultCache) key(u *unit) (string, error) {
+	h := sha256.New()
+	h.Write(c.salt)
+	fmt.Fprintln(h, u.path)
+	for _, name := range u.files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintln(h, filepath.Base(name), len(data))
+		h.Write(data)
+	}
+	for _, d := range u.deps {
+		fmt.Fprintln(h, "dep", d.path)
+		h.Write(d.factHash[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// load fetches the entry for key, if present and decodable.
+func (c *resultCache) load(key string) (*cacheEntry, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	return &e, true
+}
+
+// save stores the entry under key; failures are ignored (the cache is
+// an accelerator, never load-bearing).
+func (c *resultCache) save(key string, e *cacheEntry) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	final := filepath.Join(c.dir, key+".json")
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, final); err != nil {
+		os.Remove(name)
+	}
+}
+
+// DefaultCacheDir returns the per-user edgelint cache location, or ""
+// when no user cache directory exists (caching then stays off).
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "edgelint")
+}

@@ -1,0 +1,312 @@
+package suite
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Options tunes a suite run.
+type Options struct {
+	// Jobs is the number of packages analyzed concurrently; <= 0 means
+	// GOMAXPROCS. Dependency order is respected regardless: a package is
+	// only analyzed once the facts of every module-internal import are
+	// available.
+	Jobs int
+	// CacheDir enables the file-hash keyed result cache rooted there
+	// (module-scan runs only; "" disables). A package whose source files
+	// and dependency facts are unchanged replays its findings and facts
+	// without being type-checked or analyzed.
+	CacheDir string
+}
+
+// AnalyzerStat aggregates one analyzer's cost and yield across a run.
+type AnalyzerStat struct {
+	// Time is summed wall time across packages (zero contribution from
+	// cache hits, which run nothing).
+	Time time.Duration `json:"time"`
+	// Findings counts post-suppression findings.
+	Findings int `json:"findings"`
+}
+
+// Stats describes where a run spent its time.
+type Stats struct {
+	PerAnalyzer map[string]AnalyzerStat `json:"perAnalyzer"`
+	Packages    int                     `json:"packages"`
+	CacheHits   int                     `json:"cacheHits"`
+	CacheMisses int                     `json:"cacheMisses"`
+}
+
+// Result is a run's findings plus accounting.
+type Result struct {
+	Findings []Finding `json:"findings"`
+	Stats    Stats     `json:"stats"`
+}
+
+// unit is one package flowing through the scheduler. Preloaded units
+// carry pkg; scanned units carry files and a loader thunk, and may be
+// satisfied from the result cache without loading at all.
+type unit struct {
+	path   string
+	files  []string
+	pkg    *load.Package
+	loadFn func() (*load.Package, error)
+	deps   []*unit
+	nblock int // unresolved deps (scheduler state)
+	blocks []*unit
+	// outputs
+	findings []Finding
+	factHash [sha256.Size]byte
+}
+
+// RunWith analyzes already-loaded packages in dependency order with
+// opts.Jobs-way parallelism, returning suppressed, sorted findings and
+// stats. The result cache is not consulted (the loading cost it exists
+// to skip is already paid); use RunModule for cached runs.
+func RunWith(pkgs []*load.Package, analyzers []*analysis.Analyzer, opts Options) (*Result, error) {
+	registerFacts(analyzers)
+	byPath := make(map[string]*unit, len(pkgs))
+	units := make([]*unit, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		u := &unit{path: pkg.Path, pkg: pkg}
+		byPath[pkg.Path] = u
+		units = append(units, u)
+	}
+	for _, u := range units {
+		if u.pkg.Types == nil {
+			continue
+		}
+		for _, imp := range u.pkg.Types.Imports() {
+			if d, ok := byPath[imp.Path()]; ok {
+				u.deps = append(u.deps, d)
+			}
+		}
+	}
+	return runUnits(units, analyzers, opts, nil)
+}
+
+// RunModule scans the module rooted at moduleDir without type-checking
+// it, then analyzes every package in dependency order, loading only
+// the packages the result cache cannot satisfy.
+func RunModule(moduleDir string, analyzers []*analysis.Analyzer, opts Options) (*Result, error) {
+	registerFacts(analyzers)
+	metas, err := load.Scan(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		loaderMu sync.Mutex
+		loader   *load.Loader
+	)
+	byPath := make(map[string]*unit, len(metas))
+	units := make([]*unit, 0, len(metas))
+	for _, m := range metas {
+		m := m
+		u := &unit{path: m.Path, files: m.GoFiles}
+		u.loadFn = func() (*load.Package, error) {
+			// The loader type-checks recursively and caches; it is not
+			// concurrency-safe, so loads serialize. Analysis (the hot
+			// part) still runs in parallel.
+			loaderMu.Lock()
+			defer loaderMu.Unlock()
+			if loader == nil {
+				loader, err = load.NewLoader(moduleDir)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return loader.Load(m.Path)
+		}
+		byPath[m.Path] = u
+		units = append(units, u)
+	}
+	for i, m := range metas {
+		for _, imp := range m.Imports {
+			if d, ok := byPath[imp]; ok && d != units[i] {
+				units[i].deps = append(units[i].deps, d)
+			}
+		}
+	}
+	var cache *resultCache
+	if opts.CacheDir != "" {
+		cache, err = openCache(opts.CacheDir, analyzers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runUnits(units, analyzers, opts, cache)
+}
+
+// runUnits drives the dependency-ordered, parallel analysis of units.
+func runUnits(units []*unit, analyzers []*analysis.Analyzer, opts Options, cache *resultCache) (*Result, error) {
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(units) {
+		jobs = max(1, len(units))
+	}
+	store := NewFactStore()
+	res := &Result{Stats: Stats{PerAnalyzer: make(map[string]AnalyzerStat), Packages: len(units)}}
+
+	for _, u := range units {
+		u.nblock = len(u.deps)
+		for _, d := range u.deps {
+			d.blocks = append(d.blocks, u)
+		}
+	}
+
+	ready := make(chan *unit, len(units))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		inflight int
+		done     int
+	)
+	enqueue := func(u *unit) { // mu held
+		inflight++
+		ready <- u
+	}
+	for _, u := range units {
+		if u.nblock == 0 {
+			inflight++
+			ready <- u
+		}
+	}
+	if len(units) == 0 {
+		close(ready)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range ready {
+				err := processUnit(u, analyzers, store, cache, res)
+				mu.Lock()
+				inflight--
+				done++
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if firstErr == nil {
+					for _, b := range u.blocks {
+						b.nblock--
+						if b.nblock == 0 {
+							enqueue(b)
+						}
+					}
+				}
+				if (firstErr == nil && done == len(units)) || (firstErr != nil && inflight == 0) {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, u := range units {
+		res.Findings = append(res.Findings, u.findings...)
+		for _, f := range u.findings {
+			st := res.Stats.PerAnalyzer[f.Analyzer]
+			st.Findings++
+			res.Stats.PerAnalyzer[f.Analyzer] = st
+		}
+	}
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+// processUnit produces findings and a fact bundle for one unit, from
+// the cache when possible, else by loading and analyzing the package.
+func processUnit(u *unit, analyzers []*analysis.Analyzer, store *FactStore, cache *resultCache, res *Result) error {
+	var key string
+	if cache != nil && len(u.files) > 0 {
+		var err error
+		key, err = cache.key(u)
+		if err == nil {
+			if entry, ok := cache.load(key); ok {
+				if err := store.AddBundle(u.path, entry.Facts); err == nil {
+					u.findings = entry.Findings
+					u.factHash = sha256.Sum256(entry.Facts)
+					statsMu.Lock()
+					res.Stats.CacheHits++
+					statsMu.Unlock()
+					return nil
+				}
+			}
+		}
+	}
+	pkg := u.pkg
+	if pkg == nil {
+		var err error
+		pkg, err = u.loadFn()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", u.path, err)
+		}
+	}
+	outcome, err := analyzePackage(pkg, analyzers, store)
+	if err != nil {
+		return err
+	}
+	u.findings = finalizePackage(pkg, outcome.findings)
+	bundle, err := store.Bundle(u.path)
+	if err != nil {
+		return err
+	}
+	u.factHash = sha256.Sum256(bundle)
+	if cache != nil {
+		statsMu.Lock()
+		res.Stats.CacheMisses++
+		statsMu.Unlock()
+		if key != "" {
+			cache.save(key, &cacheEntry{Findings: u.findings, Facts: bundle})
+		}
+	}
+	statsMu.Lock()
+	for name, d := range outcome.timings {
+		st := res.Stats.PerAnalyzer[name]
+		st.Time += d
+		res.Stats.PerAnalyzer[name] = st
+	}
+	statsMu.Unlock()
+	return nil
+}
+
+// statsMu guards Stats updates from worker goroutines.
+var statsMu sync.Mutex
+
+// SortedAnalyzerStats flattens PerAnalyzer into a deterministic slice
+// for display, slowest first.
+func (s Stats) SortedAnalyzerStats() []struct {
+	Name string
+	AnalyzerStat
+} {
+	out := make([]struct {
+		Name string
+		AnalyzerStat
+	}, 0, len(s.PerAnalyzer))
+	for name, st := range s.PerAnalyzer {
+		out = append(out, struct {
+			Name string
+			AnalyzerStat
+		}{name, st})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

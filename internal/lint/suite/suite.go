@@ -3,14 +3,24 @@
 // cmd/edgelint driver (standalone and vettool modes) and the in-repo
 // tests go through this package so suppression semantics cannot
 // diverge between entry points.
+//
+// The driver resolves Analyzer.Requires (running prerequisite passes
+// like cfg first and exposing their results through Pass.ResultOf) and
+// plumbs object facts between packages: facts exported while analyzing
+// a package are visible when its importers are analyzed, which is what
+// makes batchlife's ownership summaries interprocedural across
+// segstore → collector → agg/analysis/study.
 package suite
 
 import (
 	"fmt"
 	"go/token"
+	"go/types"
 	"sort"
+	"time"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/batchlife"
 	"repro/internal/lint/closecheck"
 	"repro/internal/lint/lintutil"
 	"repro/internal/lint/load"
@@ -22,8 +32,10 @@ import (
 	"repro/internal/lint/unitsafety"
 )
 
-// Analyzers is the full edgelint suite.
+// Analyzers is the full edgelint suite. Prerequisite-only passes (cfg)
+// are not listed; the driver schedules them through Requires.
 var Analyzers = []*analysis.Analyzer{
+	batchlife.Analyzer,
 	closecheck.Analyzer,
 	nondeterminism.Analyzer,
 	poisonpath.Analyzer,
@@ -47,61 +59,143 @@ func ByName(name string) *analysis.Analyzer {
 type Finding struct {
 	// Analyzer is the reporting analyzer's name ("edgelint" for
 	// driver-level problems such as malformed or unused directives).
-	Analyzer string
+	Analyzer string `json:"analyzer"`
 	// Pos locates the finding.
-	Pos token.Position
+	Pos token.Position `json:"pos"`
 	// Message describes it.
-	Message string
+	Message string `json:"message"`
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
-// RunPackage applies the analyzers to one type-checked package and
-// returns raw (pre-suppression) findings. Packages with type errors
-// refuse analysis: unsound types produce unsound findings.
-func RunPackage(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+// pkgOutcome is the raw result of analyzing one package.
+type pkgOutcome struct {
+	// findings are pre-suppression diagnostics.
+	findings []Finding
+	// facts were exported by this package's analyzers, in export order.
+	facts []analysis.ObjectFact
+	// timings is wall time per analyzer (prerequisites included).
+	timings map[string]time.Duration
+}
+
+// analyzePackage applies the analyzers — prerequisites first — to one
+// type-checked package, exchanging facts through store. Packages with
+// type errors refuse analysis: unsound types produce unsound findings.
+func analyzePackage(pkg *load.Package, analyzers []*analysis.Analyzer, store *FactStore) (*pkgOutcome, error) {
 	if len(pkg.Errors) > 0 {
 		return nil, fmt.Errorf("%s has type errors (first: %v)", pkg.Path, pkg.Errors[0])
 	}
-	var out []Finding
-	for _, a := range analyzers {
+	out := &pkgOutcome{timings: make(map[string]time.Duration)}
+	results := make(map[*analysis.Analyzer]any)
+	ran := make(map[*analysis.Analyzer]bool)
+
+	var runOne func(a *analysis.Analyzer) error
+	runOne = func(a *analysis.Analyzer) error {
+		if ran[a] {
+			return nil
+		}
+		ran[a] = true
+		resultOf := make(map[*analysis.Analyzer]any, len(a.Requires))
+		for _, r := range a.Requires {
+			if err := runOne(r); err != nil {
+				return err
+			}
+			resultOf[r] = results[r]
+		}
+		name := a.Name
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			ResultOf:  resultOf,
+			Report: func(d analysis.Diagnostic) {
+				out.findings = append(out.findings, Finding{Analyzer: name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+			},
 		}
-		name := a.Name
-		pass.Report = func(d analysis.Diagnostic) {
-			out = append(out, Finding{Analyzer: name, Pos: pass.Fset.Position(d.Pos), Message: d.Message})
+		// Fact plumbing is wired for every analyzer that declares fact
+		// types; others get nil hooks (calling them is a bug).
+		if len(a.FactTypes) > 0 {
+			pass.ImportObjectFact = store.importFact
+			pass.ExportObjectFact = func(obj types.Object, fact analysis.Fact) {
+				if err := store.export(obj, fact); err != nil {
+					panic(fmt.Sprintf("edgelint: %s: %v", name, err))
+				}
+				if obj.Pkg() != nil && obj.Pkg() == pkg.Types {
+					out.facts = append(out.facts, analysis.ObjectFact{Object: obj, Fact: fact})
+				}
+			}
+			pass.AllObjectFacts = func() []analysis.ObjectFact {
+				return append([]analysis.ObjectFact(nil), out.facts...)
+			}
 		}
-		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		t0 := time.Now()
+		ret, err := a.Run(pass)
+		out.timings[name] += time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		results[a] = ret
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := runOne(a); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
 }
 
-// Run applies the analyzers to every package, filters findings through
-// //edgelint:allow directives, and reports malformed or unused
-// directives as findings of their own. Results are position-sorted.
-func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	var all []Finding
-	var directives []*lintutil.Directive
-	for _, pkg := range pkgs {
-		fs, err := RunPackage(pkg, analyzers)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, fs...)
-		for _, f := range pkg.Files {
-			directives = append(directives, lintutil.ParseDirectives(pkg.Fset, f)...)
-		}
+// RunUnit analyzes one package with dependency facts from store (the
+// vettool path: go vet hands us one unit plus its deps' fact files),
+// applies its //edgelint:allow directives, and returns sorted findings.
+// Facts the package exports are left in store for the caller to bundle.
+func RunUnit(pkg *load.Package, analyzers []*analysis.Analyzer, store *FactStore) ([]Finding, error) {
+	registerFacts(analyzers)
+	out, err := analyzePackage(pkg, analyzers, store)
+	if err != nil {
+		return nil, err
 	}
-	kept := Suppress(all, directives)
+	fs := finalizePackage(pkg, out.findings)
+	sortFindings(fs)
+	return fs, nil
+}
+
+// RunPackage applies the analyzers to one type-checked package and
+// returns raw (pre-suppression) findings, exchanging facts through a
+// store private to the call.
+func RunPackage(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	fs, _, err := RunPackageFacts(pkg, analyzers, NewFactStore())
+	return fs, err
+}
+
+// RunPackageFacts is RunPackage with an explicit fact store (facts for
+// the package's dependencies are read from it, facts exported by the
+// package are added to it). It additionally returns the exported
+// facts, which analysistest matches against want annotations.
+func RunPackageFacts(pkg *load.Package, analyzers []*analysis.Analyzer, store *FactStore) ([]Finding, []analysis.ObjectFact, error) {
+	registerFacts(analyzers)
+	out, err := analyzePackage(pkg, analyzers, store)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.findings, out.facts, nil
+}
+
+// finalizePackage applies the package's //edgelint:allow directives to
+// its raw findings and appends directive diagnostics (malformed, or
+// unused — the directive names no finding that fired). Suppression is
+// a per-package affair: a directive only ever matches findings in its
+// own file.
+func finalizePackage(pkg *load.Package, raw []Finding) []Finding {
+	var directives []*lintutil.Directive
+	for _, f := range pkg.Files {
+		directives = append(directives, lintutil.ParseDirectives(pkg.Fset, f)...)
+	}
+	kept := Suppress(raw, directives)
 	for _, d := range directives {
 		switch {
 		case d.Malformed != "":
@@ -111,17 +205,34 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 				Message: "unused //edgelint:allow directive: nothing on this or the next line triggers " + fmt.Sprint(d.Analyzers)})
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i].Pos, kept[j].Pos
+	return kept
+}
+
+// sortFindings orders findings by position then message, the stable
+// presentation order every entry point emits.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return kept[i].Message < kept[j].Message
+		return fs[i].Message < fs[j].Message
 	})
-	return kept, nil
+}
+
+// Run applies the analyzers to every package in dependency order,
+// filters findings through //edgelint:allow directives, and reports
+// malformed or unused directives as findings of their own. Results are
+// position-sorted.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	res, err := RunWith(pkgs, analyzers, Options{Jobs: 1})
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
 }
 
 // Suppress drops findings covered by a well-formed directive on the

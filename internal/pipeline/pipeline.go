@@ -249,6 +249,17 @@ func (s *Stream[T]) Close() {
 	s.closeOnce.Do(func() { close(s.ch) })
 }
 
+// Drain consumes every remaining item until the stream is closed,
+// passing each to f — error-path disposal for items that carry
+// resources. Unlike Range it ignores context poisoning: it is called
+// exactly when the pipeline is already poisoned and the goal is to
+// account for stragglers the producers had already sent.
+func (s *Stream[T]) Drain(f func(T)) {
+	for v := range s.ch {
+		f(v)
+	}
+}
+
 // Range consumes items until the stream is closed (returning nil) or
 // the pipeline is poisoned (returning the cause). f's error stops
 // consumption immediately.
@@ -280,8 +291,20 @@ func (s *Stream[T]) Range(ctx context.Context, f func(T) error) error {
 // (workers + stream buffer), because a worker cannot complete a far-
 // ahead sequence number until Send unblocks.
 func Reorder[T any](ctx context.Context, in *Stream[T], seq func(T) int, next int, emit func(T) error) error {
+	return ReorderDrain(ctx, in, seq, next, emit, nil)
+}
+
+// ReorderDrain is Reorder with a disposal hook for items that were
+// received but never successfully emitted: when the pipeline is
+// poisoned (emit error or cancellation), drop is called for every
+// pending buffered item and for everything still arriving on the
+// stream until it closes. Stages whose items carry resources — pooled
+// column batches, file handles — use this so an error path releases
+// exactly what a success path would have. drop must not block; a nil
+// drop is Reorder.
+func ReorderDrain[T any](ctx context.Context, in *Stream[T], seq func(T) int, next int, emit func(T) error, drop func(T)) error {
 	pending := make(map[int]T)
-	return in.Range(ctx, func(v T) error {
+	err := in.Range(ctx, func(v T) error {
 		pending[seq(v)] = v
 		for {
 			w, ok := pending[next]
@@ -295,4 +318,16 @@ func Reorder[T any](ctx context.Context, in *Stream[T], seq func(T) int, next in
 			next++
 		}
 	})
+	if err != nil && drop != nil {
+		for _, v := range pending {
+			drop(v)
+		}
+		// Items already buffered in the channel (or mid-Send) would
+		// otherwise be stranded: drain until the producer side closes.
+		// This cannot block forever — every producer's Send observes the
+		// same poisoned context, fails, and the stage's after-hook
+		// closes the stream.
+		in.Drain(drop)
+	}
+	return err
 }

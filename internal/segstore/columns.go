@@ -101,10 +101,14 @@ type ColumnBatch struct {
 	respFirst int
 
 	// Pool plumbing: an owned batch recycles through pool when refs hits
-	// zero; a view forwards its release to parent instead.
+	// zero; a view forwards its release to parent instead. view marks a
+	// batch born from Slice for the whole of its life — unlike parent it
+	// survives the final release, so late double releases are counted
+	// (leakcheck.go) rather than silently treated as plain batches.
 	refs   atomic.Int32
 	pool   *sync.Pool
 	parent *ColumnBatch
+	view   bool
 }
 
 // Len returns the row count.
@@ -200,7 +204,9 @@ func (b *ColumnBatch) Slice(lo, hi int) *ColumnBatch {
 		StartsSorted: b.StartsSorted,
 		singleGroup:  b.singleGroup,
 		parent:       root,
+		view:         true,
 	}
+	v.refs.Store(1)
 	if v.n > 0 {
 		v.respFirst, _ = b.RespSpan(lo)
 		v.StartMin, v.StartMax = b.StartMin, b.StartMax
@@ -215,8 +221,18 @@ func (b *ColumnBatch) retain() { b.refs.Add(1) }
 // on the last release; a view forwards to its parent. Releasing a batch
 // that is neither pooled nor a view is a no-op, so consumers may always
 // release what they were handed.
+//
+// Releasing the same batch or view twice is a protocol violation: it
+// used to no-op silently for views (while the view still aliased
+// recycled parent arrays) and to corrupt pool accounting for owned
+// batches. Both are now counted (LeakStats) so tests fail loudly, and
+// the extra release is absorbed rather than forwarded.
 func (b *ColumnBatch) Release() {
-	if b.parent != nil {
+	if b.view {
+		if b.refs.Add(-1) != 0 {
+			doubleReleases.Add(1)
+			return
+		}
 		p := b.parent
 		b.parent = nil
 		p.Release()
@@ -225,8 +241,16 @@ func (b *ColumnBatch) Release() {
 	if b.pool == nil {
 		return
 	}
-	if b.refs.Add(-1) == 0 {
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		outstanding.Add(-1)
+		if leakPoison.Load() {
+			b.poison()
+		}
 		b.pool.Put(b)
+	case n < 0:
+		doubleReleases.Add(1)
+		b.refs.Add(1) // clamp: don't let later retains inherit the skew
 	}
 }
 

@@ -1,0 +1,69 @@
+package segstore
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Leak accounting — the runtime twin of the batchlife static analyzer
+// (DESIGN.md §13). The ownership protocol says every pooled batch a
+// scan hands out is released exactly once; the analyzer proves it on
+// the paths it can see, and these counters catch what it cannot
+// (ownership threaded through channels, dynamic call chains, future
+// daemon code). The counters are always on — two uncontended atomic
+// adds per batch, invisible next to a segment decode — so any test can
+// assert the invariant; poisoning is opt-in because it deliberately
+// corrupts released batches.
+var (
+	// outstanding counts pooled batches currently out of their scan
+	// pool: +1 per acquisition, −1 when the last reference releases.
+	// Zero after a completed scan or the pool is leaking capacity.
+	outstanding atomic.Int64
+
+	// doubleReleases counts Release calls beyond a batch's or view's
+	// final one — each is a latent pool corruption that used to be
+	// silent (a released view still aliases recycled parent arrays).
+	doubleReleases atomic.Int64
+
+	// leakPoison, when enabled, makes a released owned batch
+	// unmistakably dead: row count −1 and zeroed dictionary indexes, so
+	// a use-after-Release reads garbage loudly (empty loops, panics on
+	// emptied dictionaries) instead of rows from whatever batch the
+	// pool recycled the arrays into.
+	leakPoison atomic.Bool
+)
+
+func init() {
+	if os.Getenv("EDGE_LEAKCHECK") == "1" {
+		leakPoison.Store(true)
+	}
+}
+
+// SetLeakCheck switches batch poisoning on or off (see LeakStats). The
+// EDGE_LEAKCHECK=1 environment variable enables it at init; tests that
+// drive whole studies enable it in TestMain.
+func SetLeakCheck(on bool) { leakPoison.Store(on) }
+
+// LeakCheckEnabled reports whether released batches are poisoned.
+func LeakCheckEnabled() bool { return leakPoison.Load() }
+
+// LeakStats returns the pooled batches currently outstanding and the
+// cumulative double-release count. A correct run ends with outstanding
+// == 0 (every acquired batch released) and never double-releases.
+func LeakStats() (outstandingBatches, doubleReleased int64) {
+	return outstanding.Load(), doubleReleases.Load()
+}
+
+// poison marks a released owned batch as dead (leak-check mode only):
+// Len goes negative and the dictionaries empty, so stale views or
+// identifiers fail loudly instead of silently reading recycled rows.
+// reset repairs all of it on the next acquisition.
+func (b *ColumnBatch) poison() {
+	b.n = -1
+	for _, c := range [...]*DictColumn{&b.PoP, &b.Prefix, &b.Country, &b.Continent, &b.Proto, &b.Route} {
+		for i := range c.Idx {
+			c.Idx[i] = 0
+		}
+		c.Dict = nil
+	}
+}

@@ -1,0 +1,190 @@
+package segstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// expectedDoubleReleases counts the double releases tests provoke on
+// purpose, so TestMain can tell deliberate hardening coverage from a
+// real protocol violation elsewhere in the suite.
+var expectedDoubleReleases atomic.Int64
+
+// TestMain runs the whole package under leak-check mode and asserts the
+// ownership invariant at the end: every pooled batch any test acquired
+// was released exactly once (outstanding == 0, no unexpected double
+// releases). This is the runtime twin of the batchlife analyzer — it
+// catches leaks on paths the static check cannot see.
+func TestMain(m *testing.M) {
+	SetLeakCheck(true)
+	code := m.Run()
+	if out, dbl := LeakStats(); code == 0 && (out != 0 || dbl != expectedDoubleReleases.Load()) {
+		fmt.Fprintf(os.Stderr, "segstore leak check: %d outstanding batches, %d double releases (%d expected) after tests\n",
+			out, dbl, expectedDoubleReleases.Load())
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// pooledBatch hand-builds what readColumns builds: a batch owned by a
+// pool with one reference, counted as outstanding.
+func pooledBatch(t *testing.T, pool *sync.Pool) *ColumnBatch {
+	t.Helper()
+	rows := testSamples(t, 5, 3, 1)
+	blob, _ := EncodeSegment(rows)
+	b, _ := pool.Get().(*ColumnBatch)
+	if b == nil { //edgelint:allow batchlife: pool miss replaces the nil non-batch the type assertion produced
+		b = new(ColumnBatch)
+	}
+	b.pool = pool
+	b.refs.Store(1)
+	outstanding.Add(1)
+	if err := decodeInto(blob, b); err != nil {
+		b.Release()
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDoubleReleaseOwnedBatchCounted(t *testing.T) {
+	var pool sync.Pool
+	b := pooledBatch(t, &pool)
+	_, before := LeakStats()
+	b.Release()
+	b.Release() //edgelint:allow batchlife: deliberate double release, exercising the hardened counter
+	expectedDoubleReleases.Add(1)
+	if _, after := LeakStats(); after != before+1 {
+		t.Fatalf("double releases went %d -> %d, want +1", before, after)
+	}
+	if out, _ := LeakStats(); out != 0 {
+		t.Fatalf("outstanding = %d after release pair, want 0", out)
+	}
+}
+
+func TestDoubleReleaseViewCounted(t *testing.T) {
+	var pool sync.Pool
+	b := pooledBatch(t, &pool)
+	v := b.Slice(0, b.Len()/2)
+	_, before := LeakStats()
+	v.Release()
+	// The old protocol no-opped here via parent = nil while v still
+	// aliased b's (possibly recycled) arrays; now it is a counted event.
+	v.Release() //edgelint:allow batchlife: deliberate double release, exercising the hardened counter
+	expectedDoubleReleases.Add(1)
+	if _, after := LeakStats(); after != before+1 {
+		t.Fatalf("view double releases went %d -> %d, want +1", before, after)
+	}
+	b.Release()
+	if out, _ := LeakStats(); out != 0 {
+		t.Fatalf("outstanding = %d after all releases, want 0", out)
+	}
+}
+
+// A released owned batch must be unmistakably dead under leak-check
+// mode: negative row count, zeroed dictionary indexes, nil
+// dictionaries — so a use-after-Release fails loudly instead of
+// silently reading whichever batch the pool recycled the arrays into.
+func TestReleasePoisonsOwnedBatch(t *testing.T) {
+	if !LeakCheckEnabled() {
+		t.Fatal("TestMain should have enabled leak-check mode")
+	}
+	var pool sync.Pool
+	b := pooledBatch(t, &pool)
+	if b.Len() <= 0 {
+		t.Fatal("fixture batch is empty")
+	}
+	b.Release()
+	got, _ := pool.Get().(*ColumnBatch)
+	if got != b {
+		t.Fatal("pool did not recycle the released batch")
+	}
+	if got.Len() != -1 {
+		t.Fatalf("released batch Len() = %d, want -1 (poisoned)", got.Len())
+	}
+	if got.PoP.Dict != nil || got.Route.Dict != nil {
+		t.Fatal("released batch still carries dictionaries")
+	}
+	// And reacquisition must fully repair the poison.
+	got.pool = &pool
+	got.refs.Store(1)
+	outstanding.Add(1)
+	rows := testSamples(t, 5, 3, 1)
+	blob, _ := EncodeSegment(rows)
+	if err := decodeInto(blob, got); err != nil {
+		got.Release()
+		t.Fatal(err)
+	}
+	if got.Len() != len(rows) {
+		t.Fatalf("reacquired batch Len() = %d, want %d", got.Len(), len(rows))
+	}
+	got.Release()
+}
+
+// writeDataset commits rows across several segments so parallel scans
+// have real reordering to do.
+func writeDataset(t *testing.T, segments int) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "leak.seg")
+	all := testSamples(t, 17, 8, 2)
+	if len(all) < segments*2 {
+		t.Fatalf("fixture too small: %d rows", len(all))
+	}
+	w, err := Create(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := len(all) / segments
+	for id := 0; id < segments; id++ {
+		lo, hi := id*per, (id+1)*per
+		if id == segments-1 {
+			hi = len(all)
+		}
+		blob, meta := EncodeSegment(all[lo:hi])
+		if err := w.Add(id, blob, meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Regression: a mid-scan emit error used to strand every batch that was
+// decoded but not yet emitted — the workers' failed Sends leaked their
+// batches and Reorder dropped its pending window. The drain path must
+// release all of them.
+func TestScanColumnsEmitErrorReleasesEverything(t *testing.T) {
+	dir := writeDataset(t, 6)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	before, _ := LeakStats()
+	boom := errors.New("sink exploded")
+	for _, workers := range []int{1, 4} {
+		emitted := 0
+		err := r.ScanColumns(context.Background(), workers, nil, func(b *ColumnBatch) error {
+			emitted++
+			b.Release()
+			if emitted >= 2 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: scan error = %v, want the emit error", workers, err)
+		}
+		if out, _ := LeakStats(); out != before {
+			t.Fatalf("workers=%d: outstanding batches = %d, want %d — poisoned scan leaked pool capacity", workers, out, before)
+		}
+	}
+}

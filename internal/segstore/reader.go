@@ -146,6 +146,7 @@ func (r *Reader) readColumns(m SegmentMeta) (*ColumnBatch, error) {
 	}
 	b.pool = &r.pool
 	b.refs.Store(1)
+	outstanding.Add(1)
 	if err := decodeInto(data, b); err != nil {
 		b.Release()
 		return nil, fmt.Errorf("segstore: segment %d (%s): %w", m.ID, m.File, err)
@@ -217,14 +218,22 @@ func (r *Reader) ScanColumns(ctx context.Context, workers int, f *Filter, emit f
 			}
 			f.ApplyColumns(b)
 			if err := out.Send(ctx, decoded{seq: i, b: b}); err != nil {
+				// The scan is poisoned and the reorder stage will never see
+				// this batch: release it here or its pool slot leaks.
+				//edgelint:allow batchlife: a failed Send means the stream never took ownership
+				b.Release()
 				return err
 			}
 		}
 		return nil
 	}, out.Close)
 	g.Go(func(ctx context.Context) error {
-		return pipeline.Reorder(ctx, out, func(d decoded) int { return d.seq }, 0,
-			func(d decoded) error { return emit(d.b) })
+		// On a poisoned scan the drain hook releases every batch that was
+		// decoded but never emitted (buffered in the stream or in the
+		// reorder window), so even a failed scan leaks no pool capacity.
+		return pipeline.ReorderDrain(ctx, out, func(d decoded) int { return d.seq }, 0,
+			func(d decoded) error { return emit(d.b) },
+			func(d decoded) { d.b.Release() })
 	})
 	return g.Wait()
 }

@@ -1,0 +1,56 @@
+package study
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/segstore"
+)
+
+// TestMain runs the whole study suite — golden reports, chaos runs,
+// sharded/columnar equivalence — under segstore leak-check mode and
+// asserts the batch ownership invariant afterwards: every pooled column
+// batch acquired by any run (including poisoned chaos runs and their
+// drained error paths) was released exactly once. Poisoning also makes
+// any use-after-Release read garbage loudly, so a stale view corrupts a
+// golden report instead of passing silently.
+func TestMain(m *testing.M) {
+	segstore.SetLeakCheck(true)
+	code := m.Run()
+	if out, dbl := segstore.LeakStats(); code == 0 && (out != 0 || dbl != 0) {
+		fmt.Fprintf(os.Stderr, "segstore leak check: %d outstanding batches, %d double releases after study tests\n", out, dbl)
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// Regression for the feedColumns error paths: a fail-fast fault plan
+// poisons the sharded columnar pipeline mid-run, which used to strand
+// (1) the view feedColumns had cut just before its shard Send failed —
+// Slice retains the parent, so the root batch leaked with it — and
+// (2) every view buffered in the shard streams and every batch parked
+// in the scanner's reorder window. All of them must be released.
+func TestFromSegmentsFailFastReleasesAllBatches(t *testing.T) {
+	cfg := detCfg()
+	cfg.Days = 2
+	_, dir := writeBothFormats(t, cfg)
+
+	before, dblBefore := segstore.LeakStats()
+	for _, workers := range []int{1, 2, 4} {
+		_, err := FromSegments(context.Background(), dir, Options{
+			Workers: workers, Plan: mustPlan(t, "seed=11;sink-permanent=0.01"), FailFast: true,
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: fail-fast run with permanent sink faults did not fail", workers)
+		}
+		out, dbl := segstore.LeakStats()
+		if out != before {
+			t.Fatalf("workers=%d: outstanding batches = %d, want %d — poisoned run leaked", workers, out, before)
+		}
+		if dbl != dblBefore {
+			t.Fatalf("workers=%d: double releases = %d, want %d — error paths released a batch twice", workers, dbl, dblBefore)
+		}
+	}
+}

@@ -369,7 +369,7 @@ func (in *ingest) start(g *pipeline.Group) {
 		i, sh := i, sh
 		run := func(ctx context.Context) error {
 			n := 0
-			return sh.stream.Range(ctx, func(it shardItem) error {
+			err := sh.stream.Range(ctx, func(it shardItem) error {
 				if d := in.inj.ShardDelay(i, n); d > 0 {
 					time.Sleep(d)
 				}
@@ -407,6 +407,18 @@ func (in *ingest) start(g *pipeline.Group) {
 				}
 				return sh.col.Err()
 			})
+			if err != nil {
+				// Poisoned: views still buffered in this shard's stream will
+				// never reach the callback above; release them or the parent
+				// batches leak. The feed goroutine's deferred close
+				// guarantees Drain terminates.
+				sh.stream.Drain(func(it shardItem) {
+					if it.cols != nil {
+						it.cols.Release()
+					}
+				})
+			}
+			return err
 		}
 		g.GoBudget(fmt.Sprintf("agg_shard_%d", i), in.inj.StageBudget(), run)
 	}
@@ -510,7 +522,12 @@ func (in *ingest) feedColumns(ctx context.Context, b *segstore.ColumnBatch) erro
 		next := b.KeyAt(i).Hash() % nShards
 		end := b.KeyRunEnd(i)
 		if next != shard {
-			if err := in.shards[shard].stream.Send(ctx, shardItem{cols: b.Slice(runStart, i)}); err != nil {
+			v := b.Slice(runStart, i)
+			if err := in.shards[shard].stream.Send(ctx, shardItem{cols: v}); err != nil {
+				// The view was cut before Send failed; it holds a retained
+				// reference on b that no shard worker will ever release.
+				//edgelint:allow batchlife: a failed Send means the shard never took ownership
+				v.Release()
 				b.Release()
 				return err
 			}
@@ -518,7 +535,12 @@ func (in *ingest) feedColumns(ctx context.Context, b *segstore.ColumnBatch) erro
 		}
 		i = end
 	}
-	err := in.shards[shard].stream.Send(ctx, shardItem{cols: b.Slice(runStart, n)})
+	v := b.Slice(runStart, n)
+	err := in.shards[shard].stream.Send(ctx, shardItem{cols: v})
+	if err != nil {
+		//edgelint:allow batchlife: a failed Send means the shard never took ownership
+		v.Release()
+	}
 	b.Release()
 	return err
 }
