@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build race test chaos seg-race trace-race colagg-race fuzz-smoke bench-obs bench-pipeline bench-retry bench bench-segstore bench-trace bench-colagg
+.PHONY: check vet lint build race test chaos seg-race trace-race colagg-race pop-race fuzz-smoke bench-obs bench-pipeline bench-retry bench bench-segstore bench-trace bench-colagg bench-ship
 
-check: vet lint build race test chaos seg-race trace-race colagg-race
+check: vet lint build race test chaos seg-race trace-race colagg-race pop-race
 
 vet:
 	$(GO) vet ./...
@@ -81,13 +81,44 @@ colagg-race:
 	cmp .colagg-race/batch.txt .colagg-race/rows.txt
 	rm -rf .colagg-race
 
+# The multi-PoP shipping invariant, live under the race detector: two
+# edgepopd processes generate disjoint shares of the world and ship
+# them to an edgemerged spool over a unix socket while the wire plan
+# injects duplicate deliveries and connection-severing drops. The
+# report rendered from the merged spool must be byte-identical to the
+# single-process run's (only the wall-clock line is stripped). The
+# kill-and-restart variants of this invariant run in internal/ship's
+# tests (`race`).
+pop-race:
+	rm -rf .pop-race
+	mkdir -p .pop-race
+	$(GO) run -race ./cmd/edgesim -seed 3 -groups 9 -days 2 -spw 12 -workers 4 -format seg -o .pop-race/golden
+	$(GO) build -race -o .pop-race/edgepopd ./cmd/edgepopd
+	$(GO) build -race -o .pop-race/edgemerged ./cmd/edgemerged
+	./.pop-race/edgemerged -o .pop-race/spool -listen .pop-race/merge.sock -expect-pops 2 & \
+	mpid=$$!; \
+	sleep 1; \
+	./.pop-race/edgepopd -seed 3 -groups 9 -days 2 -spw 12 -workers 4 -o .pop-race/pop0 -pop 0 -pops 2 -merger .pop-race/merge.sock \
+		-ship-fault-plan "seed=9;ship-dup=0.4;ship-drop=0.2;retries=12;retry-base=1ms" & \
+	p0=$$!; \
+	./.pop-race/edgepopd -seed 3 -groups 9 -days 2 -spw 12 -workers 4 -o .pop-race/pop1 -pop 1 -pops 2 -merger .pop-race/merge.sock \
+		-ship-fault-plan "seed=9;ship-dup=0.4;ship-drop=0.2;retries=12;retry-base=1ms" & \
+	p1=$$!; \
+	wait $$p0 && wait $$p1 && wait $$mpid
+	$(GO) run -race ./cmd/edgereport -in .pop-race/golden -workers 4 | grep -v '^Generated and analysed' > .pop-race/golden.txt
+	$(GO) run -race ./cmd/edgereport -in .pop-race/spool -workers 4 | grep -v '^Generated and analysed' > .pop-race/merged.txt
+	cmp .pop-race/golden.txt .pop-race/merged.txt
+	rm -rf .pop-race
+
 # A short burst on each fuzz target; the invariants live next to the
 # targets (tdigest merge structure, hdratio classification ranges,
-# segment decode never panics on hostile bytes).
+# segment decode never panics on hostile bytes, ship frame decode never
+# panics on hostile streams).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzTDigestMerge -fuzztime 10s ./internal/tdigest/
 	$(GO) test -run '^$$' -fuzz FuzzHDRatioClassify -fuzztime 10s ./internal/hdratio/
 	$(GO) test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 10s ./internal/segstore/
+	$(GO) test -run '^$$' -fuzz FuzzShipFrameDecode -fuzztime 10s ./internal/ship/
 
 # Documents the obs fast-path cost on collector ingest (EXPERIMENTS.md
 # records the measured overhead; the bar is <5%).
@@ -121,6 +152,12 @@ bench-trace:
 # allocation delta).
 bench-colagg:
 	$(GO) test -run '^$$' -bench 'BenchmarkColagg(Rows|Batches)$$' -benchmem -benchtime 10x -count 2 ./internal/study/
+
+# One PoP's dataset shipped over loopback TCP into a fresh spool,
+# durable ack-log and manifest commits included (EXPERIMENTS.md records
+# the measured per-slot cost of crash-safe shipping).
+bench-ship:
+	$(GO) test -run '^$$' -bench BenchmarkShipThroughput -benchmem -count 3 ./internal/ship/
 
 bench:
 	$(GO) test -bench . -benchmem

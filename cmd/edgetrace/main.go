@@ -204,6 +204,9 @@ func runCauses(w io.Writer, args []string) error {
 			rep.Sender, rep.Network, rep.Receiver)
 	}
 	fmt.Fprintf(w, "retry economy: %d retries spent, %d transients recovered\n", rep.Retries, rep.Recovered)
+	if rep.Dedup > 0 {
+		fmt.Fprintf(w, "shipping: %d duplicate deliveries dropped idempotently (replays and injected dups; never data loss)\n", rep.Dedup)
+	}
 	if rep.Checks == nil {
 		fmt.Fprintln(w, "ledger: no coverage marks in the trace (fault-free or pre-ledger run); nothing to reconcile")
 		return nil

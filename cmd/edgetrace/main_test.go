@@ -117,3 +117,27 @@ func TestCausesCleanRun(t *testing.T) {
 		t.Errorf("clean run not reported as loss-free:\n%s", b.String())
 	}
 }
+
+// TestCausesReportsShippingDedup: a merge-tier trace carrying the
+// run-level dedup mark surfaces it in the causes report, labeled as
+// absorbed redundancy rather than loss.
+func TestCausesReportsShippingDedup(t *testing.T) {
+	dir := t.TempDir()
+	rec := trace.New(99)
+	tb := rec.Buf()
+	tb.Emit(trace.Event{
+		Track: trace.TrackRun, Phase: trace.PhaseRun, Win: -1, Seq: 1 << 20,
+		Kind: trace.KMark, Stage: trace.CoverageStage, Value: 7, Detail: trace.MarkDedup,
+	})
+	path := filepath.Join(dir, "merge.trace")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	var b bytes.Buffer
+	if err := runCauses(&b, []string{path}); err != nil {
+		t.Fatalf("causes: %v", err)
+	}
+	if !strings.Contains(b.String(), "7 duplicate deliveries dropped idempotently") {
+		t.Errorf("causes output missing the dedup line:\n%s", b.String())
+	}
+}

@@ -98,6 +98,19 @@ type Plan struct {
 	// Outages lists per-PoP world outages.
 	Outages []Outage
 
+	// Wire-fault probabilities for the segment-shipping surface
+	// (internal/ship), decided per (segment, attempt): ShipDropP drops
+	// the shipment before any byte is written and severs the
+	// connection; ShipTruncP writes half the frame then severs;
+	// ShipDupP delivers the shipment twice (the merger must dedup);
+	// ShipDelayP delays the send by up to ShipDelayMax (default 2ms).
+	// All are transport-level: they may never change report bytes.
+	ShipDropP    float64
+	ShipDupP     float64
+	ShipTruncP   float64
+	ShipDelayP   float64
+	ShipDelayMax time.Duration
+
 	// RetryAttempts and RetryBase override the recovery policy derived
 	// from the plan (defaults: 4 attempts, 1ms base backoff).
 	RetryAttempts int
@@ -114,6 +127,9 @@ func (p Plan) withDefaults() Plan {
 	}
 	if p.DelayMax <= 0 {
 		p.DelayMax = 2 * time.Millisecond
+	}
+	if p.ShipDelayMax <= 0 {
+		p.ShipDelayMax = 2 * time.Millisecond
 	}
 	if p.RetryAttempts <= 0 {
 		p.RetryAttempts = 4
@@ -178,6 +194,19 @@ func (p *Plan) Spec() string {
 	for _, o := range p.Outages {
 		add("outage", fmt.Sprintf("%s:%d-%d", o.PoP, o.From, o.To))
 	}
+	if p.ShipDropP > 0 {
+		add("ship-drop", trimFloat(p.ShipDropP))
+	}
+	if p.ShipDupP > 0 {
+		add("ship-dup", trimFloat(p.ShipDupP))
+	}
+	if p.ShipTruncP > 0 {
+		add("ship-trunc", trimFloat(p.ShipTruncP))
+	}
+	if p.ShipDelayP > 0 {
+		add("ship-delay", trimFloat(p.ShipDelayP))
+		add("ship-delay-max", p.ShipDelayMax.String())
+	}
 	if p.RetryAttempts > 0 {
 		add("retries", strconv.Itoa(p.RetryAttempts))
 	}
@@ -211,6 +240,11 @@ func trimFloat(v float64) string {
 //	stall-for=D             stall duration (default 2×stage-budget)
 //	stage-budget=D          per-shard-stage deadline (0 = none)
 //	outage=POP:A-B          PoP down for windows [A, B)
+//	ship-drop=P             per-attempt shipment drop probability
+//	ship-dup=P              per-shipment duplicate-delivery probability
+//	ship-trunc=P            per-attempt mid-frame truncation probability
+//	ship-delay=P            per-attempt shipment delay probability
+//	ship-delay-max=D        max injected shipment delay (default 2ms)
 //	retries=N               retry attempts (default 4)
 //	retry-base=D            base backoff (default 1ms)
 //
@@ -271,6 +305,16 @@ func ParsePlan(spec string) (*Plan, error) {
 			var o Outage
 			o, err = parseOutage(v)
 			p.Outages = append(p.Outages, o)
+		case "ship-drop":
+			p.ShipDropP, err = parseProb(v)
+		case "ship-dup":
+			p.ShipDupP, err = parseProb(v)
+		case "ship-trunc":
+			p.ShipTruncP, err = parseProb(v)
+		case "ship-delay":
+			p.ShipDelayP, err = parseProb(v)
+		case "ship-delay-max":
+			p.ShipDelayMax, err = time.ParseDuration(v)
 		case "retries":
 			p.RetryAttempts, err = strconv.Atoi(v)
 		case "retry-base":

@@ -181,3 +181,69 @@ func TestFaultErrorClassification(t *testing.T) {
 		t.Errorf("Error() = %q", tr.Error())
 	}
 }
+
+func TestParsePlanShipKeys(t *testing.T) {
+	p, err := ParsePlan("seed=4;ship-drop=0.2;ship-dup=0.1;ship-trunc=0.05;ship-delay=0.3;ship-delay-max=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ShipDropP != 0.2 || p.ShipDupP != 0.1 || p.ShipTruncP != 0.05 || p.ShipDelayP != 0.3 || p.ShipDelayMax != 5*time.Millisecond {
+		t.Errorf("ship fields wrong: %+v", p)
+	}
+	again, err := ParsePlan(p.Spec())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", p.Spec(), err)
+	}
+	if got, want := again.Spec(), p.Spec(); got != want {
+		t.Errorf("ship spec not a fixed point:\n got %q\nwant %q", got, want)
+	}
+	if _, err := ParsePlan("ship-drop=2"); err == nil {
+		t.Error("ship-drop=2 accepted")
+	}
+}
+
+// Ship decisions are pure functions of (segment, attempt): repeatable,
+// independent of call order, with duplicates confined to attempt 0 so
+// the injected-dup count does not depend on retry dynamics.
+func TestShipFaultDeterminism(t *testing.T) {
+	plan := &Plan{Seed: 7, ShipDropP: 0.2, ShipDupP: 0.15, ShipTruncP: 0.1, ShipDelayP: 0.2}
+	a := NewInjector(plan, 42)
+	b := NewInjector(plan, 42)
+	kinds := map[ShipFaultKind]int{}
+	for seg := 0; seg < 400; seg++ {
+		for att := 0; att < 3; att++ {
+			fa, fb := a.ShipFault(seg, att), b.ShipFault(seg, att)
+			if fa != fb {
+				t.Fatalf("ShipFault(%d,%d) not repeatable: %+v vs %+v", seg, att, fa, fb)
+			}
+			kinds[fa.Kind]++
+			if fa.Kind == ShipDup && att != 0 {
+				t.Fatalf("duplicate injected on retry attempt %d", att)
+			}
+			if fa.Kind == ShipDelay && (fa.Delay < 0 || fa.Delay >= 2*time.Millisecond) {
+				t.Fatalf("delay %v outside [0, default max)", fa.Delay)
+			}
+		}
+	}
+	// Reverse order must draw identical decisions.
+	for seg := 399; seg >= 0; seg-- {
+		if got, want := b.ShipFault(seg, 1), a.ShipFault(seg, 1); got != want {
+			t.Fatalf("order-dependent decision at seg %d", seg)
+		}
+	}
+	for _, k := range []ShipFaultKind{ShipDrop, ShipDup, ShipTruncate, ShipDelay} {
+		if kinds[k] == 0 {
+			t.Errorf("kind %v never drawn over 1200 attempts", k)
+		}
+	}
+	if a.ShipFault(1, 20) != a.ShipFault(1, 15) {
+		t.Error("attempts beyond 15 do not share attempt 15's decision")
+	}
+	var nilInj *Injector
+	if !nilInj.ShipFault(3, 0).None() {
+		t.Error("nil injector injected a ship fault")
+	}
+	if !NewInjector(&Plan{Seed: 1}, 1).ShipFault(3, 0).None() {
+		t.Error("zero ship probabilities injected a fault")
+	}
+}

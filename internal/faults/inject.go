@@ -33,6 +33,7 @@ const (
 	SurfaceWrite = "write"
 	SurfaceDelay = "delay"
 	SurfacePoP   = "pop"
+	SurfaceShip  = "ship"
 )
 
 // NewInjector binds plan to a study seed. A nil plan yields a nil
@@ -78,6 +79,7 @@ func (in *Injector) Instrument(reg *obs.Registry) {
 		SurfaceWrite: reg.Counter(obs.L("faults_injected_total", "surface", SurfaceWrite)),
 		SurfaceDelay: reg.Counter(obs.L("faults_injected_total", "surface", SurfaceDelay)),
 		SurfacePoP:   reg.Counter(obs.L("faults_injected_total", "surface", SurfacePoP)),
+		SurfaceShip:  reg.Counter(obs.L("faults_injected_total", "surface", SurfaceShip)),
 	}
 	in.cRecovered = reg.Counter("faults_transient_recovered_total")
 	in.gDegraded = reg.Gauge("faults_degraded")
@@ -246,6 +248,86 @@ func (in *Injector) ShardDelay(shard, n int) time.Duration {
 		}
 	}
 	return d
+}
+
+// ShipFaultKind classifies one wire-shipment attempt's injected fate.
+type ShipFaultKind int
+
+// Ship fault kinds.
+const (
+	ShipOK       ShipFaultKind = iota
+	ShipDrop                   // sever the connection before any byte of the frame
+	ShipTruncate               // write half the frame, then sever
+	ShipDup                    // deliver the shipment twice (receiver must dedup)
+	ShipDelay                  // delay the send, then deliver normally
+)
+
+// String names the kind for trace event details and metrics.
+func (k ShipFaultKind) String() string {
+	switch k {
+	case ShipDrop:
+		return "ship-drop"
+	case ShipTruncate:
+		return "ship-trunc"
+	case ShipDup:
+		return "ship-dup"
+	case ShipDelay:
+		return "ship-delay"
+	}
+	return "ok"
+}
+
+// ShipFault is one shipment attempt's wire decision.
+type ShipFault struct {
+	Kind ShipFaultKind
+	// Delay is the injected send delay when Kind is ShipDelay.
+	Delay time.Duration
+}
+
+// None reports a clean attempt.
+func (f ShipFault) None() bool { return f.Kind == ShipOK }
+
+// ShipFault decides one wire-shipment attempt's fate, keyed by
+// (segment ID, retry attempt). Segment IDs are globally unique across
+// PoPs (group*chunksPerGroup + chunk over the whole world), so the
+// same plan injects the same faults whether the world ships from one
+// process or many — and the total number of injected duplicates is a
+// pure function of the plan, which the chaos tests check exactly.
+// Attempts beyond 15 share the last attempt's decision (the retry
+// budget is far smaller in practice).
+func (in *Injector) ShipFault(segID, attempt int) ShipFault {
+	if in == nil {
+		return ShipFault{}
+	}
+	p := &in.plan
+	if p.ShipDropP == 0 && p.ShipDupP == 0 && p.ShipTruncP == 0 && p.ShipDelayP == 0 {
+		return ShipFault{}
+	}
+	if attempt > 15 {
+		attempt = 15
+	}
+	r := rng.ChildAt(in.mix, SurfaceShip, segID<<4|attempt)
+	u := r.Float64()
+	switch {
+	case u < p.ShipDropP:
+		in.inject(SurfaceShip)
+		return ShipFault{Kind: ShipDrop}
+	case u < p.ShipDropP+p.ShipTruncP:
+		in.inject(SurfaceShip)
+		return ShipFault{Kind: ShipTruncate}
+	case u < p.ShipDropP+p.ShipTruncP+p.ShipDupP:
+		// Duplicates only fire on the first attempt so the injected-dup
+		// count stays a function of the shipped set, not of how many
+		// retries other faults happened to cause.
+		if attempt == 0 {
+			in.inject(SurfaceShip)
+			return ShipFault{Kind: ShipDup}
+		}
+	case u < p.ShipDropP+p.ShipTruncP+p.ShipDupP+p.ShipDelayP:
+		in.inject(SurfaceShip)
+		return ShipFault{Kind: ShipDelay, Delay: time.Duration(float64(p.ShipDelayMax) * r.Float64())}
+	}
+	return ShipFault{}
 }
 
 // StageBudget returns the plan's per-shard-stage deadline (0 = none).

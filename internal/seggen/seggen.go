@@ -1,0 +1,440 @@
+// Package seggen is the segment-dataset generation pipeline: it runs a
+// synthetic world through the collection filter and writes the result
+// as a columnar segment store (internal/segstore), resuming from the
+// dataset manifest after an interrupt and injecting deterministic
+// faults at the batch and write surfaces.
+//
+// The package exists so the pipeline has exactly one implementation
+// with two drivers: cmd/edgesim (the whole world in one process) and
+// cmd/edgepopd (one PoP's share of the world per process, for the
+// multi-PoP shipping topology in internal/ship). Because generation is
+// a pure function of (config, group index), the union of per-PoP
+// datasets is byte-identical to the single-process dataset — the
+// invariant the shipping layer's end-to-end tests pin.
+package seggen
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/sample"
+	"repro/internal/segstore"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// ChunksPerGroup is how many segment-span chunks one group's windows
+// cover. Segment IDs are group*ChunksPerGroup + chunk — a stable scheme
+// a resumed run re-derives from the same flags, and ascending-ID order
+// reproduces the JSONL dataset's (group, window) sample order. The
+// scheme is global: a PoP process generating a subset of groups mints
+// exactly the IDs the single-process run would for those groups.
+func ChunksPerGroup(cfg world.Config) int {
+	n := int((time.Duration(cfg.Days)*24*time.Hour + segstore.DefaultSegmentSpan - 1) / segstore.DefaultSegmentSpan)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Options configures one generation run.
+type Options struct {
+	// World is the configured world to generate from.
+	World *world.World
+	// Dir is the segment-dataset directory (created or resumed).
+	Dir string
+	// Origin pins the dataset identity; resume with a different origin
+	// is refused (see segstore.Create).
+	Origin string
+	// Reg receives pipeline metrics (may be nil).
+	Reg *obs.Registry
+	// Workers is the generate/encode parallelism (<=1 sequential).
+	Workers int
+	// Injector injects deterministic batch/write faults (may be nil).
+	Injector *faults.Injector
+	// FailFast aborts on the first unrecoverable fault instead of
+	// tombstoning and degrading.
+	FailFast bool
+	// Rec records the run's deterministic flight trace (may be nil).
+	Rec *trace.Recorder
+	// Groups restricts generation to these world-group indices (nil =
+	// every group; non-nil empty = none) — the multi-PoP sharding hook:
+	// a PoP process passes the groups it owns and the dataset holds
+	// exactly their segments. An empty share still commits a manifest,
+	// so the PoP can complete its (empty) shipping handshake.
+	Groups []int
+}
+
+// Result reports one generation run.
+type Result struct {
+	// Stats are the merged collector totals (accepted, filtered).
+	Stats collector.Stats
+	// Written counts samples committed by this run.
+	Written int
+	// Resumed counts groups already fully accounted for by a previous
+	// run's manifest and skipped.
+	Resumed int
+	// Coverage is the degradation ledger (nil without an injector).
+	Coverage *faults.Coverage
+}
+
+// Run generates opt.World's dataset into the segment store at opt.Dir,
+// resuming from its manifest if one exists: only groups the manifest
+// does not fully account for (committed or tombstoned) are regenerated,
+// and the finished directory is byte-identical to an uninterrupted
+// run's at any worker count. Workers generate and encode whole groups
+// concurrently; a single ordered tail appends segments and commits the
+// manifest once per group, so an interrupt loses at most the groups not
+// yet committed. A permanently failed group tombstones its segment IDs
+// in the manifest — the loss is recorded in the dataset itself.
+func Run(ctx context.Context, opt Options) (Result, error) {
+	w, reg, inj, rec := opt.World, opt.Reg, opt.Injector, opt.Rec
+	cpg := ChunksPerGroup(w.Cfg)
+	span := segstore.DefaultSegmentSpan
+	sw, err := segstore.Create(opt.Dir, opt.Origin)
+	if err != nil {
+		return Result{}, err
+	}
+	// Publish the manifest before any group lands: an empty share (a
+	// PoP that owns no groups) is still a valid dataset whose origin
+	// the shipping handshake needs, and a fresh run interrupted before
+	// its first group resumes instead of starting from a bare directory.
+	if err := sw.Commit(); err != nil {
+		return Result{}, err
+	}
+
+	owned := opt.Groups
+	if owned == nil {
+		owned = make([]int, len(w.Groups))
+		for gi := range w.Groups {
+			owned[gi] = gi
+		}
+	}
+
+	// The work list: owned groups with any unaccounted chunk. (A group
+	// whose chunk produced no samples is regenerated on resume —
+	// harmless, the regeneration is deterministic and committed chunks
+	// are skipped.)
+	var todo []int
+	for _, gi := range owned {
+		for c := 0; c < cpg; c++ {
+			if !sw.Committed(gi*cpg + c) {
+				todo = append(todo, gi)
+				break
+			}
+		}
+	}
+	resumed := len(owned) - len(todo)
+
+	var (
+		mu      sync.Mutex
+		total   collector.Stats
+		cov     faults.Coverage
+		written int
+	)
+	if inj != nil {
+		cov.Spec = inj.Plan().Spec()
+		cov.FailFast = opt.FailFast
+	}
+	failFast := opt.FailFast
+	encSpan := reg.Span(obs.L("edgesim_stage_seconds", "stage", "encode"), "edgesim")
+	writeSpan := reg.Span(obs.L("edgesim_stage_seconds", "stage", "write"), "edgesim")
+
+	type chunk struct {
+		id      int
+		samples int // accepted (post-filter) rows in the blob
+		blob    []byte
+		meta    segstore.SegmentMeta
+	}
+	type segBatch struct {
+		order  int
+		group  int
+		chunks []chunk
+		// quarantine, when non-empty, means the whole group fell to a
+		// batch fault: the tail tombstones every chunk (rawLost[c] raw
+		// samples each) instead of writing.
+		quarantine string
+		rawLost    []int
+		// truncLost carries a truncation's sample loss to the ordered
+		// tail, which owns the trace ring the fate events land in.
+		truncLost int
+	}
+
+	// chunkOf maps a sample to its span chunk, clamped so boundary
+	// jitter cannot mint an out-of-range segment ID.
+	chunkOf := func(s *sample.Sample) int {
+		c := int(s.Start / span)
+		if c < 0 {
+			c = 0
+		}
+		if c >= cpg {
+			c = cpg - 1
+		}
+		return c
+	}
+
+	workers := opt.Workers
+	g := pipeline.NewGroup(ctx)
+	g.Trace(rec)
+	enc := pipeline.NewStream[segBatch](max(workers, 1))
+	enc.Instrument(reg, "write")
+	enc.Observe(rec, "write")
+	tb := rec.Buf() // owned by the ordered tail goroutine below
+	g.Go(func(ctx context.Context) error {
+		defer enc.Close()
+		return w.GenerateSelected(ctx, workers, todo, func(order int, b world.Batch) error {
+			samples := b.Samples
+			truncLost := 0
+			if b.Lost > 0 { // PoP outage suppressed windows at the source
+				mu.Lock()
+				cov.SamplesLostOutage += b.Lost
+				mu.Unlock()
+			}
+			switch f := inj.BatchFault(b.Group); f.Kind {
+			case faults.BatchOK:
+			case faults.BatchTruncate:
+				keep := len(samples) - int(float64(len(samples))*f.Frac)
+				mu.Lock()
+				cov.BatchesTruncated++
+				cov.SamplesLostTruncated += len(samples) - keep
+				mu.Unlock()
+				truncLost = len(samples) - keep
+				samples = samples[:keep]
+			default: // corrupt or plan-listed failure: the whole batch is gone
+				if failFast {
+					return fmt.Errorf("group %d batch: %w", b.Group,
+						&faults.FaultError{Surface: faults.SurfaceBatch, Key: fmt.Sprintf("world-group-%d", b.Group)})
+				}
+				mu.Lock()
+				cov.GroupsDropped++
+				cov.SamplesLostDropped += len(samples)
+				cov.Quarantined = append(cov.Quarantined, faults.QuarantinedGroup{
+					Key: fmt.Sprintf("world-group-%04d", b.Group), Reason: f.Kind.String(), SamplesLost: len(samples),
+				})
+				mu.Unlock()
+				rawLost := make([]int, cpg)
+				for i := range samples {
+					rawLost[chunkOf(&samples[i])]++
+				}
+				return enc.Send(ctx, segBatch{order: order, group: b.Group, quarantine: f.Kind.String(), rawLost: rawLost})
+			}
+
+			// Filter (hosting/VPN) and encode. Samples arrive in window
+			// order, so chunk runs are contiguous and ascending.
+			sp := encSpan.Start()
+			var kept []sample.Sample
+			c := collector.New(collector.SliceSink(&kept))
+			c.Instrument(reg)
+			for _, s := range samples {
+				c.Offer(s)
+			}
+			st := c.Stats()
+			sb := segBatch{order: order, group: b.Group}
+			for lo := 0; lo < len(kept); {
+				cid := chunkOf(&kept[lo])
+				hi := lo + 1
+				for hi < len(kept) && chunkOf(&kept[hi]) == cid {
+					hi++
+				}
+				blob, meta := segstore.EncodeSegment(kept[lo:hi])
+				sb.chunks = append(sb.chunks, chunk{id: b.Group*cpg + cid, samples: hi - lo, blob: blob, meta: meta})
+				lo = hi
+			}
+			sp.End()
+			sb.truncLost = truncLost
+			mu.Lock()
+			total = total.Merge(st)
+			mu.Unlock()
+			return enc.Send(ctx, sb)
+		})
+	})
+	g.Go(func(ctx context.Context) error {
+		return pipeline.Reorder(ctx, enc, func(b segBatch) int { return b.order }, 0, func(b segBatch) error {
+			track := trace.GroupTrack(b.group)
+			if b.quarantine != "" {
+				lost := 0
+				for _, n := range b.rawLost {
+					lost += n
+				}
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 0,
+					Kind: trace.KFault, Stage: "batch", Value: int64(lost), Detail: b.quarantine,
+				})
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 1,
+					Kind: trace.KQuarantine, Stage: "batch", Value: int64(lost), Detail: b.quarantine,
+				})
+				tb.Loss(track, trace.PhaseBatch, -1, 0, "batch", trace.LossDropped, lost)
+				for c, n := range b.rawLost {
+					sw.Tombstone(b.group*cpg+c, b.quarantine, n)
+				}
+				return sw.Commit()
+			}
+			if b.truncLost > 0 {
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 0,
+					Kind: trace.KFault, Stage: "batch", Value: int64(b.truncLost), Detail: faults.BatchTruncate.String(),
+				})
+				tb.Loss(track, trace.PhaseBatch, -1, 0, "batch", trace.LossTruncated, b.truncLost)
+			}
+			commit := func() error {
+				for _, c := range b.chunks {
+					if sw.Committed(c.id) {
+						continue // survived a previous interrupted run
+					}
+					if err := sw.Add(c.id, c.blob, c.meta); err != nil {
+						return err
+					}
+				}
+				return sw.Commit()
+			}
+			accepted := 0
+			for _, c := range b.chunks {
+				accepted += c.samples
+			}
+			if f := inj.WriteFault(b.group); !f.None() {
+				if f.Permanent {
+					if failFast {
+						return fmt.Errorf("writing group %d segments: %w", b.group,
+							&faults.FaultError{Surface: faults.SurfaceWrite, Key: fmt.Sprintf("world-group-%d", b.group)})
+					}
+					mu.Lock()
+					cov.GroupsDropped++
+					cov.SamplesLostDropped += accepted
+					cov.Quarantined = append(cov.Quarantined, faults.QuarantinedGroup{
+						Key: fmt.Sprintf("world-group-%04d", b.group), Reason: "permanent write failure", SamplesLost: accepted,
+					})
+					mu.Unlock()
+					tb.Emit(trace.Event{
+						Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 0,
+						Kind: trace.KFault, Stage: "write", Value: int64(accepted), Detail: "write-permanent",
+					})
+					tb.Emit(trace.Event{
+						Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 1,
+						Kind: trace.KQuarantine, Stage: "write", Value: int64(accepted), Detail: "permanent write failure",
+					})
+					tb.Loss(track, trace.PhaseCommit, -1, 0, "write", trace.LossDropped, accepted)
+					for _, c := range b.chunks {
+						sw.Tombstone(c.id, "permanent write failure", c.samples)
+					}
+					return sw.Commit()
+				}
+				// Transient streak: retry with backoff until the writer
+				// heals, wrapping the real commit so its own errors (full
+				// disk) still surface as permanent.
+				rem := f.Transient
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 0,
+					Kind: trace.KFault, Stage: "write", Value: int64(rem), Detail: "write-transient",
+				})
+				p := inj.Policy(b.group)
+				p.OnRetry = func(int, error) {
+					mu.Lock()
+					cov.RetriesSpent++
+					mu.Unlock()
+				}
+				p = faults.TracedPolicy(p, tb, track, trace.PhaseCommit, -1, 0, "write")
+				err := faults.Retry(ctx, p, func() error {
+					if rem > 0 {
+						rem--
+						return &faults.FaultError{Surface: faults.SurfaceWrite,
+							Key: fmt.Sprintf("world-group-%d", b.group), Transient: true}
+					}
+					sp := writeSpan.Start()
+					defer sp.End()
+					return commit()
+				})
+				if err != nil {
+					if failFast || !faults.IsTransient(err) {
+						return err
+					}
+					mu.Lock()
+					cov.GroupsDropped++
+					cov.SamplesLostDropped += accepted
+					cov.Quarantined = append(cov.Quarantined, faults.QuarantinedGroup{
+						Key: fmt.Sprintf("world-group-%04d", b.group), Reason: "write retry budget exhausted", SamplesLost: accepted,
+					})
+					mu.Unlock()
+					tb.Emit(trace.Event{
+						Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 1,
+						Kind: trace.KQuarantine, Stage: "write", Value: int64(accepted), Detail: "write retry budget exhausted",
+					})
+					tb.Loss(track, trace.PhaseCommit, -1, 0, "write", trace.LossDropped, accepted)
+					for _, c := range b.chunks {
+						sw.Tombstone(c.id, "write retry budget exhausted", c.samples)
+					}
+					return sw.Commit()
+				}
+				mu.Lock()
+				cov.TransientRecovered++
+				mu.Unlock()
+				inj.Recovered()
+				written += accepted
+				tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 2,
+					Kind: trace.KCommit, Stage: "write", Value: int64(accepted),
+				})
+				return nil
+			}
+			sp := writeSpan.Start()
+			defer sp.End()
+			if err := commit(); err != nil {
+				return err
+			}
+			written += accepted
+			tb.Emit(trace.Event{
+				Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 2,
+				Kind: trace.KCommit, Stage: "write", Value: int64(accepted),
+			})
+			return nil
+		})
+	})
+	err = g.Wait()
+	mu.Lock()
+	st := total
+	mu.Unlock()
+	res := Result{Stats: st, Written: written, Resumed: resumed}
+	if inj == nil {
+		return res, err
+	}
+	cov.Finalize()
+	if cov.Degraded() {
+		inj.MarkDegraded()
+	}
+	cov.EmitTrace(tb) // tail goroutine has returned; the caller owns the ring now
+	res.Coverage = &cov
+	return res, err
+}
+
+// OwnedGroups partitions the world's group indices across a fleet of
+// pops processes and returns the share pop owns: every group whose
+// serving PoP hashes (FNV-1a) to this index. Sharding by PoP keeps
+// each PoP's traffic — and therefore each user group, whose key
+// includes the PoP — wholly inside one process, mirroring the paper's
+// deployment; the union over all indices covers every group exactly
+// once, so the shipped datasets reassemble the whole world.
+func OwnedGroups(w *world.World, pop, pops int) []int {
+	if pops <= 1 {
+		owned := make([]int, len(w.Groups))
+		for gi := range w.Groups {
+			owned[gi] = gi
+		}
+		return owned
+	}
+	owned := []int{} // non-nil even when the share is empty: nil means "all" to Run
+	for gi := range w.Groups {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(w.Groups[gi].PoP)) // hash.Hash.Write never errors
+		if int(h.Sum32())%pops == pop {
+			owned = append(owned, gi)
+		}
+	}
+	return owned
+}

@@ -1,0 +1,69 @@
+package seggen
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/segstore"
+	"repro/internal/world"
+)
+
+// TestOwnedGroupsPartition: the fleet's shares must cover every group
+// exactly once at any fleet size — the precondition for the merged
+// spool being byte-identical to a single-process dataset — and an
+// empty share must be non-nil (nil means "every group" to Run, which
+// would turn a PoP with no traffic into a full duplicate generator).
+func TestOwnedGroupsPartition(t *testing.T) {
+	w := world.New(world.Config{Seed: 7, Groups: 23, Days: 1, SessionsPerGroupWindow: 2})
+	for pops := 1; pops <= 6; pops++ {
+		seen := map[int]int{}
+		for pop := 0; pop < pops; pop++ {
+			owned := OwnedGroups(w, pop, pops)
+			if owned == nil {
+				t.Fatalf("pops=%d pop=%d: nil share; empty shares must stay non-nil", pops, pop)
+			}
+			for _, gi := range owned {
+				seen[gi]++
+			}
+			// Sharding follows the serving PoP: a group's whole PoP rides
+			// with it, mirroring the paper's per-PoP collectors.
+			for _, gi := range owned {
+				for gj := range w.Groups {
+					if w.Groups[gj].PoP == w.Groups[gi].PoP && seen[gj] == 0 && pop == pops-1 {
+						t.Fatalf("pops=%d: group %d shares PoP %s with owned group %d but is unassigned", pops, gj, w.Groups[gj].PoP, gi)
+					}
+				}
+			}
+		}
+		for gi := range w.Groups {
+			if seen[gi] != 1 {
+				t.Fatalf("pops=%d: group %d assigned %d times, want exactly once", pops, gi, seen[gi])
+			}
+		}
+	}
+}
+
+// TestRunEmptyShare: a PoP that owns nothing still commits a valid,
+// empty dataset — its shipping phase needs the manifest's origin for
+// the hello/done handshake.
+func TestRunEmptyShare(t *testing.T) {
+	dir := t.TempDir()
+	w := world.New(world.Config{Seed: 7, Groups: 5, Days: 1, SessionsPerGroupWindow: 2})
+	res, err := Run(context.Background(), Options{
+		World: w, Dir: dir, Origin: "test origin", Groups: []int{},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Written != 0 {
+		t.Fatalf("empty share wrote %d samples", res.Written)
+	}
+	r, err := segstore.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() { _ = r.Close() }() // read-only dataset; nothing to flush
+	if man := r.Manifest(); len(man.Segments) != 0 || man.Origin != "test origin" {
+		t.Fatalf("manifest = %d segments, origin %q", len(man.Segments), man.Origin)
+	}
+}

@@ -1,0 +1,116 @@
+package segstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// AcksName is the shipping ack log a PoP's dataset directory carries
+// once a shipper has run: the durable record of which committed
+// segments the central merger has acknowledged.
+const AcksName = "ACKS.json"
+
+// AckFormatVersion tags the ack-log encoding revision.
+const AckFormatVersion = "edgeack/1"
+
+// AckLog is the committed-vs-acked watermark beside the manifest. The
+// manifest says what exists; the ack log says what the merger has
+// durably received. A shipper killed at any instant resumes by
+// shipping exactly the committed-but-unacked set — re-shipping a
+// segment whose ack was written on the wire but not yet committed here
+// is safe, because the merger deduplicates by (origin, ID, hash).
+//
+// Like the manifest, the log carries no wall-clock fields and renders
+// its IDs sorted, so two runs that acked the same set commit
+// byte-identical logs.
+type AckLog struct {
+	Format string `json:"format"`
+	// Origin must match the dataset manifest's origin; a log from a
+	// different invocation is refused on load.
+	Origin string `json:"origin,omitempty"`
+	// Acked lists acknowledged segment IDs, ascending.
+	Acked []int `json:"acked"`
+
+	acked map[int]bool
+}
+
+// LoadAcks reads dir's ack log. A missing log is an empty one (no
+// shipment has ever been acknowledged); a corrupt or wrong-origin log
+// is an error, never silently ignored — dropping acks would make the
+// shipper re-send everything, dropping the origin check could mix two
+// runs' watermarks.
+func LoadAcks(dir, origin string) (*AckLog, error) {
+	l := &AckLog{Format: AckFormatVersion, Origin: origin, acked: make(map[int]bool)}
+	data, err := os.ReadFile(filepath.Join(dir, AcksName))
+	if os.IsNotExist(err) {
+		return l, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("segstore: %s: read ack log: %w", dir, err)
+	}
+	var disk AckLog
+	if err := json.Unmarshal(data, &disk); err != nil {
+		return nil, fmt.Errorf("segstore: %s: corrupt ack log: %w", dir, err)
+	}
+	if disk.Format != AckFormatVersion {
+		return nil, fmt.Errorf("segstore: %s: ack log format %q, want %q", dir, disk.Format, AckFormatVersion)
+	}
+	if disk.Origin != origin {
+		return nil, fmt.Errorf("segstore: %s: ack log origin %q does not match dataset origin %q", dir, disk.Origin, origin)
+	}
+	for _, id := range disk.Acked {
+		l.acked[id] = true
+	}
+	l.rebuild()
+	return l, nil
+}
+
+// Has reports whether segment id has been acknowledged.
+func (l *AckLog) Has(id int) bool { return l.acked[id] }
+
+// Len counts acknowledged segments.
+func (l *AckLog) Len() int { return len(l.acked) }
+
+// Add records an acknowledgement in memory (idempotent). Call Commit
+// to make it durable.
+func (l *AckLog) Add(id int) {
+	if !l.acked[id] {
+		l.acked[id] = true
+		l.rebuild()
+	}
+}
+
+// Watermark returns the highest segment ID below which every ID in the
+// log is contiguously acknowledged (-1 when none are): the resume
+// scan's fast-skip bound. Acks can arrive out of order, so IDs above
+// the watermark may be acked too — Has is the precise check.
+func (l *AckLog) Watermark() int {
+	w := -1
+	for _, id := range l.Acked {
+		if id != w+1 {
+			break
+		}
+		w = id
+	}
+	return w
+}
+
+// Commit writes the log atomically beside the manifest (same
+// write-temp + fsync + rename protocol).
+func (l *AckLog) Commit(dir string) error {
+	if err := atomicWriteJSON(dir, AcksName, l); err != nil {
+		return fmt.Errorf("segstore: commit ack log: %w", err)
+	}
+	return nil
+}
+
+func (l *AckLog) rebuild() {
+	l.Acked = l.Acked[:0]
+	for id := range l.acked {
+		l.Acked = append(l.Acked, id)
+	}
+	sort.Ints(l.Acked)
+}

@@ -1,0 +1,143 @@
+package segstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTwoSegmentDataset commits two one-segment chunks and returns the
+// dataset dir.
+func writeTwoSegmentDataset(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ds.seg")
+	rows := testSamples(t, 11, 4, 1)
+	w, err := Create(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(rows) / 2
+	blob0, meta0 := EncodeSegment(rows[:half])
+	blob1, meta1 := EncodeSegment(rows[half:])
+	if err := w.Add(0, blob0, meta0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(1, blob1, meta1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Open must name the precise segment when the manifest commits a file
+// that is no longer on disk — at Open, not at first scan.
+func TestOpenFailsFastOnMissingSegment(t *testing.T) {
+	dir := writeTwoSegmentDataset(t)
+	if err := os.Remove(filepath.Join(dir, segmentFileName(1))); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir)
+	if err == nil {
+		t.Fatal("Open succeeded on a dataset with a deleted segment")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "segment 1") || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("error does not name the missing segment: %v", err)
+	}
+}
+
+// Open must refuse a segment whose on-disk size disagrees with the
+// manifest, naming both sizes.
+func TestOpenFailsFastOnSizeMismatch(t *testing.T) {
+	dir := writeTwoSegmentDataset(t)
+	path := filepath.Join(dir, segmentFileName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir)
+	if err == nil {
+		t.Fatal("Open succeeded on a truncated segment")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "segment 0") || !strings.Contains(err.Error(), "manifest says") {
+		t.Fatalf("error does not name the mismatched sizes: %v", err)
+	}
+}
+
+func TestAckLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := LoadAcks(dir, "origin-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 || l.Watermark() != -1 {
+		t.Fatalf("fresh log not empty: %+v", l)
+	}
+	for _, id := range []int{3, 0, 1, 3} { // out of order + duplicate
+		l.Add(id)
+	}
+	if err := l.Commit(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAcks(dir, "origin-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 || !back.Has(0) || !back.Has(1) || back.Has(2) || !back.Has(3) {
+		t.Fatalf("reloaded log wrong: %+v", back.Acked)
+	}
+	if got := back.Watermark(); got != 1 {
+		t.Fatalf("Watermark() = %d, want 1 (gap at 2)", got)
+	}
+	back.Add(2)
+	if got := back.Watermark(); got != 3 {
+		t.Fatalf("Watermark() after filling gap = %d, want 3", got)
+	}
+	// Committed bytes are canonical: recommitting an identical set from
+	// a different insertion order yields identical bytes.
+	other, err := LoadAcks(t.TempDir(), "origin-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{0, 1, 3} {
+		other.Add(id)
+	}
+	dir2 := t.TempDir()
+	if err := other.Commit(dir2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(dir, AcksName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir2, AcksName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("ack logs differ across insertion orders:\n%s\nvs\n%s", a, b)
+	}
+	// A wrong-origin log must refuse to load.
+	if _, err := LoadAcks(dir, "origin-b"); err == nil {
+		t.Fatal("LoadAcks accepted a mismatched origin")
+	}
+	// A corrupt log must refuse to load.
+	if err := os.WriteFile(filepath.Join(dir, AcksName), []byte("{"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAcks(dir, "origin-a"); err == nil {
+		t.Fatal("LoadAcks accepted corrupt JSON")
+	}
+}

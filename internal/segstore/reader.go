@@ -40,11 +40,30 @@ type Reader struct {
 	gBytesPrune *obs.Gauge
 }
 
-// Open loads the dataset manifest at dir.
+// Open loads the dataset manifest at dir and verifies that every
+// segment file the manifest commits actually exists on disk at its
+// recorded size — a dataset rotted by a deleted or truncated segment
+// fails here, loudly and with the precise segment named, instead of as
+// a confusing read error deep inside the first scan that happens to
+// need it. (Content checksums stay on the scan path: Open stats, it
+// does not read.)
 func Open(dir string) (*Reader, error) {
 	man, err := loadManifest(dir)
 	if err != nil {
 		return nil, err
+	}
+	for _, m := range man.Segments {
+		fi, err := os.Stat(filepath.Join(dir, m.File))
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("segstore: %s: manifest commits segment %d but %s is missing on disk: %w", dir, m.ID, m.File, ErrCorrupt)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("segstore: %s: segment %d (%s): %w", dir, m.ID, m.File, err)
+		}
+		if fi.Size() != m.Bytes {
+			return nil, fmt.Errorf("segstore: %s: segment %d (%s) is %d bytes on disk, manifest says %d: %w",
+				dir, m.ID, m.File, fi.Size(), m.Bytes, ErrCorrupt)
+		}
 	}
 	f, err := os.Open(filepath.Join(dir, ManifestName))
 	if err != nil {

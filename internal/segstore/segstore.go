@@ -189,31 +189,39 @@ func loadManifest(dir string) (*Manifest, error) {
 // manifest, never a torn one.
 func commitManifest(dir string, m *Manifest) error {
 	m.sortEntries()
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return fmt.Errorf("segstore: marshal manifest: %w", err)
-	}
-	data = append(data, '\n')
-	tmp := filepath.Join(dir, ManifestName+".tmp")
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("segstore: commit manifest: %w", err)
-	}
-	if _, err := f.Write(data); err != nil {
-		_ = f.Close() // the write error is the root cause
-		return fmt.Errorf("segstore: commit manifest: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("segstore: commit manifest: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("segstore: commit manifest: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+	if err := atomicWriteJSON(dir, ManifestName, m); err != nil {
 		return fmt.Errorf("segstore: commit manifest: %w", err)
 	}
 	return nil
+}
+
+// atomicWriteJSON commits v as indented JSON to dir/name via the
+// write-temp + fsync + rename protocol shared by the manifest and the
+// shipping ack log: a process killed at any instant leaves either the
+// old file or the new one, never a torn write.
+func atomicWriteJSON(dir, name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal %s: %w", name, err)
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // the write error is the root cause
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, name))
 }
 
 // fileCRC computes the whole-file checksum recorded in the manifest.

@@ -1,0 +1,413 @@
+package ship
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/segstore"
+	"repro/internal/trace"
+)
+
+// MergerOptions configures the central merge tier.
+type MergerOptions struct {
+	// SpoolDir is the directory the merger spools accepted segments
+	// into — an ordinary segstore dataset, committed under the same
+	// atomic-manifest protocol a local writer uses, so the finished
+	// spool is byte-identical to a single-process run's dataset.
+	SpoolDir string
+	// Origin pins the expected dataset origin. Empty adopts the first
+	// hello's origin; every later hello must match it either way.
+	Origin string
+	// ExpectPoPs, when positive, makes Serve return once that many
+	// distinct PoPs have completed their done exchange.
+	ExpectPoPs int
+	// Credit is the in-flight window granted to each shipper (default 4)
+	// — the bounded-queue backpressure: a slow merger holds at most
+	// Credit unprocessed shipments per connection in kernel buffers, and
+	// shippers block instead of ballooning.
+	Credit int
+	// Reg receives merger metrics (may be nil).
+	Reg *obs.Registry
+	// Rec records merge events (may be nil).
+	Rec *trace.Recorder
+}
+
+// MergeStats reports a merger's lifetime totals.
+type MergeStats struct {
+	// Shipments counts accepted (newly committed) segment shipments;
+	// Tombstones counts accepted tombstone slots.
+	Shipments  int
+	Tombstones int
+	// Dedup counts duplicate deliveries dropped idempotently — under a
+	// duplicate-injection plan with no crashes this equals the injected
+	// duplicate count exactly.
+	Dedup int
+	// HashConflicts counts refused shipments whose content hash
+	// disagreed with the slot already committed (always an error).
+	HashConflicts int
+	// Bytes is the accepted segment payload volume.
+	Bytes int64
+	// Conns counts connections accepted; PopsDone counts completed done
+	// exchanges.
+	Conns    int
+	PopsDone int
+}
+
+// Merger accepts shipping connections and folds every accepted
+// shipment into the spool dataset, exactly once per slot.
+type Merger struct {
+	opt MergerOptions
+
+	mu     sync.Mutex
+	origin string
+	w      *segstore.Writer
+	// hashes remembers each committed slot's content hash so a replayed
+	// shipment is verified, not blindly trusted (tombstones hash to 0).
+	hashes map[int]uint32
+	tombs  map[int]bool
+	stats  MergeStats
+	done   map[int]bool // PoP indices that completed their done exchange
+
+	tb *trace.Buf
+
+	cShipments *obs.Counter
+	cDedup     *obs.Counter
+	cTombs     *obs.Counter
+	cBytes     *obs.Counter
+	gConns     *obs.Gauge
+	gPopsDone  *obs.Gauge
+}
+
+// NewMerger builds a merger over opt.SpoolDir. An existing spool is
+// resumed (its manifest is the dedup state), so a restarted merger
+// keeps its exactly-once guarantee.
+func NewMerger(opt MergerOptions) (*Merger, error) {
+	if opt.Credit <= 0 {
+		opt.Credit = 4
+	}
+	m := &Merger{
+		opt:    opt,
+		origin: opt.Origin,
+		hashes: map[int]uint32{},
+		tombs:  map[int]bool{},
+		done:   map[int]bool{},
+	}
+	m.tb = opt.Rec.Buf()
+	m.cShipments = opt.Reg.Counter("merge_shipments_total")
+	m.cDedup = opt.Reg.Counter("merge_dedup_dropped_total")
+	m.cTombs = opt.Reg.Counter("merge_tombstones_total")
+	m.cBytes = opt.Reg.Counter("merge_bytes_total")
+	m.gConns = opt.Reg.Gauge("merge_conns")
+	m.gPopsDone = opt.Reg.Gauge("merge_pops_done")
+	if m.origin != "" {
+		if err := m.openSpool(m.origin); err != nil {
+			return nil, err
+		}
+	} else if segstore.IsDataset(opt.SpoolDir) {
+		// Resuming a spool with no pinned origin: adopt the manifest's.
+		man, err := loadManifestChecked(opt.SpoolDir)
+		if err != nil {
+			return nil, err
+		}
+		m.origin = man.Origin
+		if err := m.openSpool(m.origin); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// openSpool opens (or resumes) the spool writer for origin and seeds
+// the dedup state from its manifest. Caller holds no lock (NewMerger)
+// or m.mu (first hello).
+func (m *Merger) openSpool(origin string) error {
+	w, err := segstore.Create(m.opt.SpoolDir, origin)
+	if err != nil {
+		return err
+	}
+	for _, s := range w.Manifest().Segments {
+		m.hashes[s.ID] = s.CRC
+	}
+	for _, t := range w.Manifest().Tombstones {
+		m.tombs[t.ID] = true
+	}
+	m.w = w
+	return nil
+}
+
+// Stats snapshots the merger's totals.
+func (m *Merger) Stats() MergeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Origin returns the spool origin ("" until the first hello adopts one).
+func (m *Merger) Origin() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.origin
+}
+
+// EmitTrace writes the merger's run-level marks — most importantly the
+// dedup counter, which edgetrace causes reports next to the coverage
+// ledger. Call once, after Serve returns, from the goroutine that owns
+// the recorder.
+func (m *Merger) EmitTrace() {
+	st := m.Stats()
+	m.tb.Emit(trace.Event{
+		Track: trace.TrackRun, Phase: trace.PhaseRun, Win: -1, Seq: 1 << 20,
+		Kind: trace.KMark, Stage: trace.CoverageStage, Value: int64(st.Dedup), Detail: trace.MarkDedup,
+	})
+}
+
+// Serve accepts shipping connections on l until ctx is cancelled or —
+// when ExpectPoPs is set — every expected PoP has finished. Each
+// connection is handled on its own goroutine; Serve returns after all
+// handlers drain. The listener is closed on return.
+func (m *Merger) Serve(ctx context.Context, l net.Listener) error {
+	defer func() { _ = l.Close() }() // double-close on the cancel path is harmless
+
+	finished := make(chan struct{})
+	var finishOnce sync.Once
+	finish := func() { finishOnce.Do(func() { close(finished) }) }
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-finished:
+		}
+		_ = l.Close() // unblocks Accept; the deferred close is then a no-op
+	}()
+
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			select {
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			case <-finished:
+				return nil
+			default:
+				return fmt.Errorf("ship: accept: %w", err)
+			}
+		}
+		m.mu.Lock()
+		m.stats.Conns++
+		conns := m.stats.Conns - m.stats.PopsDone
+		m.mu.Unlock()
+		m.gConns.Set(float64(conns))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.handle(conn, finish)
+		}()
+	}
+}
+
+// handle runs one connection's frame loop. Wire errors (including the
+// torn frames a truncation fault leaves) abandon the connection — the
+// shipper reconnects and replays; nothing is partially applied because
+// commits happen only after a frame fully decodes and verifies.
+func (m *Merger) handle(conn net.Conn, finish func()) {
+	defer func() { _ = conn.Close() }() // the frame loop already surfaced any real error to the peer
+
+	typ, payload, err := ReadFrame(conn)
+	if err != nil || typ != FrameHello {
+		return // never completed hello; nothing to undo
+	}
+	var hello Hello
+	if err := unmarshalFrame(payload, &hello); err != nil {
+		return
+	}
+	if err := m.adoptOrigin(hello.Origin); err != nil {
+		_ = WriteJSONFrame(conn, FrameErr, ErrMsg{Msg: err.Error()}) // refusal is best-effort; we drop the conn either way
+		return
+	}
+	if err := WriteJSONFrame(conn, FrameHelloAck, HelloAck{Credit: m.opt.Credit}); err != nil {
+		return
+	}
+
+	accepted, deduped := 0, 0
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return // severed mid-stream; shipper will reconnect
+		}
+		switch typ {
+		case FrameShip:
+			hdr, blob, err := DecodeShipPayload(payload)
+			if err != nil {
+				_ = WriteJSONFrame(conn, FrameErr, ErrMsg{Msg: err.Error()})
+				return
+			}
+			dup, err := m.commitSegment(hdr, blob)
+			if err != nil {
+				_ = WriteJSONFrame(conn, FrameErr, ErrMsg{Msg: err.Error()})
+				return
+			}
+			if dup {
+				deduped++
+			} else {
+				accepted++
+			}
+			if err := WriteJSONFrame(conn, FrameAck, Ack{SegID: hdr.SegID, Dup: dup}); err != nil {
+				return
+			}
+		case FrameTomb:
+			var t Tomb
+			if err := unmarshalFrame(payload, &t); err != nil {
+				_ = WriteJSONFrame(conn, FrameErr, ErrMsg{Msg: err.Error()})
+				return
+			}
+			dup, err := m.commitTombstone(t)
+			if err != nil {
+				_ = WriteJSONFrame(conn, FrameErr, ErrMsg{Msg: err.Error()})
+				return
+			}
+			if dup {
+				deduped++
+			} else {
+				accepted++
+			}
+			if err := WriteJSONFrame(conn, FrameAck, Ack{SegID: t.ID, Dup: dup}); err != nil {
+				return
+			}
+		case FrameDone:
+			var d Done
+			if err := unmarshalFrame(payload, &d); err != nil {
+				return
+			}
+			m.mu.Lock()
+			if !m.done[hello.PoP] {
+				m.done[hello.PoP] = true
+				m.stats.PopsDone++
+			}
+			popsDone := m.stats.PopsDone
+			m.mu.Unlock()
+			m.gPopsDone.Set(float64(popsDone))
+			_ = WriteJSONFrame(conn, FrameDoneAck, DoneAck{Accepted: accepted, Deduped: deduped}) // peer may already be gone
+			if m.opt.ExpectPoPs > 0 && popsDone >= m.opt.ExpectPoPs {
+				finish()
+			}
+			return
+		default:
+			_ = WriteJSONFrame(conn, FrameErr, ErrMsg{Msg: fmt.Sprintf("unexpected frame type %d", typ)})
+			return
+		}
+	}
+}
+
+// adoptOrigin pins the spool origin on the first hello and verifies
+// every later one — two different invocations' datasets must never
+// interleave in one spool.
+func (m *Merger) adoptOrigin(origin string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.origin == "" {
+		if err := m.openSpool(origin); err != nil {
+			return err
+		}
+		m.origin = origin
+		return nil
+	}
+	if origin != m.origin {
+		return fmt.Errorf("origin %q does not match spool origin %q", origin, m.origin)
+	}
+	if m.w == nil {
+		return errors.New("spool not open") // unreachable: origin set implies spool open
+	}
+	return nil
+}
+
+// commitSegment folds one shipped segment into the spool, exactly
+// once. The dedup key is (origin, segment ID, content hash): origin is
+// connection-wide (adoptOrigin), the ID indexes the dedup state, and
+// the hash distinguishes a harmless replay (same bytes — drop, ack as
+// dup) from a conflict (different bytes for the same slot — refuse
+// loudly; something is deeply wrong upstream).
+func (m *Merger) commitSegment(hdr ShipHeader, blob []byte) (dup bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w == nil {
+		return false, errors.New("spool not open")
+	}
+	if m.tombs[hdr.SegID] {
+		return false, fmt.Errorf("slot %d already committed as a tombstone; refusing segment data for it", hdr.SegID)
+	}
+	if prev, ok := m.hashes[hdr.SegID]; ok {
+		if prev != hdr.Hash {
+			m.stats.HashConflicts++
+			return false, fmt.Errorf("segment %d hash conflict: spool has %08x, shipment has %08x", hdr.SegID, prev, hdr.Hash)
+		}
+		m.stats.Dedup++
+		m.cDedup.Inc()
+		m.tb.Emit(trace.Event{
+			Track: trace.TrackRun, Phase: trace.PhaseRun, Win: -1, Seq: uint64(hdr.SegID),
+			Kind: trace.KMark, Stage: "ship", Value: 1, Detail: trace.MarkDedup,
+		})
+		return true, nil
+	}
+	meta := hdr.Meta
+	if err := m.w.Add(hdr.SegID, blob, meta); err != nil {
+		return false, err
+	}
+	if err := m.w.Commit(); err != nil {
+		return false, err
+	}
+	m.hashes[hdr.SegID] = hdr.Hash
+	m.stats.Shipments++
+	m.stats.Bytes += int64(len(blob))
+	m.cShipments.Inc()
+	m.cBytes.Add(int64(len(blob)))
+	m.tb.Emit(trace.Event{
+		Track: trace.TrackRun, Phase: trace.PhaseRun, Win: -1, Seq: uint64(hdr.SegID),
+		Kind: trace.KCommit, Stage: "ship", Value: int64(meta.Samples),
+	})
+	return false, nil
+}
+
+// commitTombstone folds one shipped tombstone into the spool manifest,
+// exactly once.
+func (m *Merger) commitTombstone(t Tomb) (dup bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w == nil {
+		return false, errors.New("spool not open")
+	}
+	if _, ok := m.hashes[t.ID]; ok {
+		return false, fmt.Errorf("slot %d already committed as a segment; refusing tombstone for it", t.ID)
+	}
+	if m.tombs[t.ID] {
+		m.stats.Dedup++
+		m.cDedup.Inc()
+		return true, nil
+	}
+	m.w.Tombstone(t.ID, t.Reason, t.SamplesLost)
+	if err := m.w.Commit(); err != nil {
+		return false, err
+	}
+	m.tombs[t.ID] = true
+	m.stats.Tombstones++
+	m.cTombs.Inc()
+	m.tb.Emit(trace.Event{
+		Track: trace.TrackRun, Phase: trace.PhaseRun, Win: -1, Seq: uint64(t.ID),
+		Kind: trace.KCommit, Stage: "ship", Value: int64(-t.SamplesLost),
+	})
+	return false, nil
+}
+
+// ListenAndServe is the binary-facing wrapper: listen on network/addr
+// and Serve.
+func (m *Merger) ListenAndServe(ctx context.Context, network, addr string) error {
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return fmt.Errorf("ship: listen %s %s: %w", network, addr, err)
+	}
+	return m.Serve(ctx, l)
+}

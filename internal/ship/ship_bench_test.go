@@ -1,0 +1,61 @@
+package ship
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/segstore"
+)
+
+// BenchmarkShipThroughput measures the shipping overhead the
+// EXPERIMENTS.md row documents: one PoP's full dataset shipped over
+// loopback TCP into a fresh spool, including per-ack durable ack-log
+// commits on the shipper and per-shipment manifest commits on the
+// merger. b.SetBytes reports wire throughput over the segment payload.
+func BenchmarkShipThroughput(b *testing.B) {
+	root := b.TempDir()
+	pop := filepath.Join(root, "pop")
+	genDataset(b, pop, "", 0, 1, 4)
+	man, err := loadManifestChecked(pop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytes int64
+	for _, s := range man.Segments {
+		bytes += s.Bytes
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Fresh shipping state each round: no acks, empty spool.
+		if err := os.Remove(filepath.Join(pop, segstore.AcksName)); err != nil && !os.IsNotExist(err) {
+			b.Fatal(err)
+		}
+		spool := filepath.Join(root, "spool")
+		if err := os.RemoveAll(spool); err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		_, addr, wait := startMerger(b, ctx, spool, 1)
+		b.StartTimer()
+
+		st, err := shipPop(ctx, pop, addr, "", 0, 1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := wait(); err != nil {
+			b.Fatal(err)
+		}
+
+		b.StopTimer()
+		if st.Shipped != len(man.Segments)+len(man.Tombstones) {
+			b.Fatalf("shipped %d of %d slots", st.Shipped, len(man.Segments)+len(man.Tombstones))
+		}
+		cancel()
+		b.StartTimer()
+	}
+}

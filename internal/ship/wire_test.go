@@ -1,0 +1,206 @@
+package ship
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/segstore"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("{}"),
+		[]byte(`{"origin":"edgesim seed=1"}`),
+		bytes.Repeat([]byte{0xAB}, 1<<17), // spans multiple read chunks
+	}
+	var buf bytes.Buffer
+	for i, p := range payloads {
+		typ := FrameHello + byte(i)%FrameErr
+		if err := WriteFrame(&buf, typ, p); err != nil {
+			t.Fatalf("WriteFrame(%d): %v", i, err)
+		}
+	}
+	for i, p := range payloads {
+		want := FrameHello + byte(i)%FrameErr
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame(%d): %v", i, err)
+		}
+		if typ != want {
+			t.Fatalf("frame %d: type %d, want %d", i, typ, want)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("exhausted stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsTornAndCorrupt(t *testing.T) {
+	var whole bytes.Buffer
+	if err := WriteFrame(&whole, FrameAck, []byte(`{"seg_id":7}`)); err != nil {
+		t.Fatal(err)
+	}
+	frame := whole.Bytes()
+
+	t.Run("torn mid-frame", func(t *testing.T) {
+		for cut := 1; cut < len(frame); cut++ {
+			_, _, err := ReadFrame(bytes.NewReader(frame[:cut]))
+			if err == nil {
+				t.Fatalf("cut at %d: no error", cut)
+			}
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut at %d: bare io.EOF mid-frame; want ErrUnexpectedEOF", cut)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, frame...)
+		bad[0] ^= 0xFF
+		if _, _, err := ReadFrame(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("err = %v, want magic error", err)
+		}
+	})
+	t.Run("unknown type", func(t *testing.T) {
+		bad := append([]byte{}, frame...)
+		bad[4] = FrameErr + 1
+		if _, _, err := ReadFrame(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "frame type") {
+			t.Fatalf("err = %v, want frame type error", err)
+		}
+	})
+	t.Run("hostile length", func(t *testing.T) {
+		bad := append([]byte{}, frame...)
+		binary.BigEndian.PutUint32(bad[5:9], MaxFrame+1)
+		if _, _, err := ReadFrame(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "MaxFrame") {
+			t.Fatalf("err = %v, want MaxFrame error", err)
+		}
+	})
+	t.Run("checksum mismatch", func(t *testing.T) {
+		bad := append([]byte{}, frame...)
+		bad[len(bad)-1] ^= 0xFF
+		if _, _, err := ReadFrame(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("err = %v, want checksum error", err)
+		}
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		bad := append([]byte{}, frame...)
+		bad[frameHeaderLen] ^= 0x01
+		if _, _, err := ReadFrame(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("err = %v, want checksum error", err)
+		}
+	})
+}
+
+func TestShipPayloadRoundTrip(t *testing.T) {
+	blob := []byte("pretend segment blob bytes")
+	h := ShipHeader{
+		SegID: 42,
+		Hash:  crc32.ChecksumIEEE(blob),
+		Meta: segstore.SegmentMeta{
+			ID: 42, File: "seg-00042.edgeseg", Bytes: int64(len(blob)),
+			CRC: crc32.ChecksumIEEE(blob), Samples: 9,
+		},
+	}
+	p, err := EncodeShipPayload(h, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotBlob, err := DecodeShipPayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SegID != h.SegID || got.Hash != h.Hash || got.Meta.File != h.Meta.File {
+		t.Fatalf("header round-trip mismatch: %+v", got)
+	}
+	if !bytes.Equal(gotBlob, blob) {
+		t.Fatal("blob round-trip mismatch")
+	}
+
+	t.Run("blob corruption detected", func(t *testing.T) {
+		bad := append([]byte{}, p...)
+		bad[len(bad)-1] ^= 0x01
+		if _, _, err := DecodeShipPayload(bad); err == nil || !strings.Contains(err.Error(), "hash") {
+			t.Fatalf("err = %v, want hash error", err)
+		}
+	})
+	t.Run("meta disagreement detected", func(t *testing.T) {
+		h2 := h
+		h2.Meta.Bytes++
+		bad, err := EncodeShipPayload(h2, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := DecodeShipPayload(bad); err == nil || !strings.Contains(err.Error(), "meta says") {
+			t.Fatalf("err = %v, want meta size error", err)
+		}
+	})
+	t.Run("truncated header length", func(t *testing.T) {
+		if _, _, err := DecodeShipPayload(p[:3]); err == nil {
+			t.Fatal("want error on 3-byte payload")
+		}
+	})
+	t.Run("header length past end", func(t *testing.T) {
+		bad := append([]byte{}, p...)
+		binary.BigEndian.PutUint32(bad[:4], uint32(len(bad)))
+		if _, _, err := DecodeShipPayload(bad); err == nil || !strings.Contains(err.Error(), "claims") {
+			t.Fatalf("err = %v, want header length error", err)
+		}
+	})
+}
+
+// FuzzShipFrameDecode asserts the wire decode path never panics and
+// never over-allocates on hostile bytes: whatever arrives, ReadFrame
+// either yields a validated frame or a clean error, and a FrameShip
+// payload that decodes is internally consistent.
+func FuzzShipFrameDecode(f *testing.F) {
+	blob := bytes.Repeat([]byte("edge"), 64)
+	h := ShipHeader{SegID: 3, Hash: crc32.ChecksumIEEE(blob),
+		Meta: segstore.SegmentMeta{ID: 3, File: "seg-00003.edgeseg", Bytes: int64(len(blob)), CRC: crc32.ChecksumIEEE(blob), Samples: 4}}
+	shipPayload, err := EncodeShipPayload(h, blob)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	_ = WriteFrame(&valid, FrameShip, shipPayload)
+	_ = WriteJSONFrame(&valid, FrameHello, Hello{Origin: "edgesim seed=1", Pops: 2})
+	_ = WriteJSONFrame(&valid, FrameAck, Ack{SegID: 3})
+
+	f.Add(valid.Bytes())                 // well-formed stream
+	f.Add(valid.Bytes()[:valid.Len()/2]) // torn mid-frame
+	f.Add([]byte("ESH1"))                // bare magic
+	f.Add([]byte{})                      // empty
+	flipped := append([]byte{}, valid.Bytes()...)
+	flipped[7] ^= 0x40 // corrupt the length field
+	f.Add(flipped)
+	hostile := []byte("ESH1\x03\xff\xff\xff\xff")
+	f.Add(hostile) // claims a 4 GiB payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 64; i++ { // bound the walk; each frame consumes ≥ header bytes
+			typ, payload, err := ReadFrame(r)
+			if err != nil {
+				return // any error is fine; panics are not
+			}
+			if len(payload) > MaxFrame {
+				t.Fatalf("ReadFrame returned %d-byte payload past MaxFrame", len(payload))
+			}
+			if typ == FrameShip {
+				if hdr, b, err := DecodeShipPayload(payload); err == nil {
+					if crc32.ChecksumIEEE(b) != hdr.Hash {
+						t.Fatal("DecodeShipPayload accepted a blob that disagrees with its hash")
+					}
+				}
+			}
+		}
+	})
+}

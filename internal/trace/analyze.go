@@ -50,7 +50,10 @@ const (
 	MarkBatchesTrunc  = "batches-truncated"
 	MarkRetries       = "retries"
 	MarkRecovered     = "recovered"
-	CoverageStage     = "coverage"
+	// MarkDedup counts duplicate shipments the merge tier dropped
+	// idempotently (internal/ship) — absorbed redundancy, not loss.
+	MarkDedup     = "dedup-dropped"
+	CoverageStage = "coverage"
 )
 
 // StageRow aggregates one pipeline stage's deterministic events.
@@ -187,6 +190,9 @@ type CauseReport struct {
 	Checks []CauseCheck
 	// Retries/Recovered echo the ledger's retry economy marks.
 	Retries, Recovered int64
+	// Dedup echoes the merge tier's idempotently-dropped duplicate
+	// shipments (MarkDedup): redundancy absorbed with no loss.
+	Dedup int64
 }
 
 // Reconciled reports whether every cause check passed (vacuously true
@@ -242,6 +248,8 @@ func Causes(f *File) CauseReport {
 					rep.Retries = e.Value
 				case MarkRecovered:
 					rep.Recovered = e.Value
+				case MarkDedup:
+					rep.Dedup = e.Value
 				case MarkGroupsDropped, MarkBatchesTrunc:
 					// Structural counters; not sample-loss reconciled.
 				default:
