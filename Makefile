@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build race test chaos seg-race trace-race colagg-race pop-race fuzz-smoke bench-obs bench-pipeline bench-retry bench bench-segstore bench-trace bench-colagg bench-ship
+.PHONY: check vet lint build race test chaos seg-race trace-race colagg-race pop-race studyd-race fuzz-smoke bench-obs bench-pipeline bench-retry bench bench-segstore bench-trace bench-colagg bench-ship bench-studyd
 
-check: vet lint build race test chaos seg-race trace-race colagg-race pop-race
+check: vet lint build race test chaos seg-race trace-race colagg-race pop-race studyd-race
 
 vet:
 	$(GO) vet ./...
@@ -110,6 +110,48 @@ pop-race:
 	cmp .pop-race/golden.txt .pop-race/merged.txt
 	rm -rf .pop-race
 
+# The always-on daemon's keystone invariant, live under the race
+# detector: an edgestudyd live run (continuous ingest, logical-clock
+# window sealing, chunk commits while serving HTTP) must drain into a
+# spool — and serve a /report — byte-identical to the golden batch
+# pipeline's output for the same flags, at several worker counts,
+# clean and under a chaos plan. The daemon is polled over its own
+# -fetch client (no curl dependency), interrupted with SIGINT once
+# drained, and must exit the sigctl drain path cleanly.
+STUDYD_FLAGS = -seed 7 -groups 8 -days 2 -spw 10
+STUDYD_PLAN  = seed=7;sink-transient=0.01;fail-group=2;outage=fra:10-30;retries=4;retry-base=50us
+studyd-race:
+	rm -rf .studyd-race
+	mkdir -p .studyd-race
+	$(GO) build -race -o .studyd-race/edgestudyd ./cmd/edgestudyd
+	$(GO) run -race ./cmd/edgesim $(STUDYD_FLAGS) -workers 4 -format seg -o .studyd-race/golden
+	$(GO) run -race ./cmd/edgesim $(STUDYD_FLAGS) -workers 4 -format seg -o .studyd-race/golden-chaos -fault-plan "$(STUDYD_PLAN)"
+	$(GO) run -race ./cmd/edgereport -in .studyd-race/golden -workers 4 | grep -v '^Generated and analysed' > .studyd-race/golden.txt
+	$(GO) run -race ./cmd/edgereport -in .studyd-race/golden-chaos -workers 4 | grep -v '^Generated and analysed' > .studyd-race/golden-chaos.txt
+	for w in 1 2 4; do \
+		rm -f .studyd-race/addr; \
+		./.studyd-race/edgestudyd $(STUDYD_FLAGS) -workers $$w -o .studyd-race/spool-w$$w -addr-file .studyd-race/addr & \
+		dpid=$$!; \
+		until [ -s .studyd-race/addr ]; do sleep 0.1; done; \
+		addr=$$(cat .studyd-race/addr); \
+		until ./.studyd-race/edgestudyd -fetch "http://$$addr/healthz" | grep -q '"state": "drained"'; do sleep 0.2; done; \
+		./.studyd-race/edgestudyd -fetch "http://$$addr/report" > .studyd-race/served-w$$w.txt || exit 1; \
+		kill -INT $$dpid; wait $$dpid || exit 1; \
+		cmp .studyd-race/golden.txt .studyd-race/served-w$$w.txt || exit 1; \
+		diff -r .studyd-race/golden .studyd-race/spool-w$$w || exit 1; \
+	done
+	rm -f .studyd-race/addr; \
+	./.studyd-race/edgestudyd $(STUDYD_FLAGS) -workers 4 -fault-plan "$(STUDYD_PLAN)" -o .studyd-race/spool-chaos -addr-file .studyd-race/addr & \
+	dpid=$$!; \
+	until [ -s .studyd-race/addr ]; do sleep 0.1; done; \
+	addr=$$(cat .studyd-race/addr); \
+	until ./.studyd-race/edgestudyd -fetch "http://$$addr/healthz" | grep -q '"state": "drained"'; do sleep 0.2; done; \
+	./.studyd-race/edgestudyd -fetch "http://$$addr/report" > .studyd-race/served-chaos.txt || exit 1; \
+	kill -INT $$dpid; wait $$dpid || exit 1; \
+	cmp .studyd-race/golden-chaos.txt .studyd-race/served-chaos.txt || exit 1; \
+	diff -r .studyd-race/golden-chaos .studyd-race/spool-chaos
+	rm -rf .studyd-race
+
 # A short burst on each fuzz target; the invariants live next to the
 # targets (tdigest merge structure, hdratio classification ranges,
 # segment decode never panics on hostile bytes, ship frame decode never
@@ -119,6 +161,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzHDRatioClassify -fuzztime 10s ./internal/hdratio/
 	$(GO) test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 10s ./internal/segstore/
 	$(GO) test -run '^$$' -fuzz FuzzShipFrameDecode -fuzztime 10s ./internal/ship/
+	$(GO) test -run '^$$' -fuzz FuzzStudydQueryParams -fuzztime 10s ./internal/studyd/
 
 # Documents the obs fast-path cost on collector ingest (EXPERIMENTS.md
 # records the measured overhead; the bar is <5%).
@@ -158,6 +201,13 @@ bench-colagg:
 # the measured per-slot cost of crash-safe shipping).
 bench-ship:
 	$(GO) test -run '^$$' -bench BenchmarkShipThroughput -benchmem -count 3 ./internal/ship/
+
+# The daemon's serving fast paths: a fresh cache hit vs a stale hit
+# that kicks off background revalidation (EXPERIMENTS.md and
+# BENCH_studyd.json record the measured latencies; stale serves must
+# stay near hit cost — readers never wait for re-aggregation).
+bench-studyd:
+	$(GO) test -run '^$$' -bench BenchmarkStudydServe -benchmem -count 3 ./internal/studyd/
 
 bench:
 	$(GO) test -bench . -benchmem

@@ -30,28 +30,16 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/ship"
+	"repro/internal/sigctl"
 	"repro/internal/trace"
 )
 
 const traceBufCap = 1 << 20
-
-func hardExitOnSecondSignal() {
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sig
-		<-sig
-		fmt.Fprintln(os.Stderr, "edgemerged: second interrupt — forcing exit; the spool manifest holds the last committed state")
-		os.Exit(130)
-	}()
-}
 
 func main() {
 	var (
@@ -85,9 +73,9 @@ func main() {
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := sigctl.Context(context.Background(),
+		"edgemerged: second interrupt — forcing exit; the spool manifest holds the last committed state")
 	defer stop()
-	hardExitOnSecondSignal()
 
 	reg := obs.NewRegistry()
 	if *metricsAddr != "" {

@@ -9,7 +9,7 @@
 //
 //	edgepopd -merger ADDR -pop I -pops N [-seed N] [-groups N] [-days N]
 //	         [-spw N] [-o dir] [-workers N] [-fault-plan SPEC]
-//	         [-ship-fault-plan SPEC] [-credit N] [-fail-fast]
+//	         [-ship-fault-plan SPEC] [-credit N] [-ack-batch N] [-fail-fast]
 //	         [-progress] [-metrics-addr host:port] [-trace file]
 //
 // The fleet invariant: N edgepopd processes with -pops N and -pop
@@ -36,8 +36,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"repro/internal/faults"
@@ -45,23 +43,12 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/seggen"
 	"repro/internal/ship"
+	"repro/internal/sigctl"
 	"repro/internal/trace"
 	"repro/internal/world"
 )
 
 const traceBufCap = 1 << 20
-
-func hardExitOnSecondSignal() {
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	//edgelint:allow poisonpath: the watcher must outlive pipeline cancellation — the second signal arrives after the context is already poisoned
-	go func() {
-		<-sig
-		<-sig
-		fmt.Fprintln(os.Stderr, "edgepopd: second interrupt — forcing exit; manifest and ack log hold the last committed state")
-		os.Exit(130)
-	}()
-}
 
 func main() {
 	var (
@@ -75,6 +62,7 @@ func main() {
 		merger      = flag.String("merger", "", "merger address (host:port, or a unix socket path; required unless -no-ship)")
 		network     = flag.String("network", "", "merger network: tcp or unix (default: unix when -merger contains a path separator)")
 		credit      = flag.Int("credit", 4, "max unacknowledged shipments in flight (merger may grant less)")
+		ackBatch    = flag.Int("ack-batch", 1, "group-commit the durable ack log every N acked slots (1 = commit per ack); a crash mid-batch only re-ships, never re-acks")
 		noShip      = flag.Bool("no-ship", false, "generate only; skip the shipping phase")
 		workers     = flag.Int("workers", pipeline.DefaultWorkers(), "concurrent generate/encode workers (1 = sequential)")
 		progress    = flag.Bool("progress", false, "report progress to stderr every 2s")
@@ -104,9 +92,9 @@ func main() {
 		log.Fatalf("edgepopd: -ship-fault-plan: %v", err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := sigctl.Context(context.Background(),
+		"edgepopd: second interrupt — forcing exit; manifest and ack log hold the last committed state")
 	defer stop()
-	hardExitOnSecondSignal()
 
 	reg := obs.NewRegistry()
 	if *metricsAddr != "" {
@@ -198,7 +186,7 @@ func main() {
 
 	st, shipErr := ship.Ship(ctx, ship.ShipperOptions{
 		Dir: *out, Network: *network, Addr: *merger,
-		PoP: *pop, Pops: *pops, Credit: *credit,
+		PoP: *pop, Pops: *pops, Credit: *credit, AckBatch: *ackBatch,
 		Injector: wireInj, Reg: reg, Rec: rec,
 	})
 	flushTrace()

@@ -52,8 +52,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"repro/internal/faults"
@@ -62,6 +60,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sample"
 	"repro/internal/segstore"
+	"repro/internal/sigctl"
 	"repro/internal/study"
 	"repro/internal/trace"
 	"repro/internal/world"
@@ -80,21 +79,6 @@ func exitIfInterrupted(err error) {
 		fmt.Fprintln(os.Stderr, "edgereport: interrupted — study abandoned, no report written")
 		os.Exit(130)
 	}
-}
-
-// hardExitOnSecondSignal lets the first SIGINT/SIGTERM cancel the study
-// through the NotifyContext and turns the second into an immediate
-// exit for operators who do not want to wait for the drain.
-func hardExitOnSecondSignal(notice string) {
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	//edgelint:allow poisonpath: the watcher must outlive pipeline cancellation — the second signal arrives after the context is already poisoned
-	go func() {
-		<-sig
-		<-sig
-		fmt.Fprintln(os.Stderr, notice)
-		os.Exit(130)
-	}()
 }
 
 func main() {
@@ -138,9 +122,9 @@ func main() {
 		log.Fatal("edgereport: -from/-to/-country/-pop filter an existing dataset; pass one with -in")
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := sigctl.Context(context.Background(),
+		"edgereport: second interrupt — forcing exit; no report written")
 	defer stop()
-	hardExitOnSecondSignal("edgereport: second interrupt — forcing exit; no report written")
 
 	reg := obs.NewRegistry()
 	if *metricsAddr != "" {

@@ -44,9 +44,7 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
 	"sync"
-	"syscall"
 	"time"
 
 	"repro/internal/collector"
@@ -54,6 +52,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sample"
+	"repro/internal/sigctl"
 	"repro/internal/trace"
 	"repro/internal/world"
 )
@@ -64,22 +63,6 @@ import (
 // to bound memory on a runaway run. Rings grow lazily, so quiet runs
 // never pay it.
 const traceBufCap = 1 << 20
-
-// hardExitOnSecondSignal arms a watcher that lets the first
-// SIGINT/SIGTERM flow to the NotifyContext for a graceful drain, and
-// turns the second into an immediate exit: when an operator hits ^C
-// twice they want out now, not after the pipeline unwinds.
-func hardExitOnSecondSignal(notice string) {
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	//edgelint:allow poisonpath: the watcher must outlive pipeline cancellation — the second signal arrives after the context is already poisoned
-	go func() {
-		<-sig
-		<-sig
-		fmt.Fprintln(os.Stderr, notice)
-		os.Exit(130)
-	}()
-}
 
 func main() {
 	var (
@@ -110,13 +93,12 @@ func main() {
 		log.Fatal("edgesim: -format seg writes a dataset directory; pass one with -o")
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	notice := "edgesim: second interrupt — forcing exit; the dataset is partial and may end mid-line"
 	if *format == "seg" {
-		hardExitOnSecondSignal("edgesim: second interrupt — forcing exit; the manifest holds the last committed state")
-	} else {
-		hardExitOnSecondSignal("edgesim: second interrupt — forcing exit; the dataset is partial and may end mid-line")
+		notice = "edgesim: second interrupt — forcing exit; the manifest holds the last committed state"
 	}
+	ctx, stop := sigctl.Context(context.Background(), notice)
+	defer stop()
 
 	var f *os.File
 	if *format == "seg" {

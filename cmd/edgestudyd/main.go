@@ -1,0 +1,273 @@
+// Command edgestudyd runs the always-on study service: it ingests a
+// continuous sample stream, seals 15-minute windows on the logical
+// clock as they close, appends sealed data to an at-rest segment
+// spool, and serves reports and health over HTTP while ingesting.
+//
+// Usage (live mode — the daemon generates its own stream):
+//
+//	edgestudyd -o dir [-seed N] [-groups N] [-days N] [-spw N]
+//	           [-workers N] [-fault-plan SPEC] [-fail-fast]
+//	           [-http host:port] [-addr-file path] [-report-workers N]
+//	           [-cache N] [-trace file] [-progress]
+//
+// Usage (wire mode — an edgepopd fleet feeds the spool):
+//
+//	edgestudyd -o dir -listen ADDR [-network tcp|unix] [-expect-pops N]
+//	           [-credit N] [-origin STR] [-http host:port] ...
+//
+// Usage (client mode — fetch one URL from a running daemon):
+//
+//	edgestudyd -fetch URL
+//
+// The determinism invariant: a live-mode daemon with the same
+// seed/groups/days/spw/fault-plan as an `edgesim -format seg` run
+// drains into a byte-identical spool, so `edgereport` over the
+// daemon's segments — and the daemon's own /report — reproduce the
+// golden batch report exactly, at any -workers count. `make
+// studyd-race` pins this end to end.
+//
+// HTTP endpoints: /report (cached, stale-while-revalidate), /groups,
+// /windows, /healthz, plus /metrics, /debug/vars and /debug/pprof.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/ship"
+	"repro/internal/sigctl"
+	"repro/internal/studyd"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+const traceBufCap = 1 << 20
+
+// fetchURL is the zero-dependency curl stand-in the race gate uses:
+// GET the URL, stream the body to stdout, exit 1 on any non-200.
+func fetchURL(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("edgestudyd: fetch: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		log.Fatalf("edgestudyd: fetch: reading body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "edgestudyd: GET %s: %s\n", url, resp.Status)
+		os.Exit(1)
+	}
+}
+
+func reportCoverage(cov *faults.Coverage) {
+	if cov == nil {
+		return
+	}
+	if cov.Degraded() {
+		fmt.Fprintf(os.Stderr, "edgestudyd: DEGRADED under fault plan %q — lost %d samples (outage %d, truncated %d, dropped %d); %d group batches quarantined; %d retries spent, %d transient faults recovered\n",
+			cov.Spec, cov.SamplesLost(), cov.SamplesLostOutage, cov.SamplesLostTruncated, cov.SamplesLostDropped,
+			len(cov.Quarantined), cov.RetriesSpent, cov.TransientRecovered)
+	} else {
+		fmt.Fprintf(os.Stderr, "edgestudyd: fault plan %q injected no data loss (%d retries spent, %d transient faults recovered)\n",
+			cov.Spec, cov.RetriesSpent, cov.TransientRecovered)
+	}
+}
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 1, "world seed (live mode)")
+		groups     = flag.Int("groups", 300, "number of user groups (live mode)")
+		days       = flag.Int("days", 10, "dataset length in days (live mode)")
+		spw        = flag.Float64("spw", 8, "mean sampled sessions per group per window (live mode)")
+		out        = flag.String("o", "", "at-rest segment spool directory (required; resumed if it already holds a dataset)")
+		workers    = flag.Int("workers", pipeline.DefaultWorkers(), "concurrent per-window generate workers (1 = sequential; never changes the spool bytes)")
+		repWorkers = flag.Int("report-workers", pipeline.DefaultWorkers(), "aggregation workers behind /report (never changes the report bytes)")
+		httpAddr   = flag.String("http", "127.0.0.1:0", "HTTP service address (:0 picks a free port; see -addr-file)")
+		addrFile   = flag.String("addr-file", "", "write the bound HTTP address to this file once listening")
+		cacheSize  = flag.Int("cache", 64, "report cache entries (LRU, stale-while-revalidate)")
+		faultPlan  = flag.String("fault-plan", "", "deterministic ingest fault plan (shapes the dataset; part of its origin; truncate= is refused)")
+		failFast   = flag.Bool("fail-fast", false, "abort on the first unrecoverable injected fault instead of degrading")
+		tracePath  = flag.String("trace", "", "record a deterministic flight trace of the run to this file")
+		progress   = flag.Bool("progress", false, "report ingest progress to stderr every 2s")
+		fetch      = flag.String("fetch", "", "client mode: GET this URL from a running daemon, print the body, exit 1 on non-200")
+		listen     = flag.String("listen", "", "wire mode: accept an edgepopd fleet on this address instead of generating a live stream")
+		network    = flag.String("network", "", "wire mode listen network: tcp or unix (default: unix when -listen contains a path separator)")
+		expectPops = flag.Int("expect-pops", 1, "wire mode: drain once this many distinct PoPs complete their DONE handshake")
+		credit     = flag.Int("credit", 4, "wire mode: credit window granted to each shipper")
+		origin     = flag.String("origin", "", "wire mode: pin the spool origin; refuse shippers that disagree (default: adopt the first shipper's)")
+	)
+	flag.Parse()
+
+	if *fetch != "" {
+		fetchURL(*fetch)
+		return
+	}
+	if *out == "" {
+		log.Fatal("edgestudyd: -o is required (the spool directory)")
+	}
+	plan, err := faults.ParsePlan(*faultPlan)
+	if err != nil {
+		log.Fatalf("edgestudyd: -fault-plan: %v", err)
+	}
+
+	ctx, stop := sigctl.Context(context.Background(),
+		"edgestudyd: second interrupt — forcing exit; the spool manifest holds the last committed state")
+	defer stop()
+
+	reg := obs.NewRegistry()
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = obs.StartProgress(reg, os.Stderr, 2*time.Second)
+	}
+	defer stopProgress()
+
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.New(*seed)
+		rec.SetBufCap(traceBufCap)
+	}
+	flushTrace := func() {
+		if rec == nil {
+			return
+		}
+		if err := rec.WriteFile(*tracePath); err != nil {
+			log.Printf("edgestudyd: writing trace: %v", err)
+		}
+	}
+
+	opt := studyd.Options{
+		Dir: *out, Reg: reg, Rec: rec,
+		ReportWorkers: *repWorkers, CacheEntries: *cacheSize,
+		FailFast: *failFast,
+	}
+	if *listen == "" {
+		// Live mode: the daemon generates its own continuous stream. The
+		// origin is the canonical edgesim origin for the same flags — the
+		// drained spool must be byte-identical to the batch dataset's, and
+		// the origin is part of those bytes.
+		w := world.New(world.Config{
+			Seed:                   *seed,
+			Groups:                 *groups,
+			Days:                   *days,
+			SessionsPerGroupWindow: *spw,
+		})
+		w.Instrument(reg)
+		inj := faults.NewInjector(plan, *seed)
+		if inj != nil {
+			w.PoPDown = inj.Outage
+		}
+		w.Rec = rec
+		spec := ""
+		if inj != nil {
+			spec = inj.Plan().Spec()
+		}
+		opt.World = w
+		opt.Injector = inj
+		opt.Origin = fmt.Sprintf("edgesim seed=%d groups=%d days=%d spw=%g plan=%q", *seed, *groups, *days, *spw, spec)
+	} else if plan != nil {
+		log.Fatal("edgestudyd: -fault-plan shapes the live stream; in wire mode the fleet's plan shapes the data — pass it to the edgepopd processes instead")
+	}
+
+	var d *studyd.Daemon
+	var merger *ship.Merger
+	if *listen != "" {
+		// Wire mode: the ship merger owns the spool writer; the daemon
+		// reads the at-rest segments and every merger commit invalidates
+		// cached reports.
+		d, err = studyd.New(opt)
+		if err != nil {
+			log.Fatalf("edgestudyd: %v", err)
+		}
+		merger, err = ship.NewMerger(ship.MergerOptions{
+			SpoolDir: *out, Origin: *origin,
+			ExpectPoPs: *expectPops, Credit: *credit,
+			Reg: reg, Rec: rec,
+			OnCommit: d.BumpVersion,
+		})
+		if err != nil {
+			log.Fatalf("edgestudyd: %v", err)
+		}
+	} else {
+		d, err = studyd.New(opt)
+		if err != nil {
+			log.Fatalf("edgestudyd: %v", err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatalf("edgestudyd: -http: %v", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("edgestudyd: -addr-file: %v", err)
+		}
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("edgestudyd: http: %v", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "edgestudyd: serving on http://%s\n", bound)
+
+	start := time.Now()
+	var runErr error
+	if merger != nil {
+		netName := *network
+		if netName == "" {
+			if strings.ContainsRune(*listen, os.PathSeparator) {
+				netName = "unix"
+			} else {
+				netName = "tcp"
+			}
+		}
+		runErr = merger.ListenAndServe(ctx, netName, *listen)
+		merger.EmitTrace()
+		if runErr == nil {
+			d.SetDrained()
+		}
+	} else {
+		runErr = d.RunLive(ctx, *workers)
+	}
+	flushTrace()
+
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		log.Fatalf("edgestudyd: %v (everything committed is durable; rerun with the same flags to resume)", runErr)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "edgestudyd: interrupted — the spool holds every committed chunk; rerun with the same flags to resume")
+		os.Exit(130)
+	}
+	if merger != nil {
+		st := merger.Stats()
+		fmt.Fprintf(os.Stderr, "edgestudyd: drained — merged %d shipments from %d PoPs in %s; still serving on http://%s (interrupt to exit)\n",
+			st.Shipments, st.PopsDone, time.Since(start).Round(time.Millisecond), bound)
+	} else {
+		st := d.Stats()
+		fmt.Fprintf(os.Stderr, "edgestudyd: drained — sealed %d windows, accepted %d of %d samples in %s; still serving on http://%s (interrupt to exit)\n",
+			d.Watermark(), st.Accepted, st.Received, time.Since(start).Round(time.Millisecond), bound)
+		reportCoverage(d.Coverage())
+	}
+
+	// Linger: the spool is at rest but the service stays up — cached
+	// reports now stay fresh forever — until the operator interrupts.
+	<-ctx.Done()
+	shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shctx)
+}

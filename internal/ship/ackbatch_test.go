@@ -1,0 +1,108 @@
+package ship
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/segstore"
+)
+
+// TestAckBatchGroupCommit pins the -ack-batch contract: with AckBatch
+// N the durable ack log commits only on batch boundaries (so the disk
+// watermark lags the in-memory acks by up to N-1 slots), a crash
+// mid-batch loses only the uncommitted tail — which re-ships and
+// dedups, it never re-acks — and resume skips exactly the committed
+// watermark. The spool still ends byte-identical to the golden run.
+func TestAckBatchGroupCommit(t *testing.T) {
+	const batch = 4
+	root := t.TempDir()
+	golden := filepath.Join(root, "golden")
+	genDataset(t, golden, "", 0, 1, 2)
+	pop := filepath.Join(root, "pop")
+	origin := genDataset(t, pop, "", 0, 1, 2)
+	spool := filepath.Join(root, "spool")
+
+	durable := func() int {
+		t.Helper()
+		acks, err := segstore.LoadAcks(pop, origin)
+		if err != nil {
+			t.Fatalf("LoadAcks: %v", err)
+		}
+		return acks.Len()
+	}
+
+	// Phase 1: ship with group-committed acks; crash mid-batch. OnAck
+	// runs on the shipper's single drain loop, so the durable-lag
+	// checks observe a quiesced log.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	mctx, mcancel := context.WithCancel(context.Background())
+	_, addr, wait := startMerger(t, mctx, spool, 1)
+	acked := 0
+	st1, err := Ship(ctx1, ShipperOptions{
+		Dir: pop, Addr: addr, PoP: 0, Pops: 1, AckBatch: batch,
+		OnAck: func(int, bool) {
+			acked++
+			switch acked {
+			case batch - 1:
+				// Mid-batch: acks are in memory but none are durable yet.
+				if n := durable(); n != 0 {
+					t.Errorf("durable acks before the first batch boundary: %d, want 0", n)
+				}
+			case batch:
+				// Boundary: the whole batch committed at once.
+				if n := durable(); n != batch {
+					t.Errorf("durable acks at the batch boundary: %d, want %d", n, batch)
+				}
+			case batch + 1:
+				cancel1() // crash with one uncommitted ack in the batch
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ship: %v, want context.Canceled", err)
+	}
+	mcancel()
+	if err := wait(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("merger shutdown: %v", err)
+	}
+
+	// The crashed log holds whole batches only: commits happen at batch
+	// boundaries, never mid-batch, so the uncommitted tail vanished.
+	n1 := durable()
+	if n1%batch != 0 {
+		t.Fatalf("crashed ack log holds %d acks — not a whole number of %d-slot batches", n1, batch)
+	}
+	if n1 < batch || n1 > st1.Shipped {
+		t.Fatalf("crashed ack log holds %d acks, want between %d and shipped=%d", n1, batch, st1.Shipped)
+	}
+
+	// Phase 2: restart both sides. Resume must skip exactly the durable
+	// watermark (never re-ack, never re-ship a committed slot) and
+	// re-ship the lost tail, which the merger deduplicates.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	m2, addr2, wait2 := startMerger(t, ctx2, spool, 1)
+	st2, err := Ship(ctx2, ShipperOptions{
+		Dir: pop, Addr: addr2, PoP: 0, Pops: 1, AckBatch: batch,
+	})
+	if err != nil {
+		t.Fatalf("resumed ship: %v", err)
+	}
+	if st2.AlreadyAcked != n1 {
+		t.Fatalf("resume skipped %d slots, want exactly the %d durable acks", st2.AlreadyAcked, n1)
+	}
+	if err := wait2(); err != nil {
+		t.Fatalf("merger: %v", err)
+	}
+	if st := m2.Stats(); st.HashConflicts != 0 {
+		t.Fatalf("resume produced %d hash conflicts", st.HashConflicts)
+	}
+	// The final flush covers a partial trailing batch: every slot ends
+	// durable even when the total is not a multiple of the batch size.
+	if total := n1 + st2.Shipped; durable() != total {
+		t.Fatalf("final ack log holds %d acks, want %d", durable(), total)
+	}
+	dirsEqual(t, golden, spool)
+}

@@ -34,6 +34,11 @@ type MergerOptions struct {
 	Reg *obs.Registry
 	// Rec records merge events (may be nil).
 	Rec *trace.Recorder
+	// OnCommit observes every successful spool commit (a newly accepted
+	// segment or tombstone; dedups excluded) — the studyd wire-mode
+	// hook that invalidates cached reports (may be nil). Called with
+	// the merger's lock held; keep it cheap.
+	OnCommit func()
 }
 
 // MergeStats reports a merger's lifetime totals.
@@ -369,6 +374,9 @@ func (m *Merger) commitSegment(hdr ShipHeader, blob []byte) (dup bool, err error
 		Track: trace.TrackRun, Phase: trace.PhaseRun, Win: -1, Seq: uint64(hdr.SegID),
 		Kind: trace.KCommit, Stage: "ship", Value: int64(meta.Samples),
 	})
+	if m.opt.OnCommit != nil {
+		m.opt.OnCommit()
+	}
 	return false, nil
 }
 
@@ -399,6 +407,9 @@ func (m *Merger) commitTombstone(t Tomb) (dup bool, err error) {
 		Track: trace.TrackRun, Phase: trace.PhaseRun, Win: -1, Seq: uint64(t.ID),
 		Kind: trace.KCommit, Stage: "ship", Value: int64(-t.SamplesLost),
 	})
+	if m.opt.OnCommit != nil {
+		m.opt.OnCommit()
+	}
 	return false, nil
 }
 

@@ -11,10 +11,18 @@ import (
 
 // BenchmarkShipThroughput measures the shipping overhead the
 // EXPERIMENTS.md row documents: one PoP's full dataset shipped over
-// loopback TCP into a fresh spool, including per-ack durable ack-log
-// commits on the shipper and per-shipment manifest commits on the
-// merger. b.SetBytes reports wire throughput over the segment payload.
+// loopback TCP into a fresh spool, including durable ack-log commits
+// on the shipper and per-shipment manifest commits on the merger.
+// The ack-per-slot case commits the ack log on every slot (the
+// default, finest crash granularity); ack-batch-8 group-commits every
+// 8 slots (-ack-batch 8), pricing the granularity/throughput trade.
+// b.SetBytes reports wire throughput over the segment payload.
 func BenchmarkShipThroughput(b *testing.B) {
+	b.Run("ack-per-slot", func(b *testing.B) { benchShip(b, 1) })
+	b.Run("ack-batch-8", func(b *testing.B) { benchShip(b, 8) })
+}
+
+func benchShip(b *testing.B, ackBatch int) {
 	root := b.TempDir()
 	pop := filepath.Join(root, "pop")
 	genDataset(b, pop, "", 0, 1, 4)
@@ -43,7 +51,9 @@ func BenchmarkShipThroughput(b *testing.B) {
 		_, addr, wait := startMerger(b, ctx, spool, 1)
 		b.StartTimer()
 
-		st, err := shipPop(ctx, pop, addr, "", 0, 1, nil)
+		st, err := Ship(ctx, ShipperOptions{
+			Dir: pop, Addr: addr, PoP: 0, Pops: 1, AckBatch: ackBatch,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -46,8 +46,17 @@ type ShipperOptions struct {
 	Reg *obs.Registry
 	// Rec records shipment events (may be nil).
 	Rec *trace.Recorder
-	// OnAck observes each committed acknowledgement — the kill-and-
-	// restart tests' hook for cancelling mid-shipment (may be nil).
+	// AckBatch group-commits the durable ack log every AckBatch acked
+	// slots instead of after every one, amortizing the fsync-bound
+	// per-slot commit cost (~1.1ms/slot, see EXPERIMENTS.md). <=1
+	// commits per ack. Batching never risks data: an ack lost to a
+	// crash before its batch commits is simply re-shipped on resume and
+	// deduplicated by the merger, while every slot already in ACKS.json
+	// stays skipped — resume never re-acks past the committed watermark.
+	AckBatch int
+	// OnAck observes each acknowledgement as it arrives (with AckBatch
+	// > 1 the ack may not be durable yet) — the kill-and-restart tests'
+	// hook for cancelling mid-shipment (may be nil).
 	OnAck func(segID int, dup bool)
 	// Dial overrides net.Dial (tests; may be nil).
 	Dial func(network, addr string) (net.Conn, error)
@@ -98,6 +107,9 @@ type shipper struct {
 	attempts map[int]int
 	// everConnected separates the first connection from reconnects.
 	everConnected bool
+	// pendingAcks counts acks added to the log but not yet committed
+	// (AckBatch group-commit); flushAcks drains it.
+	pendingAcks int
 
 	cShipped   *obs.Counter
 	cRetries   *obs.Counter
@@ -228,11 +240,32 @@ func Ship(ctx context.Context, opt ShipperOptions) (ShipStats, error) {
 	s.gBacklog.Set(0)
 	s.gInflight.Set(0)
 
+	// Flush any group-committed acks still pending before the done
+	// exchange: once DONE is acked the process is expected to exit, and
+	// an unflushed tail would force a wasteful (if harmless) re-ship on
+	// the next run.
+	if err := s.flushAcks(); err != nil {
+		s.markDegraded()
+		return s.stats, err
+	}
 	if err := s.finish(ctx, total); err != nil {
 		s.markDegraded()
 		return s.stats, err
 	}
 	return s.stats, nil
+}
+
+// flushAcks commits the ack log if any acks are pending; the durable
+// watermark advances only here.
+func (s *shipper) flushAcks() error {
+	if s.pendingAcks == 0 {
+		return nil
+	}
+	if err := s.acks.Commit(s.opt.Dir); err != nil {
+		return err
+	}
+	s.pendingAcks = 0
+	return nil
 }
 
 func (s *shipper) instrument(reg *obs.Registry) {
@@ -438,8 +471,11 @@ func (s *shipper) drainOne(inflight *[]shipItem) (bool, error) {
 			return true, nil
 		}
 		s.acks.Add(ack.SegID)
-		if err := s.acks.Commit(s.opt.Dir); err != nil {
-			return false, err
+		s.pendingAcks++
+		if s.opt.AckBatch <= 1 || s.pendingAcks >= s.opt.AckBatch {
+			if err := s.flushAcks(); err != nil {
+				return false, err
+			}
 		}
 		s.stats.Shipped++
 		s.cShipped.Inc()

@@ -1,0 +1,647 @@
+// Package studyd is the always-on study service: a long-running
+// daemon that ingests a continuous sample stream, buffers open
+// 15-minute windows per group, seals each window the moment its
+// logical close passes, appends sealed data to an at-rest segstore
+// spool, and serves reports and group/window queries over HTTP behind
+// a stale-while-revalidate response cache.
+//
+// The paper's measurement system is continuous (§3.3): windows seal
+// as traffic flows, not as a batch job. This package reproduces that
+// shape while keeping the repo's determinism contract: sealing keys
+// on the run's logical clock (the window index), never wall time, so
+// a daemon run over a generated world drains into a spool that is
+// byte-identical to the dataset `edgesim -format seg` writes for the
+// same flags — and therefore `edgereport` over the daemon's at-rest
+// segments reproduces the golden batch report exactly. The e2e tests
+// and `make studyd-race` pin that invariant at several worker counts,
+// including under an ingest fault plan.
+//
+// Fault semantics mirror the batch pipeline's (internal/seggen): PoP
+// outages suppress windows at the source, batch faults quarantine
+// whole groups into tombstones, write faults retry with backoff and
+// tombstone on exhaustion, and sink faults retry per sample — chaos
+// degrades coverage instead of killing the daemon. Two deliberate
+// deviations from the batch study, both documented in DESIGN.md §15:
+// batch *truncation* needs the group's total sample count before its
+// first window ships, which a streaming ingest cannot know, so plans
+// with truncate= are refused up front; and a permanent sink fault
+// quarantines the sample's world group at segment granularity (the
+// unit the spool can tombstone) rather than its user group.
+package studyd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/collector"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/sample"
+	"repro/internal/seggen"
+	"repro/internal/segstore"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// windowsPerChunk is how many sealed windows close one segment-span
+// chunk (96: a 24h segment span over 15-minute windows).
+const windowsPerChunk = int(segstore.DefaultSegmentSpan / world.WindowDuration)
+
+// Options configures one daemon.
+type Options struct {
+	// Dir is the at-rest segment spool (created or resumed in live
+	// mode; in wire mode the ship merger owns the writer and the
+	// daemon only reads).
+	Dir string
+	// Origin pins the spool identity (segstore.Create semantics).
+	Origin string
+	// World is the live-mode ingest source; nil in wire mode.
+	World *world.World
+	// Reg receives daemon metrics (may be nil).
+	Reg *obs.Registry
+	// Injector injects deterministic ingest faults (may be nil).
+	Injector *faults.Injector
+	// FailFast aborts ingest on the first unrecoverable fault instead
+	// of tombstoning and degrading.
+	FailFast bool
+	// Rec records the run's deterministic flight trace (may be nil).
+	Rec *trace.Recorder
+	// ReportWorkers is the aggregation parallelism behind /report
+	// (<=0: single-threaded).
+	ReportWorkers int
+	// CacheEntries bounds the report cache (default 64).
+	CacheEntries int
+}
+
+// windowStat is one window's ingest health, surfaced by /windows.
+type windowStat struct {
+	Ingested int  `json:"ingested"`
+	Lost     int  `json:"lost,omitempty"`
+	Late     int  `json:"late,omitempty"`
+	Sealed   bool `json:"sealed"`
+}
+
+// groupIngest is one world group's open-window state: the hosting
+// filter, the per-chunk sample buffers awaiting their chunk's seal,
+// and the group's fault fate.
+type groupIngest struct {
+	col *collector.Collector
+	// buf holds kept (post-filter) samples per chunk; raw counts every
+	// post-outage sample per chunk — the loss denominator a quarantine
+	// tombstones with, matching the batch pipeline exactly.
+	buf [][]sample.Sample
+	raw []int
+	// fateEvaled marks the lazy batch-fate draw; quarantine, when
+	// non-empty, is the reason every remaining chunk tombstones under,
+	// and qLost accumulates the tombstoned raw counts for the ledger.
+	fateEvaled bool
+	quarantine string
+	qLost      int
+	// writeEvaled marks the lazy write-fate draw (first non-empty chunk
+	// close); writeRem is the remaining transient streak, writeReason
+	// the tombstone reason once the fate is fatal, writeLost the
+	// accumulated loss for the ledger entry.
+	writeEvaled bool
+	writeRem    int
+	writeReason string
+	writeLost   int
+	dropBooked  bool // GroupsDropped counted once per group
+	accepted    int  // samples committed to the spool
+}
+
+// Daemon is the always-on study service. Ingest, Seal, and Drain form
+// the single-goroutine ingest side (the live driver calls them in
+// window order); the HTTP side reads only the on-disk spool and
+// atomic counters, so serving never blocks sealing.
+type Daemon struct {
+	opt Options
+	cpg int
+	sw  *segstore.Writer
+	tb  *trace.Buf
+	inj *faults.Injector
+
+	groups []*groupIngest
+
+	mu       sync.Mutex // guards cov and winStats (ingest writes, HTTP snapshots)
+	cov      faults.Coverage
+	winStats []windowStat
+
+	watermark atomic.Int64
+	version   atomic.Int64
+	drained   atomic.Bool
+
+	cache *swrCache
+
+	cIngested *obs.Counter
+	cLate     *obs.Counter
+	cSealed   *obs.Counter
+	cSegs     *obs.Counter
+	cTombs    *obs.Counter
+	gMark     *obs.Gauge
+	gVersion  *obs.Gauge
+	gDrained  *obs.Gauge
+}
+
+// New builds a daemon over opt.Dir. In live mode (opt.World set) the
+// spool writer is created or resumed and the per-group ingest state
+// is built; in wire mode the daemon only serves, and the ship merger
+// feeding the spool bumps the version through BumpVersion.
+func New(opt Options) (*Daemon, error) {
+	if opt.CacheEntries <= 0 {
+		opt.CacheEntries = 64
+	}
+	if p := opt.Injector.Plan(); p != nil && p.TruncateP > 0 {
+		return nil, fmt.Errorf("studyd: fault plans with truncate= are not supported: batch truncation needs the group's total sample count before its first window ships, which a streaming ingest cannot know; drop truncate= from the plan")
+	}
+	d := &Daemon{opt: opt, inj: opt.Injector, tb: opt.Rec.Buf()}
+	reg := opt.Reg
+	d.cIngested = reg.Counter("studyd_samples_ingested_total")
+	d.cLate = reg.Counter("studyd_late_samples")
+	d.cSealed = reg.Counter("studyd_windows_sealed_total")
+	d.cSegs = reg.Counter("studyd_segments_committed_total")
+	d.cTombs = reg.Counter("studyd_tombstones_total")
+	d.gMark = reg.Gauge("studyd_watermark")
+	d.gVersion = reg.Gauge("studyd_version")
+	d.gDrained = reg.Gauge("studyd_drained")
+	d.cache = newSWRCache(opt.CacheEntries, reg)
+
+	if opt.Injector != nil {
+		d.cov.Spec = opt.Injector.Plan().Spec()
+		d.cov.FailFast = opt.FailFast
+		opt.Injector.Instrument(reg)
+	}
+
+	if opt.World == nil {
+		return d, nil // wire mode: the merger owns the writer
+	}
+	d.cpg = seggen.ChunksPerGroup(opt.World.Cfg)
+	sw, err := segstore.Create(opt.Dir, opt.Origin)
+	if err != nil {
+		return nil, err
+	}
+	// Publish the manifest before any window lands: a fresh daemon
+	// interrupted before its first chunk resumes instead of starting
+	// from a bare directory (same move as the batch writer's).
+	if err := sw.Commit(); err != nil {
+		return nil, err
+	}
+	d.sw = sw
+	d.winStats = make([]windowStat, opt.World.Cfg.Windows())
+	d.groups = make([]*groupIngest, len(opt.World.Groups))
+	for gi := range d.groups {
+		g := &groupIngest{
+			buf: make([][]sample.Sample, d.cpg),
+			raw: make([]int, d.cpg),
+		}
+		g.col = collector.New(collector.FuncSink(func(s sample.Sample) {
+			g.buf[d.chunkOf(&s)] = append(g.buf[d.chunkOf(&s)], s)
+		}))
+		g.col.Instrument(reg)
+		d.groups[gi] = g
+	}
+	return d, nil
+}
+
+// chunkOf maps a sample to its segment-span chunk, clamped so
+// boundary jitter cannot mint an out-of-range segment ID.
+func (d *Daemon) chunkOf(s *sample.Sample) int {
+	c := int(s.Start / segstore.DefaultSegmentSpan)
+	if c < 0 {
+		c = 0
+	}
+	if c >= d.cpg {
+		c = d.cpg - 1
+	}
+	return c
+}
+
+// Watermark returns the number of sealed windows: every window below
+// it is immutable.
+func (d *Daemon) Watermark() int { return int(d.watermark.Load()) }
+
+// Version returns the spool commit counter — the cache's freshness
+// token. It bumps on every manifest commit, so a cached report built
+// at version v is fresh exactly until the spool changes.
+func (d *Daemon) Version() int64 { return d.version.Load() }
+
+// BumpVersion invalidates cached reports; the wire-mode merge hook.
+func (d *Daemon) BumpVersion() {
+	d.gVersion.Set(float64(d.version.Add(1)))
+}
+
+// Drained reports whether the ingest stream has fully drained.
+func (d *Daemon) Drained() bool { return d.drained.Load() }
+
+// SetDrained marks the ingest stream complete (wire mode, where the
+// merger's done handshake is the drain signal).
+func (d *Daemon) SetDrained() {
+	d.drained.Store(true)
+	d.gDrained.Set(1)
+}
+
+// Coverage snapshots the degradation ledger (nil without an injector).
+func (d *Daemon) Coverage() *faults.Coverage {
+	if d.inj == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := d.cov
+	c.Quarantined = append([]faults.QuarantinedGroup(nil), d.cov.Quarantined...)
+	return &c
+}
+
+// Stats merges the per-group collector totals.
+func (d *Daemon) Stats() collector.Stats {
+	var total collector.Stats
+	for _, g := range d.groups {
+		total = total.Merge(g.col.Stats())
+	}
+	return total
+}
+
+// Ingest feeds one group × window batch into the open-window buffers.
+// lost counts sessions a PoP outage suppressed at the source. Each
+// sample buckets by its own window (Start / 15min — a sample exactly
+// on a window edge belongs to the later window); samples whose window
+// is already sealed are counted in studyd_late_samples and dropped,
+// because a sealed window is immutable. Ingest, Seal, and Drain must
+// be called from one goroutine, in window order.
+func (d *Daemon) Ingest(gi, win int, samples []sample.Sample, lost int) error {
+	if d.sw == nil {
+		return fmt.Errorf("studyd: ingest on a wire-mode daemon (no live world)")
+	}
+	g := d.groups[gi]
+	mark := int(d.watermark.Load())
+
+	if lost > 0 {
+		d.mu.Lock()
+		d.cov.SamplesLostOutage += lost
+		if win >= 0 && win < len(d.winStats) {
+			d.winStats[win].Lost += lost
+		}
+		d.mu.Unlock()
+	}
+
+	if !g.fateEvaled {
+		g.fateEvaled = true
+		if f := d.inj.BatchFault(gi); f.Kind == faults.BatchCorrupt || f.Kind == faults.BatchFail {
+			if d.opt.FailFast {
+				return fmt.Errorf("group %d batch: %w", gi,
+					&faults.FaultError{Surface: faults.SurfaceBatch, Key: fmt.Sprintf("world-group-%d", gi)})
+			}
+			g.quarantine = f.Kind.String()
+		}
+	}
+
+	ingested, late := 0, 0
+	for i := range samples {
+		s := &samples[i]
+		if sw := int(s.Start / world.WindowDuration); sw < mark {
+			late++
+			continue
+		}
+		ingested++
+		g.raw[d.chunkOf(s)]++
+		if g.quarantine != "" {
+			continue
+		}
+		if err := d.offer(gi, g, s); err != nil {
+			return err
+		}
+	}
+	d.cIngested.Add(int64(ingested))
+	if late > 0 {
+		d.cLate.Add(int64(late))
+	}
+	d.mu.Lock()
+	if win >= 0 && win < len(d.winStats) {
+		d.winStats[win].Ingested += ingested
+		d.winStats[win].Late += late
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// offer runs one sample through the sink-fault surface and the
+// group's hosting filter. A transient fault retries with backoff
+// (recovered faults change nothing, so the spool stays byte-identical
+// to the batch writer's); a permanent fault — or an exhausted retry
+// budget — quarantines the whole world group from this sample on.
+// Chunks already sealed stay committed: a daemon cannot un-commit
+// durable segments, and the coverage ledger accounts the difference.
+func (d *Daemon) offer(gi int, g *groupIngest, s *sample.Sample) error {
+	if s.HostingProvider {
+		// The filter would reject it before any sink ran; no fault
+		// surface applies, and the collector keeps its count exact.
+		g.col.Offer(*s)
+		return nil
+	}
+	f := d.inj.SinkFault(*s)
+	if f.None() {
+		g.col.Offer(*s)
+		return nil
+	}
+	track := trace.GroupTrack(gi)
+	if f.Permanent {
+		if d.opt.FailFast {
+			return fmt.Errorf("fail-fast: %w",
+				&faults.FaultError{Surface: faults.SurfaceSink, Key: faults.SinkFaultKey(*s)})
+		}
+		d.tb.Emit(trace.Event{
+			Track: track, Phase: trace.PhaseIngest, Win: -1, Seq: s.SessionID,
+			Kind: trace.KFault, Stage: "sink", Value: 1, Detail: "sink-permanent",
+		})
+		d.sinkQuarantine(g)
+		return nil
+	}
+	rem := f.Transient
+	d.tb.Emit(trace.Event{
+		Track: track, Phase: trace.PhaseIngest, Win: -1, Seq: s.SessionID,
+		Kind: trace.KFault, Stage: "sink", Value: int64(rem), Detail: "sink-transient",
+	})
+	p := d.inj.Policy(gi)
+	p.OnRetry = func(int, error) {
+		d.mu.Lock()
+		d.cov.RetriesSpent++
+		d.mu.Unlock()
+	}
+	p = faults.TracedPolicy(p, d.tb, track, trace.PhaseIngest, -1, s.SessionID, "sink")
+	err := faults.Retry(nil, p, func() error {
+		if rem > 0 {
+			rem--
+			return &faults.FaultError{Surface: faults.SurfaceSink, Key: faults.SinkFaultKey(*s), Transient: true}
+		}
+		g.col.Offer(*s)
+		return g.col.Err()
+	})
+	switch {
+	case err == nil:
+		d.mu.Lock()
+		d.cov.TransientRecovered++
+		d.mu.Unlock()
+		d.inj.Recovered()
+		return nil
+	case d.opt.FailFast || !faults.IsTransient(err):
+		return err
+	default:
+		d.sinkQuarantine(g)
+		return nil
+	}
+}
+
+// sinkQuarantine drops the group from its current sample on: buffered
+// unsealed samples fall with it (their raw counts tombstone at chunk
+// close), sealed chunks are already durable and stay.
+func (d *Daemon) sinkQuarantine(g *groupIngest) {
+	g.quarantine = "sink failure"
+	for c := range g.buf {
+		g.buf[c] = nil
+	}
+	d.inj.MarkDegraded()
+}
+
+// Seal advances the logical watermark past win, freezing it forever,
+// and closes the window's segment-span chunk when win is the chunk's
+// last window — encoding, appending, and committing it to the spool
+// (one manifest commit per chunk, one version bump for the cache).
+func (d *Daemon) Seal(win int) error {
+	if d.sw == nil {
+		return fmt.Errorf("studyd: seal on a wire-mode daemon (no live world)")
+	}
+	if int(d.watermark.Load()) != win {
+		return fmt.Errorf("studyd: seal of window %d out of order (watermark %d)", win, d.watermark.Load())
+	}
+	d.watermark.Store(int64(win + 1))
+	d.gMark.Set(float64(win + 1))
+	d.cSealed.Inc()
+	d.mu.Lock()
+	if win >= 0 && win < len(d.winStats) {
+		d.winStats[win].Sealed = true
+	}
+	d.mu.Unlock()
+	if (win+1)%windowsPerChunk == 0 {
+		return d.closeChunk((win+1)/windowsPerChunk - 1)
+	}
+	return nil
+}
+
+// closeChunk seals chunk c across every group: quarantined groups
+// tombstone the chunk with its raw sample count, healthy groups
+// encode and append their kept samples under the write-fault surface.
+// Groups commit in ascending order and the manifest sorts by segment
+// ID, so the finished spool is byte-identical to the batch writer's.
+func (d *Daemon) closeChunk(c int) error {
+	for gi, g := range d.groups {
+		id := gi*d.cpg + c
+		if g.quarantine != "" {
+			d.sw.Tombstone(id, g.quarantine, g.raw[c])
+			d.cTombs.Inc()
+			g.qLost += g.raw[c]
+			g.buf[c] = nil
+			continue
+		}
+		kept := g.buf[c]
+		g.buf[c] = nil
+		if len(kept) == 0 {
+			continue
+		}
+		if err := d.writeChunk(gi, g, id, kept); err != nil {
+			return err
+		}
+	}
+	if err := d.sw.Commit(); err != nil {
+		return err
+	}
+	d.BumpVersion()
+	return nil
+}
+
+// writeChunk commits one group chunk under the write-fault surface.
+// The fate is drawn once per group — at its first non-empty chunk
+// close, just as the batch writer draws it once per group batch: a
+// permanent fault tombstones this and every later chunk of the group;
+// a transient streak retries this chunk's commit with backoff and
+// either recovers (nothing changes) or exhausts the budget and
+// degrades to the same tombstones.
+func (d *Daemon) writeChunk(gi int, g *groupIngest, id int, kept []sample.Sample) error {
+	track := trace.GroupTrack(gi)
+	n := len(kept)
+	if !g.writeEvaled {
+		g.writeEvaled = true
+		if f := d.inj.WriteFault(gi); !f.None() {
+			if f.Permanent {
+				if d.opt.FailFast {
+					return fmt.Errorf("writing group %d segments: %w", gi,
+						&faults.FaultError{Surface: faults.SurfaceWrite, Key: fmt.Sprintf("world-group-%d", gi)})
+				}
+				g.writeReason = "permanent write failure"
+				d.tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 0,
+					Kind: trace.KFault, Stage: "write", Value: int64(n), Detail: "write-permanent",
+				})
+			} else {
+				g.writeRem = f.Transient
+				d.tb.Emit(trace.Event{
+					Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 0,
+					Kind: trace.KFault, Stage: "write", Value: int64(g.writeRem), Detail: "write-transient",
+				})
+			}
+		}
+	}
+	if g.writeReason != "" {
+		d.tombstoneWrite(gi, g, id, n, track)
+		return nil
+	}
+	commit := func() error {
+		if d.sw.Committed(id) {
+			return nil // survived a previous interrupted run
+		}
+		blob, meta := segstore.EncodeSegment(kept)
+		return d.sw.Add(id, blob, meta)
+	}
+	if g.writeRem > 0 {
+		p := d.inj.Policy(gi)
+		p.OnRetry = func(int, error) {
+			d.mu.Lock()
+			d.cov.RetriesSpent++
+			d.mu.Unlock()
+		}
+		p = faults.TracedPolicy(p, d.tb, track, trace.PhaseCommit, -1, 0, "write")
+		err := faults.Retry(nil, p, func() error {
+			if g.writeRem > 0 {
+				g.writeRem--
+				return &faults.FaultError{Surface: faults.SurfaceWrite,
+					Key: fmt.Sprintf("world-group-%d", gi), Transient: true}
+			}
+			return commit()
+		})
+		if err != nil {
+			if d.opt.FailFast || !faults.IsTransient(err) {
+				return err
+			}
+			g.writeReason = "write retry budget exhausted"
+			d.tombstoneWrite(gi, g, id, n, track)
+			return nil
+		}
+		d.mu.Lock()
+		d.cov.TransientRecovered++
+		d.mu.Unlock()
+		d.inj.Recovered()
+	} else if err := commit(); err != nil {
+		return err
+	}
+	g.accepted += n
+	d.cSegs.Inc()
+	d.tb.Emit(trace.Event{
+		Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 2,
+		Kind: trace.KCommit, Stage: "write", Value: int64(n),
+	})
+	return nil
+}
+
+// tombstoneWrite records one chunk lost to the group's write fate.
+func (d *Daemon) tombstoneWrite(gi int, g *groupIngest, id, n int, track string) {
+	d.sw.Tombstone(id, g.writeReason, n)
+	d.cTombs.Inc()
+	g.writeLost += n
+	d.mu.Lock()
+	d.cov.SamplesLostDropped += n
+	if !g.dropBooked {
+		g.dropBooked = true
+		d.cov.GroupsDropped++
+	}
+	d.mu.Unlock()
+	d.inj.MarkDegraded()
+	d.tb.Emit(trace.Event{
+		Track: track, Phase: trace.PhaseCommit, Win: -1, Seq: 1,
+		Kind: trace.KQuarantine, Stage: "write", Value: int64(n), Detail: g.writeReason,
+	})
+	d.tb.Loss(track, trace.PhaseCommit, -1, 0, "write", trace.LossDropped, n)
+}
+
+// Drain closes the ingest stream: any trailing partial chunk is
+// sealed, quarantined groups book their ledger entries (their totals
+// are only known now), the coverage is finalized, and the daemon
+// flips to drained. After Drain the spool is at rest.
+func (d *Daemon) Drain() error {
+	if d.sw == nil {
+		d.SetDrained()
+		return nil
+	}
+	mark := int(d.watermark.Load())
+	if mark%windowsPerChunk != 0 {
+		if err := d.closeChunk(mark / windowsPerChunk); err != nil {
+			return err
+		}
+	}
+	// Quarantined groups tombstone every remaining chunk at close time;
+	// the ledger entry and its trace events carry the group totals.
+	for gi, g := range d.groups {
+		if g.quarantine != "" {
+			track := trace.GroupTrack(gi)
+			d.tb.Emit(trace.Event{
+				Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 0,
+				Kind: trace.KFault, Stage: "batch", Value: int64(g.qLost), Detail: g.quarantine,
+			})
+			d.tb.Emit(trace.Event{
+				Track: track, Phase: trace.PhaseBatch, Win: -1, Seq: 1,
+				Kind: trace.KQuarantine, Stage: "batch", Value: int64(g.qLost), Detail: g.quarantine,
+			})
+			d.tb.Loss(track, trace.PhaseBatch, -1, 0, "batch", trace.LossDropped, g.qLost)
+			d.mu.Lock()
+			if g.quarantine == "sink failure" {
+				d.cov.SamplesLostQuarantined += g.qLost
+			} else {
+				d.cov.SamplesLostDropped += g.qLost
+				d.cov.GroupsDropped++
+			}
+			d.cov.Quarantined = append(d.cov.Quarantined, faults.QuarantinedGroup{
+				Key: fmt.Sprintf("world-group-%04d", gi), Reason: g.quarantine, SamplesLost: g.qLost,
+			})
+			d.mu.Unlock()
+			d.inj.MarkDegraded()
+		}
+		if g.writeReason != "" && g.writeLost > 0 {
+			d.mu.Lock()
+			d.cov.Quarantined = append(d.cov.Quarantined, faults.QuarantinedGroup{
+				Key: fmt.Sprintf("world-group-%04d", gi), Reason: g.writeReason, SamplesLost: g.writeLost,
+			})
+			d.mu.Unlock()
+		}
+	}
+	if d.inj != nil {
+		d.mu.Lock()
+		d.cov.Finalize()
+		degraded := d.cov.Degraded()
+		cov := d.cov
+		d.mu.Unlock()
+		if degraded {
+			d.inj.MarkDegraded()
+		}
+		cov.EmitTrace(d.tb)
+	}
+	d.SetDrained()
+	return nil
+}
+
+// RunLive drives the daemon from its world's live feed: windows
+// generate in logical order (parallel across groups within a window),
+// every batch ingests, every window seals, and the stream drains.
+// Cancelling ctx stops the feed; everything already committed is
+// durable, and a rerun with the same flags resumes (committed chunks
+// are recognised and skipped).
+func (d *Daemon) RunLive(ctx context.Context, workers int) error {
+	if d.opt.World == nil {
+		return fmt.Errorf("studyd: RunLive needs a live world")
+	}
+	feed := world.NewLiveFeed(d.opt.World)
+	if err := feed.Run(ctx, workers, func(b world.WindowBatch) error {
+		return d.Ingest(b.Group, b.Win, b.Samples, b.Lost)
+	}, d.Seal); err != nil {
+		return err
+	}
+	return d.Drain()
+}

@@ -1,0 +1,304 @@
+package studyd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/segstore"
+	"repro/internal/study"
+)
+
+// reportQuery is one parsed, canonicalized /report query. Two query
+// strings asking for the same slice canonicalize to the same Key, so
+// the cache never stores the same report twice.
+type reportQuery struct {
+	From, To  time.Duration
+	Countries []string
+	PoPs      []string
+	Filter    *segstore.Filter
+}
+
+// Key is the canonical cache key for the query.
+func (q reportQuery) Key() string {
+	return fmt.Sprintf("report|from=%s|to=%s|country=%s|pop=%s",
+		q.From, q.To, strings.Join(q.Countries, ","), strings.Join(q.PoPs, ","))
+}
+
+// parseReportQuery parses /report's query parameters: from and to as
+// Go durations bounding the session-start offset (half-open), country
+// and pop as comma-separated whitelists. Unknown parameters are
+// ignored; malformed values are an error, never a panic — the fuzz
+// target FuzzStudydQueryParams pins that.
+func parseReportQuery(vals url.Values) (reportQuery, error) {
+	var q reportQuery
+	if v := vals.Get("from"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return q, fmt.Errorf("bad from=%q: %v", v, err)
+		}
+		if d < 0 {
+			return q, fmt.Errorf("bad from=%q: negative offset", v)
+		}
+		q.From = d
+	}
+	if v := vals.Get("to"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return q, fmt.Errorf("bad to=%q: %v", v, err)
+		}
+		if d < 0 {
+			return q, fmt.Errorf("bad to=%q: negative offset", v)
+		}
+		q.To = d
+	}
+	f, err := segstore.ParseFilter(q.From, q.To, vals.Get("country"), vals.Get("pop"))
+	if err != nil {
+		return q, err
+	}
+	q.Filter = f
+	if f != nil {
+		q.Countries = f.Countries
+		q.PoPs = f.PoPs
+	}
+	return q, nil
+}
+
+// Handler returns the daemon's HTTP surface: /report (cached report
+// over the spool), /groups (per-group spool rollup), /windows
+// (per-window ingest health), /healthz (liveness + drain state), and
+// the obs mounts (/metrics, /debug/vars, /debug/pprof) when a
+// registry is attached.
+func (d *Daemon) Handler() http.Handler {
+	var mux *http.ServeMux
+	if d.opt.Reg != nil {
+		mux = d.opt.Reg.NewServeMux()
+	} else {
+		mux = http.NewServeMux()
+	}
+	mux.HandleFunc("/report", d.handleReport)
+	mux.HandleFunc("/groups", d.handleGroups)
+	mux.HandleFunc("/windows", d.handleWindows)
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	return mux
+}
+
+// handleReport serves the aggregated study report for the spool's
+// current contents, through the stale-while-revalidate cache. The
+// body is exactly the batch `edgereport` output for the same dataset
+// minus the elapsed-time line (the one line that may not be
+// deterministic), so a drained daemon's /report is byte-identical to
+// the golden batch report.
+func (d *Daemon) handleReport(w http.ResponseWriter, r *http.Request) {
+	q, err := parseReportQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, state, err := d.cache.Serve(q.Key(), d.Version(), func() ([]byte, error) {
+		return d.renderReport(q)
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Cache", state)
+	_, _ = w.Write(body)
+}
+
+// renderReport aggregates the spool and renders the report body.
+func (d *Daemon) renderReport(q reportQuery) ([]byte, error) {
+	res, err := study.FromSegments(context.Background(), d.opt.Dir, study.Options{
+		Workers: d.opt.ReportWorkers,
+		Filter:  q.Filter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	res.WriteReport(&buf)
+	return stripElapsedLine(buf.Bytes()), nil
+}
+
+// stripElapsedLine removes the "Generated and analysed in ..." line —
+// the report's only wall-clock-dependent bytes — so responses are
+// pure functions of the spool contents.
+func stripElapsedLine(b []byte) []byte {
+	marker := []byte("Generated and analysed")
+	i := 0
+	for i < len(b) {
+		j := bytes.IndexByte(b[i:], '\n')
+		if j < 0 {
+			j = len(b) - i - 1
+		}
+		line := b[i : i+j]
+		if bytes.HasPrefix(line, marker) {
+			return append(b[:i:i], b[i+j+1:]...)
+		}
+		i += j + 1
+	}
+	return b
+}
+
+// groupInfo is one world group's spool rollup, served by /groups.
+type groupInfo struct {
+	Group      int      `json:"group"`
+	Segments   int      `json:"segments"`
+	Samples    int      `json:"samples"`
+	Bytes      int64    `json:"bytes"`
+	Tombstones int      `json:"tombstones,omitempty"`
+	Lost       int      `json:"lost,omitempty"`
+	Countries  []string `json:"countries,omitempty"`
+	PoPs       []string `json:"pops,omitempty"`
+}
+
+// handleGroups rolls the spool manifest up by world group.
+func (d *Daemon) handleGroups(w http.ResponseWriter, r *http.Request) {
+	man, err := d.readManifest()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	cpg := d.cpg
+	if cpg <= 0 {
+		cpg = originChunksPerGroup(man.Origin)
+	}
+	byGroup := map[int]*groupInfo{}
+	get := func(id int) *groupInfo {
+		gi := id / cpg
+		g := byGroup[gi]
+		if g == nil {
+			g = &groupInfo{Group: gi}
+			byGroup[gi] = g
+		}
+		return g
+	}
+	for _, seg := range man.Segments {
+		g := get(seg.ID)
+		g.Segments++
+		g.Samples += seg.Samples
+		g.Bytes += seg.Bytes
+		g.Countries = mergeSorted(g.Countries, seg.Countries)
+		g.PoPs = mergeSorted(g.PoPs, seg.PoPs)
+	}
+	for _, t := range man.Tombstones {
+		g := get(t.ID)
+		g.Tombstones++
+		g.Lost += t.SamplesLost
+	}
+	groups := make([]*groupInfo, 0, len(byGroup))
+	for _, g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Group < groups[j].Group })
+	writeJSON(w, map[string]any{
+		"origin": man.Origin,
+		"groups": groups,
+	})
+}
+
+// handleWindows serves the per-window ingest ledger: how many samples
+// each logical window received, lost to outages, or refused late, and
+// whether it is sealed.
+func (d *Daemon) handleWindows(w http.ResponseWriter, r *http.Request) {
+	mark := d.Watermark()
+	limit := mark
+	// By default only sealed (final) windows are listed; all=1 includes
+	// the open remainder.
+	if r.URL.Query().Get("all") != "" {
+		limit = len(d.winStats)
+	}
+	d.mu.Lock()
+	stats := make([]windowStat, 0, limit)
+	for i := 0; i < limit && i < len(d.winStats); i++ {
+		stats = append(stats, d.winStats[i])
+	}
+	d.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"watermark": mark,
+		"windows":   stats,
+	})
+}
+
+// handleHealthz reports liveness and drain state.
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := "ingesting"
+	if d.Drained() {
+		state = "drained"
+	}
+	degraded := false
+	d.mu.Lock()
+	if d.inj != nil {
+		degraded = d.cov.Degraded()
+	}
+	d.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"state":     state,
+		"watermark": d.Watermark(),
+		"version":   d.Version(),
+		"degraded":  degraded,
+		"ingested":  d.cIngested.Value(),
+		"late":      d.cLate.Value(),
+	})
+}
+
+// readManifest loads the spool manifest straight from disk: commits
+// are atomic renames, so a concurrent chunk close can never expose a
+// torn manifest to a reader.
+func (d *Daemon) readManifest() (*segstore.Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(d.opt.Dir, segstore.ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var man segstore.Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("studyd: corrupt manifest: %v", err)
+	}
+	return &man, nil
+}
+
+// originChunksPerGroup recovers the segment-ID scheme from a spool's
+// origin string ("... days=N ...": one 24h chunk per day). Wire-mode
+// daemons have no world config, so the origin is the only source;
+// unknown origins fall back to one chunk per group.
+func originChunksPerGroup(origin string) int {
+	for _, f := range strings.Fields(origin) {
+		if v, ok := strings.CutPrefix(f, "days="); ok {
+			if days, err := strconv.Atoi(v); err == nil && days > 0 {
+				return days
+			}
+		}
+	}
+	return 1
+}
+
+// mergeSorted folds add into base keeping it sorted and deduplicated.
+func mergeSorted(base, add []string) []string {
+	for _, v := range add {
+		i := sort.SearchStrings(base, v)
+		if i < len(base) && base[i] == v {
+			continue
+		}
+		base = append(base, "")
+		copy(base[i+1:], base[i:])
+		base[i] = v
+	}
+	return base
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,569 @@
+package studyd
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/sample"
+	"repro/internal/seggen"
+	"repro/internal/study"
+	"repro/internal/world"
+)
+
+// testCfg is the worldlet every daemon test ingests: two days so chunk
+// closes happen mid-run (not only at drain), enough groups for fault
+// plans to quarantine some and keep others.
+var testCfg = world.Config{Seed: 7, Groups: 6, Days: 2, SessionsPerGroupWindow: 4}
+
+func testOrigin(plan *faults.Plan) string {
+	return fmt.Sprintf("edgesim seed=%d groups=%d days=%d spw=%g plan=%q",
+		testCfg.Seed, testCfg.Groups, testCfg.Days, testCfg.SessionsPerGroupWindow, plan.Spec())
+}
+
+// goldenDataset writes the batch-pipeline dataset for testCfg under
+// spec — the bytes every daemon run must reproduce.
+func goldenDataset(t testing.TB, dir, spec string) {
+	t.Helper()
+	plan, err := faults.ParsePlan(spec)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	w := world.New(testCfg)
+	inj := faults.NewInjector(plan, testCfg.Seed)
+	if inj != nil {
+		w.PoPDown = inj.Outage
+	}
+	if _, err := seggen.Run(context.Background(), seggen.Options{
+		World: w, Dir: dir, Origin: testOrigin(inj.Plan()), Injector: inj,
+	}); err != nil {
+		t.Fatalf("golden generate: %v", err)
+	}
+}
+
+// liveDaemon builds a live-mode daemon over a fresh world for spec.
+func liveDaemon(t testing.TB, dir, spec string) *Daemon {
+	t.Helper()
+	plan, err := faults.ParsePlan(spec)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	w := world.New(testCfg)
+	inj := faults.NewInjector(plan, testCfg.Seed)
+	if inj != nil {
+		w.PoPDown = inj.Outage
+	}
+	d, err := New(Options{
+		Dir: dir, Origin: testOrigin(inj.Plan()),
+		World: w, Injector: inj, Reg: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func dirsEqual(t *testing.T, want, got string) {
+	t.Helper()
+	names := func(dir string) []string {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		out := make([]string, 0, len(ents))
+		for _, e := range ents {
+			out = append(out, e.Name())
+		}
+		return out
+	}
+	wn, gn := names(want), names(got)
+	if fmt.Sprint(wn) != fmt.Sprint(gn) {
+		t.Fatalf("file sets differ:\n  want %v\n  got  %v", wn, gn)
+	}
+	for _, n := range wn {
+		wb, err := os.ReadFile(filepath.Join(want, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := os.ReadFile(filepath.Join(got, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wb, gb) {
+			t.Errorf("%s differs: %d vs %d bytes", n, len(wb), len(gb))
+		}
+	}
+}
+
+func renderGolden(t testing.TB, dir string) []byte {
+	t.Helper()
+	res, err := study.FromSegments(context.Background(), dir, study.Options{})
+	if err != nil {
+		t.Fatalf("FromSegments(%s): %v", dir, err)
+	}
+	var buf bytes.Buffer
+	res.WriteReport(&buf)
+	return stripElapsedLine(buf.Bytes())
+}
+
+// get fetches a path from the daemon's handler and returns the body
+// and the X-Cache state.
+func get(t testing.TB, d *Daemon, path string) ([]byte, string) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	d.Handler().ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET %s: %d %s", path, rr.Code, rr.Body.String())
+	}
+	return rr.Body.Bytes(), rr.Result().Header.Get("X-Cache")
+}
+
+// TestDaemonByteIdenticalToBatch is the keystone invariant: a drained
+// live-mode daemon's spool is byte-identical to the batch dataset for
+// the same flags — and its served /report to the golden batch report —
+// at every worker count, clean and under a chaos plan.
+func TestDaemonByteIdenticalToBatch(t *testing.T) {
+	const chaos = "sink-transient=0.01;fail-group=2;outage=fra:10-30;retries=4;retry-base=50us"
+	for _, spec := range []string{"", chaos} {
+		golden := t.TempDir()
+		goldenDataset(t, golden, spec)
+		report := renderGolden(t, golden)
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("plan=%t/workers=%d", spec != "", workers), func(t *testing.T) {
+				dir := t.TempDir()
+				d := liveDaemon(t, dir, spec)
+				if err := d.RunLive(context.Background(), workers); err != nil {
+					t.Fatalf("RunLive: %v", err)
+				}
+				if !d.Drained() {
+					t.Fatal("daemon not drained after RunLive")
+				}
+				dirsEqual(t, golden, dir)
+				body, _ := get(t, d, "/report")
+				if !bytes.Equal(body, report) {
+					t.Errorf("served /report differs from golden batch report:\n--- golden\n%s\n--- served\n%s", report, body)
+				}
+			})
+		}
+	}
+}
+
+// TestDaemonResumesCommittedChunks reruns a drained daemon's flags over
+// its spool: every chunk is already committed, the rerun recognises
+// them, and the bytes do not change.
+func TestDaemonResumesCommittedChunks(t *testing.T) {
+	golden := t.TempDir()
+	goldenDataset(t, golden, "")
+	dir := t.TempDir()
+	for run := 0; run < 2; run++ {
+		d := liveDaemon(t, dir, "")
+		if err := d.RunLive(context.Background(), 2); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+	dirsEqual(t, golden, dir)
+}
+
+// TestDaemonRefusesTruncatePlans pins the documented deviation: batch
+// truncation needs totals a stream cannot know, so the plan is refused
+// at construction, not silently mis-applied.
+func TestDaemonRefusesTruncatePlans(t *testing.T) {
+	plan, err := faults.ParsePlan("truncate=0.5")
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	_, err = New(Options{
+		Dir: t.TempDir(), Origin: "x", World: world.New(testCfg),
+		Injector: faults.NewInjector(plan, 1),
+	})
+	if err == nil || !strings.Contains(err.Error(), "truncate") {
+		t.Fatalf("want truncate refusal, got %v", err)
+	}
+}
+
+// windowSample fabricates a minimal sample inside window win.
+func windowSample(win int, off int64) sample.Sample {
+	return sample.Sample{
+		SessionID: uint64(win)<<32 | uint64(off),
+		PoP:       "lhr", Prefix: "10.0.0.0/24", Country: "GB",
+		Start: world.WindowDuration*time.Duration(win) + 1,
+	}
+}
+
+// TestSealBoundaries pins the window-edge semantics: a sample exactly
+// on a 15-minute boundary belongs to the LATER window (half-open
+// windows), so sealing the earlier window never refuses it; a sample
+// landing below the watermark is counted late and dropped without
+// mutating the sealed window; a group that goes quiet simply stops
+// contributing — no tombstone, no empty segment.
+func TestSealBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	d := liveDaemon(t, dir, "")
+
+	// Window 0 gets one ordinary sample, then seals.
+	if err := d.Ingest(0, 0, []sample.Sample{windowSample(0, 1)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Seal(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A sample exactly on the boundary (Start == 15m) belongs to window
+	// 1: not late, buffered.
+	edge := sample.Sample{SessionID: 99, PoP: "lhr", Prefix: "10.0.0.0/24", Country: "GB",
+		Start: world.WindowDuration}
+	if err := d.Ingest(0, 1, []sample.Sample{edge}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.cLate.Value(); got != 0 {
+		t.Fatalf("edge sample counted late: studyd_late_samples=%d", got)
+	}
+
+	// A sample below the watermark is late: counted, dropped, and the
+	// sealed window's ledger stays frozen.
+	before := d.winStats[0]
+	late := sample.Sample{SessionID: 100, PoP: "lhr", Prefix: "10.0.0.0/24", Country: "GB",
+		Start: world.WindowDuration - 1}
+	if err := d.Ingest(0, 1, []sample.Sample{late}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.cLate.Value(); got != 1 {
+		t.Fatalf("studyd_late_samples=%d, want 1", got)
+	}
+	if d.winStats[0] != before {
+		t.Fatalf("sealed window mutated: %+v -> %+v", before, d.winStats[0])
+	}
+	if !d.winStats[0].Sealed {
+		t.Fatal("window 0 not marked sealed")
+	}
+	if d.winStats[1].Late != 1 {
+		t.Fatalf("late sample not ledgered on its arrival window: %+v", d.winStats[1])
+	}
+
+	// Out-of-order seals are refused: the watermark only advances.
+	if err := d.Seal(0); err == nil {
+		t.Fatal("re-sealing window 0 succeeded")
+	}
+	if err := d.Seal(2); err == nil {
+		t.Fatal("sealing window 2 before 1 succeeded")
+	}
+
+	// Groups 1..n stay quiet; seal everything and drain. Quiet groups
+	// leave no trace in the spool — no segments, no tombstones.
+	for win := 1; win < testCfg.Windows(); win++ {
+		if err := d.Seal(win); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := d.readManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Tombstones) != 0 {
+		t.Fatalf("quiet groups grew tombstones: %+v", man.Tombstones)
+	}
+	for _, seg := range man.Segments {
+		if g := seg.ID / d.cpg; g != 0 {
+			t.Fatalf("quiet group %d has a segment (id %d)", g, seg.ID)
+		}
+	}
+}
+
+// TestCacheSingleRevalidation is the cache-correctness gate: N
+// concurrent readers of one stale key all get a complete response
+// instantly, and the re-aggregation behind them runs at most once.
+func TestCacheSingleRevalidation(t *testing.T) {
+	c := newSWRCache(8, nil)
+	var computes atomic.Int64
+	v1 := []byte("version-one")
+	v2 := []byte("version-two")
+
+	// Prime at version 1.
+	body, state, err := c.Serve("k", 1, func() ([]byte, error) {
+		computes.Add(1)
+		return v1, nil
+	})
+	if err != nil || state != "miss" || !bytes.Equal(body, v1) {
+		t.Fatalf("prime: %q %s %v", body, state, err)
+	}
+
+	// Bump the version; hammer the stale entry. Every reader must get a
+	// complete body (old or new, never torn/empty), and the rebuild must
+	// run exactly once.
+	computes.Store(0)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _, err := c.Serve("k", 2, func() ([]byte, error) {
+				computes.Add(1)
+				<-release // keep the rebuild in flight while readers pile up
+				return v2, nil
+			})
+			if err != nil {
+				t.Errorf("Serve: %v", err)
+				return
+			}
+			if !bytes.Equal(body, v1) && !bytes.Equal(body, v2) {
+				t.Errorf("torn response: %q", body)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	// The rebuild is detached: readers return without waiting for it, so
+	// give it a moment to run before counting.
+	for i := 0; i < 2000 && computes.Load() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("stale key revalidated %d times, want exactly 1", n)
+	}
+
+	// After the rebuild lands, version 2 is a fresh hit.
+	for i := 0; i < 2000; i++ {
+		body, state, _ = c.Serve("k", 2, func() ([]byte, error) {
+			t.Error("fresh entry recomputed")
+			return nil, nil
+		})
+		if state == "hit" && bytes.Equal(body, v2) {
+			if n := computes.Load(); n != 1 {
+				t.Fatalf("stale key revalidated %d times, want exactly 1", n)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond) // the detached rebuild installs asynchronously
+	}
+	t.Fatalf("rebuilt entry never became a fresh hit: %q %s", body, state)
+}
+
+// TestCacheMissSingleflight: concurrent first requests for one key
+// share a single computation.
+func TestCacheMissSingleflight(t *testing.T) {
+	c := newSWRCache(8, nil)
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(first bool) {
+			defer wg.Done()
+			if !first {
+				<-started
+			}
+			body, _, err := c.Serve("k", 1, func() ([]byte, error) {
+				computes.Add(1)
+				close(started)
+				<-release
+				return []byte("body"), nil
+			})
+			if err != nil || string(body) != "body" {
+				t.Errorf("Serve: %q %v", body, err)
+			}
+		}(i == 0)
+	}
+	go func() { <-started; close(release) }()
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("miss computed %d times, want 1", n)
+	}
+}
+
+// TestCacheErrorsNotCached: a failed compute propagates to its waiters
+// and is forgotten — the next request recomputes.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newSWRCache(8, nil)
+	wantErr := fmt.Errorf("spool on fire")
+	if _, _, err := c.Serve("k", 1, func() ([]byte, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	body, state, err := c.Serve("k", 1, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || state != "miss" || string(body) != "ok" {
+		t.Fatalf("retry after error: %q %s %v", body, state, err)
+	}
+}
+
+// TestCacheEviction: the LRU bound holds and evicts the coldest key.
+func TestCacheEviction(t *testing.T) {
+	c := newSWRCache(2, nil)
+	mk := func(k string) {
+		if _, _, err := c.Serve(k, 1, func() ([]byte, error) { return []byte(k), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a")
+	mk("b")
+	mk("c") // evicts a
+	if c.Len() != 2 {
+		t.Fatalf("len=%d, want 2", c.Len())
+	}
+	_, state, _ := c.Serve("b", 1, func() ([]byte, error) { return []byte("b"), nil })
+	if state != "hit" {
+		t.Fatalf("warm key evicted (state %s)", state)
+	}
+	_, state, _ = c.Serve("a", 1, func() ([]byte, error) { return []byte("a"), nil })
+	if state != "miss" {
+		t.Fatalf("cold key survived eviction (state %s)", state)
+	}
+}
+
+// TestHandlerCacheStates drives /report through the daemon's real
+// handler: first fetch misses, second hits, a version bump serves
+// stale then converges to a fresh hit — and every body is the same
+// bytes (the spool did not actually change).
+func TestHandlerCacheStates(t *testing.T) {
+	dir := t.TempDir()
+	d := liveDaemon(t, dir, "")
+	if err := d.RunLive(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	b1, s1 := get(t, d, "/report")
+	if s1 != "miss" {
+		t.Fatalf("first fetch X-Cache=%s, want miss", s1)
+	}
+	b2, s2 := get(t, d, "/report")
+	if s2 != "hit" || !bytes.Equal(b1, b2) {
+		t.Fatalf("second fetch X-Cache=%s (want hit), bodies equal=%t", s2, bytes.Equal(b1, b2))
+	}
+	d.BumpVersion()
+	b3, s3 := get(t, d, "/report")
+	if s3 != "stale" || !bytes.Equal(b1, b3) {
+		t.Fatalf("post-bump fetch X-Cache=%s (want stale), bodies equal=%t", s3, bytes.Equal(b1, b3))
+	}
+	for i := 0; i < 500; i++ {
+		b, s := get(t, d, "/report")
+		if s == "hit" {
+			if !bytes.Equal(b1, b) {
+				t.Fatal("revalidated body differs for an unchanged spool")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond) // the rebuild re-aggregates the spool
+	}
+	t.Fatal("report never revalidated to a fresh hit")
+}
+
+// TestEndpoints sanity-checks the query surfaces over a drained run.
+func TestEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	d := liveDaemon(t, dir, "")
+	if err := d.RunLive(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := get(t, d, "/healthz")
+	if !strings.Contains(string(body), `"state": "drained"`) {
+		t.Fatalf("healthz: %s", body)
+	}
+	body, _ = get(t, d, "/groups")
+	for gi := 0; gi < testCfg.Groups; gi++ {
+		if !strings.Contains(string(body), fmt.Sprintf(`"group": %d`, gi)) {
+			t.Fatalf("group %d missing from /groups: %s", gi, body)
+		}
+	}
+	body, _ = get(t, d, "/windows")
+	if !strings.Contains(string(body), fmt.Sprintf(`"watermark": %d`, testCfg.Windows())) {
+		t.Fatalf("windows: %s", body)
+	}
+	// A filtered report parses and renders.
+	if body, _ = get(t, d, "/report?from=24h&country=GB"); len(body) == 0 {
+		t.Fatal("filtered report empty")
+	}
+	// Malformed filters are a 400, not a panic or a 500.
+	rr := httptest.NewRecorder()
+	d.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/report?from=banana", nil))
+	if rr.Code != 400 {
+		t.Fatalf("bad filter: %d", rr.Code)
+	}
+}
+
+// FuzzStudydQueryParams pins that no query string can panic the
+// /report parameter parser, and that canonical keys are stable: two
+// parses of the same values always agree.
+func FuzzStudydQueryParams(f *testing.F) {
+	f.Add("from=24h&to=48h&country=GB,US&pop=lhr")
+	f.Add("from=-1h")
+	f.Add("from=banana&to=&country=&pop=")
+	f.Add("country=" + strings.Repeat("X,", 100))
+	f.Add("from=9999999999999999999h")
+	f.Fuzz(func(t *testing.T, raw string) {
+		vals, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Skip()
+		}
+		q, err := parseReportQuery(vals)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		q2, err2 := parseReportQuery(vals)
+		if err2 != nil || q.Key() != q2.Key() {
+			t.Fatalf("unstable parse: %q vs %q (%v)", q.Key(), q2.Key(), err2)
+		}
+	})
+}
+
+// BenchmarkStudydServe measures the serving fast paths: a fresh cache
+// hit (the steady state) and a stale hit that triggers revalidation
+// (the post-commit state) — the daemon must stay instant in both.
+func BenchmarkStudydServe(b *testing.B) {
+	dir := b.TempDir()
+	d := liveDaemon(b, dir, "")
+	if err := d.RunLive(context.Background(), 4); err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/report", nil)
+	h := d.Handler()
+	fetch := func() {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != 200 {
+			b.Fatalf("GET /report: %d", rr.Code)
+		}
+		io.Copy(io.Discard, rr.Result().Body)
+	}
+	fetch() // prime
+
+	b.Run("cache-hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fetch()
+		}
+	})
+	b.Run("stale-revalidate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.BumpVersion() // every request sees a stale entry
+			fetch()
+		}
+	})
+	b.Run("cold-miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A never-seen key blocks on a full spool re-aggregation —
+			// the cost the cache hides from every later reader.
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("GET",
+				fmt.Sprintf("/report?from=%dns", i+1), nil))
+			if rr.Code != 200 {
+				b.Fatalf("GET /report: %d", rr.Code)
+			}
+		}
+	})
+}
